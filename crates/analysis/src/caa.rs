@@ -1,0 +1,118 @@
+//! §5.3.4: DNS CAA record adoption.
+
+use govscan_pki::caa;
+use govscan_scanner::ScanDataset;
+
+use crate::stats::Share;
+
+/// The CAA adoption report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaaReport {
+    /// Hosts examined.
+    pub total: u64,
+    /// Hosts with at least one CAA record in their relevant set.
+    pub with_caa: u64,
+    /// Of those, hosts whose records are all well-formed (paper: 100%).
+    pub well_formed: u64,
+    /// Hosts whose CAA set authorizes the CA that actually issued their
+    /// certificate (a consistency check the paper's "100% valid" implies).
+    pub authorizes_issuer: u64,
+    /// Hosts with CAA and a CA-issued certificate (denominator above).
+    pub with_caa_and_cert: u64,
+}
+
+/// Build from the worldwide scan. Issuer authorization is checked by
+/// mapping the observed issuer label back to its CAA domain.
+pub fn build(scan: &ScanDataset, issuer_caa_domain: impl Fn(&str) -> Option<String>) -> CaaReport {
+    let mut report = CaaReport::default();
+    for r in scan.available() {
+        report.total += 1;
+        if r.caa.is_empty() {
+            continue;
+        }
+        report.with_caa += 1;
+        if r.caa.iter().all(|rec| rec.is_well_formed()) {
+            report.well_formed += 1;
+        }
+        if let Some(meta) = r.https.meta() {
+            if let Some(domain) = issuer_caa_domain(&meta.issuer) {
+                report.with_caa_and_cert += 1;
+                if caa::permits(&r.caa, &domain, meta.wildcard) {
+                    report.authorizes_issuer += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+impl CaaReport {
+    /// Adoption share (paper: 1.36%).
+    pub fn adoption(&self) -> Share {
+        Share::new(self.with_caa, self.total)
+    }
+
+    /// Well-formedness share among adopters (paper: 100%).
+    pub fn well_formed_share(&self) -> Share {
+        Share::new(self.well_formed, self.with_caa)
+    }
+
+    /// Render.
+    pub fn render(&self) -> String {
+        format!(
+            "CAA adoption: {} of {} ({:.2}%); well-formed: {:.1}%; authorizes issuer: {} of {}\n",
+            self.with_caa,
+            self.total,
+            self.adoption().percent(),
+            self.well_formed_share().percent(),
+            self.authorizes_issuer,
+            self.with_caa_and_cert
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::study;
+    use govscan_worldgen::cadb::CA_PROFILES;
+
+    fn report() -> CaaReport {
+        let (_, out) = study();
+        build(&out.scan, |issuer| {
+            CA_PROFILES
+                .iter()
+                .find(|p| p.label == issuer)
+                .map(|p| p.caa_domain.to_string())
+        })
+    }
+
+    #[test]
+    fn adoption_is_rare() {
+        let r = report();
+        let share = r.adoption().fraction();
+        assert!((0.003..0.06).contains(&share), "adoption {share}");
+    }
+
+    #[test]
+    fn published_records_are_well_formed() {
+        // Paper: 100% of published CAA records were valid.
+        let r = report();
+        assert!(r.with_caa > 0);
+        assert_eq!(r.well_formed, r.with_caa);
+    }
+
+    #[test]
+    fn caa_authorizes_the_actual_issuer() {
+        let r = report();
+        if r.with_caa_and_cert > 0 {
+            let share = r.authorizes_issuer as f64 / r.with_caa_and_cert as f64;
+            assert!(share > 0.9, "authorization share {share}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(report().render().contains("CAA adoption"));
+    }
+}

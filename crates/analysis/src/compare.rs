@@ -1,0 +1,260 @@
+//! §5.5, Figures 6 & 7: government vs non-government sites in the top
+//! million — samplers, rank bins, and the linear-regression overlay.
+
+use govscan_scanner::{ScanContext, ScanRecord};
+use govscan_worldgen::RankingList;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::stats::{self, LinearFit};
+use crate::table::{pct, TextTable};
+
+/// A scanned comparison group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Label ("gov", "nongov-uniform", "nongov-rank-matched", "nongov-top").
+    pub label: &'static str,
+    /// `(rank, record)` pairs.
+    pub members: Vec<(u32, ScanRecord)>,
+}
+
+impl Group {
+    /// Mean rank (the paper reports 396,427 for gov vs 499,206 uniform).
+    pub fn mean_rank(&self) -> f64 {
+        stats::mean(&self.members.iter().map(|(r, _)| *r as f64).collect::<Vec<_>>())
+    }
+
+    /// Rank standard deviation.
+    pub fn rank_std(&self) -> f64 {
+        stats::std_dev(&self.members.iter().map(|(r, _)| *r as f64).collect::<Vec<_>>())
+    }
+
+    /// Overall valid-https share.
+    pub fn valid_share(&self) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let valid = self
+            .members
+            .iter()
+            .filter(|(_, r)| r.https.is_valid())
+            .count();
+        valid as f64 / self.members.len() as f64
+    }
+
+    /// Valid-https rate per rank bin: `(bin_center_rank, rate, n)`.
+    pub fn binned_valid_rate(&self, list_size: u32, bins: usize) -> Vec<(f64, f64, usize)> {
+        let mut counts = vec![(0usize, 0usize); bins];
+        for (rank, r) in &self.members {
+            let b = stats::bin_index(*rank as f64, 1.0, list_size as f64 + 1.0, bins);
+            counts[b].1 += 1;
+            if r.https.is_valid() {
+                counts[b].0 += 1;
+            }
+        }
+        let width = list_size as f64 / bins as f64;
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(i, (v, n))| ((i as f64 + 0.5) * width, v as f64 / n as f64, n))
+            .collect()
+    }
+
+    /// OLS fit of valid rate over rank (Figure 7's trend lines).
+    pub fn rank_regression(&self, list_size: u32, bins: usize) -> Option<LinearFit> {
+        let pts: Vec<(f64, f64)> = self
+            .binned_valid_rate(list_size, bins)
+            .into_iter()
+            .map(|(x, y, _)| (x, y))
+            .collect();
+        stats::linear_fit(&pts)
+    }
+}
+
+/// Scan the government entries of the ranking list.
+pub fn gov_group(ctx: &ScanContext<'_>, tranco: &RankingList) -> Group {
+    scan_group(ctx, "gov", tranco.gov_entries().map(|e| (e.rank, e.hostname.clone())))
+}
+
+/// Uniformly sample `n` materialized non-government entries (sampler \[1\] in §5.5).
+pub fn nongov_uniform(
+    ctx: &ScanContext<'_>,
+    tranco: &RankingList,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Group {
+    let mut pool: Vec<(u32, String)> = tranco
+        .nongov_entries()
+        .map(|e| (e.rank, e.hostname.clone()))
+        .collect();
+    pool.shuffle(rng);
+    pool.truncate(n);
+    scan_group(ctx, "nongov-uniform", pool.into_iter())
+}
+
+/// Sample non-government entries matching the government rank
+/// distribution (sampler \[2\] in §5.5): bin the list, count gov entries per bin,
+/// sample equally many non-gov entries per bin.
+pub fn nongov_rank_matched(
+    ctx: &ScanContext<'_>,
+    tranco: &RankingList,
+    bins: usize,
+    rng: &mut impl Rng,
+) -> Group {
+    let size = tranco.size;
+    let mut gov_per_bin = vec![0usize; bins];
+    for e in tranco.gov_entries() {
+        gov_per_bin[stats::bin_index(e.rank as f64, 1.0, size as f64 + 1.0, bins)] += 1;
+    }
+    let mut nongov_by_bin: Vec<Vec<(u32, String)>> = vec![Vec::new(); bins];
+    for e in tranco.nongov_entries() {
+        let b = stats::bin_index(e.rank as f64, 1.0, size as f64 + 1.0, bins);
+        nongov_by_bin[b].push((e.rank, e.hostname.clone()));
+    }
+    let mut picked = Vec::new();
+    for (b, want) in gov_per_bin.iter().enumerate() {
+        let pool = &mut nongov_by_bin[b];
+        pool.shuffle(rng);
+        picked.extend(pool.iter().take(*want).cloned());
+    }
+    scan_group(ctx, "nongov-rank-matched", picked.into_iter())
+}
+
+/// The top-`n` non-government entries (the ">70% valid" reference line).
+pub fn nongov_top(ctx: &ScanContext<'_>, tranco: &RankingList, n: usize) -> Group {
+    let mut pool: Vec<(u32, String)> = tranco
+        .nongov_entries()
+        .map(|e| (e.rank, e.hostname.clone()))
+        .collect();
+    pool.sort_by_key(|(r, _)| *r);
+    pool.truncate(n);
+    scan_group(ctx, "nongov-top", pool.into_iter())
+}
+
+fn scan_group(
+    ctx: &ScanContext<'_>,
+    label: &'static str,
+    members: impl Iterator<Item = (u32, String)>,
+) -> Group {
+    let members: Vec<(u32, ScanRecord)> = members
+        .map(|(rank, host)| (rank, govscan_scanner::scan_host(ctx, &host)))
+        .collect();
+    Group { label, members }
+}
+
+/// Render a Figure 7-style table of binned rates for several groups.
+pub fn render_fig7(groups: &[&Group], list_size: u32, bins: usize) -> String {
+    let mut out = String::new();
+    for g in groups {
+        out.push_str(&format!(
+            "{}: n={} mean_rank={:.0} σ={:.0} valid={}%\n",
+            g.label,
+            g.members.len(),
+            g.mean_rank(),
+            g.rank_std(),
+            pct(g.valid_share())
+        ));
+        if let Some(fit) = g.rank_regression(list_size, bins) {
+            out.push_str(&format!(
+                "  fit: valid% = {:.2} {} {:.2}·(rank/100k)  (slope se {:.3}, significant: {})\n",
+                fit.intercept * 100.0,
+                if fit.slope < 0.0 { "−" } else { "+" },
+                (fit.slope * 100_000.0 * 100.0).abs(),
+                fit.slope_se * 100_000.0 * 100.0,
+                fit.slope_significant()
+            ));
+        }
+    }
+    let mut t = TextTable::new(vec!["Bin center rank", "gov %", "others..."]);
+    if let Some(g) = groups.first() {
+        for (x, y, n) in g.binned_valid_rate(list_size, bins) {
+            t.row(vec![format!("{x:.0}"), pct(y), format!("n={n}")]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::study;
+    use govscan_scanner::StudyPipeline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        gov: Group,
+        uniform: Group,
+        matched: Group,
+        top: Group,
+        size: u32,
+    }
+
+    fn fixture() -> Fixture {
+        let (world, _) = study();
+        let pipeline = StudyPipeline::new(world);
+        let ctx = pipeline.context();
+        let mut rng = StdRng::seed_from_u64(55);
+        let gov = gov_group(&ctx, &world.tranco);
+        let n = gov.members.len();
+        Fixture {
+            uniform: nongov_uniform(&ctx, &world.tranco, n, &mut rng),
+            matched: nongov_rank_matched(&ctx, &world.tranco, 20, &mut rng),
+            top: nongov_top(&ctx, &world.tranco, n),
+            gov,
+            size: world.tranco.size,
+        }
+    }
+
+    #[test]
+    fn rank_matching_brings_means_together() {
+        let f = fixture();
+        let gov_mean = f.gov.mean_rank();
+        let matched_mean = f.matched.mean_rank();
+        let uniform_mean = f.uniform.mean_rank();
+        // The matched sample tracks the gov distribution more closely
+        // than the uniform one does (paper: 402,676 vs 396,427 vs 499,206).
+        assert!(
+            (matched_mean - gov_mean).abs() <= (uniform_mean - gov_mean).abs() + 1000.0,
+            "gov {gov_mean} matched {matched_mean} uniform {uniform_mean}"
+        );
+    }
+
+    #[test]
+    fn gov_sites_lose_to_nongov_at_equal_rank() {
+        // Figure 7's separation: gov ≈30% vs sampled non-gov ≈55%.
+        let f = fixture();
+        let gov = f.gov.valid_share();
+        let matched = f.matched.valid_share();
+        assert!(
+            matched > gov + 0.08,
+            "matched {matched} should exceed gov {gov}"
+        );
+    }
+
+    #[test]
+    fn top_nongov_beats_sampled_nongov() {
+        let f = fixture();
+        let top = f.top.valid_share();
+        let uniform = f.uniform.valid_share();
+        assert!(top > uniform, "top {top} vs uniform {uniform}");
+        assert!(top > 0.55, "paper: top sites >70% valid; got {top}");
+    }
+
+    #[test]
+    fn validity_declines_with_rank_for_nongov() {
+        let f = fixture();
+        let fit = f.uniform.rank_regression(f.size, 20).expect("fit");
+        assert!(fit.slope < 0.0, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn renders() {
+        let f = fixture();
+        let s = render_fig7(&[&f.gov, &f.uniform], f.size, 10);
+        assert!(s.contains("gov:"));
+        assert!(s.contains("fit:"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure A.4: effectiveness of the crawler — dataset growth per level.
+
+use govscan_scanner::crawler::CrawlReport;
+
+use crate::table::TextTable;
+
+/// The Figure A.4 series.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlGrowth {
+    /// Hostnames first discovered per level (0 = seed).
+    pub discovered: Vec<usize>,
+    /// Government hostnames per level (the blue line).
+    pub government: Vec<usize>,
+    /// Percent increase of the government dataset contributed by each
+    /// level ≥ 1 (the red line).
+    pub growth_percent: Vec<f64>,
+}
+
+/// Build from a crawl report.
+pub fn build(report: &CrawlReport) -> CrawlGrowth {
+    CrawlGrowth {
+        discovered: report.levels.iter().map(|l| l.discovered).collect(),
+        government: report.levels.iter().map(|l| l.government).collect(),
+        growth_percent: report.growth_percent_per_level(),
+    }
+}
+
+impl CrawlGrowth {
+    /// Does discovery decline after the peak (the paper: steadily
+    /// declining after level 5)?
+    pub fn declines_after_peak(&self) -> bool {
+        if self.discovered.len() < 4 {
+            return false;
+        }
+        let peak = self.discovered[1..]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| **n)
+            .map(|(i, _)| i + 1)
+            .unwrap_or(1);
+        let last = self.discovered.len() - 1;
+        self.discovered[last] < self.discovered[peak]
+    }
+
+    /// Total dataset multiplier over the seed.
+    pub fn total_growth(&self) -> f64 {
+        let seed = self.government.first().copied().unwrap_or(0).max(1);
+        let total: usize = self.government.iter().sum();
+        total as f64 / seed as f64
+    }
+
+    /// Render.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Level", "Discovered", "Government", "Growth %"]);
+        for (i, d) in self.discovered.iter().enumerate() {
+            t.row(vec![
+                i.to_string(),
+                d.to_string(),
+                self.government.get(i).copied().unwrap_or(0).to_string(),
+                if i == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", self.growth_percent.get(i - 1).copied().unwrap_or(0.0))
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::study;
+
+    fn growth() -> CrawlGrowth {
+        build(&study().1.crawl)
+    }
+
+    #[test]
+    fn eight_levels_reported() {
+        let g = growth();
+        assert_eq!(g.discovered.len(), 8);
+        assert!(g.discovered[0] > 0, "seed level populated");
+    }
+
+    #[test]
+    fn discovery_declines() {
+        assert!(growth().declines_after_peak());
+    }
+
+    #[test]
+    fn crawl_multiplies_the_seed() {
+        // Paper: 27,532 → 134,812 ≈ 4.9×.
+        let g = growth().total_growth();
+        assert!((2.0..8.0).contains(&g), "growth {g}");
+    }
+
+    #[test]
+    fn renders() {
+        let s = growth().render();
+        assert!(s.contains("Level"));
+        assert!(s.lines().count() >= 9);
+    }
+}

@@ -1,0 +1,257 @@
+//! §5.3.3: host public-key and certificate reuse across hostnames and
+//! governments.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use govscan_scanner::ScanDataset;
+
+use crate::table::TextTable;
+
+/// A group of hosts presenting the same public key.
+#[derive(Debug, Clone)]
+pub struct ReuseCluster {
+    /// Public-key fingerprint.
+    pub key_fingerprint: String,
+    /// Distinct certificate fingerprints seen with this key.
+    pub cert_fingerprints: HashSet<String>,
+    /// Hostnames presenting the key.
+    pub hosts: Vec<String>,
+    /// Countries spanned.
+    pub countries: HashSet<&'static str>,
+    /// Hosts with a valid chain.
+    pub valid_hosts: usize,
+    /// Hosts failing with hostname mismatch.
+    pub mismatch_hosts: usize,
+    /// Hosts with self-signed leaves.
+    pub self_signed_hosts: usize,
+    /// Issuer of the first certificate seen.
+    pub issuer: String,
+}
+
+/// A group of hosts presenting the same *certificate* (the unit the
+/// paper's "154 certificates reused across 1,390 hostnames" counts).
+#[derive(Debug, Clone)]
+pub struct CertCluster {
+    /// Certificate fingerprint.
+    pub fingerprint: String,
+    /// Hostnames presenting it.
+    pub hosts: Vec<String>,
+    /// Countries spanned.
+    pub countries: HashSet<&'static str>,
+}
+
+/// The §5.3.3 report.
+#[derive(Debug, Clone, Default)]
+pub struct ReuseReport {
+    /// Same-key clusters with at least two hosts, largest first.
+    pub clusters: Vec<ReuseCluster>,
+    /// Same-certificate clusters with at least two hosts, largest first.
+    pub cert_clusters: Vec<CertCluster>,
+}
+
+/// Build from the worldwide scan.
+pub fn build(scan: &ScanDataset) -> ReuseReport {
+    let mut map: HashMap<String, ReuseCluster> = HashMap::new();
+    let mut by_cert: HashMap<String, CertCluster> = HashMap::new();
+    for r in scan.https_attempting() {
+        let Some(meta) = r.https.meta() else { continue };
+        let cc_cluster = by_cert
+            .entry(meta.fingerprint.clone())
+            .or_insert_with(|| CertCluster {
+                fingerprint: meta.fingerprint.clone(),
+                hosts: Vec::new(),
+                countries: HashSet::new(),
+            });
+        cc_cluster.hosts.push(r.hostname.clone());
+        if let Some(cc) = r.country {
+            cc_cluster.countries.insert(cc);
+        }
+        let cluster = map
+            .entry(meta.key_fingerprint.clone())
+            .or_insert_with(|| ReuseCluster {
+                key_fingerprint: meta.key_fingerprint.clone(),
+                cert_fingerprints: HashSet::new(),
+                hosts: Vec::new(),
+                countries: HashSet::new(),
+                valid_hosts: 0,
+                mismatch_hosts: 0,
+                self_signed_hosts: 0,
+                issuer: meta.issuer.clone(),
+            });
+        cluster.cert_fingerprints.insert(meta.fingerprint.clone());
+        cluster.hosts.push(r.hostname.clone());
+        if let Some(cc) = r.country {
+            cluster.countries.insert(cc);
+        }
+        if r.https.is_valid() {
+            cluster.valid_hosts += 1;
+        }
+        match r.https.error() {
+            Some(govscan_scanner::ErrorCategory::HostnameMismatch) => cluster.mismatch_hosts += 1,
+            Some(govscan_scanner::ErrorCategory::SelfSigned) => cluster.self_signed_hosts += 1,
+            _ => {}
+        }
+    }
+    let mut clusters: Vec<ReuseCluster> = map
+        .into_values()
+        .filter(|c| c.hosts.len() >= 2)
+        .collect();
+    clusters.sort_by(|a, b| {
+        b.hosts
+            .len()
+            .cmp(&a.hosts.len())
+            .then(b.countries.len().cmp(&a.countries.len()))
+            .then(a.key_fingerprint.cmp(&b.key_fingerprint))
+    });
+    let mut cert_clusters: Vec<CertCluster> = by_cert
+        .into_values()
+        .filter(|c| c.hosts.len() >= 2)
+        .collect();
+    cert_clusters.sort_by(|a, b| {
+        b.hosts
+            .len()
+            .cmp(&a.hosts.len())
+            .then(a.fingerprint.cmp(&b.fingerprint))
+    });
+    ReuseReport { clusters, cert_clusters }
+}
+
+impl ReuseReport {
+    /// Clusters spanning more than one country (the paper's 154 certs /
+    /// 1,390 hosts).
+    pub fn cross_country(&self) -> impl Iterator<Item = &ReuseCluster> {
+        self.clusters.iter().filter(|c| c.countries.len() >= 2)
+    }
+
+    /// Total hosts involved in cross-country reuse.
+    pub fn cross_country_hosts(&self) -> usize {
+        self.cross_country().map(|c| c.hosts.len()).sum()
+    }
+
+    /// Distribution of cross-country clusters by countries spanned
+    /// (paper: 108 by 2, 19 by 3, 11 by 4, 1 by 24).
+    pub fn span_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
+        for c in self.cross_country() {
+            *h.entry(c.countries.len()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Same-certificate clusters spanning ≥2 countries (the "154 certs
+    /// reused across 1,390 hostnames" unit).
+    pub fn cross_country_certs(&self) -> impl Iterator<Item = &CertCluster> {
+        self.cert_clusters.iter().filter(|c| c.countries.len() >= 2)
+    }
+
+    /// Hosts involved in cross-country certificate reuse.
+    pub fn cross_country_cert_hosts(&self) -> usize {
+        self.cross_country_certs().map(|c| c.hosts.len()).sum()
+    }
+
+    /// Distribution of cross-country *certificate* clusters by countries
+    /// spanned.
+    pub fn cert_span_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
+        for c in self.cross_country_certs() {
+            *h.entry(c.countries.len()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Are there any *valid* cross-country reuses? (The paper found none.)
+    pub fn valid_cross_country_reuse(&self) -> bool {
+        self.cross_country().any(|c| c.valid_hosts > 0)
+    }
+
+    /// Largest cluster within one country (the Bangladesh case: one
+    /// certificate across 102 hostnames).
+    pub fn largest_national(&self) -> Option<&ReuseCluster> {
+        self.clusters.iter().find(|c| c.countries.len() == 1)
+    }
+
+    /// Render the headline numbers plus the top clusters.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "reused keys: {} clusters, cross-country: {} clusters / {} hosts, span histogram {:?}\n\
+             reused certificates: {} clusters, cross-country: {} certs / {} hosts, span histogram {:?}\n",
+            self.clusters.len(),
+            self.cross_country().count(),
+            self.cross_country_hosts(),
+            self.span_histogram(),
+            self.cert_clusters.len(),
+            self.cross_country_certs().count(),
+            self.cross_country_cert_hosts(),
+            self.cert_span_histogram()
+        );
+        let mut t = TextTable::new(vec!["Issuer/CN", "Hosts", "Countries", "Valid", "Mismatch", "SelfSigned"]);
+        for c in self.clusters.iter().take(15) {
+            t.row(vec![
+                c.issuer.clone(),
+                c.hosts.len().to_string(),
+                c.countries.len().to_string(),
+                c.valid_hosts.to_string(),
+                c.mismatch_hosts.to_string(),
+                c.self_signed_hosts.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::study;
+
+    fn report() -> ReuseReport {
+        build(&study().1.scan)
+    }
+
+    #[test]
+    fn reuse_clusters_exist() {
+        let r = report();
+        assert!(!r.clusters.is_empty(), "clusters found");
+        assert!(r.clusters[0].hosts.len() >= 3, "largest cluster is large");
+    }
+
+    #[test]
+    fn cross_country_localhost_clusters_detected() {
+        let r = report();
+        assert!(r.cross_country().count() >= 1, "cross-country reuse exists");
+        // The shared appliance key shows up as self-signed localhost.
+        let localhost = r
+            .cross_country()
+            .find(|c| c.issuer == "localhost")
+            .expect("localhost cluster");
+        assert!(localhost.self_signed_hosts > 0);
+        assert!(localhost.countries.len() >= 2);
+    }
+
+    #[test]
+    fn no_valid_cross_country_reuse() {
+        // §5.3.3: "We do not find any instances of valid public key reuse
+        // across country governments."
+        let r = report();
+        assert!(!r.valid_cross_country_reuse());
+    }
+
+    #[test]
+    fn national_wildcard_clusters_are_mismatches() {
+        let r = report();
+        let national = r.largest_national().expect("national cluster");
+        // The Bangladesh-style cluster: wildcard misuse → mismatches.
+        assert!(
+            national.mismatch_hosts > 0 || national.self_signed_hosts > 0,
+            "{national:?}"
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let s = report().render();
+        assert!(s.contains("reused keys"));
+        assert!(s.contains("span histogram"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Descriptive statistics, binning, and ordinary-least-squares linear
+//! regression with 95% confidence bands (Figure 7's statistical core).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1); 0 for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom
+/// (table for small df, 1.96 asymptote).
+pub fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=60 => 2.00,
+        61..=120 => 1.98,
+        _ => 1.96,
+    }
+}
+
+/// An OLS fit `y = intercept + slope·x` with standard errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept.
+    pub intercept: f64,
+    /// Slope.
+    pub slope: f64,
+    /// Standard error of the slope.
+    pub slope_se: f64,
+    /// Standard error of the intercept.
+    pub intercept_se: f64,
+    /// Residual standard error.
+    pub residual_se: f64,
+    /// Number of points.
+    pub n: usize,
+    /// Mean of x (for CI band computation).
+    pub x_mean: f64,
+    /// Σ(x−x̄)² (for CI band computation).
+    pub sxx: f64,
+}
+
+impl LinearFit {
+    /// Predicted mean at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// 95% confidence band half-width for the *mean response* at `x`.
+    pub fn ci95_half_width(&self, x: f64) -> f64 {
+        if self.n < 3 || self.sxx <= 0.0 {
+            return f64::INFINITY;
+        }
+        let t = t_975(self.n - 2);
+        t * self.residual_se
+            * (1.0 / self.n as f64 + (x - self.x_mean).powi(2) / self.sxx).sqrt()
+    }
+
+    /// Is the slope significantly different from zero at 5%?
+    pub fn slope_significant(&self) -> bool {
+        self.n >= 3 && (self.slope / self.slope_se).abs() > t_975(self.n - 2)
+    }
+}
+
+/// Fit `y = a + b·x` by OLS. Returns `None` for < 2 points or zero
+/// x-variance.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let x_mean = mean(&points.iter().map(|p| p.0).collect::<Vec<_>>());
+    let y_mean = mean(&points.iter().map(|p| p.1).collect::<Vec<_>>());
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in points {
+        sxx += (x - x_mean) * (x - x_mean);
+        sxy += (x - x_mean) * (y - y_mean);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = y_mean - slope * x_mean;
+    let mut ss_res = 0.0;
+    for (x, y) in points {
+        let r = y - (intercept + slope * x);
+        ss_res += r * r;
+    }
+    let residual_se = if n > 2 {
+        (ss_res / (n - 2) as f64).sqrt()
+    } else {
+        0.0
+    };
+    let slope_se = if sxx > 0.0 { residual_se / sxx.sqrt() } else { 0.0 };
+    let intercept_se = residual_se * (1.0 / n as f64 + x_mean * x_mean / sxx).sqrt();
+    Some(LinearFit {
+        intercept,
+        slope,
+        slope_se,
+        intercept_se,
+        residual_se,
+        n,
+        x_mean,
+        sxx,
+    })
+}
+
+/// Equal-width binning of `[lo, hi)` into `bins` buckets; returns the
+/// bin index of `x` (clamped).
+pub fn bin_index(x: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    if bins == 0 || hi <= lo {
+        return 0;
+    }
+    let f = ((x - lo) / (hi - lo) * bins as f64).floor();
+    (f.max(0.0) as usize).min(bins - 1)
+}
+
+/// A (numerator, denominator) share with percentage rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Share {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator.
+    pub den: u64,
+}
+
+impl Share {
+    /// Build.
+    pub fn new(num: u64, den: u64) -> Share {
+        Share { num, den }
+    }
+
+    /// As a fraction in `[0, 1]`; 0 when the denominator is 0.
+    pub fn fraction(self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+
+    /// As a percentage.
+    pub fn percent(self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+impl std::fmt::Display for Share {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({:.2}%)", self.num, self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn perfect_line_fit() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!(fit.residual_se < 1e-9);
+        assert!((fit.predict(20.0) - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_slope() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 4.0;
+                (x, 10.0 - 0.05 * x + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope + 0.05).abs() < 0.01, "slope {}", fit.slope);
+        assert!(fit.slope_significant());
+        // CI band is narrower at the mean of x than at the extremes.
+        assert!(fit.ci95_half_width(fit.x_mean) < fit.ci95_half_width(0.0));
+    }
+
+    #[test]
+    fn degenerate_fits() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none(), "zero x variance");
+    }
+
+    #[test]
+    fn flat_data_has_insignificant_slope() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, 5.0 + if i % 2 == 0 { 0.5 } else { -0.5 }))
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!(!fit.slope_significant(), "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn t_table_shape() {
+        assert!(t_975(1) > 12.0);
+        assert!(t_975(10) > t_975(30));
+        assert_eq!(t_975(10_000), 1.96);
+        assert!(t_975(0).is_infinite());
+    }
+
+    #[test]
+    fn binning() {
+        assert_eq!(bin_index(0.0, 0.0, 100.0, 50), 0);
+        assert_eq!(bin_index(99.99, 0.0, 100.0, 50), 49);
+        assert_eq!(bin_index(100.0, 0.0, 100.0, 50), 49, "clamped");
+        assert_eq!(bin_index(-5.0, 0.0, 100.0, 50), 0, "clamped low");
+        assert_eq!(bin_index(50.0, 0.0, 100.0, 50), 25);
+    }
+
+    #[test]
+    fn share_rendering() {
+        let s = Share::new(15_223, 53_256);
+        assert!((s.percent() - 28.58).abs() < 0.01);
+        assert_eq!(Share::new(1, 0).fraction(), 0.0);
+        assert_eq!(format!("{}", Share::new(1, 4)), "1 (25.00%)");
+    }
+}

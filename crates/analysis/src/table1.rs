@@ -1,0 +1,126 @@
+//! Table 1: overlap of the government dataset with the public
+//! top-million lists at the 1K / 10K / 100K / 1M thresholds.
+
+use govscan_scanner::GovFilter;
+use govscan_worldgen::RankingList;
+
+use crate::table::TextTable;
+
+/// One ranking list's overlap column.
+#[derive(Debug, Clone)]
+pub struct OverlapColumn {
+    /// List name.
+    pub list: &'static str,
+    /// Government-site counts at the four thresholds (top size/1000,
+    /// /100, /10, and the full list).
+    pub counts: [usize; 4],
+}
+
+/// The Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The four thresholds, in list-size units.
+    pub thresholds: [u32; 4],
+    /// One column per list.
+    pub columns: Vec<OverlapColumn>,
+}
+
+/// Count government entries (re-checked with the scanner's own filter,
+/// not upstream metadata) under each threshold.
+pub fn build(filter: &GovFilter, lists: &[&RankingList]) -> Table1 {
+    let size = lists.first().map(|l| l.size).unwrap_or(1_000_000);
+    let thresholds = [size / 1000, size / 100, size / 10, size];
+    let columns = lists
+        .iter()
+        .map(|list| {
+            let mut counts = [0usize; 4];
+            for e in &list.entries {
+                if !filter.is_gov(&e.hostname) {
+                    continue;
+                }
+                for (i, &th) in thresholds.iter().enumerate() {
+                    if e.rank <= th {
+                        counts[i] += 1;
+                    }
+                }
+            }
+            OverlapColumn {
+                list: list.name,
+                counts,
+            }
+        })
+        .collect();
+    Table1 {
+        thresholds,
+        columns,
+    }
+}
+
+impl Table1 {
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Govt. websites in".to_string()];
+        header.extend(self.columns.iter().map(|c| c.list.to_string()));
+        let mut t = TextTable::new(header);
+        for (i, th) in self.thresholds.iter().enumerate() {
+            let mut row = vec![format!("Top {th}")];
+            row.extend(self.columns.iter().map(|c| c.counts[i].to_string()));
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::study;
+
+    fn table() -> Table1 {
+        let (world, _) = study();
+        build(
+            &GovFilter::standard(),
+            &[&world.tranco, &world.majestic, &world.cisco],
+        )
+    }
+
+    #[test]
+    fn counts_are_cumulative() {
+        let t = table();
+        for col in &t.columns {
+            for i in 1..4 {
+                assert!(col.counts[i] >= col.counts[i - 1], "{}: {:?}", col.list, col.counts);
+            }
+        }
+    }
+
+    #[test]
+    fn majestic_exceeds_tranco_exceeds_cisco() {
+        // Table 1 ordering at the full-list threshold:
+        // Majestic (12,445) > Tranco (12,293) > Cisco (9,296).
+        let t = table();
+        let get = |name: &str| {
+            t.columns
+                .iter()
+                .find(|c| c.list == name)
+                .map(|c| c.counts[3])
+                .unwrap()
+        };
+        assert!(get("majestic") >= get("tranco"));
+        assert!(get("tranco") > get("cisco"));
+    }
+
+    #[test]
+    fn cisco_top_band_is_empty() {
+        let t = table();
+        let cisco = t.columns.iter().find(|c| c.list == "cisco").unwrap();
+        assert_eq!(cisco.counts[0], 0, "paper: 0 gov sites in Cisco top 1K");
+    }
+
+    #[test]
+    fn renders() {
+        let s = table().render();
+        assert!(s.contains("tranco"));
+        assert!(s.contains("Top "));
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for DER parsing.
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Asn1Error>;
+
+/// Errors produced while reading (or constructing) DER.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Asn1Error {
+    /// Input ended before a complete TLV could be read.
+    Truncated,
+    /// A length field was malformed (indefinite, overlong, or non-minimal).
+    BadLength,
+    /// The tag read did not match what the caller expected.
+    UnexpectedTag {
+        /// Tag the caller expected.
+        expected: u8,
+        /// Tag actually present.
+        found: u8,
+    },
+    /// The content bytes of a value were malformed for their type.
+    BadValue(&'static str),
+    /// An object identifier string or encoding was invalid.
+    BadOid,
+    /// A time value was out of range or malformed.
+    BadTime,
+    /// Trailing bytes remained where none were expected.
+    TrailingData,
+}
+
+impl std::fmt::Display for Asn1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Asn1Error::Truncated => write!(f, "truncated DER input"),
+            Asn1Error::BadLength => write!(f, "malformed DER length"),
+            Asn1Error::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}")
+            }
+            Asn1Error::BadValue(what) => write!(f, "malformed DER value: {what}"),
+            Asn1Error::BadOid => write!(f, "malformed object identifier"),
+            Asn1Error::BadTime => write!(f, "malformed or out-of-range time"),
+            Asn1Error::TrailingData => write!(f, "trailing data after DER value"),
+        }
+    }
+}
+
+impl std::error::Error for Asn1Error {}

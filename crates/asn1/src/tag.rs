@@ -1,0 +1,89 @@
+//! DER tag octets.
+
+/// A single-octet DER tag (class, constructed bit, and tag number).
+///
+/// Multi-octet (high tag number) forms are not needed by X.509 and are
+/// rejected by the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    /// BOOLEAN
+    pub const BOOLEAN: Tag = Tag(0x01);
+    /// INTEGER
+    pub const INTEGER: Tag = Tag(0x02);
+    /// BIT STRING
+    pub const BIT_STRING: Tag = Tag(0x03);
+    /// OCTET STRING
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    /// NULL
+    pub const NULL: Tag = Tag(0x05);
+    /// OBJECT IDENTIFIER
+    pub const OID: Tag = Tag(0x06);
+    /// UTF8String
+    pub const UTF8_STRING: Tag = Tag(0x0c);
+    /// PrintableString
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    /// IA5String
+    pub const IA5_STRING: Tag = Tag(0x16);
+    /// UTCTime
+    pub const UTC_TIME: Tag = Tag(0x17);
+    /// GeneralizedTime
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    /// SEQUENCE (constructed)
+    pub const SEQUENCE: Tag = Tag(0x30);
+    /// SET (constructed)
+    pub const SET: Tag = Tag(0x31);
+
+    /// Context-specific constructed tag `[n]`.
+    pub fn context(n: u8) -> Tag {
+        debug_assert!(n < 31, "high tag numbers unsupported");
+        Tag(0xa0 | n)
+    }
+
+    /// Context-specific primitive tag `[n] IMPLICIT` over a primitive type.
+    pub fn context_primitive(n: u8) -> Tag {
+        debug_assert!(n < 31, "high tag numbers unsupported");
+        Tag(0x80 | n)
+    }
+
+    /// Is the constructed bit set?
+    pub fn is_constructed(self) -> bool {
+        self.0 & 0x20 != 0
+    }
+
+    /// Is this a context-specific tag?
+    pub fn is_context(self) -> bool {
+        self.0 & 0xc0 == 0x80
+    }
+
+    /// The tag number (low 5 bits).
+    pub fn number(self) -> u8 {
+        self.0 & 0x1f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_tags() {
+        assert_eq!(Tag::context(0).0, 0xa0);
+        assert_eq!(Tag::context(3).0, 0xa3);
+        assert_eq!(Tag::context_primitive(2).0, 0x82);
+        assert!(Tag::context(1).is_constructed());
+        assert!(!Tag::context_primitive(1).is_constructed());
+        assert!(Tag::context(1).is_context());
+        assert!(Tag::context_primitive(6).is_context());
+        assert!(!Tag::SEQUENCE.is_context());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(Tag::SEQUENCE.number(), 0x10);
+        assert_eq!(Tag::context(3).number(), 3);
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+    }
+}

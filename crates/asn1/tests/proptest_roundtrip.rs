@@ -1,0 +1,111 @@
+//! Property-based round-trip tests for the DER codec.
+
+use govscan_asn1::{DerReader, DerWriter, Oid, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn integer_i64_round_trips(v in any::<i64>()) {
+        let mut w = DerWriter::new();
+        w.integer_i64(v);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.integer_i64().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn octet_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut w = DerWriter::new();
+        w.octet_string(&bytes);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.octet_string().unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn utf8_round_trips(s in "\\PC{0,100}") {
+        let mut w = DerWriter::new();
+        w.utf8(&s);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.utf8().unwrap(), s);
+    }
+
+    #[test]
+    fn oid_round_trips(
+        first in 0u64..3,
+        second in 0u64..40,
+        rest in proptest::collection::vec(any::<u64>(), 0..8)
+    ) {
+        let mut arcs = vec![first, second];
+        arcs.extend(rest);
+        let oid = Oid::from_arcs(arcs).unwrap();
+        let mut w = DerWriter::new();
+        w.oid(&oid);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.oid().unwrap(), oid);
+    }
+
+    #[test]
+    fn time_round_trips(
+        year in 1950i32..2120,
+        month in 1u8..=12,
+        day in 1u8..=28,
+        hour in 0u8..24,
+        minute in 0u8..60,
+        second in 0u8..60
+    ) {
+        let t = Time::from_ymd_hms(year, month, day, hour, minute, second);
+        let mut w = DerWriter::new();
+        w.time(t);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        prop_assert_eq!(r.time().unwrap(), t);
+    }
+
+    #[test]
+    fn nested_sequence_round_trips(values in proptest::collection::vec(any::<i64>(), 0..20)) {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            for &v in &values {
+                w.integer_i64(v);
+            }
+        });
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let mut seq = r.sequence().unwrap();
+        for &v in &values {
+            prop_assert_eq!(seq.integer_i64().unwrap(), v);
+        }
+        prop_assert!(seq.is_empty());
+    }
+
+    /// Arbitrary bytes must never panic the reader — errors only.
+    #[test]
+    fn reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut r = DerReader::new(&bytes);
+        while !r.is_empty() {
+            if r.read_tlv().is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Serial-number magnitudes round-trip through INTEGER.
+    #[test]
+    fn integer_bytes_round_trips(bytes in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let mut w = DerWriter::new();
+        w.integer_bytes(&bytes);
+        let der = w.finish();
+        let mut r = DerReader::new(&der);
+        let got = r.integer_bytes().unwrap();
+        // Expect the canonical (leading-zero-trimmed) magnitude.
+        let mut expect: &[u8] = &bytes;
+        while expect.len() > 1 && expect[0] == 0 {
+            expect = &expect[1..];
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

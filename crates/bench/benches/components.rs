@@ -1,0 +1,161 @@
+//! Substrate micro-benchmarks: the primitives every scan exercises.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use govscan_asn1::Time;
+use govscan_crypto::{Digest, KeyAlgorithm, KeyPair, Md5, Sha1, Sha256, Sha512};
+use govscan_net::{Cidr, CidrTable, TlsClientConfig};
+use govscan_pki::ca::{CertificateAuthority, IssuancePolicy, LeafProfile};
+use govscan_pki::cert::{Certificate, Validity};
+use govscan_pki::name::DistinguishedName;
+use govscan_pki::trust::TrustStore;
+use govscan_pki::{hostname, validate_chain};
+use govscan_scanner::GovFilter;
+
+fn bench_digests(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut g = c.benchmark_group("digests");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_4k", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    g.bench_function("sha512_4k", |b| b.iter(|| Sha512::digest(black_box(&data))));
+    g.bench_function("sha1_4k", |b| b.iter(|| Sha1::digest(black_box(&data))));
+    g.bench_function("md5_4k", |b| b.iter(|| Md5::digest(black_box(&data))));
+    g.finish();
+}
+
+struct Pki {
+    chain: Vec<Certificate>,
+    trust: TrustStore,
+    der: Vec<u8>,
+}
+
+fn pki_fixture() -> Pki {
+    let validity = Validity {
+        not_before: Time::from_ymd(2010, 1, 1),
+        not_after: Time::from_ymd(2040, 1, 1),
+    };
+    let mut root = CertificateAuthority::new_root(
+        DistinguishedName::ca("Bench Root", "Bench Org", "US"),
+        KeyPair::from_seed(KeyAlgorithm::Rsa(4096), b"bench-root"),
+        IssuancePolicy::default(),
+        validity,
+    );
+    let mut inter = CertificateAuthority::new_intermediate(
+        &mut root,
+        DistinguishedName::ca("Bench Issuing CA", "Bench Org", "US"),
+        KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"bench-inter"),
+        IssuancePolicy::default(),
+        validity,
+    );
+    let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"bench-leaf");
+    let leaf = inter.issue(&LeafProfile::dv(
+        "www.bench.gov",
+        key.public(),
+        Time::from_ymd(2020, 3, 1),
+    ));
+    let mut trust = TrustStore::new();
+    trust.add_root(root.cert.clone());
+    let der = leaf.to_der();
+    Pki {
+        chain: vec![leaf, inter.cert.clone()],
+        trust,
+        der,
+    }
+}
+
+fn bench_pki(c: &mut Criterion) {
+    let pki = pki_fixture();
+    let mut g = c.benchmark_group("pki");
+    g.bench_function("cert_encode_der", |b| {
+        b.iter(|| black_box(&pki.chain[0]).to_der())
+    });
+    g.bench_function("cert_parse_der", |b| {
+        b.iter(|| Certificate::from_der(black_box(&pki.der)).unwrap())
+    });
+    g.bench_function("validate_chain_ok", |b| {
+        b.iter(|| {
+            validate_chain(
+                black_box(&pki.chain),
+                &pki.trust,
+                "www.bench.gov",
+                Time::from_ymd(2020, 4, 22),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("validate_chain_mismatch", |b| {
+        b.iter(|| {
+            validate_chain(
+                black_box(&pki.chain),
+                &pki.trust,
+                "other.bench.gov",
+                Time::from_ymd(2020, 4, 22),
+            )
+            .unwrap_err()
+        })
+    });
+    g.bench_function("hostname_wildcard_match", |b| {
+        b.iter(|| hostname::matches(black_box("*.portal.gov.bd"), black_box("forms.portal.gov.bd")))
+    });
+    g.finish();
+}
+
+fn bench_filter_and_cidr(c: &mut Criterion) {
+    let filter = GovFilter::standard();
+    let hosts = [
+        "www.nih.gov",
+        "stats.data.gouv.fr",
+        "shop.example.com",
+        "abcgov.us",
+        "minwon.go.kr",
+        "www.pwebapps.ezv.admin.ch",
+    ];
+    let mut table: CidrTable<&'static str> = CidrTable::new();
+    for (i, spec) in ["3.0.0.0/9", "13.64.0.0/11", "34.64.0.0/10", "104.16.0.0/13", "150.0.0.0/10"]
+        .iter()
+        .enumerate()
+    {
+        table.insert(Cidr::parse(spec).unwrap(), ["a", "b", "c", "d", "e"][i]);
+    }
+    let mut g = c.benchmark_group("lookup");
+    g.bench_function("gov_filter_classify_6", |b| {
+        b.iter(|| {
+            for h in &hosts {
+                black_box(filter.classify(h));
+            }
+        })
+    });
+    g.bench_function("cidr_longest_prefix", |b| {
+        b.iter(|| table.lookup(black_box("13.80.1.2".parse().unwrap())))
+    });
+    g.finish();
+}
+
+fn bench_scan_probe(c: &mut Criterion) {
+    let (world, _) = govscan_bench::fixture();
+    let pipeline = govscan_scanner::StudyPipeline::new(world);
+    let ctx = pipeline.context();
+    // One valid and one invalid host for steady-state probe costs.
+    let valid = world
+        .gov_hosts
+        .iter()
+        .find(|h| world.records[*h].posture.is_valid_https())
+        .expect("valid host exists");
+    let mut g = c.benchmark_group("scan");
+    g.bench_function("scan_host_valid", |b| {
+        b.iter(|| govscan_scanner::scan_host(&ctx, black_box(valid)))
+    });
+    g.bench_function("tls_handshake", |b| {
+        let client = TlsClientConfig::default();
+        b.iter(|| world.net.tls_connect(black_box(valid), &client).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digests,
+    bench_pki,
+    bench_filter_and_cidr,
+    bench_scan_probe
+);
+criterion_main!(benches);

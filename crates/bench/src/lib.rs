@@ -1,0 +1,31 @@
+//! # govscan-bench
+//!
+//! Criterion benchmarks for the govscan workspace, in two groups:
+//!
+//! - `components` — substrate micro-benchmarks: digests, DER round trips,
+//!   chain validation, hostname matching, CIDR lookup, the government
+//!   filter, TLS handshakes, and single-host scan probes.
+//! - `experiments` — end-to-end pipeline benchmarks, one per reproduced
+//!   table/figure, timing the analysis that regenerates it over a shared
+//!   pre-built world (plus world generation and the crawl themselves).
+//!
+//! Run with `cargo bench --workspace`. This library exposes the shared
+//! fixture used by both benches.
+
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use govscan_scanner::{StudyOutput, StudyPipeline};
+use govscan_worldgen::{World, WorldConfig};
+
+/// A shared small world + study output for the experiment benches (built
+/// once per bench binary).
+pub fn fixture() -> &'static (World, StudyOutput) {
+    static FIXTURE: OnceLock<(World, StudyOutput)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(&WorldConfig::small(0xBE7C));
+        let study = StudyPipeline::new(&world).run();
+        (world, study)
+    })
+}

@@ -1,0 +1,94 @@
+//! The streaming [`Digest`] trait shared by every hash in this crate.
+
+/// A streaming cryptographic hash function.
+///
+/// All digests in this crate follow the usual init / update / finalize
+/// lifecycle. `OUT` is the output length in bytes.
+///
+/// ```
+/// use govscan_crypto::{Digest, Sha256};
+/// let mut h = Sha256::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// let d = h.finalize();
+/// assert_eq!(d, Sha256::digest(b"hello world"));
+/// ```
+pub trait Digest: Default {
+    /// Output length in bytes.
+    const OUT: usize;
+    /// Internal block length in bytes (used by HMAC).
+    const BLOCK: usize;
+
+    /// Create a fresh hasher in its initial state.
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the hasher and produce the digest.
+    ///
+    /// Returned as a `Vec<u8>` of length [`Digest::OUT`] so that the trait
+    /// stays object-friendly for callers that select a hash at runtime.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Merkle–Damgård length padding shared by MD5 / SHA-1 / SHA-256 (64-byte
+/// blocks, 8-byte length). `le` selects little-endian (MD5) vs big-endian
+/// (SHA family) encoding of the bit length.
+pub(crate) fn md_pad_64(buf_len: usize, total_len: u64, le: bool) -> Vec<u8> {
+    let bit_len = total_len.wrapping_mul(8);
+    // Pad to 56 mod 64 then append the 8-byte length.
+    let pad_len = if buf_len % 64 < 56 {
+        56 - buf_len % 64
+    } else {
+        120 - buf_len % 64
+    };
+    let mut pad = vec![0u8; pad_len + 8];
+    pad[0] = 0x80;
+    let len_bytes = if le {
+        bit_len.to_le_bytes()
+    } else {
+        bit_len.to_be_bytes()
+    };
+    pad[pad_len..].copy_from_slice(&len_bytes);
+    pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_lengths_align_to_block() {
+        for n in 0..300usize {
+            let pad = md_pad_64(n, n as u64, false);
+            assert_eq!((n + pad.len()) % 64, 0, "n={n}");
+            assert!(pad.len() >= 9, "must fit 0x80 + 8 length bytes");
+            assert_eq!(pad[0], 0x80);
+        }
+    }
+
+    #[test]
+    fn pad_encodes_bit_length_be() {
+        let pad = md_pad_64(3, 3, false);
+        assert_eq!(&pad[pad.len() - 8..], &(24u64).to_be_bytes());
+    }
+
+    #[test]
+    fn pad_encodes_bit_length_le() {
+        let pad = md_pad_64(3, 3, true);
+        assert_eq!(&pad[pad.len() - 8..], &(24u64).to_le_bytes());
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal hex encoding/decoding used for fingerprints and test vectors.
+
+/// Encode `data` as lowercase hexadecimal.
+pub fn encode(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hexadecimal string (case-insensitive). Returns `None` on odd
+/// length or any non-hex character.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff, 0xde, 0xad];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_case_insensitive() {
+        assert_eq!(decode("DeAdBeEf").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(decode("abc").is_none(), "odd length");
+        assert!(decode("zz").is_none(), "non-hex char");
+        assert!(decode("a ").is_none(), "whitespace");
+    }
+}

@@ -1,0 +1,95 @@
+//! HMAC (RFC 2104) generic over any [`Digest`].
+
+use crate::digest::Digest;
+
+/// Compute `HMAC_H(key, message)` for the digest `H`.
+///
+/// ```
+/// use govscan_crypto::{hmac::hmac, Sha256};
+/// let tag = hmac::<Sha256>(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     govscan_crypto::hex::encode(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac<H: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
+    // Keys longer than the block size are hashed first.
+    let mut k = if key.len() > H::BLOCK {
+        H::digest(key)
+    } else {
+        key.to_vec()
+    };
+    k.resize(H::BLOCK, 0);
+
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+
+    let mut inner = H::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = H::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, Md5, Sha1, Sha256, Sha512};
+
+    /// RFC 2202 test case 1 (MD5 and SHA-1).
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0bu8; 16];
+        assert_eq!(
+            hex::encode(&hmac::<Md5>(&key, b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        let key20 = [0x0bu8; 20];
+        assert_eq!(
+            hex::encode(&hmac::<Sha1>(&key20, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    /// RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex::encode(&hmac::<Sha256>(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hex::encode(&hmac::<Sha512>(b"Jefe", b"what do ya want for nothing?")),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    /// RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex::encode(&hmac::<Sha256>(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 test case 6: key longer than block size.
+    #[test]
+    fn long_key_is_hashed() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex::encode(&hmac::<Sha256>(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated public/private key pairs.
+//!
+//! A [`KeyPair`] carries the *metadata* the measurement study groups
+//! certificates by — key family (RSA vs elliptic-curve) and nominal bit
+//! size — together with a 32-byte secret from which the public key is
+//! deterministically derived. See the crate docs for why a simulated
+//! scheme is the right substitution for this reproduction.
+
+use crate::digest::Digest;
+use crate::hex;
+use crate::sha256::Sha256;
+
+/// The key family and nominal size, as reported in certificate metadata.
+///
+/// The variants cover every size the paper observes in the wild, including
+/// the misconfiguration-prone odd sizes (`Rsa3248`, `Rsa8192`) called out
+/// in §5.3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyAlgorithm {
+    /// RSA with the given modulus size in bits.
+    Rsa(u16),
+    /// Elliptic-curve (prime-field NIST curve) with the given size in bits.
+    Ec(u16),
+}
+
+impl KeyAlgorithm {
+    /// Nominal key size in bits.
+    pub fn bits(self) -> u16 {
+        match self {
+            KeyAlgorithm::Rsa(b) | KeyAlgorithm::Ec(b) => b,
+        }
+    }
+
+    /// `true` for elliptic-curve keys.
+    pub fn is_ec(self) -> bool {
+        matches!(self, KeyAlgorithm::Ec(_))
+    }
+
+    /// Whether this key is considered cryptographically weak by the
+    /// NIST SP 800-131 guidance the paper cites (RSA < 2048 bits).
+    pub fn is_weak(self) -> bool {
+        match self {
+            KeyAlgorithm::Rsa(b) => b < 2048,
+            KeyAlgorithm::Ec(b) => b < 224,
+        }
+    }
+
+    /// Short human-readable label used in analysis tables, e.g. `RSA-2048`.
+    pub fn label(self) -> String {
+        match self {
+            KeyAlgorithm::Rsa(b) => format!("RSA-{b}"),
+            KeyAlgorithm::Ec(b) => format!("EC-{b}"),
+        }
+    }
+}
+
+/// A public key: algorithm metadata plus the derived key bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Key family and size.
+    pub algorithm: KeyAlgorithm,
+    /// Derived public key material (32 bytes).
+    pub bytes: Vec<u8>,
+}
+
+impl PublicKey {
+    /// SHA-256 fingerprint of the public key, hex-encoded. Used by the
+    /// key-reuse analysis (§5.3.3) to find identical keys across hosts.
+    pub fn fingerprint(&self) -> String {
+        let mut h = Sha256::new();
+        h.update(&self.bytes);
+        h.update(&self.algorithm.label().into_bytes());
+        hex::encode(&h.finalize())
+    }
+}
+
+/// A simulated key pair. The secret is 32 bytes; the public key is
+/// `SHA-256("govscan-pubkey-v1" ‖ secret)`.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// Key family and size (metadata only; see crate docs).
+    pub algorithm: KeyAlgorithm,
+    secret: [u8; 32],
+}
+
+const PUBKEY_DOMAIN: &[u8] = b"govscan-pubkey-v1";
+
+impl KeyPair {
+    /// Derive a key pair deterministically from a seed. Two calls with the
+    /// same `(algorithm, seed)` produce the same pair — the world generator
+    /// relies on this both for reproducibility and for injecting the
+    /// *intentional* key-reuse pathologies the paper measures.
+    pub fn from_seed(algorithm: KeyAlgorithm, seed: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"govscan-keyseed-v1");
+        h.update(&algorithm.label().into_bytes());
+        h.update(seed);
+        let digest = h.finalize();
+        let mut secret = [0u8; 32];
+        secret.copy_from_slice(&digest);
+        KeyPair { algorithm, secret }
+    }
+
+    /// The public half of the pair.
+    pub fn public(&self) -> PublicKey {
+        let mut h = Sha256::new();
+        h.update(PUBKEY_DOMAIN);
+        h.update(&self.secret);
+        PublicKey {
+            algorithm: self.algorithm,
+            bytes: h.finalize(),
+        }
+    }
+
+    /// Internal: the secret bytes, for the signing operation.
+    pub(crate) fn secret(&self) -> &[u8; 32] {
+        &self.secret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_derivation() {
+        let a = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"seed");
+        let b = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"seed");
+        assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn different_seed_different_key() {
+        let a = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"seed-1");
+        let b = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"seed-2");
+        assert_ne!(a.public().bytes, b.public().bytes);
+    }
+
+    #[test]
+    fn different_algorithm_different_key() {
+        let a = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"seed");
+        let b = KeyPair::from_seed(KeyAlgorithm::Ec(256), b"seed");
+        assert_ne!(a.public().bytes, b.public().bytes);
+    }
+
+    #[test]
+    fn weakness_classification() {
+        assert!(KeyAlgorithm::Rsa(1024).is_weak());
+        assert!(!KeyAlgorithm::Rsa(2048).is_weak());
+        assert!(!KeyAlgorithm::Rsa(4096).is_weak());
+        assert!(!KeyAlgorithm::Ec(256).is_weak());
+        assert!(KeyAlgorithm::Ec(192).is_weak());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_algorithms() {
+        // Same secret bytes but different metadata must not collide in the
+        // reuse analysis.
+        let a = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"x").public();
+        let b = KeyPair::from_seed(KeyAlgorithm::Rsa(4096), b"x").public();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KeyAlgorithm::Rsa(2048).label(), "RSA-2048");
+        assert_eq!(KeyAlgorithm::Ec(256).label(), "EC-256");
+        assert_eq!(KeyAlgorithm::Ec(384).bits(), 384);
+        assert!(KeyAlgorithm::Ec(256).is_ec());
+        assert!(!KeyAlgorithm::Rsa(2048).is_ec());
+    }
+}

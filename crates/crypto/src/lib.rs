@@ -1,0 +1,47 @@
+//! # govscan-crypto
+//!
+//! Cryptographic primitives for the govscan PKI simulation.
+//!
+//! This crate provides two kinds of functionality:
+//!
+//! 1. **Real message digests** — [`Md5`], [`Sha1`], [`Sha256`], [`Sha384`]
+//!    and [`Sha512`] are complete, from-scratch implementations of the
+//!    corresponding RFC 1321 / FIPS 180-4 algorithms, verified against the
+//!    published test vectors. They are used for certificate fingerprints,
+//!    key identifiers, and the signature binding below. (MD5 and SHA-1 are
+//!    of course broken for collision resistance; they exist here because the
+//!    paper *measures* certificates signed with them.)
+//!
+//! 2. **Simulated public-key signatures** — the study this workspace
+//!    reproduces never attacks RSA/ECDSA mathematics; it only needs
+//!    signatures that bind a to-be-signed byte string to exactly one issuer
+//!    key, fail on any tamper or wrong-issuer verification, and carry the
+//!    algorithm / key-size metadata that the analysis groups by. [`KeyPair`]
+//!    and [`sign()`]/[`verify()`] provide those properties deterministically:
+//!    a key pair is a 32-byte secret, its public key is derived by hashing
+//!    the secret, and a signature over `tbs` is a deterministic binding of
+//!    `(algorithm, signer public key, H(tbs))` — any tamper, issuer
+//!    substitution, or algorithm confusion fails verification. Outside-
+//!    attacker unforgeability is not modelled (the simulation is a closed
+//!    world). See DESIGN.md §1 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod hex;
+pub mod hmac;
+pub mod keys;
+pub mod md5;
+pub mod sha1;
+pub mod sha256;
+pub mod sha512;
+pub mod sign;
+
+pub use digest::Digest;
+pub use keys::{KeyAlgorithm, KeyPair, PublicKey};
+pub use md5::Md5;
+pub use sha1::Sha1;
+pub use sha256::{Sha224, Sha256};
+pub use sha512::{Sha384, Sha512};
+pub use sign::{sign, verify, HashAlgorithm, Signature, SignatureAlgorithm};

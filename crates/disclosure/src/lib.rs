@@ -1,0 +1,21 @@
+//! # govscan-disclosure
+//!
+//! The responsible-disclosure arc of the study (§7.2): per-country
+//! vulnerability reports emailed to government domain registrars, the
+//! response pattern by country population rank (Figure 13), a
+//! remediation model (webmasters fixing certificates, sites being taken
+//! down, unreachable sites coming back), and the two-months-later
+//! effectiveness re-scan (§7.2.2) — which runs the *real* scanner again
+//! over the mutated simulated Internet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod registrar;
+pub mod remediation;
+pub mod rescan;
+
+pub use campaign::{Campaign, CountryOutcome, ResponseKind};
+pub use remediation::RemediationPlan;
+pub use rescan::{run_rescan, RescanReport};

@@ -1,0 +1,220 @@
+//! §7.2.2: the two-months-later effectiveness re-scan.
+//!
+//! The follow-up measured only the previously-invalid hosts (15,179 in
+//! the paper) and the previously-unreachable pool — not a full re-scan —
+//! so, like the paper, this module "cannot measure deterioration".
+
+use std::collections::BTreeMap;
+
+use govscan_scanner::{ScanDataset, StudyPipeline};
+use govscan_worldgen::World;
+
+/// A numerator/denominator fraction (kept local to avoid a dependency
+/// on the analysis crate).
+fn fraction(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The §7.2.2 report.
+#[derive(Debug, Clone, Default)]
+pub struct RescanReport {
+    /// Previously invalid hosts re-scanned.
+    pub previously_invalid: u64,
+    /// … now unreachable (assumed removed on purpose).
+    pub now_unreachable: u64,
+    /// … now valid (fixed).
+    pub now_valid: u64,
+    /// … still invalid.
+    pub still_invalid: u64,
+    /// Previously unreachable hosts re-scanned.
+    pub previously_unreachable: u64,
+    /// … still unreachable.
+    pub still_unreachable: u64,
+    /// … now serving valid https.
+    pub unreachable_now_valid: u64,
+    /// … now serving invalid https.
+    pub unreachable_now_invalid: u64,
+    /// Per-country improvement among previously-invalid hosts.
+    pub per_country: BTreeMap<&'static str, (u64, u64)>, // (fixed-or-gone, total)
+}
+
+/// Run the follow-up scan against the (post-remediation) world.
+pub fn run_rescan(
+    world: &World,
+    original: &ScanDataset,
+    unreachable: &[String],
+) -> RescanReport {
+    // Two months after the original snapshot (§7.2.2).
+    let pipeline =
+        StudyPipeline::new(world).with_scan_time(world.scan_time().plus_days(60));
+    let mut report = RescanReport::default();
+
+    let invalid_hosts: Vec<String> = original.invalid().map(|r| r.hostname.clone()).collect();
+    report.previously_invalid = invalid_hosts.len() as u64;
+    let rescan = pipeline.scan_list(&invalid_hosts);
+    for r in rescan.records() {
+        let country = original.get(&r.hostname).and_then(|o| o.country);
+        let entry = country.map(|cc| report.per_country.entry(cc).or_insert((0, 0)));
+        if let Some(e) = entry {
+            e.1 += 1;
+        }
+        if !r.available {
+            report.now_unreachable += 1;
+            if let Some(cc) = country {
+                report.per_country.get_mut(cc).expect("just inserted").0 += 1;
+            }
+        } else if r.https.is_valid() {
+            report.now_valid += 1;
+            if let Some(cc) = country {
+                report.per_country.get_mut(cc).expect("just inserted").0 += 1;
+            }
+        } else {
+            report.still_invalid += 1;
+        }
+    }
+
+    report.previously_unreachable = unreachable.len() as u64;
+    let revisit = pipeline.scan_list(unreachable);
+    for r in revisit.records() {
+        if !r.available {
+            report.still_unreachable += 1;
+        } else if r.https.is_valid() {
+            report.unreachable_now_valid += 1;
+        } else if r.https.attempts() {
+            report.unreachable_now_invalid += 1;
+        }
+    }
+    report
+}
+
+impl RescanReport {
+    /// Strict improvement: fixed hosts only (paper: 8.3%).
+    pub fn strict_improvement(&self) -> f64 {
+        fraction(self.now_valid, self.previously_invalid)
+    }
+
+    /// Optimistic improvement: fixed + removed (paper: 18.7%).
+    pub fn optimistic_improvement(&self) -> f64 {
+        fraction(self.now_valid + self.now_unreachable, self.previously_invalid)
+    }
+
+    /// Countries showing at least `threshold` improvement (paper: 62
+    /// countries ≥10%; 7 countries ≥40%).
+    pub fn countries_improving_at_least(&self, threshold: f64) -> Vec<&'static str> {
+        self.per_country
+            .iter()
+            .filter(|(_, (fixed, total))| {
+                *total > 0 && *fixed as f64 / *total as f64 >= threshold
+            })
+            .map(|(cc, _)| *cc)
+            .collect()
+    }
+
+    /// Render.
+    pub fn render(&self) -> String {
+        format!(
+            "previously invalid: {} → fixed {} / removed {} / still invalid {}\n\
+             strict improvement {:.1}%, optimistic {:.1}%\n\
+             previously unreachable: {} → still gone {} / now valid {} / now invalid {}\n\
+             countries ≥10% improvement: {}, ≥40%: {}\n",
+            self.previously_invalid,
+            self.now_valid,
+            self.now_unreachable,
+            self.still_invalid,
+            self.strict_improvement() * 100.0,
+            self.optimistic_improvement() * 100.0,
+            self.previously_unreachable,
+            self.still_unreachable,
+            self.unreachable_now_valid,
+            self.unreachable_now_invalid,
+            self.countries_improving_at_least(0.10).len(),
+            self.countries_improving_at_least(0.40).len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign;
+    use crate::remediation;
+    use govscan_worldgen::WorldConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    static REPORT: OnceLock<RescanReport> = OnceLock::new();
+
+    fn report() -> &'static RescanReport {
+        REPORT.get_or_init(|| {
+            let mut world = World::generate(&WorldConfig::small(0xE5CA));
+            let out = StudyPipeline::new(&world).run();
+            let unreachable: Vec<String> = out
+                .scan
+                .records()
+                .iter()
+                .filter(|r| !r.available)
+                .map(|r| r.hostname.clone())
+                .collect();
+            let mut rng = StdRng::seed_from_u64(21);
+            let camp = campaign::run(&out.scan, &mut rng, world.config.seed);
+            remediation::apply(&mut world, &out.scan, &unreachable, &camp, &mut rng);
+            run_rescan(&world, &out.scan, &unreachable)
+        })
+    }
+
+    #[test]
+    fn improvement_rates_match_paper_band() {
+        let r = report();
+        let strict = r.strict_improvement();
+        let optimistic = r.optimistic_improvement();
+        // Paper: 8.3% strict, 18.7% optimistic.
+        assert!((0.04..0.20).contains(&strict), "strict {strict}");
+        assert!((0.10..0.33).contains(&optimistic), "optimistic {optimistic}");
+        assert!(optimistic > strict);
+    }
+
+    #[test]
+    fn most_hosts_stay_broken() {
+        let r = report();
+        assert!(
+            r.still_invalid * 2 > r.previously_invalid,
+            "{} of {} still invalid",
+            r.still_invalid,
+            r.previously_invalid
+        );
+    }
+
+    #[test]
+    fn unreachable_pool_mostly_stays_gone() {
+        let r = report();
+        let gone = r.still_unreachable as f64 / r.previously_unreachable.max(1) as f64;
+        assert!((0.6..0.95).contains(&gone), "still gone {gone}");
+        assert!(r.unreachable_now_valid > r.unreachable_now_invalid);
+    }
+
+    #[test]
+    fn some_countries_improve_strongly() {
+        let r = report();
+        let ten = r.countries_improving_at_least(0.10).len();
+        assert!(ten >= 5, "≥10% improvers: {ten}");
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let r = report();
+        assert_eq!(
+            r.previously_invalid,
+            r.now_valid + r.now_unreachable + r.still_invalid
+        );
+    }
+
+    #[test]
+    fn renders() {
+        assert!(report().render().contains("strict improvement"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The HTTP layer of the simulation: status codes, redirects, HSTS.
+
+use crate::html;
+
+/// A simulated HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 301, 404, 500, …).
+    pub status: u16,
+    /// `Location` header for redirects.
+    pub location: Option<String>,
+    /// `Strict-Transport-Security` header value, if sent.
+    pub hsts: Option<String>,
+    /// Response body (HTML).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 page rendered from a title and links.
+    pub fn page(title: &str, links: &[String]) -> Self {
+        HttpResponse {
+            status: 200,
+            location: None,
+            hsts: None,
+            body: html::render_page(title, links),
+        }
+    }
+
+    /// A 301 redirect to `location`.
+    pub fn redirect(location: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 301,
+            location: Some(location.into()),
+            hsts: None,
+            body: String::new(),
+        }
+    }
+
+    /// A 404.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            location: None,
+            hsts: None,
+            body: "<html><body><h1>404 Not Found</h1></body></html>".into(),
+        }
+    }
+
+    /// A 500.
+    pub fn server_error() -> Self {
+        HttpResponse {
+            status: 500,
+            location: None,
+            hsts: None,
+            body: "<html><body><h1>500 Internal Server Error</h1></body></html>".into(),
+        }
+    }
+
+    /// Attach an HSTS header (max-age one year, includeSubDomains).
+    pub fn with_hsts(mut self) -> Self {
+        self.hsts = Some("max-age=31536000; includeSubDomains".into());
+        self
+    }
+
+    /// Is this a success?
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+
+    /// Is this a redirect with a Location?
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.status) && self.location.is_some()
+    }
+}
+
+/// What an HTTP(S) fetch observed end to end, transport included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpOutcome {
+    /// A response arrived.
+    Response(HttpResponse),
+    /// DNS failed (NXDOMAIN).
+    DnsFailure,
+    /// DNS timed out.
+    DnsTimeout,
+    /// TCP connect failed.
+    ConnectFailed(crate::tcp::TcpOutcome),
+    /// TLS handshake failed (https fetches only).
+    TlsFailure(crate::tls::TlsError),
+}
+
+impl HttpOutcome {
+    /// The response, when one arrived.
+    pub fn response(&self) -> Option<&HttpResponse> {
+        match self {
+            HttpOutcome::Response(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Did the fetch produce a 200?
+    pub fn is_ok_200(&self) -> bool {
+        self.response().is_some_and(|r| r.is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_response_contains_links() {
+        let r = HttpResponse::page("City of Testville", &["https://county.gov".to_string()]);
+        assert!(r.is_ok());
+        assert!(r.body.contains("https://county.gov"));
+        assert!(!r.is_redirect());
+    }
+
+    #[test]
+    fn redirect_shape() {
+        let r = HttpResponse::redirect("https://www.example.gov/");
+        assert!(r.is_redirect());
+        assert_eq!(r.status, 301);
+        assert_eq!(r.location.as_deref(), Some("https://www.example.gov/"));
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn hsts_header() {
+        let r = HttpResponse::page("T", &[]).with_hsts();
+        assert!(r.hsts.unwrap().contains("max-age=31536000"));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(HttpOutcome::Response(HttpResponse::page("T", &[])).is_ok_200());
+        assert!(!HttpOutcome::Response(HttpResponse::not_found()).is_ok_200());
+        assert!(!HttpOutcome::DnsFailure.is_ok_200());
+        assert!(HttpOutcome::DnsFailure.response().is_none());
+        assert!(!HttpOutcome::Response(HttpResponse::server_error()).is_ok_200());
+    }
+}

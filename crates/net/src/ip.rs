@@ -1,0 +1,183 @@
+//! IPv4 CIDR blocks and prefix tables.
+//!
+//! Hosting-provider attribution (§5.4) resolves each hostname's first A
+//! record and matches it against the CIDR prefix lists the cloud/CDN
+//! providers publish. [`CidrTable`] is that lookup structure.
+
+use std::net::Ipv4Addr;
+
+/// An IPv4 CIDR block, e.g. `13.32.0.0/15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    /// Network address (host bits zeroed at parse time).
+    pub network: Ipv4Addr,
+    /// Prefix length, 0–32.
+    pub prefix: u8,
+}
+
+/// Error parsing a CIDR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CidrParseError(pub String);
+
+impl std::fmt::Display for CidrParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CIDR: {}", self.0)
+    }
+}
+
+impl std::error::Error for CidrParseError {}
+
+impl Cidr {
+    /// Parse `a.b.c.d/len`. Host bits below the prefix are zeroed
+    /// (so `10.0.0.1/8` normalizes to `10.0.0.0/8`).
+    pub fn parse(s: &str) -> Result<Cidr, CidrParseError> {
+        let (addr_s, len_s) = s.split_once('/').ok_or_else(|| CidrParseError(s.into()))?;
+        let addr: Ipv4Addr = addr_s.parse().map_err(|_| CidrParseError(s.into()))?;
+        let prefix: u8 = len_s.parse().map_err(|_| CidrParseError(s.into()))?;
+        if prefix > 32 {
+            return Err(CidrParseError(s.into()));
+        }
+        let mask = Self::mask(prefix);
+        Ok(Cidr {
+            network: Ipv4Addr::from(u32::from(addr) & mask),
+            prefix,
+        })
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// Does this block contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & Self::mask(self.prefix)) == u32::from(self.network)
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// The `n`-th address inside the block (wraps within the block) —
+    /// used by the world generator to hand out provider IPs.
+    pub fn addr_at(&self, n: u64) -> Ipv4Addr {
+        let offset = (n % self.size()) as u32;
+        Ipv4Addr::from(u32::from(self.network).wrapping_add(offset))
+    }
+}
+
+impl std::fmt::Display for Cidr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network, self.prefix)
+    }
+}
+
+/// A label → CIDR-list table with longest-prefix lookup, mirroring the
+/// published provider IP-range lists the paper matched against.
+#[derive(Debug, Clone, Default)]
+pub struct CidrTable<L: Clone> {
+    entries: Vec<(Cidr, L)>,
+}
+
+impl<L: Clone> CidrTable<L> {
+    /// An empty table.
+    pub fn new() -> Self {
+        CidrTable { entries: Vec::new() }
+    }
+
+    /// Add a block with its label.
+    pub fn insert(&mut self, cidr: Cidr, label: L) {
+        self.entries.push((cidr, label));
+    }
+
+    /// Longest-prefix match for `addr`.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&L> {
+        self.entries
+            .iter()
+            .filter(|(c, _)| c.contains(addr))
+            .max_by_key(|(c, _)| c.prefix)
+            .map(|(_, l)| l)
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no blocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over all blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &(Cidr, L)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_contains() {
+        let c = Cidr::parse("13.32.0.0/15").unwrap();
+        assert!(c.contains("13.32.10.1".parse().unwrap()));
+        assert!(c.contains("13.33.255.255".parse().unwrap()));
+        assert!(!c.contains("13.34.0.0".parse().unwrap()));
+        assert_eq!(c.to_string(), "13.32.0.0/15");
+    }
+
+    #[test]
+    fn parse_normalizes_host_bits() {
+        let c = Cidr::parse("10.1.2.3/8").unwrap();
+        assert_eq!(c.network, Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cidr::parse("10.0.0.0").is_err());
+        assert!(Cidr::parse("10.0.0.0/33").is_err());
+        assert!(Cidr::parse("999.0.0.0/8").is_err());
+        assert!(Cidr::parse("10.0.0.0/x").is_err());
+    }
+
+    #[test]
+    fn zero_prefix_matches_everything() {
+        let c = Cidr::parse("0.0.0.0/0").unwrap();
+        assert!(c.contains("255.255.255.255".parse().unwrap()));
+        assert_eq!(c.size(), 1 << 32);
+    }
+
+    #[test]
+    fn slash_32_matches_single_address() {
+        let c = Cidr::parse("192.0.2.7/32").unwrap();
+        assert!(c.contains("192.0.2.7".parse().unwrap()));
+        assert!(!c.contains("192.0.2.8".parse().unwrap()));
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn addr_at_stays_in_block() {
+        let c = Cidr::parse("198.51.100.0/24").unwrap();
+        for n in [0u64, 1, 255, 256, 1000] {
+            assert!(c.contains(c.addr_at(n)), "n={n}");
+        }
+        assert_eq!(c.addr_at(0), Ipv4Addr::new(198, 51, 100, 0));
+        assert_eq!(c.addr_at(256), c.addr_at(0), "wraps");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = CidrTable::new();
+        t.insert(Cidr::parse("13.0.0.0/8").unwrap(), "aws-coarse");
+        t.insert(Cidr::parse("13.32.0.0/15").unwrap(), "cloudfront");
+        assert_eq!(t.lookup("13.32.1.1".parse().unwrap()), Some(&"cloudfront"));
+        assert_eq!(t.lookup("13.107.1.1".parse().unwrap()), Some(&"aws-coarse"));
+        assert_eq!(t.lookup("8.8.8.8".parse().unwrap()), None);
+    }
+}

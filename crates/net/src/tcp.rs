@@ -1,0 +1,108 @@
+//! TCP connect outcomes.
+//!
+//! The paper's exception taxonomy (Table 2) includes "Timed out",
+//! "Connection refused" and "Connection Reset by peer" — all transport
+//! failures below TLS. The simulation models them per host and port.
+
+/// The result of a TCP connect attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpOutcome {
+    /// Connection accepted.
+    Accepted,
+    /// RST on SYN — nothing listening.
+    Refused,
+    /// No answer within the probe deadline.
+    TimedOut,
+    /// Connection established but reset by the peer mid-handshake.
+    ResetByPeer,
+}
+
+impl TcpOutcome {
+    /// Whether data could flow.
+    pub fn is_ok(self) -> bool {
+        self == TcpOutcome::Accepted
+    }
+
+    /// The label used by the paper's error tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TcpOutcome::Accepted => "accepted",
+            TcpOutcome::Refused => "connection refused",
+            TcpOutcome::TimedOut => "timed out",
+            TcpOutcome::ResetByPeer => "connection reset by peer",
+        }
+    }
+}
+
+/// Per-port listener behaviour of a simulated host.
+#[derive(Debug, Clone, Default)]
+pub struct PortTable {
+    http: Option<TcpOutcome>,
+    https: Option<TcpOutcome>,
+}
+
+impl PortTable {
+    /// A host with both ports accepting.
+    pub fn both_open() -> Self {
+        PortTable {
+            http: Some(TcpOutcome::Accepted),
+            https: Some(TcpOutcome::Accepted),
+        }
+    }
+
+    /// Set the outcome for a port (80 or 443). Other ports are out of the
+    /// study's scope — the scanner never dials them (§4.4, ethics).
+    pub fn set(&mut self, port: u16, outcome: TcpOutcome) {
+        match port {
+            80 => self.http = Some(outcome),
+            443 => self.https = Some(outcome),
+            _ => panic!("ports other than 80/443 are out of scope"),
+        }
+    }
+
+    /// Connect to a port; unset ports refuse.
+    pub fn connect(&self, port: u16) -> TcpOutcome {
+        match port {
+            80 => self.http.unwrap_or(TcpOutcome::Refused),
+            443 => self.https.unwrap_or(TcpOutcome::Refused),
+            _ => TcpOutcome::Refused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ports_refuse() {
+        let t = PortTable::default();
+        assert_eq!(t.connect(80), TcpOutcome::Refused);
+        assert_eq!(t.connect(443), TcpOutcome::Refused);
+        assert_eq!(t.connect(8080), TcpOutcome::Refused);
+    }
+
+    #[test]
+    fn both_open() {
+        let t = PortTable::both_open();
+        assert!(t.connect(80).is_ok());
+        assert!(t.connect(443).is_ok());
+    }
+
+    #[test]
+    fn per_port_outcomes() {
+        let mut t = PortTable::both_open();
+        t.set(443, TcpOutcome::TimedOut);
+        assert!(t.connect(80).is_ok());
+        assert_eq!(t.connect(443), TcpOutcome::TimedOut);
+        t.set(443, TcpOutcome::ResetByPeer);
+        assert_eq!(t.connect(443).label(), "connection reset by peer");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of scope")]
+    fn setting_other_ports_panics() {
+        let mut t = PortTable::default();
+        t.set(22, TcpOutcome::Accepted);
+    }
+}

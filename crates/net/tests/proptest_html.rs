@@ -1,0 +1,47 @@
+//! Property-based tests for the HTML renderer/extractor pair: links that
+//! go in must come out, and hostile input must never panic.
+
+use govscan_net::html::{extract_links, link_hostname, render_page};
+use proptest::prelude::*;
+
+fn url() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("http"), Just("https")],
+        "[a-z][a-z0-9-]{0,10}",
+        "[a-z]{2,6}",
+        "[a-z0-9/_-]{0,20}",
+    )
+        .prop_map(|(scheme, host, tld, path)| format!("{scheme}://{host}.{tld}/{path}"))
+}
+
+proptest! {
+    /// render → extract is the identity on the link list.
+    #[test]
+    fn render_extract_round_trips(title in "\\PC{0,40}", links in proptest::collection::vec(url(), 0..20)) {
+        let html = render_page(&title, &links);
+        prop_assert_eq!(extract_links(&html), links);
+    }
+
+    /// The extractor never panics on arbitrary input.
+    #[test]
+    fn extractor_is_total(html in "\\PC{0,500}") {
+        let _ = extract_links(&html);
+    }
+
+    /// link_hostname never panics and always yields a lowercase dotted name.
+    #[test]
+    fn hostname_extraction_is_total(link in "\\PC{0,120}") {
+        if let Some(h) = link_hostname(&link) {
+            prop_assert!(h.contains('.'));
+            prop_assert_eq!(h.clone(), h.to_ascii_lowercase());
+        }
+    }
+
+    /// Hostnames embedded in well-formed URLs are recovered exactly.
+    #[test]
+    fn url_hostnames_recovered(host in "[a-z][a-z0-9-]{0,10}", tld in "[a-z]{2,6}", path in "[a-z0-9/_-]{0,20}") {
+        let expected = format!("{host}.{tld}");
+        let link = format!("https://{expected}/{path}");
+        prop_assert_eq!(link_hostname(&link), Some(expected));
+    }
+}

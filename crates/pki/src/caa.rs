@@ -1,0 +1,174 @@
+//! DNS CAA (Certification Authority Authorization) semantics, RFC 8659.
+//!
+//! The record type itself is served by the DNS simulation in
+//! `govscan-net`; this module owns the *evaluation* logic: given the
+//! relevant record set for a domain, may a given CA issue? The paper
+//! (§5.3.4) measured that only 1.36% of government domains publish CAA
+//! records, and that 100% of the published records were valid.
+
+/// The property tag of a CAA record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaaTag {
+    /// `issue` — authorizes a CA for any certificate.
+    Issue,
+    /// `issuewild` — authorizes a CA for wildcard certificates.
+    IssueWild,
+    /// `iodef` — incident reporting URL (does not affect authorization).
+    Iodef,
+}
+
+/// A single CAA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaaRecord {
+    /// Issuer-critical flag (bit 7 of the flags octet).
+    pub critical: bool,
+    /// The property tag.
+    pub tag: CaaTag,
+    /// The value: a CA domain (e.g. `letsencrypt.org`), or `;` to forbid
+    /// all issuance, or a report URL for `iodef`.
+    pub value: String,
+}
+
+impl CaaRecord {
+    /// An `issue` record authorizing `ca_domain`.
+    pub fn issue(ca_domain: impl Into<String>) -> Self {
+        CaaRecord {
+            critical: false,
+            tag: CaaTag::Issue,
+            value: ca_domain.into(),
+        }
+    }
+
+    /// An `issuewild` record authorizing `ca_domain` for wildcards.
+    pub fn issue_wild(ca_domain: impl Into<String>) -> Self {
+        CaaRecord {
+            critical: false,
+            tag: CaaTag::IssueWild,
+            value: ca_domain.into(),
+        }
+    }
+
+    /// Records are well-formed if the value is either `;`, a plausible
+    /// domain, or (for iodef) a URL. The paper reports 100% validity of
+    /// published records; the scanner re-checks with this predicate.
+    pub fn is_well_formed(&self) -> bool {
+        match self.tag {
+            CaaTag::Iodef => {
+                self.value.starts_with("mailto:") || self.value.starts_with("https://")
+            }
+            _ => {
+                let v = self.value.trim();
+                v == ";"
+                    || (!v.is_empty()
+                        && v.contains('.')
+                        && v.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'))
+            }
+        }
+    }
+}
+
+/// Evaluate whether `ca_domain` may issue for a domain whose *relevant
+/// record set* is `records` (RFC 8659 §4). `wildcard` selects the
+/// issuewild semantics.
+///
+/// - Empty record set → any CA may issue.
+/// - For wildcard requests, `issuewild` records take precedence when any
+///   are present; otherwise `issue` records apply.
+/// - A value of `;` forbids issuance.
+pub fn permits(records: &[CaaRecord], ca_domain: &str, wildcard: bool) -> bool {
+    let issue_set: Vec<&CaaRecord> = if wildcard {
+        let wilds: Vec<&CaaRecord> = records.iter().filter(|r| r.tag == CaaTag::IssueWild).collect();
+        if !wilds.is_empty() {
+            wilds
+        } else {
+            records.iter().filter(|r| r.tag == CaaTag::Issue).collect()
+        }
+    } else {
+        records.iter().filter(|r| r.tag == CaaTag::Issue).collect()
+    };
+    if issue_set.is_empty() {
+        // No relevant property: authorization is not restricted — but only
+        // if the record set itself is empty of issue-type records. If the
+        // domain publishes only iodef, issuance is unrestricted.
+        return true;
+    }
+    issue_set
+        .iter()
+        .any(|r| r.value.trim().eq_ignore_ascii_case(ca_domain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_permits_all() {
+        assert!(permits(&[], "letsencrypt.org", false));
+        assert!(permits(&[], "letsencrypt.org", true));
+    }
+
+    #[test]
+    fn issue_restricts_to_named_ca() {
+        let records = [CaaRecord::issue("letsencrypt.org")];
+        assert!(permits(&records, "letsencrypt.org", false));
+        assert!(permits(&records, "LETSENCRYPT.ORG", false), "case-insensitive");
+        assert!(!permits(&records, "digicert.com", false));
+    }
+
+    #[test]
+    fn semicolon_forbids_all() {
+        let records = [CaaRecord::issue(";")];
+        assert!(!permits(&records, "letsencrypt.org", false));
+    }
+
+    #[test]
+    fn issuewild_takes_precedence_for_wildcards() {
+        let records = [
+            CaaRecord::issue("letsencrypt.org"),
+            CaaRecord::issue_wild("digicert.com"),
+        ];
+        // Non-wildcard: only the issue record applies.
+        assert!(permits(&records, "letsencrypt.org", false));
+        assert!(!permits(&records, "digicert.com", false));
+        // Wildcard: only the issuewild record applies.
+        assert!(permits(&records, "digicert.com", true));
+        assert!(!permits(&records, "letsencrypt.org", true));
+    }
+
+    #[test]
+    fn wildcard_falls_back_to_issue() {
+        let records = [CaaRecord::issue("letsencrypt.org")];
+        assert!(permits(&records, "letsencrypt.org", true));
+        assert!(!permits(&records, "digicert.com", true));
+    }
+
+    #[test]
+    fn iodef_only_is_unrestricted() {
+        let records = [CaaRecord {
+            critical: false,
+            tag: CaaTag::Iodef,
+            value: "mailto:security@example.gov".into(),
+        }];
+        assert!(permits(&records, "anyone.example", false));
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(CaaRecord::issue("letsencrypt.org").is_well_formed());
+        assert!(CaaRecord::issue(";").is_well_formed());
+        assert!(!CaaRecord::issue("").is_well_formed());
+        assert!(!CaaRecord::issue("not a domain").is_well_formed());
+        assert!(CaaRecord {
+            critical: true,
+            tag: CaaTag::Iodef,
+            value: "https://report.example.gov".into()
+        }
+        .is_well_formed());
+        assert!(!CaaRecord {
+            critical: false,
+            tag: CaaTag::Iodef,
+            value: "ftp://nope".into()
+        }
+        .is_well_formed());
+    }
+}

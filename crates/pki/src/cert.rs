@@ -1,0 +1,493 @@
+//! X.509 certificates: the typed model and its DER encoding.
+
+use govscan_asn1::{Asn1Error, DerReader, DerWriter, Oid, Result, Tag, Time};
+use govscan_crypto::{hex, KeyAlgorithm, PublicKey, Sha256};
+use govscan_crypto::{Digest, Signature, SignatureAlgorithm};
+
+use crate::extensions::Extensions;
+use crate::name::DistinguishedName;
+use crate::oids;
+
+/// The notBefore/notAfter window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity {
+    /// Start of validity.
+    pub not_before: Time,
+    /// End of validity.
+    pub not_after: Time,
+}
+
+impl Validity {
+    /// Total validity in whole days (§5.3.1 groups certificates by this).
+    pub fn days(&self) -> i64 {
+        self.not_after.days_since(self.not_before)
+    }
+
+    /// Whether `at` falls inside the window.
+    pub fn contains(&self, at: Time) -> bool {
+        self.not_before <= at && at <= self.not_after
+    }
+}
+
+/// The to-be-signed portion of a certificate (RFC 5280 §4.1.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Serial number as unsigned big-endian magnitude.
+    pub serial: Vec<u8>,
+    /// The signature algorithm the issuer intends to use (must match the
+    /// outer signatureAlgorithm).
+    pub signature_alg: SignatureAlgorithm,
+    /// Issuer distinguished name.
+    pub issuer: DistinguishedName,
+    /// Validity window.
+    pub validity: Validity,
+    /// Subject distinguished name.
+    pub subject: DistinguishedName,
+    /// Subject public key (algorithm metadata + key bytes).
+    pub public_key: PublicKey,
+    /// v3 extensions.
+    pub extensions: Extensions,
+}
+
+/// A complete certificate: TBS + signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed fields.
+    pub tbs: TbsCertificate,
+    /// Signature over the DER encoding of `tbs`.
+    pub signature: Signature,
+}
+
+fn curve_oid(bits: u16) -> Option<&'static str> {
+    match bits {
+        256 => Some("1.2.840.10045.3.1.7"), // prime256v1
+        384 => Some("1.3.132.0.34"),        // secp384r1
+        521 => Some("1.3.132.0.35"),        // secp521r1
+        _ => None,
+    }
+}
+
+/// Nominal key size for a named-curve OID (used as a cross-check when
+/// parsing EC SPKIs whose inner size field disagrees with the curve).
+pub fn bits_from_curve(oid: &str) -> Option<u16> {
+    match oid {
+        "1.2.840.10045.3.1.7" => Some(256),
+        "1.3.132.0.34" => Some(384),
+        "1.3.132.0.35" => Some(521),
+        _ => None,
+    }
+}
+
+impl TbsCertificate {
+    /// DER-encode the TBSCertificate. The validator verifies signatures
+    /// over exactly these bytes.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = DerWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    fn encode(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            // version [0] EXPLICIT — always v3 (value 2).
+            w.context(0, |w| w.integer_i64(2));
+            w.integer_bytes(&self.serial);
+            encode_sig_alg(w, self.signature_alg);
+            self.issuer.encode(w);
+            w.sequence(|w| {
+                w.time(self.validity.not_before);
+                w.time(self.validity.not_after);
+            });
+            self.subject.encode(w);
+            self.encode_spki(w);
+            if !self.extensions.is_empty() {
+                w.context(3, |w| self.extensions.encode(w));
+            }
+        });
+    }
+
+    fn encode_spki(&self, w: &mut DerWriter) {
+        w.sequence(|w| {
+            w.sequence(|w| match self.public_key.algorithm {
+                KeyAlgorithm::Rsa(_) => {
+                    w.oid(&oids::oid(oids::ALG_RSA));
+                    w.null();
+                }
+                KeyAlgorithm::Ec(bits) => {
+                    w.oid(&oids::oid(oids::ALG_EC));
+                    match curve_oid(bits) {
+                        Some(c) => w.oid(&Oid::parse(c).expect("static")),
+                        None => w.null(), // non-standard curve size
+                    }
+                }
+            });
+            // The bit string wraps (bits, key-bytes) so size metadata
+            // survives a DER round trip for both families.
+            let mut inner = DerWriter::new();
+            inner.sequence(|w| {
+                w.integer_i64(self.public_key.algorithm.bits() as i64);
+                w.octet_string(&self.public_key.bytes);
+            });
+            w.bit_string(&inner.finish());
+        });
+    }
+
+    fn decode(r: &mut DerReader<'_>) -> Result<Self> {
+        let mut tbs = r.sequence()?;
+        let mut version = tbs.context(0)?;
+        let v = version.integer_i64()?;
+        if v != 2 {
+            return Err(Asn1Error::BadValue("only v3 certificates supported"));
+        }
+        let serial = tbs.integer_bytes()?.to_vec();
+        let signature_alg = decode_sig_alg(&mut tbs)?;
+        let issuer = DistinguishedName::decode(&mut tbs)?;
+        let mut validity = tbs.sequence()?;
+        let not_before = validity.time()?;
+        let not_after = validity.time()?;
+        let subject = DistinguishedName::decode(&mut tbs)?;
+        let public_key = Self::decode_spki(&mut tbs)?;
+        let extensions = if tbs.peek_tag() == Some(Tag::context(3)) {
+            let mut ext = tbs.context(3)?;
+            Extensions::decode(&mut ext)?
+        } else {
+            Extensions::default()
+        };
+        Ok(TbsCertificate {
+            serial,
+            signature_alg,
+            issuer,
+            validity: Validity { not_before, not_after },
+            subject,
+            public_key,
+            extensions,
+        })
+    }
+
+    fn decode_spki(r: &mut DerReader<'_>) -> Result<PublicKey> {
+        let mut spki = r.sequence()?;
+        let mut alg = spki.sequence()?;
+        let alg_oid = alg.oid()?.to_string();
+        let family_ec = match alg_oid.as_str() {
+            oids::ALG_RSA => {
+                alg.null()?;
+                false
+            }
+            oids::ALG_EC => {
+                // Curve OID or NULL for non-standard sizes.
+                if alg.peek_tag() == Some(Tag::OID) {
+                    alg.oid()?;
+                } else {
+                    alg.null()?;
+                }
+                true
+            }
+            _ => return Err(Asn1Error::BadValue("unknown SPKI algorithm")),
+        };
+        let (_unused, key_der) = spki.bit_string()?;
+        let mut inner = DerReader::new(key_der);
+        let mut seq = inner.sequence()?;
+        let bits = seq.integer_i64()? as u16;
+        let bytes = seq.octet_string()?.to_vec();
+        let algorithm = if family_ec {
+            KeyAlgorithm::Ec(bits)
+        } else {
+            KeyAlgorithm::Rsa(bits)
+        };
+        Ok(PublicKey { algorithm, bytes })
+    }
+}
+
+fn encode_sig_alg(w: &mut DerWriter, alg: SignatureAlgorithm) {
+    w.sequence(|w| {
+        w.oid(&Oid::parse(alg.oid()).expect("static"));
+        if !alg.is_ecdsa() {
+            w.null(); // RSA algorithm identifiers carry a NULL parameter
+        }
+    });
+}
+
+fn decode_sig_alg(r: &mut DerReader<'_>) -> Result<SignatureAlgorithm> {
+    let mut seq = r.sequence()?;
+    let oid = seq.oid()?.to_string();
+    let alg = SignatureAlgorithm::from_oid(&oid)
+        .ok_or(Asn1Error::BadValue("unknown signature algorithm"))?;
+    if !alg.is_ecdsa() {
+        seq.null()?;
+    }
+    Ok(alg)
+}
+
+impl Certificate {
+    /// DER-encode the full certificate.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            self.tbs.encode(w);
+            encode_sig_alg(w, self.signature.algorithm);
+            w.bit_string(&self.signature.bytes);
+        });
+        w.finish()
+    }
+
+    /// Parse a certificate from DER. Strict: trailing bytes are rejected.
+    pub fn from_der(der: &[u8]) -> Result<Certificate> {
+        let mut r = DerReader::new(der);
+        let mut outer = r.sequence()?;
+        if !r.is_empty() {
+            return Err(Asn1Error::TrailingData);
+        }
+        let tbs = TbsCertificate::decode(&mut outer)?;
+        let algorithm = decode_sig_alg(&mut outer)?;
+        let (_unused, sig_bytes) = outer.bit_string()?;
+        if algorithm != tbs.signature_alg {
+            return Err(Asn1Error::BadValue("inner/outer algorithm mismatch"));
+        }
+        Ok(Certificate {
+            tbs,
+            signature: Signature {
+                algorithm,
+                bytes: sig_bytes.to_vec(),
+            },
+        })
+    }
+
+    /// SHA-256 fingerprint of the DER encoding, hex-encoded.
+    pub fn fingerprint(&self) -> String {
+        hex::encode(&Sha256::digest(&self.to_der()))
+    }
+
+    /// Serial number as lowercase hex.
+    pub fn serial_hex(&self) -> String {
+        hex::encode(&self.tbs.serial)
+    }
+
+    /// Whether issuer and subject names are identical (self-issued).
+    pub fn is_self_issued(&self) -> bool {
+        self.tbs.issuer == self.tbs.subject
+    }
+
+    /// Whether the certificate verifies under its *own* public key —
+    /// i.e. it is genuinely self-signed, not merely self-issued.
+    pub fn is_self_signed(&self) -> bool {
+        self.is_self_issued()
+            && govscan_crypto::verify(&self.tbs.public_key, &self.signature, &self.tbs.to_der())
+    }
+
+    /// Verify this certificate's signature under the claimed issuer key.
+    pub fn verify_signature(&self, issuer_key: &PublicKey) -> bool {
+        govscan_crypto::verify(issuer_key, &self.signature, &self.tbs.to_der())
+    }
+
+    /// The DNS names this certificate is valid for: subjectAltName entries,
+    /// or the subject CN when no SAN extension is present (legacy
+    /// behaviour, which the paper's OpenSSL-based pipeline also applied).
+    pub fn dns_names(&self) -> Vec<&str> {
+        if !self.tbs.extensions.subject_alt_names.is_empty() {
+            self.tbs.extensions.subject_alt_names.iter().map(|s| s.as_str()).collect()
+        } else {
+            self.tbs.subject.common_name.as_deref().into_iter().collect()
+        }
+    }
+
+    /// Whether any covered name is a wildcard (the §5.3 wildcard analysis).
+    pub fn has_wildcard(&self) -> bool {
+        self.dns_names().iter().any(|n| n.starts_with("*."))
+    }
+
+    /// Whether basicConstraints marks this certificate as a CA.
+    pub fn is_ca(&self) -> bool {
+        self.tbs
+            .extensions
+            .basic_constraints
+            .map(|bc| bc.is_ca)
+            .unwrap_or(false)
+    }
+
+    /// The issuer common name — the label Figures 2, 8 and 11 group by.
+    pub fn issuer_label(&self) -> String {
+        self.tbs
+            .issuer
+            .common_name
+            .clone()
+            .unwrap_or_else(|| self.tbs.issuer.to_oneline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govscan_crypto::KeyPair;
+
+    fn sample_tbs() -> TbsCertificate {
+        let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"leaf");
+        TbsCertificate {
+            serial: vec![0x01, 0xf4],
+            signature_alg: SignatureAlgorithm::Sha256WithRsa,
+            issuer: DistinguishedName::ca("R3", "Let's Encrypt", "US"),
+            validity: Validity {
+                not_before: Time::from_ymd(2020, 2, 1),
+                not_after: Time::from_ymd(2020, 5, 1),
+            },
+            subject: DistinguishedName::cn("www.example.gov"),
+            public_key: key.public(),
+            extensions: Extensions {
+                subject_alt_names: vec!["www.example.gov".into(), "example.gov".into()],
+                ..Default::default()
+            },
+        }
+    }
+
+    fn signed(tbs: TbsCertificate) -> Certificate {
+        let ca_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ca");
+        let signature =
+            govscan_crypto::sign(&ca_key, tbs.signature_alg, &tbs.to_der()).unwrap();
+        Certificate { tbs, signature }
+    }
+
+    #[test]
+    fn der_round_trip() {
+        let cert = signed(sample_tbs());
+        let der = cert.to_der();
+        let parsed = Certificate::from_der(&der).unwrap();
+        assert_eq!(parsed, cert);
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(parsed.to_der(), der);
+    }
+
+    #[test]
+    fn signature_survives_round_trip() {
+        let ca_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ca");
+        let cert = signed(sample_tbs());
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert!(parsed.verify_signature(&ca_key.public()));
+    }
+
+    #[test]
+    fn tampered_der_fails_verification() {
+        let ca_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ca");
+        let cert = signed(sample_tbs());
+        let mut tampered = cert.clone();
+        tampered.tbs.subject = DistinguishedName::cn("evil.example.gov");
+        assert!(!tampered.verify_signature(&ca_key.public()));
+    }
+
+    #[test]
+    fn ec_key_round_trip() {
+        let mut tbs = sample_tbs();
+        let key = KeyPair::from_seed(KeyAlgorithm::Ec(384), b"ec-leaf");
+        tbs.public_key = key.public();
+        tbs.signature_alg = SignatureAlgorithm::EcdsaWithSha384;
+        let ca = KeyPair::from_seed(KeyAlgorithm::Ec(384), b"ec-ca");
+        let signature = govscan_crypto::sign(&ca, tbs.signature_alg, &tbs.to_der()).unwrap();
+        let cert = Certificate { tbs, signature };
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(parsed.tbs.public_key.algorithm, KeyAlgorithm::Ec(384));
+        assert!(parsed.verify_signature(&ca.public()));
+    }
+
+    #[test]
+    fn nonstandard_ec_size_round_trips() {
+        // 8192-bit RSA and odd EC sizes occur in the paper's long tail.
+        let mut tbs = sample_tbs();
+        tbs.public_key = KeyPair::from_seed(KeyAlgorithm::Ec(192), b"odd").public();
+        tbs.signature_alg = SignatureAlgorithm::EcdsaWithSha256;
+        let ca = KeyPair::from_seed(KeyAlgorithm::Ec(256), b"ca");
+        let signature = govscan_crypto::sign(&ca, tbs.signature_alg, &tbs.to_der()).unwrap();
+        let cert = Certificate { tbs, signature };
+        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        assert_eq!(parsed.tbs.public_key.algorithm, KeyAlgorithm::Ec(192));
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"self");
+        let name = DistinguishedName::cn("localhost");
+        let tbs = TbsCertificate {
+            serial: vec![1],
+            signature_alg: SignatureAlgorithm::Sha256WithRsa,
+            issuer: name.clone(),
+            validity: Validity {
+                not_before: Time::from_ymd(2015, 1, 1),
+                not_after: Time::from_ymd(2035, 1, 1),
+            },
+            subject: name,
+            public_key: key.public(),
+            extensions: Extensions::default(),
+        };
+        let signature = govscan_crypto::sign(&key, tbs.signature_alg, &tbs.to_der()).unwrap();
+        let cert = Certificate { tbs, signature };
+        assert!(cert.is_self_issued());
+        assert!(cert.is_self_signed());
+
+        // Same names but signed by a different key: self-issued only.
+        let other = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"other");
+        let cert2 = {
+            let mut tbs = cert.tbs.clone();
+            tbs.serial = vec![2];
+            let signature = govscan_crypto::sign(&other, tbs.signature_alg, &tbs.to_der()).unwrap();
+            Certificate { tbs, signature }
+        };
+        assert!(cert2.is_self_issued());
+        assert!(!cert2.is_self_signed());
+    }
+
+    #[test]
+    fn dns_names_fallback_to_cn() {
+        let mut tbs = sample_tbs();
+        tbs.extensions.subject_alt_names.clear();
+        let cert = signed(tbs);
+        assert_eq!(cert.dns_names(), vec!["www.example.gov"]);
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        let mut tbs = sample_tbs();
+        tbs.extensions.subject_alt_names = vec!["*.portal.gov.bd".into()];
+        let cert = signed(tbs);
+        assert!(cert.has_wildcard());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let cert = signed(sample_tbs());
+        let mut der = cert.to_der();
+        der.push(0);
+        assert!(Certificate::from_der(&der).is_err());
+    }
+
+    #[test]
+    fn rejects_algorithm_mismatch() {
+        // Outer signatureAlgorithm differing from the TBS one must fail.
+        let cert = signed(sample_tbs());
+        let mut w = DerWriter::new();
+        w.sequence(|w| {
+            w.raw(&cert.tbs.to_der());
+            // Outer says SHA-1 while TBS says SHA-256.
+            w.sequence(|w| {
+                w.oid(&Oid::parse(SignatureAlgorithm::Sha1WithRsa.oid()).unwrap());
+                w.null();
+            });
+            w.bit_string(&cert.signature.bytes);
+        });
+        assert!(Certificate::from_der(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn validity_window_helpers() {
+        let v = Validity {
+            not_before: Time::from_ymd(2020, 1, 1),
+            not_after: Time::from_ymd(2022, 1, 1),
+        };
+        assert_eq!(v.days(), 731); // 2020 is a leap year
+        assert!(v.contains(Time::from_ymd(2021, 6, 1)));
+        assert!(!v.contains(Time::from_ymd(2022, 1, 2)));
+        assert!(!v.contains(Time::from_ymd(2019, 12, 31)));
+    }
+
+    #[test]
+    fn issuer_label_prefers_cn() {
+        let cert = signed(sample_tbs());
+        assert_eq!(cert.issuer_label(), "R3");
+    }
+}

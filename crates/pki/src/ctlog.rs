@@ -1,0 +1,348 @@
+//! A Certificate Transparency log (RFC 6962-style Merkle tree).
+//!
+//! §2.2 of the paper discusses CT as the auditing substrate for issuance
+//! and notes that "there is no existing measurement of the number of
+//! government domain certificates missing from CT logs" — an extension
+//! this workspace implements: the world generator logs most CA-issued
+//! certificates here, and `govscan-analysis` measures the government
+//! slice's coverage (the `ct_coverage` experiment).
+//!
+//! The tree follows RFC 6962 §2.1: leaf hashes are `SHA-256(0x00 ‖
+//! entry)`, interior nodes `SHA-256(0x01 ‖ left ‖ right)`, with the
+//! standard unbalanced split (largest power of two strictly less than
+//! `n`). Inclusion (audit) proofs verify against the signed tree head.
+
+use govscan_crypto::{Digest, Sha256};
+
+use crate::cert::Certificate;
+
+/// A Merkle tree hash (SHA-256).
+pub type Hash = [u8; 32];
+
+fn leaf_hash(entry: &[u8]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[0x00]);
+    h.update(entry);
+    h.finalize().try_into().expect("sha256 is 32 bytes")
+}
+
+fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[0x01]);
+    h.update(left);
+    h.update(right);
+    h.finalize().try_into().expect("sha256 is 32 bytes")
+}
+
+/// Merkle tree hash over `leaves[lo..hi)` (RFC 6962 §2.1).
+fn subtree_hash(leaves: &[Hash]) -> Hash {
+    match leaves.len() {
+        0 => {
+            // MTH of the empty tree is the hash of the empty string.
+            Sha256::digest(b"").try_into().expect("32 bytes")
+        }
+        1 => leaves[0],
+        n => {
+            let k = largest_power_of_two_below(n);
+            let left = subtree_hash(&leaves[..k]);
+            let right = subtree_hash(&leaves[k..]);
+            node_hash(&left, &right)
+        }
+    }
+}
+
+/// Largest power of two strictly less than `n` (n ≥ 2).
+fn largest_power_of_two_below(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut k = 1;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+/// An inclusion (audit) proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InclusionProof {
+    /// Index of the leaf the proof is for.
+    pub leaf_index: u64,
+    /// Tree size the proof was generated against.
+    pub tree_size: u64,
+    /// Sibling hashes, leaf-to-root.
+    pub path: Vec<Hash>,
+}
+
+/// An append-only certificate log.
+#[derive(Debug, Clone, Default)]
+pub struct CtLog {
+    leaves: Vec<Hash>,
+    entries: Vec<String>, // leaf fingerprints, for lookup
+}
+
+impl CtLog {
+    /// An empty log.
+    pub fn new() -> CtLog {
+        CtLog::default()
+    }
+
+    /// Append a certificate; returns its leaf index.
+    pub fn append(&mut self, cert: &Certificate) -> u64 {
+        let der = cert.to_der();
+        self.leaves.push(leaf_hash(&der));
+        self.entries.push(cert.fingerprint());
+        (self.leaves.len() - 1) as u64
+    }
+
+    /// Number of logged entries.
+    pub fn size(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The current tree head (Merkle root).
+    pub fn root(&self) -> Hash {
+        subtree_hash(&self.leaves)
+    }
+
+    /// Is a certificate (by fingerprint) present?
+    pub fn contains_fingerprint(&self, fingerprint: &str) -> bool {
+        self.entries.iter().any(|e| e == fingerprint)
+    }
+
+    /// Index of a certificate by fingerprint.
+    pub fn index_of(&self, fingerprint: &str) -> Option<u64> {
+        self.entries.iter().position(|e| e == fingerprint).map(|i| i as u64)
+    }
+
+    /// Build the RFC 6962 §2.1.1 audit path for `leaf_index` against the
+    /// current tree.
+    pub fn prove_inclusion(&self, leaf_index: u64) -> Option<InclusionProof> {
+        let n = self.leaves.len();
+        let m = leaf_index as usize;
+        if m >= n {
+            return None;
+        }
+        let mut path = Vec::new();
+        audit_path(&self.leaves, m, &mut path);
+        Some(InclusionProof {
+            leaf_index,
+            tree_size: n as u64,
+            path,
+        })
+    }
+
+    /// Verify an inclusion proof for `cert` against `root`.
+    pub fn verify_inclusion(cert: &Certificate, proof: &InclusionProof, root: &Hash) -> bool {
+        if proof.leaf_index >= proof.tree_size {
+            return false;
+        }
+        let mut hash = leaf_hash(&cert.to_der());
+        let mut index = proof.leaf_index;
+        let mut size = proof.tree_size;
+        let mut path = proof.path.iter();
+        // Walk up the RFC 6962 unbalanced tree.
+        fn walk(
+            index: &mut u64,
+            size: &mut u64,
+            hash: &mut Hash,
+            path: &mut std::slice::Iter<'_, Hash>,
+        ) -> bool {
+            if *size == 1 {
+                return true;
+            }
+            let k = {
+                let mut k: u64 = 1;
+                while k * 2 < *size {
+                    k *= 2;
+                }
+                k
+            };
+            if *index < k {
+                let mut sub_index = *index;
+                let mut sub_size = k;
+                if !walk(&mut sub_index, &mut sub_size, hash, path) {
+                    return false;
+                }
+                match path.next() {
+                    Some(sib) => *hash = node_hash(hash, sib),
+                    None => return false,
+                }
+            } else {
+                let mut sub_index = *index - k;
+                let mut sub_size = *size - k;
+                if !walk(&mut sub_index, &mut sub_size, hash, path) {
+                    return false;
+                }
+                match path.next() {
+                    Some(sib) => *hash = node_hash(sib, hash),
+                    None => return false,
+                }
+            }
+            true
+        }
+        if !walk(&mut index, &mut size, &mut hash, &mut path) {
+            return false;
+        }
+        path.next().is_none() && &hash == root
+    }
+}
+
+/// Recursive audit-path construction over `leaves`, for leaf `m`.
+fn audit_path(leaves: &[Hash], m: usize, out: &mut Vec<Hash>) {
+    let n = leaves.len();
+    if n <= 1 {
+        return;
+    }
+    let k = largest_power_of_two_below(n);
+    if m < k {
+        audit_path(&leaves[..k], m, out);
+        out.push(subtree_hash(&leaves[k..]));
+    } else {
+        audit_path(&leaves[k..], m - k, out);
+        out.push(subtree_hash(&leaves[..k]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{self, CertificateAuthority, IssuancePolicy, LeafProfile};
+    use crate::cert::Validity;
+    use crate::name::DistinguishedName;
+    use govscan_asn1::Time;
+    use govscan_crypto::{KeyAlgorithm, KeyPair, SignatureAlgorithm};
+
+    fn certs(n: usize) -> Vec<Certificate> {
+        let mut ca = CertificateAuthority::new_root(
+            DistinguishedName::ca("CT Test Root", "Org", "US"),
+            KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ct-root"),
+            IssuancePolicy::default(),
+            Validity {
+                not_before: Time::from_ymd(2010, 1, 1),
+                not_after: Time::from_ymd(2040, 1, 1),
+            },
+        );
+        (0..n)
+            .map(|i| {
+                let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), format!("k{i}").as_bytes());
+                ca.issue(&LeafProfile::dv(
+                    format!("host{i}.gov.xx"),
+                    key.public(),
+                    Time::from_ymd(2020, 1, 1),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_root_is_hash_of_empty_string() {
+        let log = CtLog::new();
+        assert_eq!(
+            govscan_crypto::hex::encode(&log.root()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn inclusion_proofs_verify_for_every_leaf_and_size() {
+        // Cover balanced and unbalanced tree shapes.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 13, 16, 21] {
+            let certs = certs(n);
+            let mut log = CtLog::new();
+            for c in &certs {
+                log.append(c);
+            }
+            let root = log.root();
+            for (i, cert) in certs.iter().enumerate() {
+                let proof = log.prove_inclusion(i as u64).expect("leaf exists");
+                assert!(
+                    CtLog::verify_inclusion(cert, &proof, &root),
+                    "n={n}, leaf={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_certificate() {
+        let certs = certs(8);
+        let mut log = CtLog::new();
+        for c in &certs {
+            log.append(c);
+        }
+        let root = log.root();
+        let proof = log.prove_inclusion(3).unwrap();
+        assert!(!CtLog::verify_inclusion(&certs[4], &proof, &root));
+    }
+
+    #[test]
+    fn proof_fails_against_wrong_root() {
+        let certs = certs(5);
+        let mut log = CtLog::new();
+        for c in &certs {
+            log.append(c);
+        }
+        let proof = log.prove_inclusion(2).unwrap();
+        let mut bad_root = log.root();
+        bad_root[0] ^= 1;
+        assert!(!CtLog::verify_inclusion(&certs[2], &proof, &bad_root));
+    }
+
+    #[test]
+    fn proof_from_older_tree_fails_on_new_root() {
+        let certs = certs(6);
+        let mut log = CtLog::new();
+        for c in certs.iter().take(4) {
+            log.append(c);
+        }
+        let proof = log.prove_inclusion(1).unwrap();
+        let old_root = log.root();
+        log.append(&certs[4]);
+        let new_root = log.root();
+        assert!(CtLog::verify_inclusion(&certs[1], &proof, &old_root));
+        assert!(!CtLog::verify_inclusion(&certs[1], &proof, &new_root));
+    }
+
+    #[test]
+    fn append_only_growth_changes_root() {
+        let certs = certs(3);
+        let mut log = CtLog::new();
+        let mut roots = vec![log.root()];
+        for c in &certs {
+            log.append(c);
+            roots.push(log.root());
+        }
+        roots.dedup();
+        assert_eq!(roots.len(), 4, "every append changes the head");
+        assert_eq!(log.size(), 3);
+    }
+
+    #[test]
+    fn fingerprint_lookup() {
+        let certs = certs(4);
+        let mut log = CtLog::new();
+        for c in &certs {
+            log.append(c);
+        }
+        assert!(log.contains_fingerprint(&certs[2].fingerprint()));
+        assert_eq!(log.index_of(&certs[2].fingerprint()), Some(2));
+        // Something never logged (self-signed appliance cert).
+        let key = KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"unlogged");
+        let ss = ca::self_signed(
+            "localhost",
+            vec![],
+            &key,
+            SignatureAlgorithm::Sha1WithRsa,
+            Validity {
+                not_before: Time::from_ymd(2015, 1, 1),
+                not_after: Time::from_ymd(2035, 1, 1),
+            },
+        );
+        assert!(!log.contains_fingerprint(&ss.fingerprint()));
+    }
+}

@@ -1,0 +1,107 @@
+//! RFC 6125 hostname matching — the check behind the paper's single
+//! largest error category, **hostname mismatch** (36.6% of invalid
+//! certificates).
+
+/// Does `pattern` (a dNSName from a certificate, possibly with a leading
+/// wildcard label) cover `host`?
+///
+/// Rules implemented (RFC 6125 §6.4.3, as enforced by modern clients):
+///
+/// - Comparison is case-insensitive and ignores a single trailing dot.
+/// - A wildcard is only recognised as the *complete leftmost label*
+///   (`*.example.gov` — not `f*.example.gov`, not `*.*.gov`).
+/// - The wildcard matches exactly **one** label: `*.portal.gov.bd` covers
+///   `x.portal.gov.bd` but neither `portal.gov.bd` nor
+///   `a.b.portal.gov.bd`. (This is precisely the Bangladesh
+///   misconfiguration from §5.3.3: a `*.portal.gov.bd` certificate
+///   deployed on `*.gov.bd` hosts.)
+/// - A wildcard must leave at least two labels after it, so `*.bd` or
+///   `*.com` never match.
+pub fn matches(pattern: &str, host: &str) -> bool {
+    let pattern = normalize(pattern);
+    let host = normalize(host);
+    if pattern.is_empty() || host.is_empty() {
+        return false;
+    }
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        // Wildcards inside the name (not the whole leftmost label) are
+        // invalid patterns; so are additional wildcards in the suffix.
+        if suffix.contains('*') {
+            return false;
+        }
+        // Public-suffix protection (approximate): require the suffix to
+        // contain at least one more dot, i.e. two labels.
+        if !suffix.contains('.') {
+            return false;
+        }
+        match host.split_once('.') {
+            Some((first_label, rest)) => !first_label.is_empty() && rest == suffix,
+            None => false,
+        }
+    } else {
+        !pattern.contains('*') && pattern == host
+    }
+}
+
+/// Does any name in `names` cover `host`?
+pub fn matches_any<'a>(names: impl IntoIterator<Item = &'a str>, host: &str) -> bool {
+    names.into_iter().any(|n| matches(n, host))
+}
+
+fn normalize(name: &str) -> String {
+    name.trim_end_matches('.').to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(matches("www.nih.gov", "www.nih.gov"));
+        assert!(matches("WWW.NIH.GOV", "www.nih.gov"));
+        assert!(matches("www.nih.gov.", "www.nih.gov"));
+        assert!(!matches("www.nih.gov", "nih.gov"));
+        assert!(!matches("", "nih.gov"));
+    }
+
+    #[test]
+    fn wildcard_single_label() {
+        assert!(matches("*.portal.gov.bd", "forms.portal.gov.bd"));
+        assert!(!matches("*.portal.gov.bd", "portal.gov.bd"), "bare domain");
+        assert!(
+            !matches("*.portal.gov.bd", "a.b.portal.gov.bd"),
+            "wildcard must not span labels"
+        );
+    }
+
+    #[test]
+    fn bangladesh_misconfiguration_case() {
+        // The paper's §5.3.3 case: *.portal.gov.bd deployed on *.gov.bd.
+        assert!(!matches("*.portal.gov.bd", "finance.gov.bd"));
+        assert!(!matches("*.portal.gov.bd", "dhaka.gov.bd"));
+    }
+
+    #[test]
+    fn wildcard_position_rules() {
+        assert!(!matches("f*.example.gov", "foo.example.gov"), "partial-label wildcard");
+        assert!(!matches("*.*.gov", "a.b.gov"), "double wildcard");
+        assert!(!matches("foo.*.gov", "foo.bar.gov"), "inner wildcard");
+        assert!(!matches("*", "gov"), "bare wildcard");
+        assert!(!matches("*.gov", "example.gov"), "too-broad wildcard");
+    }
+
+    #[test]
+    fn empty_first_label() {
+        assert!(!matches("*.example.gov", ".example.gov"));
+    }
+
+    #[test]
+    fn matches_any_over_san_list() {
+        let names = ["example.gov", "*.example.gov"];
+        assert!(matches_any(names, "example.gov"));
+        assert!(matches_any(names, "www.example.gov"));
+        assert!(!matches_any(names, "www.sub.example.gov"));
+        assert!(!matches_any(names, "other.gov"));
+    }
+}

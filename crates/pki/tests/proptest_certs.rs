@@ -1,0 +1,144 @@
+//! Property-based tests for the X.509 layer: arbitrary certificate
+//! contents must round-trip DER exactly, mutated DER must never panic
+//! the parser, and the validator must be total over hostile inputs.
+
+use govscan_asn1::Time;
+use govscan_crypto::{KeyAlgorithm, KeyPair, SignatureAlgorithm};
+use govscan_pki::cert::{Certificate, TbsCertificate, Validity};
+use govscan_pki::extensions::{BasicConstraints, Extensions, KeyUsage};
+use govscan_pki::name::DistinguishedName;
+use govscan_pki::trust::TrustStore;
+use govscan_pki::{hostname, validate_chain};
+use proptest::prelude::*;
+
+fn dns_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_map(|s| s)
+}
+
+fn hostname_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(dns_label(), 2..5).prop_map(|labels| labels.join("."))
+}
+
+fn key_algorithm() -> impl Strategy<Value = KeyAlgorithm> {
+    prop_oneof![
+        (512u16..8192).prop_map(KeyAlgorithm::Rsa),
+        prop_oneof![Just(192u16), Just(256), Just(384), Just(521)].prop_map(KeyAlgorithm::Ec),
+    ]
+}
+
+fn signature_algorithm(key: KeyAlgorithm) -> SignatureAlgorithm {
+    if key.is_ec() {
+        SignatureAlgorithm::EcdsaWithSha256
+    } else {
+        SignatureAlgorithm::Sha256WithRsa
+    }
+}
+
+fn arbitrary_cert() -> impl Strategy<Value = Certificate> {
+    (
+        hostname_strategy(),
+        proptest::collection::vec(hostname_strategy(), 0..4),
+        key_algorithm(),
+        proptest::collection::vec(1u8..=255, 1..16),
+        1980i32..2080,
+        1u8..=12,
+        1u8..=28,
+        1i64..5000,
+        any::<bool>(),
+        proptest::option::of(0u8..4),
+    )
+        .prop_map(
+            |(cn, san, key_alg, serial, year, month, day, days, is_ca, path_len)| {
+                let key = KeyPair::from_seed(key_alg, cn.as_bytes());
+                let sig_alg = signature_algorithm(key_alg);
+                let not_before = Time::from_ymd(year, month, day);
+                let tbs = TbsCertificate {
+                    serial,
+                    signature_alg: sig_alg,
+                    issuer: DistinguishedName::ca("Prop CA", "Prop Org", "US"),
+                    validity: Validity {
+                        not_before,
+                        not_after: not_before.plus_days(days),
+                    },
+                    subject: DistinguishedName::cn(cn),
+                    public_key: key.public(),
+                    extensions: Extensions {
+                        subject_alt_names: san,
+                        basic_constraints: Some(BasicConstraints {
+                            is_ca,
+                            path_len: if is_ca { path_len } else { None },
+                        }),
+                        key_usage: Some(KeyUsage {
+                            digital_signature: !is_ca,
+                            key_encipherment: !is_ca,
+                            key_cert_sign: is_ca,
+                            crl_sign: is_ca,
+                        }),
+                        ..Default::default()
+                    },
+                };
+                let signer = KeyPair::from_seed(key_alg, b"prop-ca-key");
+                let signature =
+                    govscan_crypto::sign(&signer, sig_alg, &tbs.to_der()).expect("compatible");
+                Certificate { tbs, signature }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any certificate this library can represent must round-trip DER
+    /// byte-exactly.
+    #[test]
+    fn certificate_der_round_trips(cert in arbitrary_cert()) {
+        let der = cert.to_der();
+        let parsed = Certificate::from_der(&der).expect("own encoding parses");
+        prop_assert_eq!(&parsed, &cert);
+        prop_assert_eq!(parsed.to_der(), der, "canonical re-encoding");
+    }
+
+    /// Flipping any single byte of the DER must never panic the parser —
+    /// it either errors or yields a (differently-) valid certificate.
+    #[test]
+    fn mutated_der_never_panics(cert in arbitrary_cert(), idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut der = cert.to_der();
+        let i = idx.index(der.len());
+        der[i] ^= 1 << bit;
+        let _ = Certificate::from_der(&der);
+    }
+
+    /// The validator is total: arbitrary chains of arbitrary certs never
+    /// panic, whatever hostname and time they are checked against.
+    #[test]
+    fn validator_is_total(
+        certs in proptest::collection::vec(arbitrary_cert(), 1..4),
+        host in hostname_strategy(),
+        at in 0i64..4_000_000_000,
+    ) {
+        let trust = TrustStore::new();
+        let _ = validate_chain(&certs, &trust, &host, Time(at));
+    }
+
+    /// Hostname matching is symmetric in case and never panics.
+    #[test]
+    fn hostname_matching_case_insensitive(pattern in hostname_strategy(), host in hostname_strategy()) {
+        let a = hostname::matches(&pattern, &host);
+        let b = hostname::matches(&pattern.to_uppercase(), &host.to_uppercase());
+        prop_assert_eq!(a, b);
+        // Exact self-match always holds for wildcard-free names.
+        prop_assert!(hostname::matches(&host, &host));
+    }
+
+    /// A wildcard pattern `*.suffix` matches exactly the hosts with one
+    /// extra leading label.
+    #[test]
+    fn wildcard_semantics(suffix in hostname_strategy(), label in dns_label()) {
+        let pattern = format!("*.{suffix}");
+        let direct = format!("{label}.{suffix}");
+        let deeper = format!("{label}.{label}.{suffix}");
+        prop_assert!(hostname::matches(&pattern, &direct));
+        prop_assert!(!hostname::matches(&pattern, &suffix), "bare domain never matches");
+        prop_assert!(!hostname::matches(&pattern, &deeper), "wildcard is single-label");
+    }
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::ablation_trust_stores`.
+
+fn main() {
+    govscan_repro::run_and_print("ablation_trust_stores", govscan_repro::experiments::ablation_trust_stores);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::caa`.
+
+fn main() {
+    govscan_repro::run_and_print("caa_records", govscan_repro::experiments::caa);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::case_contrast`.
+
+fn main() {
+    govscan_repro::run_and_print("case_contrast", govscan_repro::experiments::case_contrast);
+}

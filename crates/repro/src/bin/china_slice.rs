@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::china`.
+
+fn main() {
+    govscan_repro::run_and_print("china_slice", govscan_repro::experiments::china);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::crawl_growth`.
+
+fn main() {
+    govscan_repro::run_and_print("crawler_growth", govscan_repro::experiments::crawl_growth);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::ct_coverage`.
+
+fn main() {
+    govscan_repro::run_and_print("ct_coverage", govscan_repro::experiments::ct_coverage);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::disclosure`.
+
+fn main() {
+    govscan_repro::run_and_print("disclosure_effect", govscan_repro::experiments::disclosure);
+}

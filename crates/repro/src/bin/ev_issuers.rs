@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::ev`.
+
+fn main() {
+    govscan_repro::run_and_print("ev_issuers", govscan_repro::experiments::ev);
+}

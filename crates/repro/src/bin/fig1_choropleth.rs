@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::fig1`.
+
+fn main() {
+    govscan_repro::run_and_print("fig1_choropleth", govscan_repro::experiments::fig1);
+}

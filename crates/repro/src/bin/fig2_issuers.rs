@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::fig2`.
+
+fn main() {
+    govscan_repro::run_and_print("fig2_issuers", govscan_repro::experiments::fig2);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::fig3`.
+
+fn main() {
+    govscan_repro::run_and_print("fig3_durations", govscan_repro::experiments::fig3);
+}

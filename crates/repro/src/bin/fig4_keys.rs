@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::fig4`.
+
+fn main() {
+    govscan_repro::run_and_print("fig4_keys", govscan_repro::experiments::fig4);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::fig5`.
+
+fn main() {
+    govscan_repro::run_and_print("fig5_hosting", govscan_repro::experiments::fig5);
+}

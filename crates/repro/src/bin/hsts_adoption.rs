@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::hsts_adoption`.
+
+fn main() {
+    govscan_repro::run_and_print("hsts_adoption", govscan_repro::experiments::hsts_adoption);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::interlink`.
+
+fn main() {
+    govscan_repro::run_and_print("interlink", govscan_repro::experiments::interlink);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::phishing`.
+
+fn main() {
+    govscan_repro::run_and_print("phishing_twins", govscan_repro::experiments::phishing);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::reuse`.
+
+fn main() {
+    govscan_repro::run_and_print("reuse_keys", govscan_repro::experiments::reuse);
+}

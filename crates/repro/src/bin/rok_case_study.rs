@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::rok_case`.
+
+fn main() {
+    govscan_repro::run_and_print("rok_case_study", govscan_repro::experiments::rok_case);
+}

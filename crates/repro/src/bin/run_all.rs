@@ -1,0 +1,14 @@
+//! Run every experiment against one shared world and print the full
+//! paper-vs-measured report (the source of EXPERIMENTS.md).
+
+fn main() {
+    let mut env = govscan_repro::Env::load();
+    println!(
+        "govscan reproduction — seed={}, scale={}\n",
+        env.world.config.seed, env.world.config.scale
+    );
+    for (name, f) in govscan_repro::experiments::all() {
+        println!("== {name} ==");
+        println!("{}", f(&mut env));
+    }
+}

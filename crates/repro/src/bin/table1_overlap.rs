@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::table1`.
+
+fn main() {
+    govscan_repro::run_and_print("table1_overlap", govscan_repro::experiments::table1);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::table2`.
+
+fn main() {
+    govscan_repro::run_and_print("table2_worldwide", govscan_repro::experiments::table2);
+}

@@ -1,0 +1,5 @@
+//! Reproduction binary: see `govscan_repro::experiments::usa_case`.
+
+fn main() {
+    govscan_repro::run_and_print("usa_case_study", govscan_repro::experiments::usa_case);
+}

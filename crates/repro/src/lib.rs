@@ -1,0 +1,115 @@
+//! # govscan-repro
+//!
+//! One reproduction binary per table/figure of the paper (see DESIGN.md
+//! §3 for the full index), plus `run_all`, which executes every
+//! experiment and emits the EXPERIMENTS.md comparison.
+//!
+//! Every binary accepts two environment variables:
+//!
+//! - `GOVSCAN_SCALE` — world scale (default 0.2; `1.0` = paper scale).
+//! - `GOVSCAN_SEED` — world seed (default `0x60765CA9`).
+//!
+//! Reported numbers are `paper=<value> measured=<value>` rows; absolute
+//! counts scale with `GOVSCAN_SCALE`, percentages and orderings should
+//! not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::collections::BTreeMap;
+
+use govscan_scanner::{ScanDataset, StudyOutput, StudyPipeline};
+use govscan_worldgen::{World, WorldConfig};
+
+/// The shared experiment environment: one generated world plus the study
+/// pipeline output, with case-study scans computed lazily.
+pub struct Env {
+    /// The generated world (mutable: the disclosure experiment mutates it).
+    pub world: World,
+    /// The worldwide study output.
+    pub study: StudyOutput,
+    usa_scan: Option<ScanDataset>,
+    rok_scan: Option<ScanDataset>,
+}
+
+impl Env {
+    /// Build from `GOVSCAN_SCALE` / `GOVSCAN_SEED`.
+    pub fn load() -> Env {
+        let scale: f64 = std::env::var("GOVSCAN_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.2);
+        let seed: u64 = std::env::var("GOVSCAN_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x60765CA9);
+        Self::with(seed, scale)
+    }
+
+    /// Build with explicit parameters.
+    pub fn with(seed: u64, scale: f64) -> Env {
+        let mut config = WorldConfig::paper_scale(seed);
+        config.scale = scale;
+        eprintln!("[govscan] generating world (seed={seed}, scale={scale})...");
+        let world = World::generate(&config);
+        eprintln!(
+            "[govscan] world: {} gov hosts, {} net hosts; running study pipeline...",
+            world.gov_hosts.len(),
+            world.net.len()
+        );
+        let study = StudyPipeline::new(&world).run();
+        eprintln!(
+            "[govscan] study: {} hosts measured ({} available)",
+            study.scan.len(),
+            study.scan.available().count()
+        );
+        Env {
+            world,
+            study,
+            usa_scan: None,
+            rok_scan: None,
+        }
+    }
+
+    /// The USA GSA case-study scan (computed once).
+    pub fn usa_scan(&mut self) -> &ScanDataset {
+        if self.usa_scan.is_none() {
+            let scan = StudyPipeline::new(&self.world).scan_list(&self.world.gsa_hosts);
+            self.usa_scan = Some(scan);
+        }
+        self.usa_scan.as_ref().expect("just set")
+    }
+
+    /// The South Korea Government24 case-study scan (computed once).
+    pub fn rok_scan(&mut self) -> &ScanDataset {
+        if self.rok_scan.is_none() {
+            let scan = StudyPipeline::new(&self.world).scan_list(&self.world.rok_hosts);
+            self.rok_scan = Some(scan);
+        }
+        self.rok_scan.as_ref().expect("just set")
+    }
+
+    /// GSA hostname → dataset tags (input metadata for Table A.1/A.2).
+    pub fn gsa_tags(&self) -> BTreeMap<String, Vec<govscan_worldgen::usa::UsaDataset>> {
+        self.world
+            .gsa_hosts
+            .iter()
+            .filter_map(|h| self.world.record(h).map(|r| (h.clone(), r.gsa_datasets.clone())))
+            .collect()
+    }
+}
+
+/// Format a paper-vs-measured row.
+pub fn cmp_row(label: &str, paper: &str, measured: &str) -> String {
+    format!("  {label:<48} paper={paper:<18} measured={measured}\n")
+}
+
+/// Run one named experiment and print its report (the shared main for
+/// every thin binary).
+pub fn run_and_print(name: &str, f: impl FnOnce(&mut Env) -> String) {
+    let mut env = Env::load();
+    println!("== {name} ==");
+    println!("{}", f(&mut env));
+}

@@ -1,0 +1,265 @@
+//! The conservative government-hostname filter (§4.1.1).
+//!
+//! A hostname is classified as governmental when it ends, **at a label
+//! boundary**, with a recognised government suffix: a convention prefix
+//! (`gov`, `gouv`, `gob`, `go`, `gub`, `govt`, `guv`, `govern`,
+//! `government`, `admin`, `gv`) followed by a valid ISO country code, or
+//! one of the explicit exceptions (the USA's `.gov` / `.mil` /
+//! `.fed.us` / `.gov.us`, Kosovo's `rks-gov.net`, Mauritius's
+//! `govmu.org`, …). The filter is deliberately high-precision /
+//! limited-recall, exactly as the paper describes — whitelist-only
+//! countries (Germany, Denmark, the Netherlands, …) are *not* matched.
+//!
+//! Label-boundary matching is what distinguishes `eta.gov.lk`
+//! (government) from the `etagov.sl` phishing twin (§7.3.2): the latter
+//! must not match.
+
+use std::collections::HashSet;
+
+/// ISO 3166 alpha-2 country codes recognised as ccTLDs (the ICANN list
+/// the crawler checks links against).
+pub const COUNTRY_CODES: &[&str] = &[
+    "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "aq", "ar", "as", "at", "au", "aw", "ax",
+    "az", "ba", "bb", "bd", "be", "bf", "bg", "bh", "bi", "bj", "bm", "bn", "bo", "br", "bs",
+    "bt", "bw", "by", "bz", "ca", "cc", "cd", "cf", "cg", "ch", "ci", "ck", "cl", "cm", "cn",
+    "co", "cr", "cu", "cv", "cw", "cx", "cy", "cz", "de", "dj", "dk", "dm", "do", "dz", "ec",
+    "ee", "eg", "eh", "er", "es", "et", "fi", "fj", "fk", "fm", "fo", "fr", "ga", "gb", "gd",
+    "ge", "gf", "gg", "gh", "gi", "gl", "gm", "gn", "gp", "gq", "gr", "gt", "gu", "gw", "gy",
+    "hk", "hm", "hn", "hr", "ht", "hu", "id", "ie", "il", "im", "in", "iq", "ir", "is", "it",
+    "je", "jm", "jo", "jp", "ke", "kg", "kh", "ki", "km", "kn", "kp", "kr", "kw", "ky", "kz",
+    "la", "lb", "lc", "li", "lk", "lr", "ls", "lt", "lu", "lv", "ly", "ma", "mc", "md", "me",
+    "mg", "mh", "mk", "ml", "mm", "mn", "mo", "mp", "mq", "mr", "ms", "mt", "mu", "mv", "mw",
+    "mx", "my", "mz", "na", "nc", "ne", "nf", "ng", "ni", "nl", "no", "np", "nr", "nu", "nz",
+    "om", "pa", "pe", "pf", "pg", "ph", "pk", "pl", "pm", "pn", "pr", "ps", "pt", "pw", "py",
+    "qa", "re", "ro", "rs", "ru", "rw", "sa", "sb", "sc", "sd", "se", "sg", "sh", "si", "sk",
+    "sl", "sm", "sn", "so", "sr", "ss", "st", "sv", "sx", "sy", "sz", "tc", "td", "tf", "tg",
+    "th", "tj", "tk", "tl", "tm", "tn", "to", "tr", "tt", "tv", "tw", "tz", "ua", "ug", "uk",
+    "us", "uy", "uz", "va", "vc", "ve", "vg", "vi", "vn", "vu", "wf", "ws", "ye", "yt", "za",
+    "zm", "zw", "xk",
+];
+
+/// Government-label conventions from §4.1.1.
+const GOV_LABELS: &[&str] = &[
+    "gov", "gouv", "gob", "go", "gub", "govt", "guv", "govern", "government", "admin", "gv",
+];
+
+/// Exceptions that do not follow `label.cc`: the USA's TLDs plus known
+/// single-country conventions.
+const EXCEPTIONS: &[(&str, &str)] = &[
+    ("gov", "us"),
+    ("mil", "us"),
+    ("fed.us", "us"),
+    ("gov.us", "us"),
+    ("rks-gov.net", "xk"),
+    ("govmu.org", "mu"),
+    ("dep.no", "no"),
+    ("nic.in", "in"),
+    ("gc.ca", "ca"),
+    ("gov.on.ca", "ca"),
+    ("fgov.be", "be"),
+    ("llv.li", "li"),
+    ("gouvernement.lu", "lu"),
+    ("public.lu", "lu"),
+];
+
+/// The compiled filter.
+#[derive(Debug, Clone)]
+pub struct GovFilter {
+    cc: HashSet<&'static str>,
+}
+
+impl Default for GovFilter {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl GovFilter {
+    /// The standard filter with the full ICANN ccTLD table.
+    pub fn standard() -> GovFilter {
+        GovFilter {
+            cc: COUNTRY_CODES.iter().copied().collect(),
+        }
+    }
+
+    /// Classify a hostname. Returns the inferred ISO country code when
+    /// the hostname is governmental, `None` otherwise.
+    pub fn classify(&self, hostname: &str) -> Option<&'static str> {
+        let host = hostname.trim_end_matches('.').to_ascii_lowercase();
+        if host.is_empty() || !host.contains('.') {
+            return None;
+        }
+        let labels: Vec<&str> = host.split('.').collect();
+        if labels.iter().any(|l| l.is_empty()) {
+            return None;
+        }
+        // Explicit exceptions first (longest suffix match, label-aligned).
+        for (suffix, cc) in EXCEPTIONS {
+            if ends_with_labels(&labels, suffix) {
+                return Some(cc);
+            }
+        }
+        // Convention: <gov-label>.<cc> as the last two labels.
+        if labels.len() >= 3 {
+            let cc_label = labels[labels.len() - 1];
+            let gov_label = labels[labels.len() - 2];
+            // "uk" is the ccTLD for GB.
+            let cc: &'static str = match self.cc.get(cc_label) {
+                Some(&cc) => {
+                    if cc == "uk" {
+                        "gb"
+                    } else {
+                        cc
+                    }
+                }
+                None => return None,
+            };
+            if GOV_LABELS.contains(&gov_label) {
+                return Some(cc);
+            }
+            // `government.bg`-style: the full word directly under the cc.
+            if gov_label.starts_with("gov") && GOV_LABELS.contains(&gov_label.trim_end_matches(|c: char| c.is_ascii_digit())) {
+                return Some(cc);
+            }
+        }
+        None
+    }
+
+    /// Is this a government hostname?
+    pub fn is_gov(&self, hostname: &str) -> bool {
+        self.classify(hostname).is_some()
+    }
+
+    /// Does the hostname end in a valid country-code TLD (the crawler's
+    /// link-following criterion, §4.2.2)? gTLD links (`.com`, `.org`,
+    /// `.net`, …) are not followed.
+    pub fn has_cc_tld(&self, hostname: &str) -> bool {
+        let host = hostname.trim_end_matches('.').to_ascii_lowercase();
+        match host.rsplit_once('.') {
+            Some((_, tld)) => self.cc.contains(tld),
+            None => false,
+        }
+    }
+
+    /// The US's bare TLDs also count for crawling (`.gov`, `.mil`).
+    pub fn crawlable(&self, hostname: &str) -> bool {
+        let host = hostname.to_ascii_lowercase();
+        self.has_cc_tld(&host) || host.ends_with(".gov") || host.ends_with(".mil")
+    }
+}
+
+/// Suffix match aligned to label boundaries.
+fn ends_with_labels(labels: &[&str], suffix: &str) -> bool {
+    let suffix_labels: Vec<&str> = suffix.split('.').collect();
+    if labels.len() < suffix_labels.len() {
+        return false;
+    }
+    // The full hostname must have at least one label before the suffix —
+    // except we also accept the apex itself for multi-label exceptions
+    // like `gc.ca` (www.gc.ca and gc.ca are both governmental).
+    let tail = &labels[labels.len() - suffix_labels.len()..];
+    tail == suffix_labels.as_slice() && labels.len() > suffix_labels.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> GovFilter {
+        GovFilter::standard()
+    }
+
+    #[test]
+    fn paper_examples_match() {
+        // §4.1.1's listed valid examples.
+        assert_eq!(f().classify("environment.gov.au"), Some("au"));
+        assert_eq!(f().classify("geoportal.capmas.gov.eg"), Some("eg"));
+        assert_eq!(f().classify("stats.data.gouv.fr"), Some("fr"));
+        assert_eq!(f().classify("www.pwebapps.ezv.admin.ch"), Some("ch"));
+    }
+
+    #[test]
+    fn conventions_by_language() {
+        assert_eq!(f().classify("portal.gob.mx"), Some("mx"));
+        assert_eq!(f().classify("minwon.go.kr"), Some("kr"));
+        assert_eq!(f().classify("x.go.jp"), Some("jp"));
+        assert_eq!(f().classify("tramites.gub.uy"), Some("uy"));
+        assert_eq!(f().classify("ird.govt.nz"), Some("nz"));
+        assert_eq!(f().classify("site.govern.ad"), Some("ad"));
+        assert_eq!(f().classify("ministry.gv.at"), Some("at"));
+        assert_eq!(f().classify("agency.gov.uk"), Some("gb"));
+    }
+
+    #[test]
+    fn usa_specials() {
+        assert_eq!(f().classify("www.nih.gov"), Some("us"));
+        assert_eq!(f().classify("www.army.mil"), Some("us"));
+        assert_eq!(f().classify("agency.fed.us"), Some("us"));
+        assert_eq!(f().classify("portal.gov.us"), Some("us"));
+    }
+
+    #[test]
+    fn phishing_twins_rejected() {
+        // §7.3.2: `abcgov.us`-style lookalikes must NOT match.
+        assert_eq!(f().classify("abcgov.us"), None);
+        assert_eq!(f().classify("taxgov.us"), None);
+        assert_eq!(f().classify("etagovlk.sl"), None);
+        assert_eq!(f().classify("etagov.sl"), None);
+        // But the genuine article does.
+        assert_eq!(f().classify("eta.gov.lk"), Some("lk"));
+    }
+
+    #[test]
+    fn non_government_rejected() {
+        assert_eq!(f().classify("www.example.com"), None);
+        assert_eq!(f().classify("shop.co.uk"), None);
+        assert_eq!(f().classify("government.example.com"), None, "bad tld");
+        assert_eq!(f().classify("gov.xyz"), None, "not a country code");
+        assert_eq!(f().classify("localhost"), None);
+        assert_eq!(f().classify(""), None);
+        assert_eq!(f().classify("gov..bd"), None, "empty label");
+    }
+
+    #[test]
+    fn bare_suffix_itself_is_not_a_host() {
+        // "gov.bd" with nothing in front is the registry apex, which the
+        // conservative filter still accepts only with a leading label.
+        assert_eq!(f().classify("gov.bd"), None);
+        assert_eq!(f().classify("x.gov.bd"), Some("bd"));
+    }
+
+    #[test]
+    fn exceptions_are_label_aligned() {
+        assert_eq!(f().classify("services.gc.ca"), Some("ca"));
+        assert_eq!(f().classify("notgc.ca"), None);
+        assert_eq!(f().classify("e.rks-gov.net"), Some("xk"));
+        assert_eq!(f().classify("portal.govmu.org"), Some("mu"));
+        assert_eq!(f().classify("regjeringen.dep.no"), Some("no"));
+        assert_eq!(f().classify("ministry.nic.in"), Some("in"));
+    }
+
+    #[test]
+    fn whitelist_only_countries_not_matched() {
+        // Germany/Denmark/NL use plain ccTLDs — conservative filter says no.
+        assert_eq!(f().classify("bund-portal.de"), None);
+        assert_eq!(f().classify("borger.dk"), None);
+        assert_eq!(f().classify("rijksoverheid.nl"), None);
+    }
+
+    #[test]
+    fn cc_tld_crawl_criterion() {
+        assert!(f().has_cc_tld("anything.com.bd"));
+        assert!(f().has_cc_tld("site.fr"));
+        assert!(!f().has_cc_tld("example.com"));
+        assert!(!f().has_cc_tld("example.org"));
+        assert!(f().crawlable("www.nih.gov"));
+        assert!(f().crawlable("www.army.mil"));
+        assert!(!f().crawlable("cdn.example-ads.com"));
+    }
+
+    #[test]
+    fn case_and_trailing_dot_insensitive() {
+        assert_eq!(f().classify("WWW.NIH.GOV."), Some("us"));
+        assert_eq!(f().classify("Stats.Data.GOUV.FR"), Some("fr"));
+    }
+}

@@ -1,0 +1,257 @@
+//! The end-to-end study pipeline (§4): seeds → MTurk → crawl →
+//! whitelist → scan.
+
+use std::collections::HashSet;
+
+use govscan_net::TlsClientConfig;
+use govscan_pki::trust::TrustStoreProfile;
+use govscan_worldgen::{Posture, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::crawler::{self, CrawlReport};
+use crate::dataset::ScanDataset;
+use crate::filter::GovFilter;
+use crate::mturk::{self, MturkReport};
+use crate::probe::{scan_hosts, ScanContext};
+use crate::seeds;
+
+/// The output of a full study run.
+pub struct StudyOutput {
+    /// The §4.1 seed list (filtered merge of the ranking datasets).
+    pub seed_list: Vec<String>,
+    /// The MTurk expansion report (§4.2.1).
+    pub mturk: MturkReport,
+    /// The crawl report (§4.2.2, Figure A.4).
+    pub crawl: CrawlReport,
+    /// The final measured hostname list (crawl ∪ MTurk ∪ whitelist,
+    /// government-filtered — the paper's 135,408).
+    pub final_list: Vec<String>,
+    /// The worldwide scan results.
+    pub scan: ScanDataset,
+}
+
+/// Drives the full §4 methodology against a generated world.
+pub struct StudyPipeline<'w> {
+    world: &'w World,
+    filter: GovFilter,
+    trust_profile: TrustStoreProfile,
+    scan_time: govscan_pki::Time,
+}
+
+impl<'w> StudyPipeline<'w> {
+    /// New pipeline over `world` with the paper's configuration (Apple
+    /// trust store).
+    pub fn new(world: &'w World) -> Self {
+        StudyPipeline {
+            world,
+            filter: GovFilter::standard(),
+            trust_profile: TrustStoreProfile::Apple,
+            scan_time: world.scan_time(),
+        }
+    }
+
+    /// Scan at a different date (the §7.2.2 follow-up ran two months
+    /// after the original snapshot).
+    pub fn with_scan_time(mut self, at: govscan_pki::Time) -> Self {
+        self.scan_time = at;
+        self
+    }
+
+    /// Use a different trust store (§4.3 discusses the choice).
+    pub fn with_trust_profile(mut self, profile: TrustStoreProfile) -> Self {
+        self.trust_profile = profile;
+        self
+    }
+
+    /// The scan context for this pipeline.
+    pub fn context(&self) -> ScanContext<'w> {
+        ScanContext {
+            net: &self.world.net,
+            trust: self.world.cadb.trust_store(self.trust_profile),
+            ev: self.world.cadb.ev_registry(),
+            providers: &self.world.provider_table,
+            now: self.scan_time,
+            client: TlsClientConfig::default(),
+        }
+    }
+
+    /// Scan an explicit hostname list (used by the case studies and the
+    /// disclosure re-scan), annotating countries via the filter.
+    pub fn scan_list(&self, hostnames: &[String]) -> ScanDataset {
+        let ctx = self.context();
+        let mut records = scan_hosts(&ctx, hostnames);
+        for r in &mut records {
+            r.country = self.filter.classify(&r.hostname);
+            r.tranco_rank = self.world.tranco.rank_of(&r.hostname);
+        }
+        ScanDataset::new(records, self.scan_time)
+    }
+
+    /// Run the complete §4 methodology.
+    pub fn run(&self) -> StudyOutput {
+        // §4.1: seed list from the ranking datasets.
+        let seed_list = seeds::build_seed_list(
+            &self.filter,
+            &[&self.world.tranco, &self.world.majestic, &self.world.cisco],
+        );
+
+        // §4.2.1: MTurk expansion for countries with < 11 seed hosts.
+        let seed_counts = seeds::seeds_per_country(&self.filter, &seed_list);
+        let seed_set: HashSet<String> = seed_list.iter().cloned().collect();
+        let countries: Vec<&'static str> = govscan_worldgen::countries::active_countries()
+            .map(|c| c.code)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.world.config.seed ^ 0x4d74_726b);
+        let world = self.world;
+        let mturk = mturk::expand(&mut rng, &countries, &seed_counts, &seed_set, |cc| {
+            // The crowd directory: reachable government hosts of `cc`.
+            world
+                .gov_hosts
+                .iter()
+                .filter(|h| {
+                    let r = &world.records[*h];
+                    r.country == cc && !matches!(r.posture, Posture::Unreachable)
+                })
+                .take(40)
+                .cloned()
+                .collect()
+        });
+
+        // §4.2.2: crawl from seed ∪ MTurk.
+        let mut crawl_seeds = seed_list.clone();
+        crawl_seeds.extend(mturk.new_hostnames.iter().cloned());
+        let crawl = crawler::crawl(&self.world.net, &self.filter, &crawl_seeds);
+
+        // §4.2.3: add the hand-curated whitelist (not crawled).
+        let mut final_set: HashSet<String> = crawl.government_hostnames.iter().cloned().collect();
+        for h in &self.world.whitelist {
+            final_set.insert(h.to_ascii_lowercase());
+        }
+        let mut final_list: Vec<String> = final_set.into_iter().collect();
+        final_list.sort();
+
+        // §4.2.3 (measurement): scan everything.
+        let mut scan = self.scan_list(&final_list);
+        // Whitelisted hostnames don't match the conservative filter; the
+        // hand-curation that added them also recorded their country
+        // (§4.2.3), which we carry over here.
+        let curated: std::collections::HashMap<&str, &'static str> = self
+            .world
+            .whitelist
+            .iter()
+            .filter_map(|h| self.world.record(h).map(|r| (h.as_str(), r.country)))
+            .collect();
+        let annotations: Vec<(String, &'static str)> = scan
+            .records()
+            .iter()
+            .filter(|r| r.country.is_none())
+            .filter_map(|r| curated.get(r.hostname.as_str()).map(|cc| (r.hostname.clone(), *cc)))
+            .collect();
+        for (host, cc) in annotations {
+            if let Some(r) = scan.get(&host).cloned() {
+                let mut r = r;
+                r.country = Some(cc);
+                scan.push(r);
+            }
+        }
+
+        StudyOutput {
+            seed_list,
+            mturk,
+            crawl,
+            final_list,
+            scan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govscan_worldgen::WorldConfig;
+
+    fn output() -> (World, StudyOutput) {
+        let world = World::generate(&WorldConfig::small(321));
+        let out = StudyPipeline::new(&world).run();
+        (world, out)
+    }
+
+    #[test]
+    fn pipeline_grows_the_dataset_like_the_paper() {
+        let (_world, out) = output();
+        // §4.2: the crawl + whitelist grows the seed list several-fold
+        // (27,532 → 135,408 ≈ 4.9× in the paper).
+        assert!(out.seed_list.len() > 50);
+        let growth = out.final_list.len() as f64 / out.seed_list.len() as f64;
+        assert!(
+            (2.5..11.0).contains(&growth),
+            "growth {growth} ({} → {})",
+            out.seed_list.len(),
+            out.final_list.len()
+        );
+    }
+
+    #[test]
+    fn final_list_is_mostly_outside_the_seed(){
+        let (_world, out) = output();
+        let seed: HashSet<&String> = out.seed_list.iter().collect();
+        let outside = out
+            .final_list
+            .iter()
+            .filter(|h| !seed.contains(h))
+            .count();
+        let share = outside as f64 / out.final_list.len() as f64;
+        // The paper: >90% of the final dataset is outside the top millions.
+        assert!(share > 0.6, "long-tail share {share}");
+    }
+
+    #[test]
+    fn scan_covers_final_list() {
+        let (_world, out) = output();
+        assert_eq!(out.scan.len(), out.final_list.len());
+        assert!(out.scan.available().count() > out.scan.len() / 2);
+    }
+
+    #[test]
+    fn countries_are_annotated() {
+        let (_world, out) = output();
+        let with_country = out
+            .scan
+            .records()
+            .iter()
+            .filter(|r| r.country.is_some())
+            .count();
+        assert_eq!(with_country, out.scan.len(), "every gov host gets a country");
+    }
+
+    #[test]
+    fn whitelist_only_countries_present_via_whitelist() {
+        let (world, out) = output();
+        let de_hosts: Vec<&String> = out
+            .final_list
+            .iter()
+            .filter(|h| world.records.get(*h).map(|r| r.country) == Some("de"))
+            .collect();
+        assert!(!de_hosts.is_empty(), "German hosts enter via whitelist");
+    }
+
+    #[test]
+    fn crawl_growth_declines_in_later_levels() {
+        let (_world, out) = output();
+        let g = &out.crawl.levels;
+        assert!(g[1].discovered > 0);
+        let early: usize = g[1..4].iter().map(|l| l.discovered).sum();
+        let late: usize = g[5..8].iter().map(|l| l.discovered).sum();
+        assert!(early > late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let world = World::generate(&WorldConfig::small(99));
+        let a = StudyPipeline::new(&world).run();
+        let b = StudyPipeline::new(&world).run();
+        assert_eq!(a.final_list, b.final_list);
+        assert_eq!(a.scan.valid().count(), b.scan.valid().count());
+    }
+}

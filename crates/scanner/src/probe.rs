@@ -1,0 +1,270 @@
+//! The per-host scan probe (§4.2.3's measurement step) and the parallel
+//! scan engine.
+//!
+//! For each hostname the probe performs, in order: DNS resolution (3
+//! retries, as the paper did), a plain-http GET, a TCP connect to 443, a
+//! full TLS handshake retrieving the peer certificate chain, OpenSSL-
+//! equivalent chain validation against the configured trust store,
+//! hostname verification, a CAA lookup, and hosting attribution of the
+//! first A record against the provider CIDR table.
+
+use std::net::Ipv4Addr;
+
+use govscan_net::{CidrTable, DnsOutcome, HttpOutcome, SimNet, TcpOutcome, TlsClientConfig};
+use govscan_pki::caa::CaaRecord;
+use govscan_pki::ev::EvRegistry;
+use govscan_pki::trust::TrustStore;
+use govscan_pki::Time;
+
+use crate::classify::{CertMeta, ErrorCategory, HttpsStatus};
+use crate::dataset::{HostingKind, ScanRecord};
+
+/// Everything a probe needs besides the hostname.
+pub struct ScanContext<'a> {
+    /// The network to dial.
+    pub net: &'a SimNet,
+    /// Trust anchors for chain validation (the paper used the Apple
+    /// store as the most restrictive).
+    pub trust: &'a TrustStore,
+    /// EV policy registry.
+    pub ev: &'a EvRegistry,
+    /// Hosting-provider CIDR table.
+    pub providers: &'a CidrTable<(&'static str, bool)>,
+    /// Scan timestamp for validity checks.
+    pub now: Time,
+    /// TLS probe configuration.
+    pub client: TlsClientConfig,
+}
+
+/// Number of DNS/connect retries before declaring a host unavailable.
+const RETRIES: usize = 3;
+
+/// Scan a single hostname.
+pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
+    let hostname = hostname.to_ascii_lowercase();
+
+    // --- DNS (with retries, §4.2.3). ---
+    let mut resolved: Option<Vec<Ipv4Addr>> = None;
+    for _ in 0..RETRIES {
+        match ctx.net.resolve(&hostname) {
+            DnsOutcome::Ok(addrs) => {
+                resolved = Some(addrs);
+                break;
+            }
+            DnsOutcome::NxDomain | DnsOutcome::Timeout => continue,
+        }
+    }
+    let ip = resolved.as_ref().and_then(|a| a.first().copied());
+    if ip.is_none() {
+        return ScanRecord::unavailable(hostname);
+    }
+    let ip = ip.unwrap();
+
+    // --- Plain http. ---
+    let (http_200, http_redirects_https) = match ctx.net.fetch(&hostname, false, &ctx.client) {
+        HttpOutcome::Response(r) if r.is_ok() => (true, false),
+        HttpOutcome::Response(r) if r.is_redirect() => {
+            let to_https = r
+                .location
+                .as_deref()
+                .is_some_and(|l| l.starts_with("https://"));
+            (false, to_https)
+        }
+        _ => (false, false),
+    };
+
+    // --- https: TCP 443 → TLS → GET. ---
+    let mut https_200 = false;
+    let mut hsts = false;
+    let mut negotiated = None;
+    let https = match ctx.net.tcp_connect(&hostname, 443) {
+        TcpOutcome::Refused => HttpsStatus::None,
+        // TCP-level failures on 443 with no TLS service behind them.
+        TcpOutcome::TimedOut => HttpsStatus::Invalid(ErrorCategory::TimedOut, None),
+        TcpOutcome::ResetByPeer => HttpsStatus::Invalid(ErrorCategory::ConnectionReset, None),
+        TcpOutcome::Accepted => match ctx.net.tls_connect(&hostname, &ctx.client) {
+            Err(e) => HttpsStatus::Invalid(ErrorCategory::from_tls_error(e), None),
+            Ok(session) => {
+                negotiated = Some(session.version);
+                // Fetch the page inside the tunnel for availability/HSTS.
+                if let HttpOutcome::Response(r) = ctx.net.fetch(&hostname, true, &ctx.client) {
+                    https_200 = r.is_ok();
+                    hsts = r.hsts.is_some();
+                }
+                let meta = CertMeta::from_chain(&session.peer_chain, ctx.ev);
+                match govscan_pki::validate_chain(
+                    &session.peer_chain,
+                    ctx.trust,
+                    &hostname,
+                    ctx.now,
+                ) {
+                    Ok(_) => HttpsStatus::Valid(meta.expect("valid chain has a leaf")),
+                    Err(e) => HttpsStatus::Invalid(ErrorCategory::from_cert_error(e), meta),
+                }
+            }
+        },
+    };
+
+    // A host is available if some endpoint returned a 200 (§4.1).
+    let available = http_200 || https_200;
+
+    // --- CAA. ---
+    let caa: Vec<CaaRecord> = ctx.net.caa_lookup(&hostname).to_vec();
+
+    // --- Hosting attribution (§5.4): first A record vs CIDR lists. ---
+    let hosting = match ctx.providers.lookup(ip) {
+        Some((name, true)) => HostingKind::Cdn(name),
+        Some((name, false)) => HostingKind::Cloud(name),
+        None => HostingKind::Private,
+    };
+
+    ScanRecord {
+        hostname,
+        available,
+        ip: Some(ip),
+        http_200,
+        http_redirects_https,
+        https_200,
+        hsts,
+        https,
+        negotiated,
+        caa,
+        hosting,
+        country: None,
+        tranco_rank: None,
+    }
+}
+
+/// Scan many hostnames on a crossbeam worker pool. Results are returned
+/// in input order; the pool size adapts to the machine.
+pub fn scan_hosts(ctx: &ScanContext<'_>, hostnames: &[String]) -> Vec<ScanRecord> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    if workers <= 1 || hostnames.len() < 64 {
+        return hostnames.iter().map(|h| scan_host(ctx, h)).collect();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, &String)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, ScanRecord)>();
+    for job in hostnames.iter().enumerate() {
+        job_tx.send(job).expect("queue open");
+    }
+    drop(job_tx);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            s.spawn(move |_| {
+                while let Ok((i, host)) = job_rx.recv() {
+                    let record = scan_host(ctx, host);
+                    if out_tx.send((i, record)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(out_tx);
+        let mut results: Vec<Option<ScanRecord>> = vec![None; hostnames.len()];
+        while let Ok((i, record)) = out_rx.recv() {
+            results[i] = Some(record);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job produced a record"))
+            .collect()
+    })
+    .expect("scan workers do not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govscan_worldgen::{World, WorldConfig};
+
+    fn ctx(world: &World) -> ScanContext<'_> {
+        ScanContext {
+            net: &world.net,
+            trust: world.cadb.trust_store(govscan_pki::trust::TrustStoreProfile::Apple),
+            ev: world.cadb.ev_registry(),
+            providers: &world.provider_table,
+            now: world.scan_time(),
+            client: TlsClientConfig::default(),
+        }
+    }
+
+    #[test]
+    fn scan_agrees_with_ground_truth() {
+        let world = World::generate(&WorldConfig::small(77));
+        let ctx = ctx(&world);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for host in world.gov_hosts.iter().take(800) {
+            let rec = scan_host(&ctx, host);
+            let truth = &world.records[host];
+            use govscan_worldgen::Posture;
+            total += 1;
+            let ok = match &truth.posture {
+                Posture::Unreachable => !rec.available,
+                Posture::HttpOnly => rec.available && !rec.https.attempts(),
+                Posture::ValidHttps { .. } => rec.https.is_valid(),
+                Posture::InvalidHttps { .. } => {
+                    rec.https.attempts() && !rec.https.is_valid()
+                }
+            };
+            if ok {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.97, "ground-truth agreement {rate}");
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let world = World::generate(&WorldConfig::small(78));
+        let ctx = ctx(&world);
+        let hosts: Vec<String> = world.gov_hosts.iter().take(200).cloned().collect();
+        let serial: Vec<ScanRecord> = hosts.iter().map(|h| scan_host(&ctx, h)).collect();
+        let parallel = scan_hosts(&ctx, &hosts);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.hostname, b.hostname);
+            assert_eq!(a.available, b.available);
+            assert_eq!(a.https, b.https);
+        }
+    }
+
+    #[test]
+    fn hosting_attribution_consistent_with_ground_truth() {
+        let world = World::generate(&WorldConfig::small(79));
+        let ctx = ctx(&world);
+        let mut cloud_truth_hits = 0;
+        let mut cloud_truth = 0;
+        for host in world.gov_hosts.iter().take(2000) {
+            let truth = &world.records[host];
+            if matches!(truth.posture, govscan_worldgen::Posture::Unreachable) {
+                continue;
+            }
+            let rec = scan_host(&ctx, host);
+            use govscan_worldgen::HostingClass;
+            match &truth.hosting {
+                HostingClass::Cloud(p) => {
+                    cloud_truth += 1;
+                    if rec.hosting == HostingKind::Cloud(p) {
+                        cloud_truth_hits += 1;
+                    }
+                }
+                HostingClass::Cdn(p) => {
+                    cloud_truth += 1;
+                    if rec.hosting == HostingKind::Cdn(p) {
+                        cloud_truth_hits += 1;
+                    }
+                }
+                HostingClass::Private => {}
+            }
+        }
+        assert!(cloud_truth > 10, "some cloud hosts in sample");
+        assert_eq!(cloud_truth_hits, cloud_truth, "CIDR attribution is exact");
+    }
+}

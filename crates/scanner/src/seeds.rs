@@ -1,0 +1,87 @@
+//! Seed-list assembly (§4.1): merge the public ranking datasets,
+//! de-duplicate, and keep only government hostnames.
+
+use std::collections::BTreeSet;
+
+use govscan_worldgen::RankingList;
+
+use crate::filter::GovFilter;
+
+/// The merged, deduplicated, government-filtered seed list, sorted for
+/// determinism.
+pub fn build_seed_list(filter: &GovFilter, lists: &[&RankingList]) -> Vec<String> {
+    let mut seeds: BTreeSet<String> = BTreeSet::new();
+    for list in lists {
+        for entry in &list.entries {
+            if filter.is_gov(&entry.hostname) {
+                seeds.insert(entry.hostname.clone());
+            }
+        }
+    }
+    seeds.into_iter().collect()
+}
+
+/// Count seed hostnames per inferred country (input to the MTurk stage).
+pub fn seeds_per_country(filter: &GovFilter, seeds: &[String]) -> std::collections::HashMap<&'static str, usize> {
+    let mut counts = std::collections::HashMap::new();
+    for host in seeds {
+        if let Some(cc) = filter.classify(host) {
+            *counts.entry(cc).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govscan_worldgen::rankings::RankingEntry;
+
+    fn list(name: &'static str, hosts: &[(&str, bool)]) -> RankingList {
+        RankingList {
+            name,
+            size: 1000,
+            entries: hosts
+                .iter()
+                .enumerate()
+                .map(|(i, (h, is_gov))| RankingEntry {
+                    rank: i as u32 + 1,
+                    hostname: h.to_string(),
+                    is_gov: *is_gov,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merges_and_dedups() {
+        let f = GovFilter::standard();
+        let a = list("a", &[("www.nih.gov", true), ("shop.com", false)]);
+        let b = list("b", &[("www.nih.gov", true), ("tax.gov.bd", true)]);
+        let seeds = build_seed_list(&f, &[&a, &b]);
+        assert_eq!(seeds, vec!["tax.gov.bd".to_string(), "www.nih.gov".to_string()]);
+    }
+
+    #[test]
+    fn filter_governs_membership_not_list_flags() {
+        // A list row flagged gov but with a non-gov name must be dropped:
+        // the scanner trusts its own filter, not upstream metadata.
+        let f = GovFilter::standard();
+        let a = list("a", &[("sneaky.com", true), ("abcgov.us", true)]);
+        assert!(build_seed_list(&f, &[&a]).is_empty());
+    }
+
+    #[test]
+    fn per_country_counts() {
+        let f = GovFilter::standard();
+        let seeds = vec![
+            "a.gov.bd".to_string(),
+            "b.gov.bd".to_string(),
+            "c.gouv.fr".to_string(),
+        ];
+        let counts = seeds_per_country(&f, &seeds);
+        assert_eq!(counts.get("bd"), Some(&2));
+        assert_eq!(counts.get("fr"), Some(&1));
+        assert_eq!(counts.get("us"), None);
+    }
+}

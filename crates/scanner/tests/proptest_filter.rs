@@ -1,0 +1,61 @@
+//! Property-based tests for the government-hostname filter: totality
+//! over arbitrary input, label-boundary strictness, and idempotence of
+//! classification.
+
+use govscan_scanner::GovFilter;
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z0-9][a-z0-9-]{0,12}".prop_map(|s| s)
+}
+
+proptest! {
+    /// Arbitrary byte soup must never panic the filter.
+    #[test]
+    fn filter_is_total(s in "\\PC{0,80}") {
+        let f = GovFilter::standard();
+        let _ = f.classify(&s);
+        let _ = f.is_gov(&s);
+        let _ = f.has_cc_tld(&s);
+        let _ = f.crawlable(&s);
+    }
+
+    /// Every `<label>.gov.<cc>` host classifies to the cc (for real ccs),
+    /// and the same name *without the label boundary* never matches.
+    #[test]
+    fn label_boundary_strictness(l in label()) {
+        let f = GovFilter::standard();
+        let real = format!("{l}.gov.bd");
+        let fake = format!("{l}gov.bd");
+        prop_assert_eq!(f.classify(&real), Some("bd"));
+        // The collapsed form only matches if the label part itself ends
+        // with a whole-label ".gov" — impossible here since we removed
+        // the dot.
+        prop_assert_eq!(f.classify(&fake), None);
+    }
+
+    /// Classification is idempotent under case-folding and trailing dots.
+    #[test]
+    fn classification_is_normalization_invariant(l in label()) {
+        let f = GovFilter::standard();
+        let host = format!("{l}.gouv.fr");
+        let variants = [
+            host.clone(),
+            host.to_uppercase(),
+            format!("{host}."),
+        ];
+        let expected = f.classify(&host);
+        for v in &variants {
+            prop_assert_eq!(f.classify(v), expected, "{}", v);
+        }
+    }
+
+    /// A gTLD host never classifies as governmental, whatever the label
+    /// says.
+    #[test]
+    fn gtlds_never_match(l in label(), tld in prop_oneof![Just("com"), Just("net"), Just("org"), Just("info")]) {
+        let f = GovFilter::standard();
+        prop_assert_eq!(f.classify(&format!("{l}.gov.{tld}")), None);
+        prop_assert_eq!(f.classify(&format!("gov.{l}.{tld}")), None);
+    }
+}

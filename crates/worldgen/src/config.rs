@@ -1,0 +1,104 @@
+//! World-generation configuration.
+
+use govscan_asn1::Time;
+
+/// Configuration for [`crate::World::generate`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed — the same seed reproduces the same Internet.
+    pub seed: u64,
+    /// Population scale. `1.0` ≈ the paper's 135,408 reachable government
+    /// hostnames (plus the 47k unreachable pool and ranking lists);
+    /// `0.01` is a convenient test size.
+    pub scale: f64,
+    /// The scan snapshot date (paper: 2020-04-22 → 2020-04-26).
+    pub scan_time: Time,
+    /// Size of the simulated "top million" ranking lists at scale 1.0.
+    pub ranking_size: u32,
+    /// Fraction of non-government ranking entries that are materialized
+    /// as dialable hosts (the rest exist only as list rows). Keeps memory
+    /// sane at paper scale while giving the §5.5 samplers a full
+    /// rank-distributed pool; see DESIGN.md §4.
+    pub nongov_materialize_rate: f64,
+}
+
+impl WorldConfig {
+    /// Paper-scale world (~135k government hosts). Heavy: use from the
+    /// reproduction binaries, not unit tests.
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 1.0,
+            scan_time: Time::from_ymd(2020, 4, 22),
+            ranking_size: 1_000_000,
+            nongov_materialize_rate: 0.04,
+        }
+    }
+
+    /// A ~1.5% world for tests and examples (≈2k government hosts).
+    pub fn small(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 0.015,
+            scan_time: Time::from_ymd(2020, 4, 22),
+            ranking_size: 1_000_000,
+            nongov_materialize_rate: 0.04,
+        }
+    }
+
+    /// A mid-size world (~10% ≈ 13.5k hosts) for benches and integration
+    /// tests that need tighter statistics.
+    pub fn medium(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            scale: 0.1,
+            scan_time: Time::from_ymd(2020, 4, 22),
+            ranking_size: 1_000_000,
+            nongov_materialize_rate: 0.04,
+        }
+    }
+
+    /// Scale an absolute paper count to this configuration, with a floor
+    /// so tiny test worlds still exercise every category.
+    pub fn scaled(&self, paper_count: u64) -> u64 {
+        let scaled = (paper_count as f64 * self.scale).round() as u64;
+        if paper_count > 0 && scaled == 0 {
+            1
+        } else {
+            scaled
+        }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig::small(0x60765CA9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor_of_one() {
+        let cfg = WorldConfig::small(1);
+        assert_eq!(cfg.scaled(0), 0);
+        assert_eq!(cfg.scaled(10), 1, "rounds to 0 but floors to 1");
+        assert_eq!(cfg.scaled(1000), 15);
+    }
+
+    #[test]
+    fn paper_scale_identity() {
+        let cfg = WorldConfig::paper_scale(1);
+        assert_eq!(cfg.scaled(135_408), 135_408);
+        assert_eq!(cfg.scaled(1), 1);
+    }
+
+    #[test]
+    fn scan_time_matches_paper_window() {
+        let cfg = WorldConfig::default();
+        assert_eq!(cfg.scan_time.to_datetime().year, 2020);
+        assert_eq!(cfg.scan_time.to_datetime().month, 4);
+    }
+}

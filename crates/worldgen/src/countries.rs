@@ -1,0 +1,362 @@
+//! The country table: ccTLDs, government-domain conventions, population
+//! ranks, and technology indices.
+//!
+//! Government-domain conventions follow §4.1.1 of the paper: most
+//! countries use `gov.<cc>`, French-speaking countries `gouv.<cc>`,
+//! Spanish-speaking `gob.<cc>`; Kenya, Indonesia, Japan, Korea, Thailand
+//! and Uganda use `go.<cc>`; Uruguay uses `gub.uy`, New Zealand `govt.nz`,
+//! Switzerland `admin.ch`, Andorra `govern.ad`; the USA uses `.gov`,
+//! `.fed.us`, `.mil` and `.gov.us` without a country-code suffix. A few
+//! countries (Germany, Denmark, the Netherlands, Greenland, Gabon) use
+//! non-government TLDs and enter the dataset only via the hand-curated
+//! whitelist (§4.2.3).
+
+/// Static description of one country in the simulated world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Country {
+    /// ISO 3166 alpha-2 code, lowercase (doubles as the ccTLD).
+    pub code: &'static str,
+    /// English name.
+    pub name: &'static str,
+    /// Hostname suffixes that identify government sites (no leading dot).
+    /// Empty for whitelist-only countries.
+    pub gov_suffixes: &'static [&'static str],
+    /// Rank by population (1 = most populous); drives Fig 13.
+    pub population_rank: u16,
+    /// Technology index 0–1 (HDI/Internet-penetration proxy); drives the
+    /// per-country https and validity rates behind Fig 1.
+    pub tech: f64,
+    /// Relative share of worldwide government hostnames (unnormalized).
+    pub host_weight: f64,
+}
+
+macro_rules! c {
+    ($code:literal, $name:literal, [$($sfx:literal),*], $pop:literal, $tech:literal, $w:literal) => {
+        Country {
+            code: $code,
+            name: $name,
+            gov_suffixes: &[$($sfx),*],
+            population_rank: $pop,
+            tech: $tech,
+            host_weight: $w,
+        }
+    };
+}
+
+/// Every country the simulated world contains. The weights reproduce the
+/// paper's observed skew: China is the largest single slice (22,487 of
+/// 135,408 scanned hostnames, §7.1.2), the USA has roughly 10k in the
+/// worldwide list (§5.1) and about 6× South Korea's reachable count
+/// (§7.1.1); 15 long-tail countries have fewer than 11 sites (§4.2.3).
+pub const COUNTRIES: &[Country] = &[
+    // --- Major hosts of government websites ---
+    c!("cn", "China", ["gov.cn"], 1, 0.55, 16.6),
+    c!("us", "United States", ["gov", "fed.us", "mil", "gov.us"], 3, 0.92, 3.7),
+    c!("in", "India", ["gov.in", "nic.in"], 2, 0.55, 3.4),
+    c!("br", "Brazil", ["gov.br"], 6, 0.65, 3.1),
+    c!("id", "Indonesia", ["go.id"], 4, 0.55, 2.9),
+    c!("ru", "Russia", ["gov.ru"], 9, 0.68, 2.3),
+    c!("jp", "Japan", ["go.jp"], 11, 0.90, 2.2),
+    c!("de", "Germany", [], 19, 0.92, 1.9),
+    c!("gb", "United Kingdom", ["gov.uk"], 21, 0.93, 2.4),
+    c!("fr", "France", ["gouv.fr"], 22, 0.90, 2.1),
+    c!("mx", "Mexico", ["gob.mx"], 10, 0.62, 1.9),
+    c!("kr", "South Korea", ["go.kr"], 28, 0.95, 0.62),
+    c!("tr", "Turkey", ["gov.tr"], 17, 0.63, 1.4),
+    c!("it", "Italy", ["gov.it"], 23, 0.85, 1.2),
+    c!("es", "Spain", ["gob.es"], 30, 0.87, 1.2),
+    c!("ar", "Argentina", ["gob.ar", "gov.ar"], 32, 0.68, 1.2),
+    c!("co", "Colombia", ["gov.co"], 29, 0.60, 1.1),
+    c!("vn", "Vietnam", ["gov.vn"], 15, 0.55, 1.1),
+    c!("th", "Thailand", ["go.th"], 20, 0.60, 1.1),
+    c!("bd", "Bangladesh", ["gov.bd"], 8, 0.42, 1.4),
+    c!("pk", "Pakistan", ["gov.pk"], 5, 0.40, 0.9),
+    c!("ng", "Nigeria", ["gov.ng"], 7, 0.38, 0.7),
+    c!("ph", "Philippines", ["gov.ph"], 13, 0.55, 0.9),
+    c!("eg", "Egypt", ["gov.eg"], 14, 0.48, 0.7),
+    c!("ir", "Iran", ["gov.ir"], 18, 0.50, 0.8),
+    c!("ua", "Ukraine", ["gov.ua"], 35, 0.65, 0.9),
+    c!("pl", "Poland", ["gov.pl"], 38, 0.82, 1.0),
+    c!("ca", "Canada", ["gc.ca", "gov.on.ca"], 39, 0.92, 1.1),
+    c!("au", "Australia", ["gov.au"], 55, 0.92, 1.2),
+    c!("my", "Malaysia", ["gov.my"], 45, 0.70, 0.8),
+    c!("za", "South Africa", ["gov.za"], 25, 0.58, 0.7),
+    c!("sa", "Saudi Arabia", ["gov.sa"], 41, 0.70, 0.6),
+    c!("nl", "Netherlands", [], 69, 0.94, 0.6),
+    c!("tw", "Taiwan", ["gov.tw"], 57, 0.88, 0.9),
+    // --- Middle of the distribution ---
+    c!("se", "Sweden", ["gov.se"], 91, 0.95, 0.4),
+    c!("no", "Norway", ["dep.no"], 119, 0.96, 0.3),
+    c!("fi", "Finland", ["gov.fi"], 116, 0.95, 0.3),
+    c!("dk", "Denmark", [], 114, 0.95, 0.3),
+    c!("ch", "Switzerland", ["admin.ch"], 101, 0.95, 0.4),
+    c!("at", "Austria", ["gv.at"], 98, 0.90, 0.5),
+    c!("be", "Belgium", ["gov.be", "fgov.be"], 81, 0.90, 0.4),
+    c!("pt", "Portugal", ["gov.pt"], 89, 0.84, 0.4),
+    c!("gr", "Greece", ["gov.gr"], 87, 0.80, 0.4),
+    c!("cz", "Czechia", ["gov.cz"], 86, 0.86, 0.4),
+    c!("hu", "Hungary", ["gov.hu"], 94, 0.82, 0.4),
+    c!("ro", "Romania", ["gov.ro"], 61, 0.75, 0.4),
+    c!("bg", "Bulgaria", ["government.bg"], 107, 0.74, 0.3),
+    c!("sk", "Slovakia", ["gov.sk"], 117, 0.82, 0.3),
+    c!("si", "Slovenia", ["gov.si"], 147, 0.86, 0.2),
+    c!("hr", "Croatia", ["gov.hr"], 129, 0.80, 0.25),
+    c!("rs", "Serbia", ["gov.rs"], 105, 0.72, 0.3),
+    c!("ba", "Bosnia and Herzegovina", ["gov.ba"], 135, 0.65, 0.2),
+    c!("lt", "Lithuania", ["gov.lt"], 141, 0.84, 0.25),
+    c!("lv", "Latvia", ["gov.lv"], 150, 0.83, 0.2),
+    c!("ee", "Estonia", ["gov.ee"], 155, 0.92, 0.2),
+    c!("ie", "Ireland", ["gov.ie"], 124, 0.90, 0.3),
+    c!("nz", "New Zealand", ["govt.nz"], 126, 0.92, 0.35),
+    c!("sg", "Singapore", ["gov.sg"], 113, 0.94, 0.4),
+    c!("hk", "Hong Kong", ["gov.hk"], 104, 0.90, 0.35),
+    c!("il", "Israel", ["gov.il"], 99, 0.88, 0.4),
+    c!("ae", "United Arab Emirates", ["gov.ae"], 93, 0.82, 0.35),
+    c!("qa", "Qatar", ["gov.qa"], 139, 0.80, 0.15),
+    c!("kw", "Kuwait", ["gov.kw"], 128, 0.75, 0.15),
+    c!("bh", "Bahrain", ["gov.bh"], 152, 0.78, 0.12),
+    c!("om", "Oman", ["gov.om"], 123, 0.72, 0.15),
+    c!("jo", "Jordan", ["gov.jo"], 96, 0.62, 0.2),
+    c!("lb", "Lebanon", ["gov.lb"], 112, 0.60, 0.15),
+    c!("iq", "Iraq", ["gov.iq"], 36, 0.42, 0.2),
+    c!("ke", "Kenya", ["go.ke"], 27, 0.48, 0.35),
+    c!("gh", "Ghana", ["gov.gh"], 47, 0.48, 0.25),
+    c!("tz", "Tanzania", ["go.tz"], 24, 0.40, 0.2),
+    c!("ug", "Uganda", ["go.ug"], 31, 0.38, 0.2),
+    c!("et", "Ethiopia", ["gov.et"], 12, 0.30, 0.15),
+    c!("ma", "Morocco", ["gov.ma"], 40, 0.55, 0.3),
+    c!("dz", "Algeria", ["gov.dz"], 33, 0.50, 0.2),
+    c!("tn", "Tunisia", ["gov.tn"], 79, 0.55, 0.2),
+    c!("ly", "Libya", ["gov.ly"], 108, 0.40, 0.1),
+    c!("sn", "Senegal", ["gouv.sn"], 73, 0.42, 0.15),
+    c!("ci", "Ivory Coast", ["gouv.ci"], 52, 0.40, 0.15),
+    c!("cm", "Cameroon", ["gov.cm"], 51, 0.38, 0.12),
+    c!("cl", "Chile", ["gob.cl"], 64, 0.78, 0.5),
+    c!("pe", "Peru", ["gob.pe"], 43, 0.62, 0.5),
+    c!("ec", "Ecuador", ["gob.ec"], 67, 0.60, 0.35),
+    c!("ve", "Venezuela", ["gob.ve"], 50, 0.50, 0.3),
+    c!("bo", "Bolivia", ["gob.bo"], 80, 0.52, 0.2),
+    c!("py", "Paraguay", ["gov.py"], 106, 0.55, 0.15),
+    c!("uy", "Uruguay", ["gub.uy"], 133, 0.78, 0.2),
+    c!("cr", "Costa Rica", ["go.cr"], 122, 0.72, 0.15),
+    c!("pa", "Panama", ["gob.pa"], 127, 0.68, 0.12),
+    c!("gt", "Guatemala", ["gob.gt"], 66, 0.50, 0.12),
+    c!("sv", "El Salvador", ["gob.sv"], 110, 0.55, 0.1),
+    c!("hn", "Honduras", ["gob.hn"], 95, 0.48, 0.06),
+    c!("ni", "Nicaragua", ["gob.ni"], 109, 0.45, 0.08),
+    c!("do", "Dominican Republic", ["gob.do", "gov.do"], 85, 0.58, 0.15),
+    c!("cu", "Cuba", ["gob.cu"], 83, 0.40, 0.1),
+    // --- The long tail (MTurk + whitelist countries of §4.2) ---
+    c!("is", "Iceland", ["gov.is"], 180, 0.95, 0.08),
+    c!("ad", "Andorra", ["govern.ad"], 203, 0.85, 0.03),
+    c!("mc", "Monaco", ["gouv.mc"], 212, 0.88, 0.02),
+    c!("li", "Liechtenstein", ["llv.li"], 217, 0.90, 0.02),
+    c!("mt", "Malta", ["gov.mt"], 174, 0.85, 0.08),
+    c!("cy", "Cyprus", ["gov.cy"], 160, 0.82, 0.1),
+    c!("lu", "Luxembourg", ["gouvernement.lu", "public.lu"], 168, 0.93, 0.08),
+    c!("al", "Albania", ["gov.al"], 140, 0.66, 0.12),
+    c!("mk", "North Macedonia", ["gov.mk"], 148, 0.68, 0.1),
+    c!("me", "Montenegro", ["gov.me"], 169, 0.70, 0.06),
+    c!("xk", "Kosovo", ["rks-gov.net"], 158, 0.62, 0.05),
+    c!("md", "Moldova", ["gov.md"], 136, 0.62, 0.1),
+    c!("by", "Belarus", ["gov.by"], 97, 0.68, 0.2),
+    c!("ge", "Georgia", ["gov.ge"], 132, 0.65, 0.12),
+    c!("am", "Armenia", ["gov.am"], 138, 0.65, 0.1),
+    c!("az", "Azerbaijan", ["gov.az"], 90, 0.62, 0.15),
+    c!("kz", "Kazakhstan", ["gov.kz"], 63, 0.68, 0.25),
+    c!("uz", "Uzbekistan", ["gov.uz"], 42, 0.55, 0.2),
+    c!("kg", "Kyrgyzstan", ["gov.kg"], 111, 0.48, 0.08),
+    c!("tj", "Tajikistan", ["gov.tj"], 92, 0.40, 0.06),
+    c!("tm", "Turkmenistan", ["gov.tm"], 115, 0.35, 0.04),
+    c!("mn", "Mongolia", ["gov.mn"], 134, 0.58, 0.1),
+    c!("np", "Nepal", ["gov.np"], 49, 0.42, 0.15),
+    c!("lk", "Sri Lanka", ["gov.lk"], 58, 0.58, 0.2),
+    c!("mm", "Myanmar", ["gov.mm"], 26, 0.35, 0.1),
+    c!("kh", "Cambodia", ["gov.kh"], 71, 0.42, 0.1),
+    c!("la", "Laos", ["gov.la"], 103, 0.40, 0.06),
+    c!("bt", "Bhutan", ["gov.bt"], 165, 0.50, 0.04),
+    c!("mv", "Maldives", ["gov.mv"], 175, 0.62, 0.05),
+    c!("bn", "Brunei", ["gov.bn"], 176, 0.72, 0.05),
+    c!("fj", "Fiji", ["gov.fj"], 161, 0.55, 0.05),
+    c!("pg", "Papua New Guinea", ["gov.pg"], 77, 0.30, 0.05),
+    c!("sb", "Solomon Islands", ["gov.sb"], 167, 0.30, 0.03),
+    c!("vu", "Vanuatu", ["gov.vu"], 181, 0.38, 0.03),
+    c!("to", "Tonga", ["gov.to"], 199, 0.45, 0.03),
+    c!("ws", "Samoa", ["gov.ws"], 188, 0.45, 0.03),
+    c!("ki", "Kiribati", ["gov.ki"], 190, 0.30, 0.02),
+    c!("nr", "Nauru", ["gov.nr"], 215, 0.35, 0.015),
+    c!("tv", "Tuvalu", ["gov.tv"], 216, 0.32, 0.015),
+    c!("pw", "Palau", ["gov.pw"], 213, 0.45, 0.015),
+    c!("nc", "New Caledonia", ["gouv.nc"], 183, 0.70, 0.04),
+    c!("pf", "French Polynesia", ["gov.pf"], 177, 0.68, 0.03),
+    c!("gl", "Greenland", [], 205, 0.82, 0.02),
+    c!("fk", "Falkland Islands", ["gov.fk"], 220, 0.75, 0.01),
+    c!("ky", "Cayman Islands", ["gov.ky"], 206, 0.80, 0.03),
+    c!("bm", "Bermuda", ["gov.bm"], 207, 0.82, 0.03),
+    c!("pr", "Puerto Rico", ["gov.pr"], 131, 0.70, 0.06),
+    c!("jm", "Jamaica", ["gov.jm"], 137, 0.60, 0.08),
+    c!("tt", "Trinidad and Tobago", ["gov.tt"], 151, 0.68, 0.08),
+    c!("bb", "Barbados", ["gov.bb"], 186, 0.70, 0.04),
+    c!("bs", "Bahamas", ["gov.bs"], 179, 0.70, 0.04),
+    c!("dm", "Dominica", ["gov.dm"], 204, 0.55, 0.04),
+    c!("gd", "Grenada", ["gov.gd"], 198, 0.55, 0.03),
+    c!("lc", "Saint Lucia", ["gov.lc"], 192, 0.58, 0.03),
+    c!("vc", "Saint Vincent", ["gov.vc"], 196, 0.55, 0.03),
+    c!("ag", "Antigua and Barbuda", ["gov.ag"], 201, 0.60, 0.03),
+    c!("kn", "Saint Kitts and Nevis", ["gov.kn"], 209, 0.60, 0.03),
+    c!("bz", "Belize", ["gov.bz"], 178, 0.52, 0.04),
+    c!("gy", "Guyana", ["gov.gy"], 164, 0.50, 0.04),
+    c!("sr", "Suriname", ["gov.sr"], 171, 0.52, 0.04),
+    c!("ht", "Haiti", ["gouv.ht"], 84, 0.30, 0.04),
+    c!("rw", "Rwanda", ["gov.rw"], 76, 0.45, 0.1),
+    c!("bi", "Burundi", ["gov.bi"], 78, 0.28, 0.04),
+    c!("mw", "Malawi", ["gov.mw"], 62, 0.30, 0.05),
+    c!("zm", "Zambia", ["gov.zm"], 65, 0.38, 0.08),
+    c!("zw", "Zimbabwe", ["gov.zw"], 74, 0.38, 0.08),
+    c!("mz", "Mozambique", ["gov.mz"], 46, 0.30, 0.06),
+    c!("bw", "Botswana", ["gov.bw"], 145, 0.55, 0.06),
+    c!("na", "Namibia", ["gov.na"], 144, 0.52, 0.06),
+    c!("sz", "Eswatini", ["gov.sz"], 159, 0.45, 0.03),
+    c!("ls", "Lesotho", ["gov.ls"], 149, 0.40, 0.03),
+    c!("mg", "Madagascar", ["gov.mg"], 53, 0.30, 0.05),
+    c!("mu", "Mauritius", ["govmu.org"], 156, 0.70, 0.06),
+    c!("sc", "Seychelles", ["gov.sc"], 197, 0.68, 0.03),
+    c!("km", "Comoros", ["gouv.km"], 163, 0.28, 0.015),
+    c!("dj", "Djibouti", ["gouv.dj"], 162, 0.35, 0.02),
+    c!("so", "Somalia", ["gov.so"], 70, 0.22, 0.02),
+    c!("er", "Eritrea", ["gov.er"], 125, 0.18, 0.01),
+    c!("ss", "South Sudan", ["gov.ss"], 82, 0.18, 0.01),
+    c!("sd", "Sudan", ["gov.sd"], 34, 0.30, 0.05),
+    c!("td", "Chad", ["gouv.td"], 72, 0.18, 0.015),
+    c!("ne", "Niger", ["gouv.ne"], 56, 0.18, 0.015),
+    c!("ml", "Mali", ["gouv.ml"], 60, 0.25, 0.03),
+    c!("bf", "Burkina Faso", ["gov.bf"], 59, 0.25, 0.03),
+    c!("mr", "Mauritania", ["gov.mr"], 130, 0.30, 0.02),
+    c!("gm", "Gambia", ["gov.gm"], 146, 0.32, 0.02),
+    c!("gn", "Guinea", ["gov.gn"], 75, 0.25, 0.02),
+    c!("gw", "Guinea-Bissau", ["gov.gw"], 153, 0.22, 0.01),
+    c!("sl", "Sierra Leone", ["gov.sl"], 102, 0.28, 0.03),
+    c!("lr", "Liberia", ["gov.lr"], 121, 0.28, 0.03),
+    c!("tg", "Togo", ["gouv.tg"], 100, 0.30, 0.02),
+    c!("bj", "Benin", ["gouv.bj"], 68, 0.32, 0.03),
+    c!("ga", "Gabon", [], 143, 0.42, 0.02),
+    c!("cg", "Republic of the Congo", ["gouv.cg"], 118, 0.30, 0.02),
+    c!("cd", "DR Congo", ["gouv.cd"], 16, 0.20, 0.03),
+    c!("cf", "Central African Republic", ["gouv.cf"], 120, 0.15, 0.01),
+    c!("gq", "Equatorial Guinea", ["gob.gq"], 154, 0.35, 0.01),
+    c!("st", "Sao Tome and Principe", ["gov.st"], 185, 0.35, 0.01),
+    c!("cv", "Cape Verde", ["gov.cv"], 172, 0.55, 0.03),
+    c!("ao", "Angola", ["gov.ao"], 44, 0.35, 0.04),
+    c!("eh", "Western Sahara", ["gov.eh"], 170, 0.20, 0.01),
+    c!("kp", "North Korea", ["gov.kp"], 54, 0.05, 0.01),
+    c!("af", "Afghanistan", ["gov.af"], 37, 0.25, 0.06),
+    c!("sy", "Syria", ["gov.sy"], 48, 0.35, 0.05),
+    c!("ye", "Yemen", ["gov.ye"], 88, 0.25, 0.03),
+    c!("ps", "Palestine", ["gov.ps"], 142, 0.50, 0.06),
+    c!("mo", "Macau", ["gov.mo"], 166, 0.85, 0.06),
+    c!("tl", "Timor-Leste", ["gov.tl"], 157, 0.35, 0.02),
+];
+
+impl Country {
+    /// Look up by ISO code (case-insensitive).
+    pub fn by_code(code: &str) -> Option<&'static Country> {
+        let code = code.to_ascii_lowercase();
+        COUNTRIES.iter().find(|c| c.code == code && c.host_weight > 0.0)
+    }
+
+    /// Whether this country appears only via the hand-curated whitelist
+    /// (no recognisable government suffix).
+    pub fn whitelist_only(&self) -> bool {
+        self.gov_suffixes.is_empty()
+    }
+}
+
+/// All countries that actually generate hosts (weight > 0).
+pub fn active_countries() -> impl Iterator<Item = &'static Country> {
+    COUNTRIES.iter().filter(|c| c.host_weight > 0.0)
+}
+
+/// Sum of all host weights (normalization denominator).
+pub fn total_weight() -> f64 {
+    active_countries().map(|c| c.host_weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<_> = active_countries().map(|c| c.code).collect();
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n);
+    }
+
+    #[test]
+    fn table_is_large_enough() {
+        assert!(active_countries().count() >= 150, "need a long tail");
+    }
+
+    #[test]
+    fn china_is_largest_slice() {
+        let max = active_countries()
+            .max_by(|a, b| a.host_weight.partial_cmp(&b.host_weight).unwrap())
+            .unwrap();
+        assert_eq!(max.code, "cn");
+    }
+
+    #[test]
+    fn usa_has_multiple_suffixes() {
+        let us = Country::by_code("US").unwrap();
+        assert!(us.gov_suffixes.contains(&"gov"));
+        assert!(us.gov_suffixes.contains(&"mil"));
+        assert!(us.gov_suffixes.contains(&"fed.us"));
+    }
+
+    #[test]
+    fn paper_conventions_present() {
+        assert!(Country::by_code("fr").unwrap().gov_suffixes.contains(&"gouv.fr"));
+        assert!(Country::by_code("mx").unwrap().gov_suffixes.contains(&"gob.mx"));
+        assert!(Country::by_code("kr").unwrap().gov_suffixes.contains(&"go.kr"));
+        assert!(Country::by_code("nz").unwrap().gov_suffixes.contains(&"govt.nz"));
+        assert!(Country::by_code("ch").unwrap().gov_suffixes.contains(&"admin.ch"));
+        assert!(Country::by_code("uy").unwrap().gov_suffixes.contains(&"gub.uy"));
+        assert!(Country::by_code("ad").unwrap().gov_suffixes.contains(&"govern.ad"));
+    }
+
+    #[test]
+    fn whitelist_only_countries() {
+        for code in ["de", "nl", "dk", "gl", "ga"] {
+            assert!(
+                Country::by_code(code).unwrap().whitelist_only(),
+                "{code} should be whitelist-only"
+            );
+        }
+        assert!(!Country::by_code("us").unwrap().whitelist_only());
+    }
+
+    #[test]
+    fn population_ranks_are_plausible() {
+        assert_eq!(Country::by_code("cn").unwrap().population_rank, 1);
+        assert!(Country::by_code("tv").unwrap().population_rank > 200);
+    }
+
+    #[test]
+    fn weights_are_positive_and_normalizable() {
+        assert!(total_weight() > 10.0);
+        for c in active_countries() {
+            assert!(c.host_weight > 0.0, "{}", c.code);
+            assert!((0.0..=1.0).contains(&c.tech), "{}", c.code);
+        }
+    }
+
+    #[test]
+    fn usa_to_korea_ratio_is_about_six() {
+        let us = Country::by_code("us").unwrap().host_weight;
+        let kr = Country::by_code("kr").unwrap().host_weight;
+        let ratio = us / kr;
+        assert!((4.0..9.0).contains(&ratio), "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Ground-truth record types for generated hosts.
+
+/// The behaviour a host was generated with. Ground truth only — the
+/// scanner never reads this; tests compare measured results against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Posture {
+    /// Serves content on port 80 only.
+    HttpOnly,
+    /// Serves valid https.
+    ValidHttps {
+        /// Also serves a 200 page over plain http without redirecting
+        /// (the paper's 4,126 "loads content on both" hosts).
+        serves_http_too: bool,
+        /// Sends a Strict-Transport-Security header.
+        hsts: bool,
+    },
+    /// Attempts https but presents an invalid certificate or a broken
+    /// TLS stack.
+    InvalidHttps {
+        /// The fault injected.
+        error: InjectedError,
+    },
+    /// Part of the unreachable pool (47,458 hosts in the paper): DNS
+    /// resolves nowhere or the server never answers.
+    Unreachable,
+}
+
+impl Posture {
+    /// Does this host attempt https at all?
+    pub fn attempts_https(&self) -> bool {
+        matches!(self, Posture::ValidHttps { .. } | Posture::InvalidHttps { .. })
+    }
+
+    /// Is the https configuration valid?
+    pub fn is_valid_https(&self) -> bool {
+        matches!(self, Posture::ValidHttps { .. })
+    }
+}
+
+/// The misconfiguration classes injected by the generator, mirroring the
+/// Table 2 error taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InjectedError {
+    /// Certificate does not cover the hostname (wildcard-scope misuse or
+    /// an unrelated certificate).
+    HostnameMismatch,
+    /// Chain misses its intermediate, or chains to an untrusted root.
+    UnableLocalIssuer,
+    /// Self-signed leaf.
+    SelfSigned,
+    /// Untrusted self-signed certificate inside the chain.
+    SelfSignedInChain,
+    /// Expired certificate.
+    Expired,
+    /// Server only speaks SSLv3 or older.
+    UnsupportedProtocol,
+    /// TCP connect to 443 times out.
+    Timeout,
+    /// TCP connect to 443 refused.
+    Refused,
+    /// Connection reset during the handshake.
+    Reset,
+    /// Non-TLS protocol on 443.
+    WrongVersion,
+    /// internal_error alert.
+    AlertInternal,
+    /// handshake_failure alert.
+    AlertHandshake,
+    /// protocol_version alert.
+    AlertProtoVersion,
+}
+
+impl InjectedError {
+    /// Every injected error class, in Table 2 order.
+    pub const ALL: [InjectedError; 13] = [
+        InjectedError::HostnameMismatch,
+        InjectedError::UnableLocalIssuer,
+        InjectedError::SelfSigned,
+        InjectedError::SelfSignedInChain,
+        InjectedError::Expired,
+        InjectedError::UnsupportedProtocol,
+        InjectedError::Timeout,
+        InjectedError::Refused,
+        InjectedError::Reset,
+        InjectedError::WrongVersion,
+        InjectedError::AlertInternal,
+        InjectedError::AlertHandshake,
+        InjectedError::AlertProtoVersion,
+    ];
+
+    /// Whether this error still delivers a certificate chain to the
+    /// client (certificate-level errors) as opposed to failing below the
+    /// certificate layer (the paper's "Exceptions" bucket).
+    pub fn delivers_chain(self) -> bool {
+        matches!(
+            self,
+            InjectedError::HostnameMismatch
+                | InjectedError::UnableLocalIssuer
+                | InjectedError::SelfSigned
+                | InjectedError::SelfSignedInChain
+                | InjectedError::Expired
+        )
+    }
+}
+
+/// Hosting attribution class (§5.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HostingClass {
+    /// A public cloud provider (AWS, Azure, GCP, IBM, Oracle, HPE).
+    Cloud(&'static str),
+    /// A CDN (Cloudflare; Akamai publishes no ranges and is excluded).
+    Cdn(&'static str),
+    /// Privately hosted or unknown.
+    Private,
+}
+
+impl HostingClass {
+    /// The coarse label used in Figures 5 and 6.
+    pub fn coarse(&self) -> &'static str {
+        match self {
+            HostingClass::Cloud(_) => "cloud",
+            HostingClass::Cdn(_) => "cdn",
+            HostingClass::Private => "private",
+        }
+    }
+
+    /// Provider name, if attributed.
+    pub fn provider(&self) -> Option<&'static str> {
+        match self {
+            HostingClass::Cloud(p) | HostingClass::Cdn(p) => Some(p),
+            HostingClass::Private => None,
+        }
+    }
+}
+
+/// Ground truth for one generated host.
+#[derive(Debug, Clone)]
+pub struct HostRecord {
+    /// Fully qualified hostname.
+    pub hostname: String,
+    /// ISO country code (lowercase).
+    pub country: &'static str,
+    /// Is this a government site?
+    pub is_gov: bool,
+    /// Generated behaviour.
+    pub posture: Posture,
+    /// Issuing CA label, when a certificate was provisioned.
+    pub issuer: Option<String>,
+    /// Hosting attribution.
+    pub hosting: HostingClass,
+    /// Rank in the simulated Tranco-like list, if listed.
+    pub tranco_rank: Option<u32>,
+    /// Whether the hostname appears in the seed top-million data (vs
+    /// discovered only by crawling / MTurk / whitelisting).
+    pub in_seed: bool,
+    /// USA GSA dataset tags (§6.1 / Table A.1), empty outside the USA.
+    pub gsa_datasets: Vec<crate::usa::UsaDataset>,
+    /// Listed in South Korea's Government24 portal (§6.2)?
+    pub in_rok_list: bool,
+    /// Publishes CAA records (§5.3.4)?
+    pub has_caa: bool,
+    /// Carries an EV certificate (§5.3, Figures A.2/A.3/A.6)?
+    pub is_ev: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posture_helpers() {
+        assert!(!Posture::HttpOnly.attempts_https());
+        assert!(Posture::ValidHttps { serves_http_too: false, hsts: false }.attempts_https());
+        assert!(Posture::ValidHttps { serves_http_too: true, hsts: true }.is_valid_https());
+        assert!(Posture::InvalidHttps { error: InjectedError::Expired }.attempts_https());
+        assert!(!Posture::InvalidHttps { error: InjectedError::Expired }.is_valid_https());
+        assert!(!Posture::Unreachable.attempts_https());
+    }
+
+    #[test]
+    fn chain_delivery_classification() {
+        assert!(InjectedError::HostnameMismatch.delivers_chain());
+        assert!(InjectedError::Expired.delivers_chain());
+        assert!(!InjectedError::UnsupportedProtocol.delivers_chain());
+        assert!(!InjectedError::Timeout.delivers_chain());
+        assert!(!InjectedError::WrongVersion.delivers_chain());
+    }
+
+    #[test]
+    fn hosting_labels() {
+        assert_eq!(HostingClass::Cloud("aws").coarse(), "cloud");
+        assert_eq!(HostingClass::Cdn("cloudflare").coarse(), "cdn");
+        assert_eq!(HostingClass::Private.coarse(), "private");
+        assert_eq!(HostingClass::Cloud("aws").provider(), Some("aws"));
+        assert_eq!(HostingClass::Private.provider(), None);
+    }
+}

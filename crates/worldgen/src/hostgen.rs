@@ -1,0 +1,219 @@
+//! Hostname generation: plausible government (and non-government)
+//! hostnames per country, following each country's domain convention.
+
+use rand::Rng;
+
+use crate::countries::Country;
+
+/// Department/function words used as labels (language-neutral mix).
+const DEPARTMENTS: &[&str] = &[
+    "health", "finance", "tax", "customs", "immigration", "interior", "justice", "police",
+    "defense", "education", "agriculture", "environment", "energy", "transport", "labor",
+    "commerce", "industry", "tourism", "culture", "sports", "science", "statistics", "census",
+    "elections", "parliament", "senate", "president", "pm", "cabinet", "treasury", "budget",
+    "planning", "housing", "water", "forestry", "fisheries", "mines", "telecom", "post",
+    "weather", "met", "geology", "survey", "lands", "registry", "courts", "prisons", "fire",
+    "emergency", "disaster", "redcross", "social", "welfare", "pension", "insurance", "veterans",
+    "youth", "women", "children", "seniors", "disability", "foreign", "embassy", "consulate",
+    "trade", "export", "investment", "sme", "bank", "audit", "procurement", "ethics", "ombudsman",
+    "archives", "library", "museum", "portal", "services", "eservices", "egov", "data", "opendata",
+    "maps", "gis", "news", "media", "press", "info", "mail", "intranet",
+];
+
+/// City/region flavor words for sub-national sites.
+const LOCALITIES: &[&str] = &[
+    "capital", "north", "south", "east", "west", "central", "metro", "riverside", "lakeside",
+    "highlands", "valley", "coastal", "upper", "lower", "port", "new", "old", "saint", "fort",
+    "mount", "grand",
+];
+
+/// Subdomain prefixes (www and service-style).
+const PREFIXES: &[&str] = &["www", "portal", "online", "my", "e", "apps", "secure", "services"];
+
+/// Generic second-level names for non-government hosts.
+const NONGOV_WORDS: &[&str] = &[
+    "shop", "news", "blog", "media", "cloud", "web", "online", "digital", "tech", "soft", "net",
+    "store", "market", "travel", "hotel", "food", "sport", "game", "music", "video", "photo",
+    "auto", "home", "life", "world", "daily", "express", "prime", "mega", "super", "smart",
+];
+
+/// Deterministic hostname generator for one country.
+pub struct HostnameGen {
+    suffixes: Vec<String>,
+    used: std::collections::HashSet<String>,
+    counter: u64,
+}
+
+impl HostnameGen {
+    /// Build for a country. Whitelist-only countries (no gov suffix) get
+    /// ministry-style names under the bare ccTLD (e.g. `bund-portal.de`).
+    pub fn new(country: &Country) -> Self {
+        let suffixes = if country.gov_suffixes.is_empty() {
+            vec![country.code.to_string()]
+        } else {
+            country.gov_suffixes.iter().map(|s| s.to_string()).collect()
+        };
+        HostnameGen {
+            suffixes,
+            used: std::collections::HashSet::new(),
+            counter: 0,
+        }
+    }
+
+    /// Generate the next unique government hostname.
+    pub fn next_gov(&mut self, rng: &mut impl Rng) -> String {
+        loop {
+            let suffix = &self.suffixes[rng.gen_range(0..self.suffixes.len())];
+            let dept = DEPARTMENTS[rng.gen_range(0..DEPARTMENTS.len())];
+            let name = match rng.gen_range(0..6) {
+                // www.health.gov.xx
+                0 | 1 => format!("www.{dept}.{suffix}"),
+                // health.gov.xx
+                2 => format!("{dept}.{suffix}"),
+                // portal.health.gov.xx
+                3 => {
+                    let p = PREFIXES[rng.gen_range(0..PREFIXES.len())];
+                    format!("{p}.{dept}.{suffix}")
+                }
+                // capital-health.gov.xx (sub-national)
+                4 => {
+                    let loc = LOCALITIES[rng.gen_range(0..LOCALITIES.len())];
+                    format!("{loc}-{dept}.{suffix}")
+                }
+                // riverside.gov.xx
+                _ => {
+                    let loc = LOCALITIES[rng.gen_range(0..LOCALITIES.len())];
+                    format!("{loc}.{suffix}")
+                }
+            };
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+            // Collision: disambiguate deterministically by numbering the
+            // leftmost label (keeps the government suffix intact).
+            self.counter += 1;
+            let c = self.counter;
+            let (first, rest) = name.split_once('.').expect("hostnames have dots");
+            let name = format!("{first}{c}.{rest}");
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+
+    /// Generate a unique non-government hostname under this ccTLD (or a
+    /// gTLD one-third of the time).
+    pub fn next_nongov(&mut self, rng: &mut impl Rng) -> String {
+        loop {
+            let word = NONGOV_WORDS[rng.gen_range(0..NONGOV_WORDS.len())];
+            let word2 = NONGOV_WORDS[rng.gen_range(0..NONGOV_WORDS.len())];
+            let tld = match rng.gen_range(0..3) {
+                0 => "com".to_string(),
+                1 => self.suffixes[0].split('.').next_back().unwrap_or("com").to_string(),
+                _ => ["net", "org", "info"][rng.gen_range(0..3)].to_string(),
+            };
+            self.counter += 1;
+            let c = self.counter;
+            let name = match rng.gen_range(0..3) {
+                0 => format!("www.{word}{word2}{c}.{tld}"),
+                1 => format!("{word}-{word2}{c}.{tld}"),
+                _ => format!("{word}{c}.{tld}"),
+            };
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+        }
+    }
+}
+
+/// The hostname of a phishing twin for `victim` (§7.3.2): the same name
+/// registered under a lookalike TLD, e.g. `eta.gov.lk` → `etagov.sl`.
+pub fn phishing_twin(victim: &str, lookalike_tld: &str) -> String {
+    let stem: String = victim
+        .trim_start_matches("www.")
+        .replace('.', "")
+        .chars()
+        .take(24)
+        .collect();
+    format!("{stem}.{lookalike_tld}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countries::Country;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gov_names_use_country_conventions() {
+        let fr = Country::by_code("fr").unwrap();
+        let mut g = HostnameGen::new(fr);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let name = g.next_gov(&mut rng);
+            assert!(name.ends_with(".gouv.fr"), "{name}");
+        }
+    }
+
+    #[test]
+    fn usa_names_span_all_suffixes() {
+        let us = Country::by_code("us").unwrap();
+        let mut g = HostnameGen::new(us);
+        let mut rng = StdRng::seed_from_u64(2);
+        let names: Vec<String> = (0..400).map(|_| g.next_gov(&mut rng)).collect();
+        assert!(names.iter().any(|n| n.ends_with(".gov")));
+        assert!(names.iter().any(|n| n.ends_with(".mil")));
+        assert!(names.iter().any(|n| n.ends_with(".fed.us")));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let bd = Country::by_code("bd").unwrap();
+        let mut g = HostnameGen::new(bd);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3000 {
+            assert!(seen.insert(g.next_gov(&mut rng)), "duplicate hostname");
+        }
+    }
+
+    #[test]
+    fn whitelist_country_uses_bare_cctld() {
+        let de = Country::by_code("de").unwrap();
+        let mut g = HostnameGen::new(de);
+        let mut rng = StdRng::seed_from_u64(4);
+        let name = g.next_gov(&mut rng);
+        assert!(name.ends_with(".de"), "{name}");
+    }
+
+    #[test]
+    fn nongov_names_avoid_gov_suffixes() {
+        let gb = Country::by_code("gb").unwrap();
+        let mut g = HostnameGen::new(gb);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let name = g.next_nongov(&mut rng);
+            assert!(!name.contains(".gov."), "{name}");
+            assert!(!name.ends_with(".gov"), "{name}");
+        }
+    }
+
+    #[test]
+    fn phishing_twin_shape() {
+        assert_eq!(phishing_twin("eta.gov.lk", "sl"), "etagovlk.sl");
+        assert_eq!(phishing_twin("www.tax.gov.us", "co"), "taxgovus.co");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let kr = Country::by_code("kr").unwrap();
+        let mut a = HostnameGen::new(kr);
+        let mut b = HostnameGen::new(kr);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_gov(&mut ra), b.next_gov(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Hosting-provider assignment: CIDR pools shaped like the published
+//! provider ranges, and the cloud/CDN/private split of §5.4.
+
+use std::net::Ipv4Addr;
+
+use govscan_net::{Cidr, CidrTable};
+use rand::Rng;
+
+use crate::cadb::weighted_pick;
+use crate::host::HostingClass;
+
+/// One provider's published ranges.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    /// Short name ("aws", "azure", …).
+    pub name: &'static str,
+    /// Is this a CDN rather than a general cloud?
+    pub is_cdn: bool,
+    /// Representative CIDR blocks (shaped like the real published lists).
+    pub cidrs: Vec<Cidr>,
+}
+
+fn cidrs(specs: &[&str]) -> Vec<Cidr> {
+    specs.iter().map(|s| Cidr::parse(s).expect("static CIDR")).collect()
+}
+
+/// The providers the paper attributed (Akamai publishes no ranges and is
+/// excluded, §5.4).
+pub fn providers() -> Vec<Provider> {
+    vec![
+        Provider {
+            name: "aws",
+            is_cdn: false,
+            cidrs: cidrs(&["3.0.0.0/9", "13.32.0.0/15", "18.128.0.0/9", "52.0.0.0/10", "54.64.0.0/11"]),
+        },
+        Provider {
+            name: "azure",
+            is_cdn: false,
+            cidrs: cidrs(&["13.64.0.0/11", "20.33.0.0/16", "40.64.0.0/10", "52.224.0.0/11"]),
+        },
+        Provider {
+            name: "gcp",
+            is_cdn: false,
+            cidrs: cidrs(&["34.64.0.0/10", "35.184.0.0/13", "104.154.0.0/15"]),
+        },
+        Provider {
+            name: "cloudflare",
+            is_cdn: true,
+            cidrs: cidrs(&["104.16.0.0/13", "172.64.0.0/13", "198.41.128.0/17"]),
+        },
+        Provider {
+            name: "ibm",
+            is_cdn: false,
+            cidrs: cidrs(&["169.44.0.0/14", "158.85.0.0/16"]),
+        },
+        Provider {
+            name: "oracle",
+            is_cdn: false,
+            cidrs: cidrs(&["129.146.0.0/16", "132.145.0.0/16"]),
+        },
+        Provider {
+            name: "hpe",
+            is_cdn: false,
+            cidrs: cidrs(&["15.0.0.0/10", "16.0.0.0/12"]),
+        },
+    ]
+}
+
+/// Build the provider lookup table the scanner uses for attribution.
+pub fn provider_table() -> CidrTable<(&'static str, bool)> {
+    let mut table = CidrTable::new();
+    for p in providers() {
+        for c in &p.cidrs {
+            table.insert(*c, (p.name, p.is_cdn));
+        }
+    }
+    table
+}
+
+/// Private/unknown address space used for self-hosted sites (kept
+/// disjoint from every provider block).
+const PRIVATE_BLOCKS: &[&str] = &[
+    "61.0.0.0/10", "80.0.0.0/9", "90.0.0.0/10", "110.0.0.0/9", "150.0.0.0/10",
+    "163.0.0.0/10", "185.0.0.0/10", "190.0.0.0/10", "200.0.0.0/9", "210.0.0.0/10",
+];
+
+/// Assigns hosting classes and IP addresses.
+pub struct HostingAssigner {
+    providers: Vec<Provider>,
+    private: Vec<Cidr>,
+    counter: u64,
+}
+
+impl Default for HostingAssigner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostingAssigner {
+    /// Build with the standard provider set.
+    pub fn new() -> Self {
+        HostingAssigner {
+            providers: providers(),
+            private: cidrs(PRIVATE_BLOCKS),
+            counter: 0,
+        }
+    }
+
+    /// Sample a hosting class for a government host. `cloud_share` is the
+    /// probability of being cloud/CDN-hosted (the paper: ~13% for the
+    /// USA, 0.21% for South Korea, ~10% worldwide; non-government top
+    /// sites are far higher).
+    pub fn sample_class(&self, rng: &mut impl Rng, cloud_share: f64) -> HostingClass {
+        if rng.gen::<f64>() >= cloud_share {
+            return HostingClass::Private;
+        }
+        // AWS ≈ 3.5× Cloudflare; Azure and GCP follow (§6.1.2).
+        let weights = [7.0, 2.5, 2.0, 2.0, 0.5, 0.4, 0.3];
+        let idx = weighted_pick(rng, &weights);
+        let p = &self.providers[idx];
+        if p.is_cdn {
+            HostingClass::Cdn(p.name)
+        } else {
+            HostingClass::Cloud(p.name)
+        }
+    }
+
+    /// Allocate a fresh IP consistent with the hosting class.
+    pub fn allocate_ip(&mut self, rng: &mut impl Rng, class: &HostingClass) -> Ipv4Addr {
+        self.counter += 1;
+        match class {
+            HostingClass::Cloud(name) | HostingClass::Cdn(name) => {
+                let p = self
+                    .providers
+                    .iter()
+                    .find(|p| p.name == *name)
+                    .expect("known provider");
+                let block = &p.cidrs[rng.gen_range(0..p.cidrs.len())];
+                block.addr_at(self.counter.wrapping_mul(2654435761))
+            }
+            HostingClass::Private => {
+                let block = &self.private[rng.gen_range(0..self.private.len())];
+                block.addr_at(self.counter.wrapping_mul(2654435761))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn provider_table_attributes_correctly() {
+        let table = provider_table();
+        assert_eq!(
+            table.lookup("13.33.1.1".parse().unwrap()),
+            Some(&("aws", false))
+        );
+        assert_eq!(
+            table.lookup("104.17.0.1".parse().unwrap()),
+            Some(&("cloudflare", true))
+        );
+        assert_eq!(table.lookup("8.8.8.8".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn private_blocks_do_not_overlap_providers() {
+        let table = provider_table();
+        for spec in PRIVATE_BLOCKS {
+            let block = Cidr::parse(spec).unwrap();
+            for n in [0u64, 1, 1000, 99_999] {
+                let addr = block.addr_at(n);
+                assert_eq!(table.lookup(addr), None, "{addr} leaked into a provider");
+            }
+        }
+    }
+
+    #[test]
+    fn allocated_ips_match_class() {
+        let mut assigner = HostingAssigner::new();
+        let table = provider_table();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let class = assigner.sample_class(&mut rng, 0.5);
+            let ip = assigner.allocate_ip(&mut rng, &class);
+            match &class {
+                HostingClass::Private => assert_eq!(table.lookup(ip), None),
+                HostingClass::Cloud(name) => {
+                    assert_eq!(table.lookup(ip).map(|(n, _)| *n), Some(*name))
+                }
+                HostingClass::Cdn(name) => {
+                    let hit = table.lookup(ip).unwrap();
+                    assert_eq!(hit.0, *name);
+                    assert!(hit.1, "cdn flag");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cloud_share_controls_split() {
+        let assigner = HostingAssigner::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cloud = 0;
+        for _ in 0..10_000 {
+            if assigner.sample_class(&mut rng, 0.13) != HostingClass::Private {
+                cloud += 1;
+            }
+        }
+        let share = cloud as f64 / 10_000.0;
+        assert!((share - 0.13).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn aws_dominates_cloud_choices() {
+        let assigner = HostingAssigner::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut aws = 0;
+        let mut cf = 0;
+        for _ in 0..20_000 {
+            match assigner.sample_class(&mut rng, 1.0) {
+                HostingClass::Cloud("aws") => aws += 1,
+                HostingClass::Cdn("cloudflare") => cf += 1,
+                _ => {}
+            }
+        }
+        let ratio = aws as f64 / cf as f64;
+        assert!((2.0..6.0).contains(&ratio), "aws/cloudflare ratio {ratio}");
+    }
+}

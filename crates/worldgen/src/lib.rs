@@ -1,0 +1,43 @@
+//! # govscan-worldgen
+//!
+//! The synthetic-Internet generator. It builds a [`World`]: a
+//! [`govscan_net::SimNet`] populated with government (and non-government)
+//! web hosts whose behaviour distributions are calibrated to the numbers
+//! published in the IMC 2020 study — §5's Table 2 error taxonomy, Figure
+//! 2's CA market shares, Figure 4's key/algorithm joint distribution,
+//! §5.3.3's key-reuse pathologies, §5.4's hosting mix, the USA GSA and
+//! South-Korea Government24 case-study lists, the unreachable-host pool
+//! used by the §7.2.2 re-scan, and the ranking lists of Table 1.
+//!
+//! Every host is generated from a seeded RNG: the same
+//! [`WorldConfig::seed`] reproduces the same Internet byte for byte.
+//! [`WorldConfig::scale`] scales all population counts, so tests run on a
+//! ~1% world while the reproduction binaries run at paper scale.
+//!
+//! The generator records its *intent* for every host in a
+//! [`host::HostRecord`] (ground truth). The scanner never reads ground
+//! truth — it measures the simulated wire behaviour — which is what makes
+//! the downstream analysis a real measurement rather than a tautology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cadb;
+pub mod config;
+pub mod countries;
+pub mod host;
+pub mod hostgen;
+pub mod hosting;
+pub mod posture;
+pub mod rankings;
+pub mod rok;
+pub mod usa;
+pub mod webgraph;
+pub mod world;
+
+pub use cadb::{CaDb, CaProfile};
+pub use config::WorldConfig;
+pub use countries::{Country, COUNTRIES};
+pub use host::{HostRecord, HostingClass, InjectedError, Posture};
+pub use rankings::{RankingEntry, RankingList};
+pub use world::World;

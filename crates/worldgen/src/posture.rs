@@ -1,0 +1,425 @@
+//! Posture sampling: who serves https, how valid it is, and which error
+//! class an invalid host exhibits — calibrated to Table 2, with
+//! per-country modifiers (Figure 1) and the paper's explicit China, USA
+//! and South-Korea overrides.
+
+use rand::Rng;
+
+use crate::cadb::weighted_pick;
+use crate::countries::Country;
+use crate::host::{InjectedError, Posture};
+use govscan_crypto::{KeyAlgorithm, SignatureAlgorithm};
+
+/// Per-country sampling rates.
+#[derive(Debug, Clone)]
+pub struct PostureRates {
+    /// P(host is reachable at all).
+    pub availability: f64,
+    /// P(serves https | available) — paper worldwide: 0.3933.
+    pub https_rate: f64,
+    /// P(valid | https) — paper worldwide: 0.7141.
+    pub valid_rate: f64,
+    /// P(also serves plain-http 200 | valid) — 4,126 / 38,033.
+    pub both_rate: f64,
+    /// P(sends HSTS | valid).
+    pub hsts_rate: f64,
+    /// Error mix over [`InjectedError::ALL`] (unnormalized weights).
+    pub error_mix: [f64; 13],
+}
+
+/// Table 2 error counts, in [`InjectedError::ALL`] order. "Others" (102)
+/// is folded into hostname mismatch.
+pub const WORLD_ERROR_MIX: [f64; 13] = [
+    5673.0, // hostname mismatch (5,571 + 102 others)
+    3732.0, // unable to get local issuer
+    2014.0, // self-signed
+    347.0,  // self-signed in chain
+    838.0,  // expired
+    1929.0, // unsupported SSL protocol
+    378.0,  // timed out
+    135.0,  // connection refused
+    141.0,  // connection reset
+    11.0,   // wrong SSL version number
+    9.0,    // TLSv1 alert internal error
+    7.0,    // SSLv3 alert handshake failure
+    8.0,    // TLSv1 alert internal protocol version
+];
+
+impl PostureRates {
+    /// Worldwide base rates (Table 2 marginals).
+    pub fn world() -> Self {
+        PostureRates {
+            availability: 0.74, // 135,408 reachable of 135,408+47,458
+            https_rate: 0.3933,
+            valid_rate: 0.7141,
+            both_rate: 4126.0 / 38033.0,
+            hsts_rate: 0.25,
+            error_mix: WORLD_ERROR_MIX,
+        }
+    }
+
+    /// Rates for a country: the worldwide base shifted by the country's
+    /// technology index (reproducing Figure 1's gradients), with explicit
+    /// overrides for the countries the paper reports numbers for.
+    pub fn for_country(country: &Country) -> Self {
+        let mut rates = Self::world();
+        let t = country.tech;
+        // Technology shifts around the weighted world mean (~0.6).
+        let shift = t - 0.6;
+        rates.availability = (0.76 + 0.45 * shift).clamp(0.30, 0.98);
+        // The https pivot sits above the raw tech mean because
+        // availability weighting and the cloud boost both push the
+        // *measured* population toward higher-tech, higher-https hosts;
+        // pivoting at 0.86 lands the worldwide aggregate on Table 2's
+        // 39.33%.
+        rates.https_rate = (0.3933 + 0.55 * (t - 0.86)).clamp(0.04, 0.92);
+        rates.valid_rate = (0.7141 + 0.50 * shift).clamp(0.08, 0.97);
+        rates.hsts_rate = (0.25 + 0.5 * shift).clamp(0.0, 0.8);
+
+        match country.code {
+            // §7.1.2: China — ~50% reachable, 58% https-attempting among
+            // reachable (13,080 of 22,487), but only 11% of https valid;
+            // errors dominated by hostname mismatch (60.1%) and local
+            // issuer (16.23%).
+            "cn" => {
+                rates.availability = 0.50;
+                rates.https_rate = 0.58;
+                rates.valid_rate = 0.11;
+                rates.error_mix = [
+                    6010.0, // mismatch 60.1%
+                    1623.0, // local issuer 16.23%
+                    968.0,  // self-signed 9.68%
+                    40.0,   // chain 0.4%
+                    256.0,  // expired 2.56%
+                    800.0,  // exceptions spread
+                    150.0, 60.0, 60.0, 5.0, 4.0, 3.0, 3.0,
+                ];
+            }
+            // §6.1: the USA's worldwide-list slice — 18.45% no https,
+            // 81%+ of https-attempting sites valid.
+            "us" => {
+                rates.availability = 0.93;
+                rates.https_rate = 0.815;
+                rates.valid_rate = 0.83;
+                rates.hsts_rate = 0.45;
+            }
+            // §6.2/6.3: South Korea — many NPKI chains (local-issuer
+            // errors), self-signed-in-chain 5.95%, and a fat exception
+            // bucket (21.08% of invalidity).
+            "kr" => {
+                rates.https_rate = 0.63;
+                rates.valid_rate = 0.38;
+                rates.error_mix = [
+                    2529.0, // mismatch
+                    2126.0, // local issuer (NPKI)
+                    21.0,   // self-signed
+                    818.0,  // self-signed in chain
+                    23.0,   // expired
+                    2500.0, // unsupported protocol (exceptions are 21%)
+                    25.0, 97.0, 120.0, 40.0, 40.0, 40.0, 21.0,
+                ];
+            }
+            _ => {}
+        }
+        rates
+    }
+
+    /// Sample a posture.
+    pub fn sample(&self, rng: &mut impl Rng) -> Posture {
+        if rng.gen::<f64>() >= self.availability {
+            return Posture::Unreachable;
+        }
+        if rng.gen::<f64>() >= self.https_rate {
+            return Posture::HttpOnly;
+        }
+        if rng.gen::<f64>() < self.valid_rate {
+            Posture::ValidHttps {
+                serves_http_too: rng.gen::<f64>() < self.both_rate,
+                hsts: rng.gen::<f64>() < self.hsts_rate,
+            }
+        } else {
+            let idx = weighted_pick(rng, &self.error_mix);
+            Posture::InvalidHttps {
+                error: InjectedError::ALL[idx],
+            }
+        }
+    }
+}
+
+/// §5.4: platforms that terminate TLS for their customers push hosts
+/// toward valid https — cloud/CDN-hosted government sites measure ~60%
+/// valid against ~30% for private hosting. Given a sampled posture,
+/// upgrade it with the platform effect when the host is cloud-hosted.
+pub fn apply_cloud_boost(
+    rng: &mut impl Rng,
+    posture: crate::host::Posture,
+    is_cloud: bool,
+) -> crate::host::Posture {
+    use crate::host::Posture;
+    if !is_cloud {
+        return posture;
+    }
+    match posture {
+        Posture::HttpOnly | Posture::InvalidHttps { .. } if rng.gen::<f64>() < 0.55 => {
+            Posture::ValidHttps {
+                serves_http_too: rng.gen::<f64>() < 0.1,
+                hsts: rng.gen::<f64>() < 0.6,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Sample a host public-key algorithm conditioned on intended validity
+/// (Figure 4: EC keys correlate with validity; 1024-bit RSA and the odd
+/// 3248/8192-bit sizes concentrate among invalid certificates).
+pub fn sample_key_algorithm(rng: &mut impl Rng, valid: bool) -> KeyAlgorithm {
+    const KEYS: [KeyAlgorithm; 8] = [
+        KeyAlgorithm::Rsa(2048),
+        KeyAlgorithm::Rsa(4096),
+        KeyAlgorithm::Ec(256),
+        KeyAlgorithm::Ec(384),
+        KeyAlgorithm::Rsa(1024),
+        KeyAlgorithm::Rsa(3248),
+        KeyAlgorithm::Rsa(8192),
+        KeyAlgorithm::Ec(521),
+    ];
+    let weights: [f64; 8] = if valid {
+        [60.0, 12.0, 18.0, 3.5, 0.2, 0.05, 0.05, 0.2]
+    } else {
+        [62.0, 14.0, 5.0, 0.8, 3.0, 1.2, 0.8, 0.1]
+    };
+    KEYS[weighted_pick(rng, &weights)]
+}
+
+/// With small probability, a host's certificate is signed with a legacy
+/// hash (920 of ~50k hosts use MD5/SHA-1 signatures, §5.3.2); these
+/// concentrate among self-signed and expired certificates.
+pub fn legacy_signature_override(
+    rng: &mut impl Rng,
+    error: Option<InjectedError>,
+    key: KeyAlgorithm,
+) -> Option<SignatureAlgorithm> {
+    if key.is_ec() {
+        return None; // legacy hashes pair with RSA in the wild
+    }
+    let p = match error {
+        Some(InjectedError::SelfSigned) | Some(InjectedError::SelfSignedInChain) => 0.30,
+        Some(InjectedError::Expired) => 0.20,
+        Some(_) => 0.02,
+        None => 0.004,
+    };
+    if rng.gen::<f64>() < p {
+        Some(if rng.gen::<f64>() < 0.25 {
+            SignatureAlgorithm::Md5WithRsa
+        } else {
+            SignatureAlgorithm::Sha1WithRsa
+        })
+    } else {
+        None
+    }
+}
+
+/// §5.3.1: sample an (issue date, validity days) pair. Valid certificates
+/// cluster in recent, CA/B-compliant windows; invalid ones spread over
+/// decade-plus durations, often in multiples of 365, with outliers at
+/// 10/20/30/50/100 years and one Unix-epoch issue date.
+pub fn sample_validity_window(
+    rng: &mut impl Rng,
+    valid: bool,
+    scan: govscan_asn1::Time,
+    expired: bool,
+) -> (govscan_asn1::Time, i64) {
+    if valid {
+        // Issued in the ~20 months before the scan, duration 90–825 days,
+        // still covering the scan date.
+        let durations = [90i64, 90, 90, 365, 365, 730, 825];
+        let days = durations[rng.gen_range(0..durations.len())];
+        let max_age = (days - 7).max(8); // must still be valid at scan
+        let age = rng.gen_range(1..max_age);
+        (scan.plus_days(-age), days)
+    } else if expired {
+        // Expired before the scan: issued long ago.
+        let days = [90i64, 365, 365, 730, 1095][rng.gen_range(0..5)];
+        let gap = rng.gen_range(10..700); // days since expiry
+        (scan.plus_days(-(days + gap)), days)
+    } else {
+        // Invalid-but-unexpired: wide duration spread (§5.3.1).
+        let roll = rng.gen::<f64>();
+        let days = if roll < 0.36 {
+            // under 2 years (§5.3.1: only 32% of invalid; 36% here because
+            // the expired class below also contributes short windows)
+            [90i64, 180, 365, 397, 500, 730][rng.gen_range(0..6)]
+        } else if roll < 0.58 {
+            365 * rng.gen_range(2..=5) // multiples of 365
+        } else if roll < 0.90 {
+            rng.gen_range(800..3650)
+        } else if roll < 0.95 {
+            3650 // ten years (paper: 617 of ~12k)
+        } else if roll < 0.985 {
+            7300 // twenty years
+        } else if roll < 0.997 {
+            10950 // thirty years
+        } else {
+            36500 // one hundred years
+        };
+        let age = rng.gen_range(1..(days.min(1500)));
+        (scan.plus_days(-age), days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countries;
+    use govscan_asn1::Time;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scan() -> Time {
+        Time::from_ymd(2020, 4, 22)
+    }
+
+    fn tally(rates: &PostureRates, n: usize, seed: u64) -> (usize, usize, usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut unreachable, mut http_only, mut valid, mut invalid) = (0, 0, 0, 0);
+        for _ in 0..n {
+            match rates.sample(&mut rng) {
+                Posture::Unreachable => unreachable += 1,
+                Posture::HttpOnly => http_only += 1,
+                Posture::ValidHttps { .. } => valid += 1,
+                Posture::InvalidHttps { .. } => invalid += 1,
+            }
+        }
+        (unreachable, http_only, valid, invalid)
+    }
+
+    #[test]
+    fn world_rates_match_table2() {
+        let rates = PostureRates::world();
+        let (_, http_only, valid, invalid) = tally(&rates, 40_000, 1);
+        let reachable = (http_only + valid + invalid) as f64;
+        let https = (valid + invalid) as f64;
+        let https_rate = https / reachable;
+        assert!((https_rate - 0.3933).abs() < 0.02, "https rate {https_rate}");
+        let valid_rate = valid as f64 / https;
+        assert!((valid_rate - 0.7141).abs() < 0.03, "valid rate {valid_rate}");
+    }
+
+    #[test]
+    fn china_overrides_apply() {
+        let cn = countries::Country::by_code("cn").unwrap();
+        let rates = PostureRates::for_country(cn);
+        assert!((rates.availability - 0.5).abs() < 1e-9);
+        assert!((rates.valid_rate - 0.11).abs() < 1e-9);
+        let (unreachable, _, valid, invalid) = tally(&rates, 20_000, 2);
+        assert!(unreachable > 9_000, "about half unreachable: {unreachable}");
+        let vr = valid as f64 / (valid + invalid) as f64;
+        assert!((vr - 0.11).abs() < 0.03, "china valid rate {vr}");
+    }
+
+    #[test]
+    fn tech_gradient_orders_countries() {
+        let high = PostureRates::for_country(countries::Country::by_code("no").unwrap());
+        let low = PostureRates::for_country(countries::Country::by_code("td").unwrap());
+        assert!(high.https_rate > low.https_rate + 0.2);
+        assert!(high.valid_rate > low.valid_rate + 0.2);
+        assert!(high.availability > low.availability);
+    }
+
+    #[test]
+    fn error_mix_is_dominated_by_hostname_mismatch() {
+        let rates = PostureRates::world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mismatch = 0;
+        let mut total = 0;
+        for _ in 0..60_000 {
+            if let Posture::InvalidHttps { error } = rates.sample(&mut rng) {
+                total += 1;
+                if error == InjectedError::HostnameMismatch {
+                    mismatch += 1;
+                }
+            }
+        }
+        let share = mismatch as f64 / total as f64;
+        assert!((share - 0.373).abs() < 0.05, "mismatch share {share}");
+    }
+
+    #[test]
+    fn key_sampling_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ec_valid = 0;
+        let mut ec_invalid = 0;
+        let mut weak_invalid = 0;
+        for _ in 0..20_000 {
+            if sample_key_algorithm(&mut rng, true).is_ec() {
+                ec_valid += 1;
+            }
+            let k = sample_key_algorithm(&mut rng, false);
+            if k.is_ec() {
+                ec_invalid += 1;
+            }
+            if k.is_weak() {
+                weak_invalid += 1;
+            }
+        }
+        assert!(ec_valid > ec_invalid * 2, "EC correlates with validity");
+        assert!(weak_invalid > 200, "1024-bit RSA appears among invalid");
+    }
+
+    #[test]
+    fn legacy_signatures_concentrate_in_self_signed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut selfsigned = 0;
+        let mut valid = 0;
+        for _ in 0..20_000 {
+            if legacy_signature_override(
+                &mut rng,
+                Some(InjectedError::SelfSigned),
+                KeyAlgorithm::Rsa(2048),
+            )
+            .is_some()
+            {
+                selfsigned += 1;
+            }
+            if legacy_signature_override(&mut rng, None, KeyAlgorithm::Rsa(2048)).is_some() {
+                valid += 1;
+            }
+        }
+        assert!(selfsigned > valid * 10);
+        // EC keys never take legacy hashes.
+        assert!(legacy_signature_override(
+            &mut rng,
+            Some(InjectedError::SelfSigned),
+            KeyAlgorithm::Ec(256)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn validity_windows_respect_intent() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2000 {
+            let (start, days) = sample_validity_window(&mut rng, true, scan(), false);
+            let end = start.plus_days(days);
+            assert!(start <= scan() && scan() <= end, "valid cert covers scan");
+            assert!(days <= 825, "CA/B-compliant duration");
+
+            let (start, days) = sample_validity_window(&mut rng, false, scan(), true);
+            assert!(start.plus_days(days) < scan(), "expired before scan");
+        }
+    }
+
+    #[test]
+    fn invalid_durations_have_long_tail() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut over_10y = 0;
+        for _ in 0..3000 {
+            let (_, days) = sample_validity_window(&mut rng, false, scan(), false);
+            if days >= 3650 {
+                over_10y += 1;
+            }
+        }
+        assert!(over_10y > 50, "decade-plus certificates occur: {over_10y}");
+    }
+}

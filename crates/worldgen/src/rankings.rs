@@ -1,0 +1,239 @@
+//! Ranking lists (Tranco-, Majestic-, Cisco-like) with the government
+//! overlap profile of Table 1.
+//!
+//! A list logically contains `size` ranked entries, but only the rows the
+//! study can ever touch are stored: every government entry, plus
+//! non-government entries materialized (instantiated as dialable hosts)
+//! at a configured rate for the §5.5 comparison samplers. Unmaterialized
+//! rows would never be dialled, so they exist only as counts.
+
+use rand::Rng;
+
+/// One stored row of a ranking list.
+#[derive(Debug, Clone)]
+pub struct RankingEntry {
+    /// 1-based rank.
+    pub rank: u32,
+    /// Hostname.
+    pub hostname: String,
+    /// Is this a government hostname?
+    pub is_gov: bool,
+}
+
+/// A ranking list.
+#[derive(Debug, Clone)]
+pub struct RankingList {
+    /// List name ("tranco", "majestic", "cisco").
+    pub name: &'static str,
+    /// Logical size (e.g. one million).
+    pub size: u32,
+    /// Stored rows: all government entries + materialized non-government
+    /// entries, sorted by rank.
+    pub entries: Vec<RankingEntry>,
+}
+
+impl RankingList {
+    /// Count government entries with rank ≤ `threshold` (Table 1 cells).
+    pub fn gov_in_top(&self, threshold: u32) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.is_gov && e.rank <= threshold)
+            .count()
+    }
+
+    /// All government rows.
+    pub fn gov_entries(&self) -> impl Iterator<Item = &RankingEntry> {
+        self.entries.iter().filter(|e| e.is_gov)
+    }
+
+    /// All stored non-government rows (the materialized pool).
+    pub fn nongov_entries(&self) -> impl Iterator<Item = &RankingEntry> {
+        self.entries.iter().filter(|e| !e.is_gov)
+    }
+
+    /// Rank of a hostname, if listed.
+    pub fn rank_of(&self, hostname: &str) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|e| e.hostname == hostname)
+            .map(|e| e.rank)
+    }
+}
+
+/// Government-entry counts at the four Table 1 thresholds
+/// (top size/1000, size/100, size/10, size).
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapProfile {
+    /// Counts at each threshold, cumulative.
+    pub at: [u32; 4],
+}
+
+/// Table 1, paper scale (top 1K / 10K / 100K / 1M):
+/// Majestic 56/508/2538/12445, Cisco 0/14/433/9296, Tranco 30/373/2351/12293.
+pub const TRANCO_OVERLAP: OverlapProfile = OverlapProfile { at: [30, 373, 2351, 12293] };
+/// Majestic million overlap.
+pub const MAJESTIC_OVERLAP: OverlapProfile = OverlapProfile { at: [56, 508, 2538, 12445] };
+/// Cisco (Umbrella) million overlap.
+pub const CISCO_OVERLAP: OverlapProfile = OverlapProfile { at: [0, 14, 433, 9296] };
+
+/// Build a ranking list.
+///
+/// - `gov_pool`: government hostnames eligible for ranking; the first
+///   `overlap.at[3] (scaled)` of them get ranks (the pool is assumed
+///   pre-shuffled by the caller).
+/// - `scale`: multiplies the overlap counts (the list `size` is given
+///   already scaled).
+/// - `nongov`: generator for materialized non-government rows, called
+///   with a uniformly chosen rank.
+pub fn build_list(
+    rng: &mut impl Rng,
+    name: &'static str,
+    size: u32,
+    overlap: OverlapProfile,
+    scale: f64,
+    gov_pool: &[String],
+    materialize_rate: f64,
+    mut nongov: impl FnMut(&mut dyn rand::RngCore) -> String,
+) -> RankingList {
+    let scaled = |c: u32| -> u32 {
+        let s = (c as f64 * scale).round() as u32;
+        if c > 0 && s == 0 {
+            1
+        } else {
+            s
+        }
+    };
+    // Band boundaries: (0, size/1000], (size/1000, size/100], ...
+    let bounds = [size / 1000, size / 100, size / 10, size];
+    let cumulative = overlap.at.map(scaled);
+    let mut entries = Vec::new();
+    let mut pool_iter = gov_pool.iter();
+    let mut prev_bound = 0u32;
+    let mut prev_cum = 0u32;
+    let mut used_ranks = std::collections::HashSet::new();
+    for (i, &bound) in bounds.iter().enumerate() {
+        let want = cumulative[i].saturating_sub(prev_cum);
+        let lo = prev_bound + 1;
+        let hi = bound.max(lo);
+        for _ in 0..want {
+            let Some(host) = pool_iter.next() else { break };
+            // Draw a unique rank inside the band.
+            let rank = loop {
+                let r = rng.gen_range(lo..=hi);
+                if used_ranks.insert(r) {
+                    break r;
+                }
+                if used_ranks.len() as u32 >= hi - lo + 1 {
+                    break hi; // band saturated (tiny test worlds)
+                }
+            };
+            entries.push(RankingEntry {
+                rank,
+                hostname: host.clone(),
+                is_gov: true,
+            });
+        }
+        prev_bound = bound;
+        prev_cum = cumulative[i];
+    }
+    // Materialized non-government rows, uniform over the whole list.
+    let nongov_count = ((size as f64) * materialize_rate).round() as u32;
+    for _ in 0..nongov_count {
+        let rank = loop {
+            let r = rng.gen_range(1..=size);
+            if used_ranks.insert(r) {
+                break r;
+            }
+        };
+        entries.push(RankingEntry {
+            rank,
+            hostname: nongov(rng),
+            is_gov: false,
+        });
+    }
+    entries.sort_by_key(|e| e.rank);
+    RankingList { name, size, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gov_pool(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("agency{i}.gov.xx")).collect()
+    }
+
+    fn build(seed: u64, size: u32, overlap: OverlapProfile, scale: f64) -> RankingList {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = 0u64;
+        build_list(
+            &mut rng,
+            "tranco",
+            size,
+            overlap,
+            scale,
+            &gov_pool(20_000),
+            0.04,
+            move |_| {
+                c += 1;
+                format!("site{c}.com")
+            },
+        )
+    }
+
+    #[test]
+    fn paper_scale_overlap_counts() {
+        let list = build(1, 1_000_000, TRANCO_OVERLAP, 1.0);
+        assert_eq!(list.gov_in_top(1_000), 30);
+        assert_eq!(list.gov_in_top(10_000), 373);
+        assert_eq!(list.gov_in_top(100_000), 2_351);
+        assert_eq!(list.gov_in_top(1_000_000), 12_293);
+    }
+
+    #[test]
+    fn scaled_overlap_counts() {
+        let list = build(2, 100_000, TRANCO_OVERLAP, 0.1);
+        assert_eq!(list.gov_in_top(100_000), 1229);
+        // Bands keep their proportions.
+        assert_eq!(list.gov_in_top(100), 3);
+        assert_eq!(list.gov_in_top(1_000), 37);
+    }
+
+    #[test]
+    fn cisco_has_no_gov_in_top_band() {
+        let list = build(3, 1_000_000, CISCO_OVERLAP, 1.0);
+        assert_eq!(list.gov_in_top(1_000), 0);
+        assert_eq!(list.gov_in_top(10_000), 14);
+    }
+
+    #[test]
+    fn ranks_are_unique_and_sorted() {
+        let list = build(4, 100_000, TRANCO_OVERLAP, 0.1);
+        let mut prev = 0;
+        for e in &list.entries {
+            assert!(e.rank > prev, "sorted unique ranks");
+            prev = e.rank;
+            assert!(e.rank >= 1 && e.rank <= list.size);
+        }
+    }
+
+    #[test]
+    fn materialized_nongov_pool_present() {
+        let list = build(5, 100_000, TRANCO_OVERLAP, 0.1);
+        let nongov = list.nongov_entries().count();
+        assert_eq!(nongov, 4_000, "4% of 100k");
+        // Uniformly spread: mean rank near the middle.
+        let mean: f64 = list.nongov_entries().map(|e| e.rank as f64).sum::<f64>() / nongov as f64;
+        assert!((mean - 50_000.0).abs() < 3_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let list = build(6, 100_000, TRANCO_OVERLAP, 0.1);
+        let e = &list.entries[0];
+        assert_eq!(list.rank_of(&e.hostname), Some(e.rank));
+        assert_eq!(list.rank_of("not-listed.example"), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! The South Korea case study (§6.2): the Government24 ("gov.kr")
+//! authoritative hostname list, with rates from Tables A.3 and A.4.
+
+use crate::posture::PostureRates;
+
+/// Table A.3/A.4 at paper scale.
+#[derive(Debug, Clone, Copy)]
+pub struct RokSpec {
+    /// Total hostnames scraped from the Government24 portal.
+    pub total: u32,
+    /// Serving content over http (including those also on https).
+    pub http: u32,
+    /// Serving content on both.
+    pub both: u32,
+    /// Serving https.
+    pub https: u32,
+    /// Valid certificates.
+    pub valid: u32,
+    /// Invalid certificates.
+    pub invalid: u32,
+}
+
+/// The paper's Government24 numbers.
+pub const ROK: RokSpec = RokSpec {
+    total: 21_818,
+    http: 16_814,
+    both: 11_685,
+    https: 13_768,
+    valid: 5_226,
+    invalid: 8_542,
+};
+
+impl RokSpec {
+    /// Hosts serving only http.
+    pub fn http_only(&self) -> u32 {
+        self.http - self.both
+    }
+
+    /// Unreachable rows.
+    pub fn unavailable(&self) -> u32 {
+        self.total - self.http_only() - self.https
+    }
+
+    /// Posture rates for Government24 hosts.
+    ///
+    /// Error mix from Table A.4: mismatch 2,529; local issuer 2,126;
+    /// unknown exceptions 2,903 (§6.3: dominated by unsupported-protocol
+    /// NPKI-plugin-era stacks); self-signed 21; expired 23; self-signed in
+    /// chain 818; timeout 25; refused 97.
+    pub fn rates(&self) -> PostureRates {
+        let reachable = (self.http_only() + self.https) as f64;
+        PostureRates {
+            availability: reachable / self.total as f64,
+            https_rate: self.https as f64 / reachable,
+            valid_rate: self.valid as f64 / self.https as f64,
+            both_rate: (self.both as f64 / self.https as f64).min(1.0),
+            hsts_rate: 0.2,
+            error_mix: [
+                2529.0, // hostname mismatch
+                2126.0, // unable local issuer (NPKI chains)
+                21.0,   // self-signed
+                818.0,  // self-signed in chain
+                23.0,   // expired
+                2300.0, // unsupported protocol (bulk of "unknown exceptions")
+                25.0,   // timeout
+                97.0,   // refused
+                300.0,  // reset
+                100.0,  // wrong version
+                100.0,  // alert internal
+                70.0,   // alert handshake
+                33.0,   // alert protocol version
+            ],
+        }
+    }
+}
+
+/// Department names used for Government24 hostnames (romanized).
+pub const ROK_DEPARTMENTS: &[&str] = &[
+    "minwon", "moef", "moel", "molit", "mofa", "moe", "motie", "mnd", "mois", "moj", "mafra",
+    "mcst", "me", "mohw", "msit", "mss", "mfds", "kostat", "korea", "epeople", "gwanbo", "nts",
+    "customs", "police", "kcg", "nfa", "kma", "forest", "rda", "kipo", "kdi", "nec", "assembly",
+    "scourt", "ccourt", "acrc", "ftc", "fsc", "nssc", "pps", "oka", "seoul", "busan", "daegu",
+    "incheon", "gwangju", "daejeon", "ulsan", "sejong", "gyeonggi", "gangwon", "chungbuk",
+    "chungnam", "jeonbuk", "jeonnam", "gyeongbuk", "gyeongnam", "jeju",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counts_are_consistent() {
+        assert_eq!(ROK.http_only(), 5_129);
+        assert_eq!(ROK.unavailable(), 2_921);
+        assert_eq!(ROK.valid + ROK.invalid, ROK.https);
+    }
+
+    #[test]
+    fn headline_valid_rate() {
+        // §6.2: 37.95% of https-attempting Government24 sites are valid.
+        let rate = ROK.valid as f64 / ROK.https as f64;
+        assert!((rate - 0.3795).abs() < 0.005, "{rate}");
+    }
+
+    #[test]
+    fn rates_shape() {
+        let r = ROK.rates();
+        assert!((r.valid_rate - 0.3795).abs() < 0.005);
+        assert!(r.availability > 0.85);
+        // Self-signed-in-chain is an outsized slice vs the world (§6.3).
+        let chain_share = r.error_mix[3] / r.error_mix.iter().sum::<f64>();
+        assert!(chain_share > 0.05, "{chain_share}");
+    }
+
+    #[test]
+    fn department_pool_is_large() {
+        assert!(ROK_DEPARTMENTS.len() >= 50);
+    }
+}

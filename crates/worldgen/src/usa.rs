@@ -1,0 +1,262 @@
+//! The USA case study (§6.1): the GSA's authoritative dataset family,
+//! with per-dataset sizes and posture rates from Tables A.1 and A.2.
+
+use crate::posture::PostureRates;
+
+/// The fifteen GSA datasets (Table A.1's rows, labelled A–O in A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UsaDataset {
+    /// A: Govt. State Only Domains
+    StateOnly,
+    /// B: Govt. Native Sovereign Only Domains
+    NativeSovereign,
+    /// C: rDNS Federal Snapshot
+    RdnsFederal,
+    /// D: Govt. Regional Only Domains
+    RegionalOnly,
+    /// E: Govt. Not used Domains
+    NotUsed,
+    /// F: Govt. OCSP CRL
+    OcspCrl,
+    /// G: Govt. Quasi governmental Only Domains
+    QuasiGov,
+    /// H: End of Term 2016 Snapshot
+    EndOfTerm2016,
+    /// I: Censys Federal Snapshot
+    CensysFederal,
+    /// J: Other Websites
+    OtherWebsites,
+    /// K: Govt. Federal Only Domains
+    FederalOnly,
+    /// L: Govt. Current Federal Domains
+    CurrentFederal,
+    /// M: Govt. Local Only Domains
+    LocalOnly,
+    /// N: DOT .MIL (Dept. of Defense)
+    DotMil,
+    /// O: Govt. County Only Domains
+    CountyOnly,
+}
+
+/// Table A.1 row: population and outcome counts at paper scale.
+#[derive(Debug, Clone, Copy)]
+pub struct UsaDatasetSpec {
+    /// Which dataset.
+    pub dataset: UsaDataset,
+    /// Short letter key used in Table A.2.
+    pub key: char,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Total rows in the GSA file.
+    pub total: u32,
+    /// Reachable over http (includes hosts also serving https, as in
+    /// Table A.1's "http" column).
+    pub http: u32,
+    /// Serving content on both http and https (subset of `https`).
+    pub both: u32,
+    /// Reachable over https (valid + invalid).
+    pub https: u32,
+    /// Valid certificates.
+    pub valid: u32,
+    /// Invalid certificates.
+    pub invalid: u32,
+    /// Table A.2 error counts:
+    /// (expired, chain, local-issuer, self-signed, mismatch, timeout,
+    /// refused, unknown-exception).
+    pub errors: (u32, u32, u32, u32, u32, u32, u32, u32),
+}
+
+macro_rules! ds {
+    ($d:ident, $k:literal, $name:literal, $tot:literal, $http:literal, $both:literal,
+     $https:literal, $valid:literal, $invalid:literal, $err:expr) => {
+        UsaDatasetSpec {
+            dataset: UsaDataset::$d,
+            key: $k,
+            name: $name,
+            total: $tot,
+            http: $http,
+            both: $both,
+            https: $https,
+            valid: $valid,
+            invalid: $invalid,
+            errors: $err,
+        }
+    };
+}
+
+/// Tables A.1 + A.2, transcribed.
+pub const USA_DATASETS: &[UsaDatasetSpec] = &[
+    ds!(StateOnly, 'A', "Govt. State Only Domains", 827, 203, 106, 561, 406, 155, (5, 1, 8, 10, 80, 20, 3, 28)),
+    ds!(NativeSovereign, 'B', "Govt. Native Sovereign Only Domains", 53, 24, 15, 37, 27, 10, (0, 0, 1, 4, 5, 0, 0, 0)),
+    ds!(RdnsFederal, 'C', "rDNS Federal Snapshot", 8896, 142, 68, 3614, 3370, 244, (19, 9, 73, 2, 98, 6, 6, 31)),
+    ds!(RegionalOnly, 'D', "Govt. Regional Only Domains", 51, 18, 8, 32, 23, 9, (0, 0, 1, 3, 4, 1, 0, 0)),
+    ds!(NotUsed, 'E', "Govt. Not used Domains", 2511, 845, 474, 1509, 925, 584, (16, 8, 27, 90, 249, 53, 19, 122)),
+    ds!(OcspCrl, 'F', "Govt. OCSP CRL", 15, 12, 0, 0, 0, 0, (0, 0, 0, 0, 0, 0, 0, 0)),
+    ds!(QuasiGov, 'G', "Govt. Quasi governmental Only Domains", 64, 7, 4, 50, 36, 14, (0, 0, 0, 0, 4, 6, 0, 4)),
+    ds!(EndOfTerm2016, 'H', "End of Term 2016 Snapshot", 177969, 16079, 9190, 56531, 45789, 10742, (212, 80, 1320, 555, 5982, 337, 268, 1419)),
+    ds!(CensysFederal, 'I', "Censys Federal Snapshot", 47909, 475, 203, 10415, 9737, 678, (53, 20, 203, 3, 184, 18, 151, 46)),
+    ds!(OtherWebsites, 'J', "Other Websites", 14330, 157, 98, 3382, 3096, 286, (15, 2, 44, 7, 173, 15, 15, 14)),
+    ds!(FederalOnly, 'K', "Govt. Federal Only Domains", 391, 77, 39, 213, 159, 54, (3, 0, 2, 5, 29, 5, 4, 6)),
+    ds!(CurrentFederal, 'L', "Govt. Current Federal Domains", 1249, 32, 19, 892, 811, 81, (4, 1, 11, 0, 30, 14, 3, 18)),
+    ds!(LocalOnly, 'M', "Govt. Local Only Domains", 6228, 2476, 1544, 4751, 3613, 1138, (34, 11, 89, 112, 584, 51, 34, 223)),
+    ds!(DotMil, 'N', "DOT .MIL (Dept. of Defense)", 89, 10, 6, 36, 29, 7, (0, 0, 3, 0, 3, 1, 0, 0)),
+    ds!(CountyOnly, 'O', "Govt. County Only Domains", 1399, 534, 278, 883, 630, 253, (7, 2, 25, 13, 124, 8, 4, 70)),
+];
+
+impl UsaDatasetSpec {
+    /// Reachable hosts serving only plain http.
+    pub fn http_only(&self) -> u32 {
+        self.http.saturating_sub(self.both)
+    }
+
+    /// Unavailable rows (archived EoT sites, etc.).
+    pub fn unavailable(&self) -> u32 {
+        self.total.saturating_sub(self.http_only() + self.https)
+    }
+
+    /// Posture rates for sampling this dataset's hosts.
+    pub fn rates(&self) -> PostureRates {
+        let reachable = (self.http_only() + self.https).max(1) as f64;
+        let https = self.https.max(1) as f64;
+        let (e5, e6, e7, e8, e9, e10, e11, e12) = self.errors;
+        // §6.3 reports protocol-level exceptions as only 2.79% of US
+        // invalidity, so the bulk of Table A.2's "unknown exception"
+        // column is treated as certificate-level (mismatch-shaped) noise
+        // and only a sliver as protocol faults.
+        let exc = e12 as f64;
+        PostureRates {
+            availability: reachable / self.total.max(1) as f64,
+            https_rate: self.https as f64 / reachable,
+            valid_rate: self.valid as f64 / https,
+            both_rate: self.both as f64 / self.valid.max(1) as f64,
+            hsts_rate: 0.45,
+            error_mix: [
+                e9 as f64 + exc * 0.70, // hostname mismatch (+ unknown exc)
+                e7 as f64,        // unable local issuer
+                e8 as f64,        // self-signed
+                e6 as f64,        // self-signed in chain
+                e5 as f64,        // expired
+                exc * 0.12,       // unsupported protocol
+                e10 as f64,       // timeout
+                e11 as f64,       // refused
+                exc * 0.08,       // reset
+                exc * 0.04,       // wrong version
+                exc * 0.02,       // alert internal
+                exc * 0.02,       // alert handshake
+                exc * 0.02,       // alert protocol version
+            ],
+        }
+    }
+
+    /// Hostname suffix for this dataset's generated hosts.
+    pub fn suffix(&self) -> &'static str {
+        match self.dataset {
+            UsaDataset::DotMil => "mil",
+            UsaDataset::RdnsFederal | UsaDataset::CensysFederal => "fed.us",
+            _ => "gov",
+        }
+    }
+
+    /// Hostname prefix tag so generated names are attributable.
+    pub fn tag(&self) -> &'static str {
+        match self.dataset {
+            UsaDataset::StateOnly => "state",
+            UsaDataset::NativeSovereign => "nsn",
+            UsaDataset::RdnsFederal => "rdns",
+            UsaDataset::RegionalOnly => "region",
+            UsaDataset::NotUsed => "unused",
+            UsaDataset::OcspCrl => "ocsp",
+            UsaDataset::QuasiGov => "quasi",
+            UsaDataset::EndOfTerm2016 => "eot",
+            UsaDataset::CensysFederal => "censys",
+            UsaDataset::OtherWebsites => "other",
+            UsaDataset::FederalOnly => "fedonly",
+            UsaDataset::CurrentFederal => "fed",
+            UsaDataset::LocalOnly => "city",
+            UsaDataset::DotMil => "base",
+            UsaDataset::CountyOnly => "county",
+        }
+    }
+}
+
+/// Aggregate valid-https share over all datasets' *reachable-with-https*
+/// hosts — the §6.1 headline is 81.12%.
+pub fn aggregate_valid_rate() -> f64 {
+    let valid: u32 = USA_DATASETS.iter().map(|d| d.valid).sum();
+    let https: u32 = USA_DATASETS.iter().map(|d| d.https).sum();
+    valid as f64 / https as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_datasets() {
+        assert_eq!(USA_DATASETS.len(), 15);
+        let keys: Vec<char> = USA_DATASETS.iter().map(|d| d.key).collect();
+        assert_eq!(keys, ('A'..='O').collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn headline_valid_rate_matches_paper() {
+        let rate = aggregate_valid_rate();
+        assert!((rate - 0.8112).abs() < 0.025, "aggregate valid rate {rate}");
+    }
+
+    #[test]
+    fn eot_snapshot_is_mostly_unavailable() {
+        let eot = USA_DATASETS
+            .iter()
+            .find(|d| d.dataset == UsaDataset::EndOfTerm2016)
+            .unwrap();
+        assert!(eot.unavailable() > 100_000);
+        let rates = eot.rates();
+        assert!(rates.availability < 0.45);
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for d in USA_DATASETS {
+            let r = d.rates();
+            assert!((0.0..=1.0).contains(&r.availability), "{}", d.name);
+            assert!((0.0..=1.0).contains(&r.https_rate), "{}", d.name);
+            assert!((0.0..=1.0).contains(&r.valid_rate), "{}", d.name);
+            assert!((0.0..=1.2).contains(&r.both_rate), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn suffixes() {
+        for d in USA_DATASETS {
+            match d.dataset {
+                UsaDataset::DotMil => assert_eq!(d.suffix(), "mil"),
+                UsaDataset::RdnsFederal | UsaDataset::CensysFederal => {
+                    assert_eq!(d.suffix(), "fed.us")
+                }
+                _ => assert_eq!(d.suffix(), "gov"),
+            }
+        }
+    }
+
+    #[test]
+    fn ocsp_dataset_has_no_https() {
+        let f = USA_DATASETS
+            .iter()
+            .find(|d| d.dataset == UsaDataset::OcspCrl)
+            .unwrap();
+        assert_eq!(f.https, 0);
+        assert_eq!(f.rates().https_rate, 0.0);
+    }
+
+    #[test]
+    fn current_federal_is_the_best_configured() {
+        // Table A.1: Current Federal has the highest valid share.
+        let fed = USA_DATASETS
+            .iter()
+            .find(|d| d.dataset == UsaDataset::CurrentFederal)
+            .unwrap();
+        let rate = fed.valid as f64 / fed.https as f64;
+        assert!(rate > 0.90, "{rate}");
+    }
+}

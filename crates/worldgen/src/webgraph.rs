@@ -1,0 +1,335 @@
+//! The hyperlink structure of the simulated government web.
+//!
+//! §4.2.2's crawler grew the dataset from 27,794 seeds to 134,812
+//! hostnames over 7 levels of depth, with discovery declining after level
+//! 5 (Figure A.4); §7.3.3 and Figure A.5 describe heavy cross-government
+//! linking. This module assigns every generated host a parent in a
+//! per-country discovery forest (seeds are roots) plus noise links:
+//! intra-country shortcuts, cross-country government links, and
+//! non-government links the crawler's filter must reject.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+
+/// Per-level share of non-seed hosts first discovered at depths 1–7
+/// (shaped like Figure A.4: growth declines after level 5).
+pub const LEVEL_SHARES: [f64; 7] = [0.28, 0.24, 0.18, 0.12, 0.09, 0.05, 0.04];
+
+/// The assigned link structure.
+#[derive(Debug, Default)]
+pub struct WebGraph {
+    /// Outgoing links per hostname (absolute `https?://` URLs or bare
+    /// hostnames, as found in real markup).
+    pub links: HashMap<String, Vec<String>>,
+    /// Intended discovery depth per hostname (0 = seed). Ground truth for
+    /// validating the crawler's growth curve.
+    pub level: HashMap<String, u8>,
+}
+
+impl WebGraph {
+    /// Links for a hostname (empty slice if none assigned).
+    pub fn links_for(&self, hostname: &str) -> &[String] {
+        self.links.get(hostname).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Count of hosts at each level 0–7.
+    pub fn level_histogram(&self) -> [usize; 8] {
+        let mut h = [0usize; 8];
+        for &l in self.level.values() {
+            h[l.min(7) as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Input row for graph assignment.
+#[derive(Debug, Clone)]
+pub struct GraphHost {
+    /// Hostname.
+    pub hostname: String,
+    /// Country code.
+    pub country: &'static str,
+    /// Is this host in the crawl seed list?
+    pub is_seed: bool,
+    /// Does the host actually serve pages? Dead hosts cannot link out, so
+    /// they may only be leaves of the discovery forest — exactly how the
+    /// paper's 47k unreachable hosts were found (as links on live pages)
+    /// but contributed no links themselves.
+    pub alive: bool,
+}
+
+/// Assign links.
+///
+/// `nongov_noise` supplies non-government URLs sprinkled into pages (the
+/// crawler must filter them). `cross_rate` is the probability a host
+/// links to a foreign government site.
+pub fn assign_links(
+    rng: &mut impl Rng,
+    hosts: &[GraphHost],
+    cross_rate: f64,
+    mut nongov_noise: impl FnMut(&mut dyn rand::RngCore) -> String,
+) -> WebGraph {
+    let mut graph = WebGraph::default();
+    // Group host indices by country. BTreeMap: iteration order feeds the
+    // RNG, so it must be deterministic.
+    let mut by_country: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, h) in hosts.iter().enumerate() {
+        by_country.entry(h.country).or_default().push(i);
+    }
+    // Global seed list for cross-country attachment of seedless countries
+    // (alive ones only — dead seeds publish no links).
+    let global_seeds: Vec<usize> = hosts
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.is_seed && h.alive)
+        .map(|(i, _)| i)
+        .collect();
+
+    for (_, indices) in by_country.iter() {
+        // Partition into seeds (level 0) and the rest.
+        let seeds: Vec<usize> = indices.iter().copied().filter(|&i| hosts[i].is_seed).collect();
+        let rest: Vec<usize> = indices.iter().copied().filter(|&i| !hosts[i].is_seed).collect();
+        // Levels 0..=7, filled progressively.
+        let mut levels: Vec<Vec<usize>> = vec![seeds.clone()];
+        let mut remaining: &[usize] = &rest;
+        for (depth, share) in LEVEL_SHARES.iter().enumerate() {
+            // Renormalize the share over what's left of the profile.
+            let tail: f64 = LEVEL_SHARES[depth..].iter().sum();
+            let take = ((share / tail) * remaining.len() as f64).round() as usize;
+            let take = take.min(remaining.len());
+            let (now, later) = remaining.split_at(take);
+            levels.push(now.to_vec());
+            remaining = later;
+        }
+        // Anything left over joins the last level.
+        if !remaining.is_empty() {
+            levels.last_mut().unwrap().extend_from_slice(remaining);
+        }
+        for &i in &levels[0] {
+            graph.level.insert(hosts[i].hostname.clone(), 0);
+        }
+        // Wire each level-ℓ host to an *alive* parent at level ℓ-1 (or the
+        // nearest shallower level with a live host; or a foreign seed if
+        // the country has no seeds at all — that is how whitelist-only
+        // countries were reachable in practice).
+        for depth in 1..levels.len() {
+            for idx in 0..levels[depth].len() {
+                let child = levels[depth][idx];
+                let parent = {
+                    let mut d = depth;
+                    loop {
+                        d -= 1;
+                        let candidates: Vec<usize> = levels[d]
+                            .iter()
+                            .copied()
+                            .filter(|&i| hosts[i].alive)
+                            .collect();
+                        if !candidates.is_empty() {
+                            break Some(candidates[rng.gen_range(0..candidates.len())]);
+                        }
+                        if d == 0 {
+                            break None;
+                        }
+                    }
+                };
+                let child_name = hosts[child].hostname.clone();
+                match parent {
+                    Some(p) => {
+                        graph
+                            .links
+                            .entry(hosts[p].hostname.clone())
+                            .or_default()
+                            .push(format!("https://{child_name}/"));
+                        graph.level.insert(child_name, depth as u8);
+                    }
+                    None if !global_seeds.is_empty() => {
+                        let p = global_seeds[rng.gen_range(0..global_seeds.len())];
+                        graph
+                            .links
+                            .entry(hosts[p].hostname.clone())
+                            .or_default()
+                            .push(format!("https://{child_name}/"));
+                        graph.level.insert(child_name, 1);
+                    }
+                    None => {
+                        // Isolated (a country with no seeds in a world with
+                        // no seeds at all) — undiscoverable by crawling.
+                        graph.level.insert(child_name, 7);
+                    }
+                }
+            }
+        }
+    }
+
+    // Noise and cross-government links.
+    for h in hosts {
+        let entry = graph.links.entry(h.hostname.clone()).or_default();
+        // 1–3 non-government links per page.
+        for _ in 0..rng.gen_range(1..=3) {
+            entry.push(format!("http://{}/", nongov_noise(rng)));
+        }
+        // Intra-country shortcut.
+        if let Some(peers) = by_country.get(h.country) {
+            if peers.len() > 1 && rng.gen::<f64>() < 0.5 {
+                let peer = peers[rng.gen_range(0..peers.len())];
+                if hosts[peer].hostname != h.hostname {
+                    entry.push(format!("https://{}/", hosts[peer].hostname));
+                }
+            }
+        }
+        // Cross-government link (Figure A.5).
+        if rng.gen::<f64>() < cross_rate && !hosts.is_empty() {
+            let other = &hosts[rng.gen_range(0..hosts.len())];
+            if other.country != h.country {
+                entry.push(format!("http://{}/", other.hostname));
+            }
+        }
+    }
+    graph
+}
+
+/// Count, per country, how many *other* countries its government sites
+/// link to (Figure A.5's metric).
+pub fn cross_country_degree(
+    graph: &WebGraph,
+    country_of: &HashMap<String, &'static str>,
+) -> HashMap<&'static str, usize> {
+    let mut out: HashMap<&'static str, std::collections::HashSet<&str>> = HashMap::new();
+    for (host, links) in &graph.links {
+        let Some(&src) = country_of.get(host) else { continue };
+        for link in links {
+            if let Some(target) = govscan_net::html::link_hostname(link) {
+                if let Some(&dst) = country_of.get(&target) {
+                    if dst != src {
+                        out.entry(src).or_default().insert(dst);
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().map(|(k, v)| (k, v.len())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hosts(countries: &[(&'static str, usize, usize)]) -> Vec<GraphHost> {
+        // (country, seeds, rest)
+        let mut out = Vec::new();
+        for (cc, seeds, rest) in countries {
+            for i in 0..seeds + rest {
+                out.push(GraphHost {
+                    hostname: format!("site{i}.gov.{cc}"),
+                    country: cc,
+                    is_seed: i < *seeds,
+                    alive: true,
+                });
+            }
+        }
+        out
+    }
+
+    fn noise(c: &mut u64) -> impl FnMut(&mut dyn rand::RngCore) -> String + '_ {
+        move |_| {
+            *c += 1;
+            format!("shop{c}.com")
+        }
+    }
+
+    #[test]
+    fn all_hosts_get_levels() {
+        let hs = hosts(&[("aa", 10, 200), ("bb", 5, 100)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.05, noise(&mut c));
+        assert_eq!(g.level.len(), hs.len());
+        let hist = g.level_histogram();
+        assert_eq!(hist[0], 15, "seeds at level 0");
+        assert!(hist[1] > 0 && hist[7] < hist[1], "declining discovery");
+    }
+
+    #[test]
+    fn level_histogram_declines_after_peak() {
+        let hs = hosts(&[("aa", 50, 5000)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.02, noise(&mut c));
+        let hist = g.level_histogram();
+        // Figure A.4 shape: levels 1..7 decline monotonically-ish.
+        assert!(hist[1] > hist[4], "{hist:?}");
+        assert!(hist[4] > hist[7], "{hist:?}");
+    }
+
+    #[test]
+    fn children_are_linked_from_shallower_parents() {
+        let hs = hosts(&[("aa", 3, 60)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.0, noise(&mut c));
+        // Every non-seed must be reachable: it appears as a link target
+        // of some other host.
+        let mut targets = std::collections::HashSet::new();
+        for links in g.links.values() {
+            for l in links {
+                if let Some(h) = govscan_net::html::link_hostname(l) {
+                    targets.insert(h);
+                }
+            }
+        }
+        for h in hs.iter().filter(|h| !h.is_seed) {
+            assert!(targets.contains(&h.hostname), "{} unreachable", h.hostname);
+        }
+    }
+
+    #[test]
+    fn seedless_country_attaches_to_foreign_seed() {
+        let hs = hosts(&[("aa", 5, 50), ("zz", 0, 10)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.0, noise(&mut c));
+        // zz hosts must be discoverable via aa pages.
+        let mut found = 0;
+        for links in g.links.values() {
+            for l in links {
+                if l.contains(".gov.zz") {
+                    found += 1;
+                }
+            }
+        }
+        assert!(found >= 10, "zz hosts linked from abroad: {found}");
+    }
+
+    #[test]
+    fn pages_contain_nongov_noise() {
+        let hs = hosts(&[("aa", 2, 20)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.0, noise(&mut c));
+        let noisy = g
+            .links
+            .values()
+            .flatten()
+            .filter(|l| l.contains(".com"))
+            .count();
+        assert!(noisy >= 20, "noise links present: {noisy}");
+    }
+
+    #[test]
+    fn cross_country_degree_counts_distinct_countries() {
+        let hs = hosts(&[("aa", 5, 50), ("bb", 5, 50), ("cc", 5, 50)]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = 0;
+        let g = assign_links(&mut rng, &hs, 0.5, noise(&mut c));
+        let country_of: HashMap<String, &'static str> =
+            hs.iter().map(|h| (h.hostname.clone(), h.country)).collect();
+        let deg = cross_country_degree(&g, &country_of);
+        assert!(!deg.is_empty());
+        for (_, d) in deg {
+            assert!(d <= 2, "at most 2 foreign countries exist here");
+        }
+    }
+}

@@ -1,0 +1,1228 @@
+//! The world orchestrator: generates every host population, injects the
+//! paper's pathologies, builds ranking lists and the web graph, and
+//! registers everything in a [`SimNet`].
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use govscan_asn1::Time;
+use govscan_crypto::{KeyAlgorithm, KeyPair, SignatureAlgorithm};
+use govscan_net::http::HttpResponse;
+use govscan_net::tls::{TlsQuirk, TlsServerConfig};
+use govscan_net::{CidrTable, HostConfig, SimNet};
+use govscan_pki::ca::{self, LeafProfile};
+use govscan_pki::caa::CaaRecord;
+use govscan_pki::cert::{Certificate, Validity};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cadb::CaDb;
+use crate::config::WorldConfig;
+use crate::countries::{self, Country};
+use crate::host::{HostRecord, HostingClass, InjectedError, Posture};
+use crate::hostgen::{self, HostnameGen};
+use crate::hosting::{provider_table, HostingAssigner};
+use crate::posture::{self, PostureRates};
+use crate::rankings::{self, RankingList};
+use crate::rok::{ROK, ROK_DEPARTMENTS};
+use crate::usa::USA_DATASETS;
+use crate::webgraph::{self, GraphHost, WebGraph};
+
+/// Worldwide candidate population at paper scale: the 135,408 reachable
+/// hosts plus the 47,458-host unreachable pool (§7.2.2).
+const WORLD_CANDIDATES: u64 = 183_000;
+/// Unique government hostnames in the merged top-million seed (§4.1).
+// The ranked-host pool the three lists draw from; sized so that the
+// deduplicated union of their government rows lands on the paper's
+// 27,532-host seed list.
+const SEED_POOL: u64 = 44_000;
+/// Hand-curated whitelist size (§4.2.3).
+const WHITELIST_EXTRA: u64 = 596;
+
+/// The generated world.
+pub struct World {
+    /// The generation configuration.
+    pub config: WorldConfig,
+    /// The simulated Internet.
+    pub net: SimNet,
+    /// The CA roster, trust stores and EV registry.
+    pub cadb: CaDb,
+    /// Ground truth per hostname.
+    pub records: HashMap<String, HostRecord>,
+    /// Worldwide government hostnames in generation order.
+    pub gov_hosts: Vec<String>,
+    /// The §4.1 seed list (government hostnames found in ranking data).
+    pub seed_list: Vec<String>,
+    /// The §4.2.3 hand-curated whitelist.
+    pub whitelist: Vec<String>,
+    /// Tranco-like ranking (the §4.2.4 authoritative ranking).
+    pub tranco: RankingList,
+    /// Majestic-like ranking.
+    pub majestic: RankingList,
+    /// Cisco-like ranking.
+    pub cisco: RankingList,
+    /// The hyperlink structure (crawler input; Figure A.4/A.5 ground truth).
+    pub webgraph: WebGraph,
+    /// USA GSA case-study hostnames (§6.1).
+    pub gsa_hosts: Vec<String>,
+    /// South Korea Government24 hostnames (§6.2).
+    pub rok_hosts: Vec<String>,
+    /// Hosting-provider CIDR table (§5.4 attribution input).
+    pub provider_table: CidrTable<(&'static str, bool)>,
+}
+
+impl World {
+    /// Generate a world.
+    pub fn generate(config: &WorldConfig) -> World {
+        Generator::new(config.clone()).run()
+    }
+
+    /// Ground-truth record for a hostname.
+    pub fn record(&self, hostname: &str) -> Option<&HostRecord> {
+        self.records.get(&hostname.to_ascii_lowercase())
+    }
+
+    /// The scan snapshot time.
+    pub fn scan_time(&self) -> Time {
+        self.config.scan_time
+    }
+
+    /// Country ground truth of a hostname.
+    pub fn country_of(&self, hostname: &str) -> Option<&'static str> {
+        self.record(hostname).map(|r| r.country)
+    }
+}
+
+/// A shared-certificate cluster (§5.3.3 key/cert reuse).
+struct SharedCluster {
+    chain: Vec<Certificate>,
+}
+
+struct Generator {
+    config: WorldConfig,
+    rng: StdRng,
+    cadb: CaDb,
+    assigner: HostingAssigner,
+    net: SimNet,
+    records: HashMap<String, HostRecord>,
+    gov_hosts: Vec<String>,
+    clusters: Vec<SharedCluster>,
+    shared_chain_of: HashMap<String, usize>,
+}
+
+impl Generator {
+    fn new(config: WorldConfig) -> Generator {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let cadb = CaDb::build(config.seed);
+        Generator {
+            config,
+            rng,
+            cadb,
+            assigner: HostingAssigner::new(),
+            net: SimNet::new(),
+            records: HashMap::new(),
+            gov_hosts: Vec::new(),
+            clusters: Vec::new(),
+            shared_chain_of: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> World {
+        // 1. Worldwide government population, per country.
+        self.generate_worldwide();
+        // 2. §5.3.3 reuse pathologies.
+        self.inject_reuse_clusters();
+        // 3. Rankings + seed list.
+        let (seed_list, tranco, majestic, cisco) = self.build_rankings();
+        // 4. Whitelist.
+        let whitelist = self.build_whitelist(&seed_list);
+        // 5. Web graph over worldwide gov hosts.
+        let webgraph = self.build_webgraph(&seed_list);
+        // 6. Realize worldwide hosts into the SimNet.
+        self.realize_worldwide(&webgraph);
+        // 7. Case-study populations.
+        let gsa_hosts = self.generate_gsa();
+        let rok_hosts = self.generate_rok();
+        // 8. Materialized non-government ranking hosts.
+        self.realize_nongov(&tranco);
+        // 9. Phishing twins (§7.3.2).
+        self.inject_phishing_twins();
+
+        World {
+            config: self.config,
+            net: self.net,
+            cadb: self.cadb,
+            records: self.records,
+            gov_hosts: self.gov_hosts,
+            seed_list,
+            whitelist,
+            tranco,
+            majestic,
+            cisco,
+            webgraph,
+            gsa_hosts,
+            rok_hosts,
+            provider_table: provider_table(),
+        }
+    }
+
+    fn cloud_share(country: &Country) -> f64 {
+        match country.code {
+            "us" => 0.13,
+            "kr" => 0.0021,
+            _ => 0.03 + 0.10 * country.tech,
+        }
+    }
+
+    fn generate_worldwide(&mut self) {
+        let total_weight = countries::total_weight();
+        let candidates = self.config.scaled(WORLD_CANDIDATES);
+        for country in countries::active_countries() {
+            let n = ((candidates as f64) * country.host_weight / total_weight).round() as u64;
+            let n = n.max(1);
+            let rates = PostureRates::for_country(country);
+            let mut namer = HostnameGen::new(country);
+            let cloud = Self::cloud_share(country);
+            for _ in 0..n {
+                let hostname = namer.next_gov(&mut self.rng);
+                let posture = rates.sample(&mut self.rng);
+                let hosting = self.assigner.sample_class(&mut self.rng, cloud);
+                // §7.1.2: the Great-Firewall vantage breaks Chinese TLS
+                // regardless of hosting, so the platform boost does not
+                // apply there.
+                let posture = posture::apply_cloud_boost(
+                    &mut self.rng,
+                    posture,
+                    hosting != HostingClass::Private && country.code != "cn",
+                );
+                let record = HostRecord {
+                    hostname: hostname.clone(),
+                    country: country.code,
+                    is_gov: true,
+                    posture,
+                    issuer: None,
+                    hosting,
+                    tranco_rank: None,
+                    in_seed: false,
+                    gsa_datasets: Vec::new(),
+                    in_rok_list: false,
+                    has_caa: self.rng.gen::<f64>() < 0.0136,
+                    is_ev: false,
+                };
+                self.records.insert(hostname.clone(), record);
+                self.gov_hosts.push(hostname);
+            }
+        }
+    }
+
+    /// Inject the §5.3.3 shared-certificate clusters: per-country
+    /// wildcard-scope misuse (Bangladesh 2 certs / 138 hosts, Colombia
+    /// 3 / 107, Dominica 1 / 28, Vietnam 3 / 21) plus the worldwide
+    /// localhost-certificate clusters (154 certs reused across 1,390
+    /// hosts in up to 24 countries).
+    fn inject_reuse_clusters(&mut self) {
+        let scan = self.config.scan_time;
+        // -- National wildcard clusters. --
+        let national: [(&str, u64, u64); 4] =
+            [("bd", 2, 138), ("co", 3, 107), ("dm", 1, 28), ("vn", 3, 21)];
+        for (cc, certs, hosts) in national {
+            let certs = self.config.scaled(certs).max(1);
+            let hosts = self.config.scaled(hosts).max(certs);
+            let pool = self.country_pool(cc, hosts as usize);
+            if pool.is_empty() {
+                continue;
+            }
+            let suffix = Country::by_code(cc)
+                .map(|c| c.gov_suffixes.first().copied().unwrap_or(cc))
+                .unwrap_or(cc);
+            for (ci, chunk) in pool.chunks(pool.len().div_ceil(certs as usize)).enumerate() {
+                let wildcard = format!("*.portal{}.{suffix}", if ci == 0 { String::new() } else { ci.to_string() });
+                let key = KeyPair::from_seed(
+                    KeyAlgorithm::Rsa(2048),
+                    format!("cluster-{cc}-{ci}").as_bytes(),
+                );
+                let mut profile = LeafProfile::dv(wildcard.clone(), key.public(), scan.plus_days(-200));
+                profile.san = vec![wildcard];
+                profile.validity_days = Some(730);
+                profile.serial = Some(vec![0xc1, cc.as_bytes()[0], ci as u8]);
+                let chain = self.cadb.issue_chain(crate::cadb::LETS_ENCRYPT, &profile);
+                self.register_cluster(chain, chunk.to_vec(), InjectedError::HostnameMismatch);
+            }
+        }
+        // -- Worldwide localhost clusters. --
+        // (cert count, countries spanned) per the paper's breakdown.
+        // Cluster COUNT scales with the world; per-cluster membership keeps
+        // the paper's ~9-host shape, under a scaled total-host budget so
+        // tiny test worlds keep Table 2's category proportions.
+        let specs: [(u64, usize); 4] = [(108, 2), (19, 3), (11, 4), (1, 24)];
+        let mut host_budget = self.config.scaled(1_390) as usize;
+        let appliance_key = KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"factory-default-appliance");
+        let all_countries: Vec<&'static str> =
+            countries::active_countries().map(|c| c.code).collect();
+        for (count, spread) in specs {
+            let count = self.config.scaled(count).max(1);
+            for i in 0..count {
+                // One *distinct certificate* per cluster (the paper counts
+                // 154 reused certs) — but all sharing the same factory-
+                // default public key ("the same set of public keys").
+                let cert = ca::self_signed(
+                    "localhost",
+                    vec![],
+                    &appliance_key,
+                    SignatureAlgorithm::Sha1WithRsa,
+                    Validity {
+                        not_before: Time::from_ymd(2012, 1, 1).plus_days((i * spread as u64) as i64 % 365),
+                        not_after: Time::from_ymd(2032, 1, 1),
+                    },
+                );
+                // ~9 members spread over `spread` countries, within budget.
+                if host_budget == 0 {
+                    break;
+                }
+                let mut members = Vec::new();
+                for s in 0..spread {
+                    let cc = all_countries[(i as usize * 7 + s * 13) % all_countries.len()];
+                    let take = (if spread <= 4 { 9 / spread + 1 } else { 2 }).min(host_budget);
+                    let got = self.country_pool(cc, take);
+                    host_budget = host_budget.saturating_sub(got.len());
+                    members.extend(got);
+                    if host_budget == 0 {
+                        break;
+                    }
+                }
+                if members.is_empty() {
+                    continue;
+                }
+                self.register_cluster(vec![cert], members, InjectedError::SelfSigned);
+            }
+        }
+    }
+
+    /// Take up to `n` https-attempting worldwide hosts of a country that
+    /// are not yet in any cluster, flipping their posture to the cluster's
+    /// error as needed.
+    fn country_pool(&mut self, cc: &str, n: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for host in &self.gov_hosts {
+            if out.len() >= n {
+                break;
+            }
+            if self.shared_chain_of.contains_key(host) {
+                continue;
+            }
+            let rec = self.records.get(host).expect("record exists");
+            if rec.country == cc && rec.posture.attempts_https() {
+                out.push(host.clone());
+            }
+        }
+        out
+    }
+
+    fn register_cluster(
+        &mut self,
+        chain: Vec<Certificate>,
+        members: Vec<String>,
+        error: InjectedError,
+    ) {
+        let idx = self.clusters.len();
+        for m in &members {
+            self.shared_chain_of.insert(m.clone(), idx);
+            if let Some(rec) = self.records.get_mut(m) {
+                rec.posture = Posture::InvalidHttps { error };
+            }
+        }
+        self.clusters.push(SharedCluster { chain });
+    }
+
+    /// Build ranking lists and derive the seed list (§4.1: the merged
+    /// top-million data contributed 27,532 unique government hostnames).
+    fn build_rankings(&mut self) -> (Vec<String>, RankingList, RankingList, RankingList) {
+        // Popularity pool: bias toward high-tech countries.
+        let mut pool: Vec<String> = self
+            .gov_hosts
+            .iter()
+            .filter(|h| {
+                let rec = &self.records[*h];
+                let tech = Country::by_code(rec.country).map(|c| c.tech).unwrap_or(0.5);
+                // Higher-tech countries are far more likely to be ranked.
+                self.rng.gen::<f64>() < 0.18 + 0.6 * tech
+            })
+            .cloned()
+            .collect();
+        pool.shuffle(&mut self.rng);
+        let seed_n = (self.config.scaled(SEED_POOL) as usize).min(pool.len());
+        let ranked_pool: Vec<String> = pool[..seed_n].to_vec();
+
+        let size = ((self.config.ranking_size as f64) * self.config.scale).round() as u32;
+        let size = size.max(2_000);
+        let mat_rate = self.config.nongov_materialize_rate;
+        let mut counter = 0u64;
+        let seed_for_names = self.config.seed;
+        let mut nongov_namer = move |_: &mut dyn rand::RngCore| {
+            counter += 1;
+            // Deterministic synthetic non-gov hostname.
+            format!("site{seed_for_names:x}-{counter}.example-net.com")
+        };
+        // Tranco materializes non-gov hosts for §5.5; the other two lists
+        // only need their government overlap counts (Table 1).
+        let mut draw = ranked_pool.clone();
+        let tranco = rankings::build_list(
+            &mut self.rng,
+            "tranco",
+            size,
+            rankings::TRANCO_OVERLAP,
+            self.config.scale,
+            &draw,
+            mat_rate,
+            &mut nongov_namer,
+        );
+        draw.shuffle(&mut self.rng);
+        let majestic = rankings::build_list(
+            &mut self.rng,
+            "majestic",
+            size,
+            rankings::MAJESTIC_OVERLAP,
+            self.config.scale,
+            &draw,
+            0.0,
+            &mut nongov_namer,
+        );
+        draw.shuffle(&mut self.rng);
+        let cisco = rankings::build_list(
+            &mut self.rng,
+            "cisco",
+            size,
+            rankings::CISCO_OVERLAP,
+            self.config.scale,
+            &draw,
+            0.0,
+            &mut nongov_namer,
+        );
+        // §4.1: the seed list is the deduplicated union of the lists'
+        // government rows (27,532 at paper scale).
+        let mut seed_set: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for list in [&tranco, &majestic, &cisco] {
+            for e in list.gov_entries() {
+                seed_set.insert(e.hostname.clone());
+            }
+        }
+        let seed_list: Vec<String> = seed_set.into_iter().collect();
+        // Mark records.
+        for e in tranco.gov_entries() {
+            if let Some(rec) = self.records.get_mut(&e.hostname) {
+                rec.tranco_rank = Some(e.rank);
+            }
+        }
+        for h in &seed_list {
+            if let Some(rec) = self.records.get_mut(h) {
+                rec.in_seed = true;
+            }
+        }
+        (seed_list, tranco, majestic, cisco)
+    }
+
+    fn build_whitelist(&mut self, seed: &[String]) -> Vec<String> {
+        let mut whitelist: Vec<String> = Vec::new();
+        // Whitelist-only countries (Germany, Denmark, NL, Greenland,
+        // Gabon, …) enter exclusively through the whitelist.
+        for host in &self.gov_hosts {
+            let rec = &self.records[host];
+            let country = Country::by_code(rec.country).expect("known country");
+            if country.whitelist_only() {
+                whitelist.push(host.clone());
+            }
+        }
+        // Plus hand-curated extras from long-tail countries not in seed.
+        let extra = self.config.scaled(WHITELIST_EXTRA) as usize;
+        let mut candidates: Vec<String> = self
+            .gov_hosts
+            .iter()
+            .filter(|h| !seed.contains(h) && !whitelist.contains(h))
+            .cloned()
+            .collect();
+        candidates.shuffle(&mut self.rng);
+        whitelist.extend(candidates.into_iter().take(extra));
+        whitelist
+    }
+
+    fn build_webgraph(&mut self, seed: &[String]) -> WebGraph {
+        let seed_set: std::collections::HashSet<&String> = seed.iter().collect();
+        let hosts: Vec<GraphHost> = self
+            .gov_hosts
+            .iter()
+            .map(|h| GraphHost {
+                hostname: h.clone(),
+                country: self.records[h].country,
+                is_seed: seed_set.contains(h),
+                alive: !matches!(self.records[h].posture, Posture::Unreachable),
+            })
+            .collect();
+        let mut counter = 0u64;
+        let mut graph = webgraph::assign_links(&mut self.rng, &hosts, 0.0, move |_| {
+            counter += 1;
+            format!("cdn{counter}.example-ads.com")
+        });
+        // Cross-government links (§7.3.3 / Figure A.5): each country's
+        // portal links to a fixed palette of foreign governments, sized
+        // 2–15 (75% of countries link ≥7 others in the paper), with
+        // Austria as the 70-country hub. Palettes keep the per-country
+        // out-degree scale-independent.
+        let mut portals: std::collections::BTreeMap<&'static str, String> =
+            std::collections::BTreeMap::new();
+        let mut alive_by_country: std::collections::BTreeMap<&'static str, Vec<&String>> =
+            std::collections::BTreeMap::new();
+        for h in &self.gov_hosts {
+            let rec = &self.records[h];
+            if matches!(rec.posture, Posture::Unreachable) {
+                continue;
+            }
+            portals.entry(rec.country).or_insert_with(|| h.clone());
+            alive_by_country.entry(rec.country).or_default().push(h);
+        }
+        let countries: Vec<&'static str> = alive_by_country.keys().copied().collect();
+        for (cc, portal) in &portals {
+            let hash = cc
+                .bytes()
+                .fold(self.config.seed, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+            let palette_size = if *cc == "at" { 70 } else { (2 + hash % 14) as usize };
+            let start = (hash % countries.len() as u64) as usize;
+            let mut added = 0usize;
+            for step in 0..countries.len() {
+                if added >= palette_size {
+                    break;
+                }
+                // Stride 1: any fixed stride k would collapse the palette to
+                // len/gcd(k, len) distinct countries whenever k divides the
+                // alive-country count.
+                let target_cc = countries[(start + step + 1) % countries.len()];
+                if target_cc == *cc {
+                    continue;
+                }
+                let candidates = &alive_by_country[target_cc];
+                let target = candidates[(hash as usize + step) % candidates.len()];
+                graph
+                    .links
+                    .entry(portal.clone())
+                    .or_default()
+                    .push(format!("http://{target}/"));
+                added += 1;
+            }
+        }
+        graph
+    }
+
+    fn realize_worldwide(&mut self, graph: &WebGraph) {
+        for host in self.gov_hosts.clone() {
+            let links: Vec<String> = graph.links_for(&host).to_vec();
+            self.realize_host(&host, &links);
+        }
+    }
+
+    /// Materialize one record into SimNet wire behaviour.
+    fn realize_host(&mut self, hostname: &str, links: &[String]) {
+        let rec = self.records.get(hostname).expect("record exists").clone();
+        if matches!(rec.posture, Posture::Unreachable) {
+            // Unregistered: DNS resolves NXDOMAIN. (A slice timeouts.)
+            if self.rng.gen::<f64>() < 0.2 {
+                self.net
+                    .set_dns_behavior(hostname, govscan_net::dns::DnsBehavior::Timeout);
+            }
+            return;
+        }
+        let ip = self.assigner.allocate_ip(&mut self.rng, &rec.hosting);
+        let title = format!("Official portal — {hostname}");
+        let page = HttpResponse::page(&title, links);
+
+        match rec.posture.clone() {
+            Posture::Unreachable => unreachable!("handled above"),
+            Posture::HttpOnly => {
+                self.net.add_host(HostConfig::http_only(hostname, ip, page));
+            }
+            Posture::ValidHttps { serves_http_too, hsts } => {
+                let chain = self.issue_for(hostname, None);
+                let tls = TlsServerConfig::modern(chain);
+                let http = if serves_http_too {
+                    page.clone()
+                } else {
+                    HttpResponse::redirect(format!("https://{hostname}/"))
+                };
+                let https = if hsts { page.with_hsts() } else { page };
+                self.net
+                    .add_host(HostConfig::dual(hostname, ip, tls, http, https));
+            }
+            Posture::InvalidHttps { error } => {
+                self.realize_invalid(hostname, ip, error, page);
+            }
+        }
+        if rec.has_caa {
+            // Publish a CAA record authorizing the host's own CA (the
+            // paper found 100% of published CAA records valid).
+            let ca_domain = self
+                .records
+                .get(hostname)
+                .and_then(|r| r.issuer.clone())
+                .and_then(|label| {
+                    crate::cadb::CA_PROFILES
+                        .iter()
+                        .find(|p| p.label == label)
+                        .map(|p| p.caa_domain)
+                })
+                .unwrap_or("letsencrypt.org");
+            self.net
+                .dns
+                .publish_caa(hostname, vec![CaaRecord::issue(ca_domain)]);
+        }
+    }
+
+    fn realize_invalid(
+        &mut self,
+        hostname: &str,
+        ip: Ipv4Addr,
+        error: InjectedError,
+        page: HttpResponse,
+    ) {
+        // Shared-cluster members use the cluster chain verbatim.
+        let (chain, quirk, legacy, drop_443) = if let Some(&ci) = self.shared_chain_of.get(hostname)
+        {
+            let chain = self.clusters[ci].chain.clone();
+            if let Some(rec) = self.records.get_mut(hostname) {
+                rec.issuer = Some(chain[0].issuer_label());
+            }
+            (chain, None, false, false)
+        } else {
+            match error {
+                InjectedError::HostnameMismatch => {
+                    let kind = MismatchKind::pick(&mut self.rng);
+                    let chain = self.issue_for(hostname, Some(kind));
+                    (chain, None, false, false)
+                }
+                InjectedError::Expired => {
+                    let chain = self.issue_expired(hostname);
+                    (chain, None, false, false)
+                }
+                InjectedError::UnableLocalIssuer => {
+                    let chain = self.issue_local_issuer_broken(hostname);
+                    (chain, None, false, false)
+                }
+                InjectedError::SelfSigned => {
+                    let chain = vec![self.issue_self_signed(hostname)];
+                    (chain, None, false, false)
+                }
+                InjectedError::SelfSignedInChain => {
+                    let chain = self.issue_untrusted_full_chain(hostname);
+                    (chain, None, false, false)
+                }
+                InjectedError::UnsupportedProtocol => {
+                    let chain = vec![self.issue_self_signed(hostname)];
+                    (chain, None, true, false)
+                }
+                InjectedError::Timeout => {
+                    (vec![], Some(TlsQuirk::HandshakeTimeout), false, false)
+                }
+                InjectedError::Refused => {
+                    (vec![], Some(TlsQuirk::HandshakeRefused), false, false)
+                }
+                InjectedError::Reset => (vec![], Some(TlsQuirk::HandshakeReset), false, false),
+                InjectedError::WrongVersion => {
+                    (vec![], Some(TlsQuirk::WrongVersionNumber), false, false)
+                }
+                InjectedError::AlertInternal => {
+                    (vec![], Some(TlsQuirk::AlertInternalError), false, false)
+                }
+                InjectedError::AlertHandshake => {
+                    (vec![], Some(TlsQuirk::AlertHandshakeFailure), false, false)
+                }
+                InjectedError::AlertProtoVersion => {
+                    (vec![], Some(TlsQuirk::AlertProtocolVersion), false, false)
+                }
+            }
+        };
+        let _ = drop_443;
+        let mut tls = if legacy {
+            TlsServerConfig::legacy_ssl(chain)
+        } else {
+            TlsServerConfig::modern(chain)
+        };
+        tls.quirk = quirk;
+        // Invalid-https hosts typically still serve a plain-http page.
+        let http = page.clone();
+        self.net
+            .add_host(HostConfig::dual(hostname, ip, tls, http, page));
+    }
+
+    /// Issue a (valid-shaped) chain for `hostname`. `mismatch` makes the
+    /// covered names deliberately wrong.
+    fn issue_for(&mut self, hostname: &str, mismatch: Option<MismatchKind>) -> Vec<Certificate> {
+        let valid = mismatch.is_none();
+        let rec = self.records.get(hostname).expect("record exists").clone();
+        let key_alg = posture::sample_key_algorithm(&mut self.rng, valid);
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let (not_before, days) =
+            posture::sample_validity_window(&mut self.rng, valid, self.config.scan_time, false);
+        let covered = match mismatch {
+            None => {
+                // 39% of hosts deploy wildcard certificates (§5.3).
+                let parent = hostname.split_once('.').map(|(_, p)| p).unwrap_or("");
+                if parent.contains('.') && self.rng.gen::<f64>() < 0.39 {
+                    vec![format!("*.{parent}"), parent.to_string()]
+                } else {
+                    vec![hostname.to_string()]
+                }
+            }
+            Some(MismatchKind::WrongWildcardScope) => {
+                // The Bangladesh pattern: *.portal.<zone> deployed on <zone>.
+                let parent = hostname.split_once('.').map(|(_, p)| p).unwrap_or("gov.xx");
+                vec![format!("*.portal.{parent}")]
+            }
+            Some(MismatchKind::OtherHost) => {
+                vec![format!("www.intranet-{}.example", rec.country)]
+            }
+        };
+        let ca_idx = self.cadb.pick(&mut self.rng, rec.country, true);
+        let mut profile = LeafProfile::dv(covered[0].clone(), key.public(), not_before);
+        profile.san = covered;
+        profile.validity_days = Some(days);
+        // EV issuance (§5.3: ~4% of hosts carry EV policy OIDs).
+        let ca_profile = self.cadb.get(ca_idx).profile;
+        if let Some(ev_oid) = ca_profile.ev_oid {
+            if self.rng.gen::<f64>() < 0.18 {
+                profile.policies = vec![govscan_asn1::Oid::parse(ev_oid).expect("static")];
+                if let Some(r) = self.records.get_mut(hostname) {
+                    r.is_ev = true;
+                }
+            }
+        }
+        if let Some(r) = self.records.get_mut(hostname) {
+            r.issuer = Some(ca_profile.label.to_string());
+        }
+        self.cadb.issue_chain(ca_idx, &profile)
+    }
+
+    fn issue_expired(&mut self, hostname: &str) -> Vec<Certificate> {
+        let rec = self.records.get(hostname).expect("record exists").clone();
+        let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let (not_before, days) =
+            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, true);
+        let ca_idx = self.cadb.pick(&mut self.rng, rec.country, true);
+        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        profile.validity_days = Some(days);
+        if let Some(r) = self.records.get_mut(hostname) {
+            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        }
+        self.cadb.issue_chain(ca_idx, &profile)
+    }
+
+    /// "Unable to get local issuer": half the time a trusted CA whose
+    /// intermediate the server forgets to send; half the time a complete
+    /// chain from an untrusted CA (always NPKI-style for South Korea).
+    fn issue_local_issuer_broken(&mut self, hostname: &str) -> Vec<Certificate> {
+        let rec = self.records.get(hostname).expect("record exists").clone();
+        let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let (not_before, days) =
+            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        let untrusted = self.cadb.untrusted_indices();
+        let use_untrusted = rec.country == "kr" || self.rng.gen::<f64>() < 0.5;
+        let ca_idx = if use_untrusted && !untrusted.is_empty() {
+            if rec.country == "kr" {
+                // Prefer the NPKI sub-CAs.
+                *untrusted
+                    .iter()
+                    .find(|&&i| self.cadb.get(i).profile.country == "KR")
+                    .unwrap_or(&untrusted[0])
+            } else {
+                untrusted[self.rng.gen_range(0..untrusted.len())]
+            }
+        } else {
+            self.cadb.pick(&mut self.rng, rec.country, true)
+        };
+        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        profile.validity_days = Some(days);
+        if let Some(r) = self.records.get_mut(hostname) {
+            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        }
+        let mut chain = self.cadb.issue_chain(ca_idx, &profile);
+        if !use_untrusted {
+            chain.truncate(1); // drop the intermediate: incomplete chain
+        }
+        chain
+    }
+
+    fn issue_self_signed(&mut self, hostname: &str) -> Certificate {
+        let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let sig = posture::legacy_signature_override(
+            &mut self.rng,
+            Some(InjectedError::SelfSigned),
+            key_alg,
+        )
+        .unwrap_or(if key_alg.is_ec() {
+            SignatureAlgorithm::EcdsaWithSha256
+        } else {
+            SignatureAlgorithm::Sha256WithRsa
+        });
+        let (not_before, days) =
+            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        // Half cover the right name (self-signed is the error); half are
+        // appliance defaults.
+        let cn = if self.rng.gen::<f64>() < 0.5 {
+            hostname.to_string()
+        } else {
+            "localhost".to_string()
+        };
+        if let Some(r) = self.records.get_mut(hostname) {
+            r.issuer = Some(cn.clone());
+        }
+        ca::self_signed(
+            &cn,
+            vec![cn.clone()],
+            &key,
+            sig,
+            Validity {
+                not_before,
+                not_after: not_before.plus_days(days),
+            },
+        )
+    }
+
+    /// Full chain from an untrusted CA with the self-signed root included
+    /// in the peer stack → "self-signed certificate in chain".
+    fn issue_untrusted_full_chain(&mut self, hostname: &str) -> Vec<Certificate> {
+        let rec = self.records.get(hostname).expect("record exists").clone();
+        let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let (not_before, days) =
+            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        let untrusted = self.cadb.untrusted_indices();
+        let ca_idx = if rec.country == "kr" {
+            *untrusted
+                .iter()
+                .find(|&&i| self.cadb.get(i).profile.country == "KR")
+                .unwrap_or(&untrusted[0])
+        } else {
+            untrusted[self.rng.gen_range(0..untrusted.len())]
+        };
+        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        profile.validity_days = Some(days);
+        if let Some(r) = self.records.get_mut(hostname) {
+            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        }
+        let mut chain = self.cadb.issue_chain(ca_idx, &profile);
+        chain.push(self.cadb.get(ca_idx).root.cert.clone());
+        chain
+    }
+
+    /// USA GSA case-study populations (§6.1, Tables A.1/A.2).
+    fn generate_gsa(&mut self) -> Vec<String> {
+        let mut hosts = Vec::new();
+        let specs: Vec<_> = USA_DATASETS.to_vec();
+        for spec in specs {
+            let n = self.config.scaled(spec.total as u64);
+            let rates = spec.rates();
+            for i in 0..n {
+                let hostname = format!("{}{}-usgsa.{}", spec.tag(), i, spec.suffix());
+                let posture = rates.sample(&mut self.rng);
+                let hosting = self.assigner.sample_class(&mut self.rng, 0.13);
+                let posture = posture::apply_cloud_boost(
+                    &mut self.rng,
+                    posture,
+                    hosting != HostingClass::Private,
+                );
+                let record = HostRecord {
+                    hostname: hostname.clone(),
+                    country: "us",
+                    is_gov: true,
+                    posture,
+                    issuer: None,
+                    hosting,
+                    tranco_rank: None,
+                    in_seed: false,
+                    gsa_datasets: vec![spec.dataset],
+                    in_rok_list: false,
+                    has_caa: self.rng.gen::<f64>() < 0.03,
+                    is_ev: false,
+                };
+                self.records.insert(hostname.clone(), record);
+                self.realize_host(&hostname, &[]);
+                hosts.push(hostname);
+            }
+        }
+        hosts
+    }
+
+    /// South Korea Government24 population (§6.2, Tables A.3/A.4).
+    fn generate_rok(&mut self) -> Vec<String> {
+        let mut hosts = Vec::new();
+        let n = self.config.scaled(ROK.total as u64);
+        let rates = ROK.rates();
+        for i in 0..n {
+            let dept = ROK_DEPARTMENTS[(i as usize) % ROK_DEPARTMENTS.len()];
+            let hostname = match i % 4 {
+                0 => format!("www{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                1 => format!("minwon{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                2 => format!("{dept}{}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                _ => format!("e{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+            };
+            let posture = rates.sample(&mut self.rng);
+            let hosting = self.assigner.sample_class(&mut self.rng, 0.0021);
+            let record = HostRecord {
+                hostname: hostname.clone(),
+                country: "kr",
+                is_gov: true,
+                posture,
+                issuer: None,
+                hosting,
+                tranco_rank: None,
+                in_seed: false,
+                gsa_datasets: Vec::new(),
+                in_rok_list: true,
+                has_caa: self.rng.gen::<f64>() < 0.005,
+                is_ev: false,
+            };
+            self.records.insert(hostname.clone(), record);
+            self.realize_host(&hostname, &[]);
+            hosts.push(hostname);
+        }
+        hosts
+    }
+
+    /// Materialize the tranco list's non-government rows as dialable
+    /// hosts with rank-dependent https quality (§5.5 / Figure 7: ~72%
+    /// valid at the top of the list declining to ~40% at the bottom).
+    fn realize_nongov(&mut self, tranco: &RankingList) {
+        let size = tranco.size as f64;
+        let entries: Vec<(u32, String)> = tranco
+            .nongov_entries()
+            .map(|e| (e.rank, e.hostname.clone()))
+            .collect();
+        for (rank, hostname) in entries {
+            let frac = rank as f64 / size;
+            let p_valid = 0.72 - 0.32 * frac;
+            let p_https = 0.88 - 0.25 * frac;
+            let roll = self.rng.gen::<f64>();
+            let posture = if roll < p_valid {
+                Posture::ValidHttps {
+                    serves_http_too: self.rng.gen::<f64>() < 0.15,
+                    hsts: self.rng.gen::<f64>() < 0.4,
+                }
+            } else if roll < p_https {
+                let idx = crate::cadb::weighted_pick(&mut self.rng, &posture::WORLD_ERROR_MIX);
+                Posture::InvalidHttps {
+                    error: InjectedError::ALL[idx],
+                }
+            } else {
+                Posture::HttpOnly
+            };
+            // Non-government top-million sites are far more cloud-hosted.
+            let hosting = self.assigner.sample_class(&mut self.rng, 0.45);
+            let record = HostRecord {
+                hostname: hostname.clone(),
+                country: "us",
+                is_gov: false,
+                posture,
+                issuer: None,
+                hosting,
+                tranco_rank: Some(rank),
+                in_seed: false,
+                gsa_datasets: Vec::new(),
+                in_rok_list: false,
+                has_caa: self.rng.gen::<f64>() < 0.05,
+                is_ev: false,
+            };
+            self.records.insert(hostname.clone(), record);
+            self.realize_host(&hostname, &[]);
+        }
+    }
+
+    /// §7.3.2: lookalike registrations with perfectly valid certificates —
+    /// `etagov.sl` posing as `eta.gov.lk`, and `<word>gov.us` twins.
+    fn inject_phishing_twins(&mut self) {
+        let mut twins = vec![hostgen::phishing_twin("eta.gov.lk", "sl")];
+        let n = self.config.scaled(85);
+        for i in 0..n {
+            let dept = ["tax", "visa", "health", "travel", "permit", "id", "dmv", "irs"]
+                [(i as usize) % 8];
+            twins.push(format!("{dept}{i}gov.us"));
+        }
+        for hostname in twins {
+            let record = HostRecord {
+                hostname: hostname.clone(),
+                country: "us",
+                is_gov: false, // impersonation, not government
+                posture: Posture::ValidHttps {
+                    serves_http_too: false,
+                    hsts: false,
+                },
+                issuer: None,
+                hosting: HostingClass::Cdn("cloudflare"),
+                tranco_rank: None,
+                in_seed: false,
+                gsa_datasets: Vec::new(),
+                in_rok_list: false,
+                has_caa: false,
+                is_ev: false,
+            };
+            self.records.insert(hostname.clone(), record);
+            self.realize_host(&hostname, &[]);
+        }
+    }
+}
+
+/// How a hostname-mismatch certificate is wrong.
+#[derive(Debug, Clone, Copy)]
+enum MismatchKind {
+    /// Wildcard with the wrong scope (the Bangladesh pattern).
+    WrongWildcardScope,
+    /// A certificate for an entirely different host.
+    OtherHost,
+}
+
+impl MismatchKind {
+    fn pick(rng: &mut impl Rng) -> MismatchKind {
+        if rng.gen::<f64>() < 0.6 {
+            MismatchKind::WrongWildcardScope
+        } else {
+            MismatchKind::OtherHost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govscan_pki::trust::TrustStoreProfile;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::small(1234))
+    }
+
+    #[test]
+    fn generates_deterministically() {
+        let a = World::generate(&WorldConfig::small(7));
+        let b = World::generate(&WorldConfig::small(7));
+        assert_eq!(a.gov_hosts, b.gov_hosts);
+        assert_eq!(a.seed_list, b.seed_list);
+        assert_eq!(a.net.len(), b.net.len());
+    }
+
+    #[test]
+    fn population_sizes_scale() {
+        let w = world();
+        let expected = (183_000.0 * w.config.scale) as usize;
+        let n = w.gov_hosts.len();
+        assert!(
+            (n as f64) > expected as f64 * 0.8 && (n as f64) < expected as f64 * 1.3,
+            "{n} vs {expected}"
+        );
+        assert!(!w.seed_list.is_empty());
+        assert!(w.seed_list.len() < n / 3);
+    }
+
+    #[test]
+    fn posture_mix_matches_paper_marginals() {
+        let w = world();
+        let mut http_only = 0usize;
+        let mut valid = 0usize;
+        let mut invalid = 0usize;
+        for h in &w.gov_hosts {
+            match w.records[h].posture {
+                Posture::HttpOnly => http_only += 1,
+                Posture::ValidHttps { .. } => valid += 1,
+                Posture::InvalidHttps { .. } => invalid += 1,
+                Posture::Unreachable => {}
+            }
+        }
+        let reachable = (http_only + valid + invalid) as f64;
+        let https_rate = (valid + invalid) as f64 / reachable;
+        // World ≈ 39% https (wide tolerance at test scale; China pulls up).
+        assert!((0.3..0.55).contains(&https_rate), "{https_rate}");
+        let valid_rate = valid as f64 / (valid + invalid) as f64;
+        assert!((0.5..0.85).contains(&valid_rate), "{valid_rate}");
+    }
+
+    #[test]
+    fn valid_hosts_validate_on_the_wire() {
+        let w = world();
+        let client = govscan_net::TlsClientConfig::default();
+        let mut checked = 0;
+        for h in &w.gov_hosts {
+            if !w.records[h].posture.is_valid_https() {
+                continue;
+            }
+            let session = w.net.tls_connect(h, &client).expect("handshake succeeds");
+            let verdict = govscan_pki::validate_chain(
+                &session.peer_chain,
+                w.cadb.trust_store(TrustStoreProfile::Apple),
+                h,
+                w.scan_time(),
+            );
+            assert!(verdict.is_ok(), "{h}: {verdict:?}");
+            checked += 1;
+            if checked > 200 {
+                break;
+            }
+        }
+        assert!(checked > 50, "enough valid hosts to check");
+    }
+
+    #[test]
+    fn injected_errors_measure_as_intended() {
+        let w = world();
+        let client = govscan_net::TlsClientConfig::default();
+        let mut checked = 0;
+        for h in &w.gov_hosts {
+            let Posture::InvalidHttps { error } = w.records[h].posture else {
+                continue;
+            };
+            if !error.delivers_chain() {
+                continue;
+            }
+            let session = match w.net.tls_connect(h, &client) {
+                Ok(s) => s,
+                Err(e) => panic!("{h} ({error:?}): unexpected tls failure {e}"),
+            };
+            let verdict = govscan_pki::validate_chain(
+                &session.peer_chain,
+                w.cadb.trust_store(TrustStoreProfile::Apple),
+                h,
+                w.scan_time(),
+            );
+            let measured = verdict.expect_err("must be invalid");
+            use govscan_pki::CertError as E;
+            let expected = match error {
+                InjectedError::HostnameMismatch => E::HostnameMismatch,
+                InjectedError::UnableLocalIssuer => E::UnableToGetLocalIssuer,
+                InjectedError::SelfSigned => E::SelfSignedLeaf,
+                InjectedError::SelfSignedInChain => E::SelfSignedInChain,
+                InjectedError::Expired => E::Expired,
+                _ => unreachable!(),
+            };
+            assert_eq!(measured, expected, "{h}");
+            checked += 1;
+            if checked > 300 {
+                break;
+            }
+        }
+        assert!(checked > 50, "enough invalid hosts to check: {checked}");
+    }
+
+    #[test]
+    fn reuse_clusters_share_keys() {
+        let w = world();
+        // Find Bangladesh mismatch hosts sharing a certificate.
+        let mut fingerprints: HashMap<String, usize> = HashMap::new();
+        let client = govscan_net::TlsClientConfig::default();
+        for h in &w.gov_hosts {
+            let rec = &w.records[h];
+            if rec.country != "bd" {
+                continue;
+            }
+            if let Posture::InvalidHttps { .. } = rec.posture {
+                if let Ok(s) = w.net.tls_connect(h, &client) {
+                    if let Some(leaf) = s.peer_chain.first() {
+                        *fingerprints
+                            .entry(leaf.tbs.public_key.fingerprint())
+                            .or_default() += 1;
+                    }
+                }
+            }
+        }
+        let max_shared = fingerprints.values().copied().max().unwrap_or(0);
+        assert!(max_shared >= 2, "bd cluster shares a key: {max_shared}");
+    }
+
+    #[test]
+    fn case_study_lists_exist() {
+        let w = world();
+        assert!(!w.gsa_hosts.is_empty());
+        assert!(!w.rok_hosts.is_empty());
+        for h in w.rok_hosts.iter().take(20) {
+            assert!(h.ends_with(".go.kr"), "{h}");
+            assert!(w.records[h].in_rok_list);
+        }
+        for h in w.gsa_hosts.iter().take(20) {
+            let r = &w.records[h];
+            assert!(!r.gsa_datasets.is_empty());
+        }
+        // .mil hosts present.
+        assert!(w.gsa_hosts.iter().any(|h| h.ends_with(".mil")));
+    }
+
+    #[test]
+    fn rankings_and_seed_are_consistent() {
+        let w = world();
+        assert!(w.tranco.gov_in_top(w.tranco.size) > 0);
+        for e in w.tranco.gov_entries().take(50) {
+            let rec = &w.records[&e.hostname];
+            assert_eq!(rec.tranco_rank, Some(e.rank));
+            assert!(rec.in_seed);
+        }
+        // Materialized non-gov hosts are dialable.
+        let ng = w.tranco.nongov_entries().next().unwrap();
+        assert!(w.net.host(&ng.hostname).is_some());
+    }
+
+    #[test]
+    fn whitelist_contains_whitelist_only_countries() {
+        let w = world();
+        assert!(w.whitelist.iter().any(|h| w.records[h].country == "de"));
+    }
+
+    #[test]
+    fn phishing_twins_have_valid_https() {
+        let w = world();
+        let client = govscan_net::TlsClientConfig::default();
+        let twin = "etagovlk.sl";
+        assert!(w.record(twin).is_some(), "etagov twin exists");
+        let session = w.net.tls_connect(twin, &client).unwrap();
+        let verdict = govscan_pki::validate_chain(
+            &session.peer_chain,
+            w.cadb.trust_store(TrustStoreProfile::Apple),
+            twin,
+            w.scan_time(),
+        );
+        assert!(verdict.is_ok(), "{verdict:?}");
+        assert!(!w.records[twin].is_gov);
+    }
+
+    #[test]
+    fn unreachable_hosts_fail_dns() {
+        let w = world();
+        let client = govscan_net::TlsClientConfig::default();
+        let mut found = 0;
+        for h in &w.gov_hosts {
+            if matches!(w.records[h].posture, Posture::Unreachable) {
+                let out = w.net.fetch(h, false, &client);
+                assert!(
+                    matches!(
+                        out,
+                        govscan_net::HttpOutcome::DnsFailure | govscan_net::HttpOutcome::DnsTimeout
+                    ),
+                    "{h}: {out:?}"
+                );
+                found += 1;
+                if found > 50 {
+                    break;
+                }
+            }
+        }
+        assert!(found > 10, "unreachable pool exists");
+    }
+
+    #[test]
+    fn caa_records_published_for_flagged_hosts() {
+        let w = world();
+        let mut with_caa = 0;
+        for h in &w.gov_hosts {
+            if w.records[h].has_caa && !matches!(w.records[h].posture, Posture::Unreachable) {
+                let set = w.net.caa_lookup(h);
+                assert!(!set.is_empty(), "{h} should publish CAA");
+                assert!(set.iter().all(|r| r.is_well_formed()));
+                with_caa += 1;
+            }
+        }
+        assert!(with_caa > 5, "CAA hosts exist: {with_caa}");
+    }
+}
