@@ -131,7 +131,11 @@ pub fn build_rok(scan: &ScanDataset) -> CaseAggregate {
 /// Render a case aggregate in the Table A.3/A.4 layout.
 pub fn render_aggregate(name: &str, a: &CaseAggregate) -> String {
     let mut t = TextTable::new(vec!["Metric", "Count", "%"]);
-    t.row(vec![format!("{name} total"), a.total.to_string(), "100".to_string()]);
+    t.row(vec![
+        format!("{name} total"),
+        a.total.to_string(),
+        "100".to_string(),
+    ]);
     t.row(vec![
         "Unavailable".to_string(),
         a.unavailable.to_string(),
@@ -170,7 +174,13 @@ pub fn render_aggregate(name: &str, a: &CaseAggregate) -> String {
 /// Render the per-dataset Table A.1 layout.
 pub fn render_usa_datasets(case: &UsaCase) -> String {
     let mut t = TextTable::new(vec![
-        "Dataset", "Total", "HTTP only", "Both", "HTTPS", "Valid", "Invalid",
+        "Dataset",
+        "Total",
+        "HTTP only",
+        "Both",
+        "HTTPS",
+        "Valid",
+        "Invalid",
     ]);
     for (d, a) in &case.per_dataset {
         t.row(vec![
@@ -208,11 +218,7 @@ mod tests {
             let tags: BTreeMap<String, Vec<UsaDataset>> = world
                 .gsa_hosts
                 .iter()
-                .filter_map(|h| {
-                    world
-                        .record(h)
-                        .map(|r| (h.clone(), r.gsa_datasets.clone()))
-                })
+                .filter_map(|h| world.record(h).map(|r| (h.clone(), r.gsa_datasets.clone())))
                 .collect();
             Cases {
                 usa: build_usa(&usa_scan, &tags),

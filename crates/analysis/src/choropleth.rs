@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn nordics_beat_the_long_tail() {
         let f = fig();
-        let no = f.get("no").map(|r| r.valid_share().fraction()).unwrap_or(1.0);
+        let no = f
+            .get("no")
+            .map(|r| r.valid_share().fraction())
+            .unwrap_or(1.0);
         // Aggregate a low-tech slice for a stable comparison.
         let mut low_valid = 0;
         let mut low_https = 0;

@@ -21,12 +21,24 @@ pub struct Group {
 impl Group {
     /// Mean rank (the paper reports 396,427 for gov vs 499,206 uniform).
     pub fn mean_rank(&self) -> f64 {
-        stats::mean(&self.members.iter().map(|(r, _)| *r as f64).collect::<Vec<_>>())
+        stats::mean(
+            &self
+                .members
+                .iter()
+                .map(|(r, _)| *r as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Rank standard deviation.
     pub fn rank_std(&self) -> f64 {
-        stats::std_dev(&self.members.iter().map(|(r, _)| *r as f64).collect::<Vec<_>>())
+        stats::std_dev(
+            &self
+                .members
+                .iter()
+                .map(|(r, _)| *r as f64)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Overall valid-https share.
@@ -74,7 +86,11 @@ impl Group {
 
 /// Scan the government entries of the ranking list.
 pub fn gov_group(ctx: &ScanContext<'_>, tranco: &RankingList) -> Group {
-    scan_group(ctx, "gov", tranco.gov_entries().map(|e| (e.rank, e.hostname.clone())))
+    scan_group(
+        ctx,
+        "gov",
+        tranco.gov_entries().map(|e| (e.rank, e.hostname.clone())),
+    )
 }
 
 /// Uniformly sample `n` materialized non-government entries (sampler \[1\] in §5.5).

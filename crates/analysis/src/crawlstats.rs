@@ -60,7 +60,10 @@ impl CrawlGrowth {
                 if i == 0 {
                     "-".to_string()
                 } else {
-                    format!("{:.1}", self.growth_percent.get(i - 1).copied().unwrap_or(0.0))
+                    format!(
+                        "{:.1}",
+                        self.growth_percent.get(i - 1).copied().unwrap_or(0.0)
+                    )
                 },
             ]);
         }

@@ -50,7 +50,7 @@ pub fn build(scan: &ScanDataset, log: &CtLog, net: &govscan_net::SimNet) -> CtRe
         report.ca_issued += 1;
         let row = report.by_issuer.entry(meta.issuer.clone()).or_default();
         row.seen += 1;
-        if let Some(index) = log.index_of(&meta.fingerprint) {
+        if let Some(index) = log.index_of(meta.fingerprint) {
             report.ca_logged += 1;
             row.logged += 1;
             // Spot-check one inclusion proof in 16 (proofs are O(log n)
@@ -93,13 +93,17 @@ impl CtReport {
         );
         let mut t = TextTable::new(vec!["Issuer", "Seen", "Logged", "Coverage %"]);
         let mut rows: Vec<(&String, &IssuerCoverage)> = self.by_issuer.iter().collect();
-        rows.sort_by(|a, b| b.1.seen.cmp(&a.1.seen));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.seen));
         for (issuer, cov) in rows.into_iter().take(15) {
             t.row(vec![
                 issuer.clone(),
                 cov.seen.to_string(),
                 cov.logged.to_string(),
-                pct(if cov.seen == 0 { 0.0 } else { cov.logged as f64 / cov.seen as f64 }),
+                pct(if cov.seen == 0 {
+                    0.0
+                } else {
+                    cov.logged as f64 / cov.seen as f64
+                }),
             ]);
         }
         out.push_str(&t.render());

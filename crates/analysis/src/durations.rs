@@ -107,7 +107,11 @@ impl DurationFigure {
         let s = &self.invalid_stats;
         let v = &self.valid_stats;
         let frac = |n: u64, d: u64| pct(if d == 0 { 0.0 } else { n as f64 / d as f64 });
-        t.row(vec!["Certificates".to_string(), s.total.to_string(), v.total.to_string()]);
+        t.row(vec![
+            "Certificates".to_string(),
+            s.total.to_string(),
+            v.total.to_string(),
+        ]);
         t.row(vec![
             "Under 2 years (%)".to_string(),
             frac(s.under_2y, s.total),
@@ -118,7 +122,11 @@ impl DurationFigure {
             frac(s.over_3y, s.total),
             frac(v.over_3y, v.total),
         ]);
-        t.row(vec!["10-year certs".to_string(), s.ten_year.to_string(), v.ten_year.to_string()]);
+        t.row(vec![
+            "10-year certs".to_string(),
+            s.ten_year.to_string(),
+            v.ten_year.to_string(),
+        ]);
         t.row(vec![
             "20-year certs".to_string(),
             s.twenty_year.to_string(),
@@ -161,7 +169,9 @@ impl DurationFigure {
                 e.1 += 1;
             }
         }
-        map.into_iter().map(|((y, m), (v, i))| (y, m, v, i)).collect()
+        map.into_iter()
+            .map(|((y, m), (v, i))| (y, m, v, i))
+            .collect()
     }
 }
 

@@ -77,14 +77,18 @@ impl EvReport {
         );
         let mut t = TextTable::new(vec!["EV issuer", "Valid", "Invalid", "Invalid %"]);
         let mut rows: Vec<(&String, &EvIssuerRow)> = self.by_issuer.iter().collect();
-        rows.sort_by(|a, b| (b.1.valid + b.1.invalid).cmp(&(a.1.valid + a.1.invalid)));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.valid + r.1.invalid));
         for (issuer, row) in rows {
             let total = row.valid + row.invalid;
             t.row(vec![
                 issuer.clone(),
                 row.valid.to_string(),
                 row.invalid.to_string(),
-                pct(if total == 0 { 0.0 } else { row.invalid as f64 / total as f64 }),
+                pct(if total == 0 {
+                    0.0
+                } else {
+                    row.invalid as f64 / total as f64
+                }),
             ]);
         }
         out.push_str(&t.render());

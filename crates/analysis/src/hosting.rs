@@ -76,7 +76,10 @@ pub fn build_all(scan: &ScanDataset) -> HostingFigure {
 impl HostingFigure {
     /// Valid share of a coarse class.
     pub fn valid_share(&self, class: &str) -> f64 {
-        self.coarse.get(class).map(|r| r.valid_share()).unwrap_or(0.0)
+        self.coarse
+            .get(class)
+            .map(|r| r.valid_share())
+            .unwrap_or(0.0)
     }
 
     /// Share of hosts on cloud or CDN.
@@ -107,7 +110,11 @@ impl HostingFigure {
         out.push('\n');
         let mut t = TextTable::new(vec!["Provider", "Hosts", "Valid %"]);
         for (p, r) in &self.providers {
-            t.row(vec![p.to_string(), r.total.to_string(), pct(r.valid_share())]);
+            t.row(vec![
+                p.to_string(),
+                r.total.to_string(),
+                pct(r.valid_share()),
+            ]);
         }
         out.push_str(&t.render());
         out

@@ -73,8 +73,11 @@ impl HstsReport {
             self.adoption().percent(),
             self.world.enforcing
         );
-        let mut rows: Vec<(&&str, &HstsRow)> =
-            self.by_country.iter().filter(|(_, r)| r.valid >= 10).collect();
+        let mut rows: Vec<(&&str, &HstsRow)> = self
+            .by_country
+            .iter()
+            .filter(|(_, r)| r.valid >= 10)
+            .collect();
         rows.sort_by(|a, b| {
             let ra = a.1.hsts as f64 / a.1.valid as f64;
             let rb = b.1.hsts as f64 / b.1.valid as f64;
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn usa_leads_the_long_tail_on_hsts() {
         let r = report();
-        let us = r.country_adoption("us").map(|s| s.fraction()).unwrap_or(0.0);
+        let us = r
+            .country_adoption("us")
+            .map(|s| s.fraction())
+            .unwrap_or(0.0);
         // Aggregate low-tech slice.
         let mut lo_valid = 0;
         let mut lo_hsts = 0;

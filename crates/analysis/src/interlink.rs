@@ -33,8 +33,12 @@ pub fn build(net: &SimNet, filter: &GovFilter, scan: &ScanDataset) -> InterlinkR
             _ => continue,
         };
         for link in html::extract_links(&page) {
-            let Some(target) = html::link_hostname(&link) else { continue };
-            let Some(dst) = filter.classify(&target) else { continue };
+            let Some(target) = html::link_hostname(&link) else {
+                continue;
+            };
+            let Some(dst) = filter.classify(&target) else {
+                continue;
+            };
             if dst == src {
                 continue;
             }
@@ -70,7 +74,10 @@ impl InterlinkReport {
 
     /// The country with the highest out-degree (paper: Austria, 70).
     pub fn top_linker(&self) -> Option<(&'static str, usize)> {
-        self.out_degree.iter().map(|(k, v)| (*k, *v)).max_by_key(|(_, v)| *v)
+        self.out_degree
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .max_by_key(|(_, v)| *v)
     }
 
     /// Render the top rows.
@@ -109,7 +116,11 @@ mod tests {
     #[test]
     fn cross_links_exist_broadly() {
         let r = report();
-        assert!(r.out_degree.len() > 30, "countries with out-links: {}", r.out_degree.len());
+        assert!(
+            r.out_degree.len() > 30,
+            "countries with out-links: {}",
+            r.out_degree.len()
+        );
         assert!(r.share_linking_at_least(2) > 0.4);
     }
 

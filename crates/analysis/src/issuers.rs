@@ -131,7 +131,10 @@ mod tests {
         let f = fig();
         let le = f.get("Let's Encrypt Authority X3").unwrap();
         let invalid = le.invalid_share();
-        assert!((0.05..0.45).contains(&invalid), "LE invalid share {invalid}");
+        assert!(
+            (0.05..0.45).contains(&invalid),
+            "LE invalid share {invalid}"
+        );
     }
 
     #[test]

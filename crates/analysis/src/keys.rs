@@ -58,7 +58,11 @@ pub fn build(scan: &ScanDataset) -> KeyFigure {
             }
         };
         bump(fig.by_key.entry(meta.key_algorithm).or_default());
-        bump(fig.by_signature.entry(meta.signature_algorithm).or_default());
+        bump(
+            fig.by_signature
+                .entry(meta.signature_algorithm)
+                .or_default(),
+        );
         bump(
             fig.joint
                 .entry((meta.signature_algorithm, meta.key_algorithm))
@@ -191,7 +195,10 @@ mod tests {
             .collect();
         let valid: u64 = legacy.iter().map(|(_, c)| c.valid).sum();
         let invalid: u64 = legacy.iter().map(|(_, c)| c.invalid).sum();
-        assert!(invalid > valid, "legacy sigs skew invalid: {valid}/{invalid}");
+        assert!(
+            invalid > valid,
+            "legacy sigs skew invalid: {valid}/{invalid}"
+        );
     }
 
     #[test]

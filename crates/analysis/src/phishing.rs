@@ -50,7 +50,9 @@ pub fn detect<'a>(
         if filter.is_gov(&host) {
             continue; // real government site
         }
-        let Some((stem, _tld)) = host.rsplit_once('.') else { continue };
+        let Some((stem, _tld)) = host.rsplit_once('.') else {
+            continue;
+        };
         let last_label = stem.rsplit('.').next().unwrap_or(stem);
         let pattern = if last_label.len() > 3 && last_label.ends_with("gov") {
             Some(TwinPattern::EmbeddedGov)
@@ -152,7 +154,11 @@ mod tests {
         let r = report();
         let filter = GovFilter::standard();
         for t in &r.twins {
-            assert!(!filter.is_gov(&t.hostname), "{} flagged wrongly", t.hostname);
+            assert!(
+                !filter.is_gov(&t.hostname),
+                "{} flagged wrongly",
+                t.hostname
+            );
         }
     }
 

@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use govscan_crypto::Fingerprint;
 use govscan_scanner::ScanDataset;
 
 use crate::table::TextTable;
@@ -11,9 +12,9 @@ use crate::table::TextTable;
 #[derive(Debug, Clone)]
 pub struct ReuseCluster {
     /// Public-key fingerprint.
-    pub key_fingerprint: String,
+    pub key_fingerprint: Fingerprint,
     /// Distinct certificate fingerprints seen with this key.
-    pub cert_fingerprints: HashSet<String>,
+    pub cert_fingerprints: HashSet<Fingerprint>,
     /// Hostnames presenting the key.
     pub hosts: Vec<String>,
     /// Countries spanned.
@@ -33,7 +34,7 @@ pub struct ReuseCluster {
 #[derive(Debug, Clone)]
 pub struct CertCluster {
     /// Certificate fingerprint.
-    pub fingerprint: String,
+    pub fingerprint: Fingerprint,
     /// Hostnames presenting it.
     pub hosts: Vec<String>,
     /// Countries spanned.
@@ -51,14 +52,14 @@ pub struct ReuseReport {
 
 /// Build from the worldwide scan.
 pub fn build(scan: &ScanDataset) -> ReuseReport {
-    let mut map: HashMap<String, ReuseCluster> = HashMap::new();
-    let mut by_cert: HashMap<String, CertCluster> = HashMap::new();
+    let mut map: HashMap<Fingerprint, ReuseCluster> = HashMap::new();
+    let mut by_cert: HashMap<Fingerprint, CertCluster> = HashMap::new();
     for r in scan.https_attempting() {
         let Some(meta) = r.https.meta() else { continue };
         let cc_cluster = by_cert
-            .entry(meta.fingerprint.clone())
+            .entry(meta.fingerprint)
             .or_insert_with(|| CertCluster {
-                fingerprint: meta.fingerprint.clone(),
+                fingerprint: meta.fingerprint,
                 hosts: Vec::new(),
                 countries: HashSet::new(),
             });
@@ -67,9 +68,9 @@ pub fn build(scan: &ScanDataset) -> ReuseReport {
             cc_cluster.countries.insert(cc);
         }
         let cluster = map
-            .entry(meta.key_fingerprint.clone())
+            .entry(meta.key_fingerprint)
             .or_insert_with(|| ReuseCluster {
-                key_fingerprint: meta.key_fingerprint.clone(),
+                key_fingerprint: meta.key_fingerprint,
                 cert_fingerprints: HashSet::new(),
                 hosts: Vec::new(),
                 countries: HashSet::new(),
@@ -78,7 +79,7 @@ pub fn build(scan: &ScanDataset) -> ReuseReport {
                 self_signed_hosts: 0,
                 issuer: meta.issuer.clone(),
             });
-        cluster.cert_fingerprints.insert(meta.fingerprint.clone());
+        cluster.cert_fingerprints.insert(meta.fingerprint);
         cluster.hosts.push(r.hostname.clone());
         if let Some(cc) = r.country {
             cluster.countries.insert(cc);
@@ -92,10 +93,8 @@ pub fn build(scan: &ScanDataset) -> ReuseReport {
             _ => {}
         }
     }
-    let mut clusters: Vec<ReuseCluster> = map
-        .into_values()
-        .filter(|c| c.hosts.len() >= 2)
-        .collect();
+    let mut clusters: Vec<ReuseCluster> =
+        map.into_values().filter(|c| c.hosts.len() >= 2).collect();
     clusters.sort_by(|a, b| {
         b.hosts
             .len()
@@ -113,7 +112,10 @@ pub fn build(scan: &ScanDataset) -> ReuseReport {
             .cmp(&a.hosts.len())
             .then(a.fingerprint.cmp(&b.fingerprint))
     });
-    ReuseReport { clusters, cert_clusters }
+    ReuseReport {
+        clusters,
+        cert_clusters,
+    }
 }
 
 impl ReuseReport {
@@ -184,7 +186,14 @@ impl ReuseReport {
             self.cross_country_cert_hosts(),
             self.cert_span_histogram()
         );
-        let mut t = TextTable::new(vec!["Issuer/CN", "Hosts", "Countries", "Valid", "Mismatch", "SelfSigned"]);
+        let mut t = TextTable::new(vec![
+            "Issuer/CN",
+            "Hosts",
+            "Countries",
+            "Valid",
+            "Mismatch",
+            "SelfSigned",
+        ]);
         for c in self.clusters.iter().take(15) {
             t.row(vec![
                 c.issuer.clone(),

@@ -24,9 +24,9 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// (table for small df, 1.96 asymptote).
 pub fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -70,8 +70,7 @@ impl LinearFit {
             return f64::INFINITY;
         }
         let t = t_975(self.n - 2);
-        t * self.residual_se
-            * (1.0 / self.n as f64 + (x - self.x_mean).powi(2) / self.sxx).sqrt()
+        t * self.residual_se * (1.0 / self.n as f64 + (x - self.x_mean).powi(2) / self.sxx).sqrt()
     }
 
     /// Is the slope significantly different from zero at 5%?
@@ -110,7 +109,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     } else {
         0.0
     };
-    let slope_se = if sxx > 0.0 { residual_se / sxx.sqrt() } else { 0.0 };
+    let slope_se = if sxx > 0.0 {
+        residual_se / sxx.sqrt()
+    } else {
+        0.0
+    };
     let intercept_se = residual_se * (1.0 / n as f64 + x_mean * x_mean / sxx).sqrt();
     Some(LinearFit {
         intercept,
@@ -215,7 +218,10 @@ mod tests {
     fn degenerate_fits() {
         assert!(linear_fit(&[]).is_none());
         assert!(linear_fit(&[(1.0, 1.0)]).is_none());
-        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none(), "zero x variance");
+        assert!(
+            linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none(),
+            "zero x variance"
+        );
     }
 
     #[test]

@@ -89,7 +89,12 @@ mod tests {
         let t = table();
         for col in &t.columns {
             for i in 1..4 {
-                assert!(col.counts[i] >= col.counts[i - 1], "{}: {:?}", col.list, col.counts);
+                assert!(
+                    col.counts[i] >= col.counts[i - 1],
+                    "{}: {:?}",
+                    col.list,
+                    col.counts
+                );
             }
         }
     }

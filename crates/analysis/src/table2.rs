@@ -86,7 +86,11 @@ impl Table2 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec!["Category", "Count", "%"]);
         let p = |n: u64, d: u64| format!("{:.2}", Share::new(n, d).percent());
-        t.row(vec!["Total websites considered".to_string(), self.total.to_string(), "100".into()]);
+        t.row(vec![
+            "Total websites considered".to_string(),
+            self.total.to_string(),
+            "100".into(),
+        ]);
         t.row(vec![
             "> Content served on HTTP only".to_string(),
             self.http_only.to_string(),
@@ -124,7 +128,11 @@ impl Table2 {
             ]);
         }
         let exc = self.exceptions();
-        t.row(vec![">>> Exceptions".to_string(), exc.to_string(), p(exc, self.invalid)]);
+        t.row(vec![
+            ">>> Exceptions".to_string(),
+            exc.to_string(),
+            p(exc, self.invalid),
+        ]);
         for cat in ErrorCategory::ALL.iter().filter(|c| c.is_exception()) {
             t.row(vec![
                 format!(">>>> {}", cat.label()),
@@ -144,7 +152,11 @@ impl Table2 {
             ]);
         }
         let others = self.count(ErrorCategory::Other) + self.count(ErrorCategory::NotYetValid);
-        t.row(vec![">>> Others".to_string(), others.to_string(), p(others, self.invalid)]);
+        t.row(vec![
+            ">>> Others".to_string(),
+            others.to_string(),
+            p(others, self.invalid),
+        ]);
         t.render()
     }
 }

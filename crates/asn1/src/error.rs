@@ -33,7 +33,10 @@ impl std::fmt::Display for Asn1Error {
             Asn1Error::Truncated => write!(f, "truncated DER input"),
             Asn1Error::BadLength => write!(f, "malformed DER length"),
             Asn1Error::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}")
+                write!(
+                    f,
+                    "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}"
+                )
             }
             Asn1Error::BadValue(what) => write!(f, "malformed DER value: {what}"),
             Asn1Error::BadOid => write!(f, "malformed object identifier"),

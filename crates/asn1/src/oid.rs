@@ -140,7 +140,10 @@ mod tests {
     fn known_encoding_ec_pubkey() {
         // 1.2.840.10045.2.1 → 2a 86 48 ce 3d 02 01
         let oid = Oid::parse("1.2.840.10045.2.1").unwrap();
-        assert_eq!(oid.to_der_content(), vec![0x2a, 0x86, 0x48, 0xce, 0x3d, 0x02, 0x01]);
+        assert_eq!(
+            oid.to_der_content(),
+            vec![0x2a, 0x86, 0x48, 0xce, 0x3d, 0x02, 0x01]
+        );
     }
 
     #[test]

@@ -233,11 +233,23 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(Time::from_der_content(false, b"20200422").is_err());
-        assert!(Time::from_der_content(false, b"2004221000050").is_err(), "no Z");
+        assert!(
+            Time::from_der_content(false, b"2004221000050").is_err(),
+            "no Z"
+        );
         assert!(Time::from_der_content(false, b"20x422100005Z").is_err());
-        assert!(Time::from_der_content(false, b"201322100005Z").is_err(), "month 13");
-        assert!(Time::from_der_content(false, b"200400100005Z").is_err(), "day 0");
-        assert!(Time::from_der_content(true, b"200422100005Z").is_err(), "wrong length");
+        assert!(
+            Time::from_der_content(false, b"201322100005Z").is_err(),
+            "month 13"
+        );
+        assert!(
+            Time::from_der_content(false, b"200400100005Z").is_err(),
+            "day 0"
+        );
+        assert!(
+            Time::from_der_content(true, b"200422100005Z").is_err(),
+            "wrong length"
+        );
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
         assert_eq!(encode(|w| w.integer_i64(128)), vec![0x02, 0x02, 0x00, 0x80]);
         assert_eq!(encode(|w| w.integer_i64(256)), vec![0x02, 0x02, 0x01, 0x00]);
         assert_eq!(encode(|w| w.integer_i64(-1)), vec![0x02, 0x01, 0xff]);
-        assert_eq!(encode(|w| w.integer_i64(-129)), vec![0x02, 0x02, 0xff, 0x7f]);
+        assert_eq!(
+            encode(|w| w.integer_i64(-129)),
+            vec![0x02, 0x02, 0xff, 0x7f]
+        );
     }
 
     #[test]
@@ -266,7 +269,10 @@ mod tests {
                 w.sequence(|w| w.null());
             })
         });
-        assert_eq!(der, vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]);
+        assert_eq!(
+            der,
+            vec![0x30, 0x07, 0x02, 0x01, 0x01, 0x30, 0x02, 0x05, 0x00]
+        );
     }
 
     #[test]

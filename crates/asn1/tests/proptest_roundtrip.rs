@@ -1,72 +1,127 @@
-//! Property-based round-trip tests for the DER codec.
+//! Randomized round-trip tests for the DER codec.
+//!
+//! Originally written against the `proptest` crate; rewritten as
+//! seeded randomized tests (deterministic per seed) because the offline
+//! build vendors only a minimal `rand`. Each test preserves the original
+//! property and exercises hundreds of sampled cases.
 
 use govscan_asn1::{DerReader, DerWriter, Oid, Time};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn integer_i64_round_trips(v in any::<i64>()) {
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+fn random_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with multi-byte code points, like \PC did.
+            match rng.gen_range(0..4) {
+                0 => char::from(rng.gen_range(0x20u8..0x7f)),
+                1 => char::from_u32(rng.gen_range(0xA0u32..0x2000)).unwrap_or('x'),
+                2 => char::from_u32(rng.gen_range(0x4E00u32..0x9FFF)).unwrap_or('y'),
+                _ => char::from(rng.gen_range(b'a'..=b'z')),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn integer_i64_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA541);
+    for case in 0..CASES {
+        // Cover the extremes as well as uniform draws.
+        let v: i64 = match case {
+            0 => 0,
+            1 => i64::MAX,
+            2 => i64::MIN,
+            3 => -1,
+            _ => rng.gen::<i64>(),
+        };
         let mut w = DerWriter::new();
         w.integer_i64(v);
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        prop_assert_eq!(r.integer_i64().unwrap(), v);
-        prop_assert!(r.is_empty());
+        assert_eq!(r.integer_i64().unwrap(), v);
+        assert!(r.is_empty());
     }
+}
 
-    #[test]
-    fn octet_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn octet_string_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA542);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 600);
         let mut w = DerWriter::new();
         w.octet_string(&bytes);
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        prop_assert_eq!(r.octet_string().unwrap(), &bytes[..]);
+        assert_eq!(r.octet_string().unwrap(), &bytes[..]);
     }
+}
 
-    #[test]
-    fn utf8_round_trips(s in "\\PC{0,100}") {
+#[test]
+fn utf8_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA543);
+    for _ in 0..CASES {
+        let s = random_string(&mut rng, 100);
         let mut w = DerWriter::new();
         w.utf8(&s);
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        prop_assert_eq!(r.utf8().unwrap(), s);
+        assert_eq!(r.utf8().unwrap(), s);
     }
+}
 
-    #[test]
-    fn oid_round_trips(
-        first in 0u64..3,
-        second in 0u64..40,
-        rest in proptest::collection::vec(any::<u64>(), 0..8)
-    ) {
-        let mut arcs = vec![first, second];
-        arcs.extend(rest);
+#[test]
+fn oid_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA544);
+    for _ in 0..CASES {
+        let mut arcs = vec![rng.gen_range(0u64..3), rng.gen_range(0u64..40)];
+        for _ in 0..rng.gen_range(0..8) {
+            arcs.push(rng.gen::<u64>() >> rng.gen_range(0..64));
+        }
         let oid = Oid::from_arcs(arcs).unwrap();
         let mut w = DerWriter::new();
         w.oid(&oid);
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        prop_assert_eq!(r.oid().unwrap(), oid);
+        assert_eq!(r.oid().unwrap(), oid);
     }
+}
 
-    #[test]
-    fn time_round_trips(
-        year in 1950i32..2120,
-        month in 1u8..=12,
-        day in 1u8..=28,
-        hour in 0u8..24,
-        minute in 0u8..60,
-        second in 0u8..60
-    ) {
-        let t = Time::from_ymd_hms(year, month, day, hour, minute, second);
+#[test]
+fn time_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA545);
+    for _ in 0..CASES {
+        let t = Time::from_ymd_hms(
+            rng.gen_range(1950i32..2120),
+            rng.gen_range(1u8..=12),
+            rng.gen_range(1u8..=28),
+            rng.gen_range(0u8..24),
+            rng.gen_range(0u8..60),
+            rng.gen_range(0u8..60),
+        );
         let mut w = DerWriter::new();
         w.time(t);
         let der = w.finish();
         let mut r = DerReader::new(&der);
-        prop_assert_eq!(r.time().unwrap(), t);
+        assert_eq!(r.time().unwrap(), t);
     }
+}
 
-    #[test]
-    fn nested_sequence_round_trips(values in proptest::collection::vec(any::<i64>(), 0..20)) {
+#[test]
+fn nested_sequence_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA546);
+    for _ in 0..CASES {
+        let values: Vec<i64> = (0..rng.gen_range(0..20))
+            .map(|_| rng.gen::<i64>())
+            .collect();
         let mut w = DerWriter::new();
         w.sequence(|w| {
             for &v in &values {
@@ -77,14 +132,18 @@ proptest! {
         let mut r = DerReader::new(&der);
         let mut seq = r.sequence().unwrap();
         for &v in &values {
-            prop_assert_eq!(seq.integer_i64().unwrap(), v);
+            assert_eq!(seq.integer_i64().unwrap(), v);
         }
-        prop_assert!(seq.is_empty());
+        assert!(seq.is_empty());
     }
+}
 
-    /// Arbitrary bytes must never panic the reader — errors only.
-    #[test]
-    fn reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// Arbitrary bytes must never panic the reader — errors only.
+#[test]
+fn reader_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xA547);
+    for _ in 0..CASES * 4 {
+        let bytes = random_bytes(&mut rng, 200);
         let mut r = DerReader::new(&bytes);
         while !r.is_empty() {
             if r.read_tlv().is_err() {
@@ -92,10 +151,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// Serial-number magnitudes round-trip through INTEGER.
-    #[test]
-    fn integer_bytes_round_trips(bytes in proptest::collection::vec(any::<u8>(), 1..24)) {
+/// Serial-number magnitudes round-trip through INTEGER.
+#[test]
+fn integer_bytes_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xA548);
+    for _ in 0..CASES {
+        let mut bytes = random_bytes(&mut rng, 23);
+        if bytes.is_empty() {
+            bytes.push(rng.gen::<u8>());
+        }
         let mut w = DerWriter::new();
         w.integer_bytes(&bytes);
         let der = w.finish();
@@ -106,6 +172,6 @@ proptest! {
         while expect.len() > 1 && expect[0] == 0 {
             expect = &expect[1..];
         }
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
 }

@@ -54,7 +54,7 @@ fn pki_fixture() -> Pki {
     ));
     let mut trust = TrustStore::new();
     trust.add_root(root.cert.clone());
-    let der = leaf.to_der();
+    let der = leaf.to_der().to_vec();
     Pki {
         chain: vec![leaf, inter.cert.clone()],
         trust,
@@ -94,7 +94,12 @@ fn bench_pki(c: &mut Criterion) {
         })
     });
     g.bench_function("hostname_wildcard_match", |b| {
-        b.iter(|| hostname::matches(black_box("*.portal.gov.bd"), black_box("forms.portal.gov.bd")))
+        b.iter(|| {
+            hostname::matches(
+                black_box("*.portal.gov.bd"),
+                black_box("forms.portal.gov.bd"),
+            )
+        })
     });
     g.finish();
 }
@@ -110,9 +115,15 @@ fn bench_filter_and_cidr(c: &mut Criterion) {
         "www.pwebapps.ezv.admin.ch",
     ];
     let mut table: CidrTable<&'static str> = CidrTable::new();
-    for (i, spec) in ["3.0.0.0/9", "13.64.0.0/11", "34.64.0.0/10", "104.16.0.0/13", "150.0.0.0/10"]
-        .iter()
-        .enumerate()
+    for (i, spec) in [
+        "3.0.0.0/9",
+        "13.64.0.0/11",
+        "34.64.0.0/10",
+        "104.16.0.0/13",
+        "150.0.0.0/10",
+    ]
+    .iter()
+    .enumerate()
     {
         table.insert(Cidr::parse(spec).unwrap(), ["a", "b", "c", "d", "e"][i]);
     }

@@ -37,9 +37,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.bench_function("table1_overlap", |b| {
         let filter = GovFilter::standard();
-        b.iter(|| {
-            analysis::table1::build(&filter, &[&world.tranco, &world.majestic, &world.cisco])
-        })
+        b.iter(|| analysis::table1::build(&filter, &[&world.tranco, &world.majestic, &world.cisco]))
     });
     g.bench_function("table2_worldwide", |b| {
         b.iter(|| analysis::table2::build(black_box(&study.scan)))

@@ -1,0 +1,190 @@
+//! Cold vs. warm full-world scan benchmark, with a pre-memoization
+//! baseline, emitting `BENCH_scan.json` at the workspace root so future
+//! changes have a perf trajectory to compare against.
+//!
+//! Three variants scan the same host list serially (serial, so the
+//! numbers isolate the validation-caching effect rather than thread
+//! scheduling noise):
+//!
+//! - `baseline_uncached` — the pre-change probe: every host runs the
+//!   full `validate_chain`, re-verifying every signature in its chain.
+//!   The probe body below mirrors `scan_host` exactly except for that
+//!   one call.
+//! - `cold` — `scan_host` with the verdict cache emptied before each
+//!   pass: the first sighting of each distinct chain pays full
+//!   validation, repeats within the pass hit the memo. (The generated
+//!   world issues nearly one distinct chain per TLS host, so this is
+//!   close to the baseline; real-world chain sharing — wildcard
+//!   deployments, CDN termination — is what the cold path exploits.)
+//! - `warm` — `scan_host` against an already-populated cache, the
+//!   steady state of a long scan: structural validation is entirely
+//!   memo hits.
+
+use std::io::Write as _;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use govscan_net::{DnsOutcome, HttpOutcome, TcpOutcome};
+use govscan_pki::caa::CaaRecord;
+use govscan_scanner::classify::{CertMeta, ErrorCategory, HttpsStatus};
+use govscan_scanner::dataset::HostingKind;
+use govscan_scanner::{scan_host, ScanContext, ScanRecord, StudyPipeline};
+
+/// Hosts scanned per pass. Large enough that chain reuse shows up the
+/// way it does in the full study, small enough to keep the suite quick.
+const HOSTS: usize = 400;
+
+/// The pre-change probe, frozen as the baseline the cache is measured
+/// against: a line-for-line replica of `scan_host` as it stood before
+/// memoization, validating every host with plain `validate_chain` (so
+/// every signature in every chain is re-verified on every host).
+fn scan_host_uncached(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
+    let hostname = hostname.to_ascii_lowercase();
+    let mut resolved: Option<Vec<std::net::Ipv4Addr>> = None;
+    for _ in 0..3 {
+        match ctx.net.resolve(&hostname) {
+            DnsOutcome::Ok(addrs) => {
+                resolved = Some(addrs);
+                break;
+            }
+            DnsOutcome::NxDomain | DnsOutcome::Timeout => continue,
+        }
+    }
+    let ip = resolved.as_ref().and_then(|a| a.first().copied());
+    if ip.is_none() {
+        return ScanRecord::unavailable(hostname);
+    }
+    let ip = ip.unwrap();
+
+    let (http_200, http_redirects_https) = match ctx.net.fetch(&hostname, false, &ctx.client) {
+        HttpOutcome::Response(r) if r.is_ok() => (true, false),
+        HttpOutcome::Response(r) if r.is_redirect() => {
+            let to_https = r
+                .location
+                .as_deref()
+                .is_some_and(|l| l.starts_with("https://"));
+            (false, to_https)
+        }
+        _ => (false, false),
+    };
+
+    let mut https_200 = false;
+    let mut hsts = false;
+    let mut negotiated = None;
+    let https = match ctx.net.tcp_connect(&hostname, 443) {
+        TcpOutcome::Refused => HttpsStatus::None,
+        TcpOutcome::TimedOut => HttpsStatus::Invalid(ErrorCategory::TimedOut, None),
+        TcpOutcome::ResetByPeer => HttpsStatus::Invalid(ErrorCategory::ConnectionReset, None),
+        TcpOutcome::Accepted => match ctx.net.tls_connect(&hostname, &ctx.client) {
+            Err(e) => HttpsStatus::Invalid(ErrorCategory::from_tls_error(e), None),
+            Ok(session) => {
+                negotiated = Some(session.version);
+                if let HttpOutcome::Response(r) = ctx.net.fetch(&hostname, true, &ctx.client) {
+                    https_200 = r.is_ok();
+                    hsts = r.hsts.is_some();
+                }
+                let meta = CertMeta::from_chain(&session.peer_chain, ctx.ev);
+                match govscan_pki::validate_chain(
+                    &session.peer_chain,
+                    ctx.trust,
+                    &hostname,
+                    ctx.now,
+                ) {
+                    Ok(_) => HttpsStatus::Valid(meta.expect("valid chain has a leaf")),
+                    Err(e) => HttpsStatus::Invalid(ErrorCategory::from_cert_error(e), meta),
+                }
+            }
+        },
+    };
+
+    let available = http_200 || https_200;
+    let caa: Vec<CaaRecord> = ctx.net.caa_lookup(&hostname).to_vec();
+    let hosting = match ctx.providers.lookup(ip) {
+        Some((name, true)) => HostingKind::Cdn(name),
+        Some((name, false)) => HostingKind::Cloud(name),
+        None => HostingKind::Private,
+    };
+
+    ScanRecord {
+        hostname,
+        available,
+        ip: Some(ip),
+        http_200,
+        http_redirects_https,
+        https_200,
+        hsts,
+        https,
+        negotiated,
+        caa,
+        hosting,
+        country: None,
+        tranco_rank: None,
+    }
+}
+
+fn bench_scan_world(c: &mut Criterion) {
+    let (world, _) = govscan_bench::fixture();
+    let pipeline = StudyPipeline::new(world);
+    let hosts: Vec<String> = world.gov_hosts.iter().take(HOSTS).cloned().collect();
+
+    let mut g = c.benchmark_group("scan_world");
+    g.sample_size(10);
+    g.bench_function("baseline_uncached", |b| {
+        let ctx = pipeline.context();
+        b.iter(|| {
+            for h in &hosts {
+                black_box(scan_host_uncached(&ctx, h));
+            }
+        })
+    });
+    g.bench_function("cold", |b| {
+        let ctx = pipeline.context();
+        b.iter(|| {
+            // Empty the cache per pass: every pass revalidates each
+            // distinct chain once, repeats within the pass still hit.
+            ctx.verdicts.clear();
+            for h in &hosts {
+                black_box(scan_host(&ctx, h));
+            }
+        })
+    });
+    let warm_ctx = pipeline.context();
+    for h in &hosts {
+        black_box(scan_host(&warm_ctx, h));
+    }
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            for h in &hosts {
+                black_box(scan_host(&warm_ctx, h));
+            }
+        })
+    });
+    g.finish();
+
+    // Emit the perf trajectory artifact.
+    let by_id = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id.ends_with(needle))
+            .expect("bench ran")
+            .mean
+            .as_nanos() as f64
+    };
+    let baseline = by_id("baseline_uncached");
+    let cold = by_id("cold");
+    let warm = by_id("warm");
+    let json = format!(
+        "{{\n  \"hosts_per_pass\": {HOSTS},\n  \"baseline_uncached_ns\": {baseline:.0},\n  \"cold_ns\": {cold:.0},\n  \"warm_ns\": {warm:.0},\n  \"cold_speedup_vs_baseline\": {:.2},\n  \"warm_speedup_vs_baseline\": {:.2},\n  \"warm_cache_chains\": {},\n  \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {}\n}}\n",
+        baseline / cold,
+        baseline / warm,
+        warm_ctx.verdicts.len(),
+        warm_ctx.verdicts.hits(),
+        warm_ctx.verdicts.misses(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    let mut f = std::fs::File::create(path).expect("writable workspace root");
+    f.write_all(json.as_bytes()).expect("write BENCH_scan.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_scan_world);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! SHA-256 fingerprints as a compact value type.
+//!
+//! Fingerprints used to be carried around as 64-character lowercase hex
+//! `String`s; every comparison paid a heap allocation at the producer
+//! and a 64-byte memcmp at the consumer. [`Fingerprint`] stores the raw
+//! 32 digest bytes inline: it is `Copy`, hashes in one shot, and
+//! compares in at most four word comparisons. Hex is produced only at
+//! the presentation edge via [`Fingerprint::to_hex`] / [`Display`].
+//!
+//! [`Display`]: std::fmt::Display
+
+use crate::hex;
+
+/// A SHA-256 digest identifying a certificate or public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u8; 32]);
+
+impl Fingerprint {
+    /// Wrap a digest produced by [`crate::Sha256`]. Panics if `digest`
+    /// is not exactly 32 bytes — all call sites pass SHA-256 output.
+    pub fn from_digest(digest: &[u8]) -> Self {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(digest);
+        Fingerprint(out)
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex, the format reports and CT logs historically used.
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl std::fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Abbreviate like git does: the first 12 hex chars identify a
+        // digest uniquely in any realistic corpus and keep assertion
+        // diffs readable.
+        write!(f, "Fingerprint({}…)", &self.to_hex()[..12])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::Digest;
+    use crate::sha256::Sha256;
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = Fingerprint::from_digest(&Sha256::digest(b"abc"));
+        assert_eq!(fp.to_hex(), hex::encode(&Sha256::digest(b"abc")));
+        assert_eq!(fp.to_hex().len(), 64);
+        assert_eq!(format!("{fp}"), fp.to_hex());
+    }
+
+    #[test]
+    fn ordering_matches_hex_ordering() {
+        // Byte-wise Ord on the digest equals lexicographic order of the
+        // lowercase hex form, so sorted reports are unchanged.
+        let a = Fingerprint::from_digest(&Sha256::digest(b"a"));
+        let b = Fingerprint::from_digest(&Sha256::digest(b"b"));
+        assert_eq!(a.cmp(&b), a.to_hex().cmp(&b.to_hex()));
+        assert_eq!(b.cmp(&a), b.to_hex().cmp(&a.to_hex()));
+    }
+
+    #[test]
+    fn debug_is_abbreviated() {
+        let fp = Fingerprint::from_digest(&Sha256::digest(b"abc"));
+        let dbg = format!("{fp:?}");
+        assert!(dbg.starts_with("Fingerprint("));
+        assert!(dbg.contains(&fp.to_hex()[..12]));
+    }
+}

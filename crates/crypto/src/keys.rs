@@ -7,7 +7,7 @@
 //! scheme is the right substitution for this reproduction.
 
 use crate::digest::Digest;
-use crate::hex;
+use crate::fingerprint::Fingerprint;
 use crate::sha256::Sha256;
 
 /// The key family and nominal size, as reported in certificate metadata.
@@ -64,13 +64,13 @@ pub struct PublicKey {
 }
 
 impl PublicKey {
-    /// SHA-256 fingerprint of the public key, hex-encoded. Used by the
-    /// key-reuse analysis (§5.3.3) to find identical keys across hosts.
-    pub fn fingerprint(&self) -> String {
+    /// SHA-256 fingerprint of the public key. Used by the key-reuse
+    /// analysis (§5.3.3) to find identical keys across hosts.
+    pub fn fingerprint(&self) -> Fingerprint {
         let mut h = Sha256::new();
         h.update(&self.bytes);
         h.update(&self.algorithm.label().into_bytes());
-        hex::encode(&h.finalize())
+        Fingerprint::from_digest(&h.finalize())
     }
 }
 

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod fingerprint;
 pub mod hex;
 pub mod hmac;
 pub mod keys;
@@ -39,6 +40,7 @@ pub mod sha512;
 pub mod sign;
 
 pub use digest::Digest;
+pub use fingerprint::Fingerprint;
 pub use keys::{KeyAlgorithm, KeyPair, PublicKey};
 pub use md5::Md5;
 pub use sha1::Sha1;

@@ -32,7 +32,9 @@ impl ResponseKind {
     pub fn is_supportive(self) -> bool {
         matches!(
             self,
-            ResponseKind::ProvidedContacts | ResponseKind::Redirected | ResponseKind::PointedToWhois
+            ResponseKind::ProvidedContacts
+                | ResponseKind::Redirected
+                | ResponseKind::PointedToWhois
         )
     }
 }
@@ -84,9 +86,7 @@ pub fn run(scan: &ScanDataset, rng: &mut impl Rng, seed: u64) -> Campaign {
     for r in scan.records() {
         let Some(cc) = r.country else { continue };
         *any_hosts.entry(cc).or_default() += 1;
-        let report_worthy = !r.available
-            || !r.https.attempts()
-            || !r.https.is_valid();
+        let report_worthy = !r.available || !r.https.attempts() || !r.https.is_valid();
         if report_worthy {
             *reports.entry(cc).or_default() += 1;
         }
@@ -102,8 +102,12 @@ pub fn run(scan: &ScanDataset, rng: &mut impl Rng, seed: u64) -> Campaign {
             campaign.skipped_all_valid.push(cc);
             continue;
         }
-        let Some(country) = Country::by_code(cc) else { continue };
-        let Some(reg) = directory.get(cc) else { continue };
+        let Some(country) = Country::by_code(cc) else {
+            continue;
+        };
+        let Some(reg) = directory.get(cc) else {
+            continue;
+        };
         let _ = hosts;
         let response = if !reg.tech_contact_works && !reg.admin_contact_works {
             ResponseKind::Undeliverable
@@ -147,7 +151,11 @@ impl Campaign {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let s = self.outcomes.iter().filter(|o| o.response.is_supportive()).count();
+        let s = self
+            .outcomes
+            .iter()
+            .filter(|o| o.response.is_supportive())
+            .count();
         s as f64 / self.outcomes.len() as f64
     }
 

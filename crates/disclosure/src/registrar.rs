@@ -26,10 +26,9 @@ pub fn directory(seed: u64) -> Vec<Registrar> {
     active_countries()
         .map(|c: &Country| {
             // Deterministic pseudo-randomness from the country code.
-            let h = c
-                .code
-                .bytes()
-                .fold(seed ^ 0x5eed, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+            let h = c.code.bytes().fold(seed ^ 0x5eed, |acc, b| {
+                acc.wrapping_mul(31).wrapping_add(b as u64)
+            });
             let tech_contact_works = h % 26 != 0; // ≈ 7/182 bounce
             let admin_contact_works = h % 26 != 0 || h % 7 < 3; // ≈ 3/7 recover
             Registrar {

@@ -249,8 +249,7 @@ mod tests {
         let (mut world, scan, unreachable, campaign) = setup();
         let mut rng = StdRng::seed_from_u64(5);
         let plan = apply(&mut world, &scan, &unreachable, &campaign, &mut rng);
-        let pipeline =
-            StudyPipeline::new(&world).with_scan_time(world.scan_time().plus_days(60));
+        let pipeline = StudyPipeline::new(&world).with_scan_time(world.scan_time().plus_days(60));
         let rescan = pipeline.scan_list(&plan.fixed);
         for r in rescan.records() {
             assert!(r.https.is_valid(), "{} still invalid after fix", r.hostname);
@@ -275,8 +274,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let plan = apply(&mut world, &scan, &unreachable, &campaign, &mut rng);
         assert!(!plan.revived_valid.is_empty());
-        let pipeline =
-            StudyPipeline::new(&world).with_scan_time(world.scan_time().plus_days(60));
+        let pipeline = StudyPipeline::new(&world).with_scan_time(world.scan_time().plus_days(60));
         let rescan = pipeline.scan_list(&plan.revived_valid);
         for r in rescan.records() {
             assert!(r.available, "{}", r.hostname);

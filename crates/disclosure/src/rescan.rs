@@ -43,14 +43,9 @@ pub struct RescanReport {
 }
 
 /// Run the follow-up scan against the (post-remediation) world.
-pub fn run_rescan(
-    world: &World,
-    original: &ScanDataset,
-    unreachable: &[String],
-) -> RescanReport {
+pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String]) -> RescanReport {
     // Two months after the original snapshot (§7.2.2).
-    let pipeline =
-        StudyPipeline::new(world).with_scan_time(world.scan_time().plus_days(60));
+    let pipeline = StudyPipeline::new(world).with_scan_time(world.scan_time().plus_days(60));
     let mut report = RescanReport::default();
 
     let invalid_hosts: Vec<String> = original.invalid().map(|r| r.hostname.clone()).collect();
@@ -99,7 +94,10 @@ impl RescanReport {
 
     /// Optimistic improvement: fixed + removed (paper: 18.7%).
     pub fn optimistic_improvement(&self) -> f64 {
-        fraction(self.now_valid + self.now_unreachable, self.previously_invalid)
+        fraction(
+            self.now_valid + self.now_unreachable,
+            self.previously_invalid,
+        )
     }
 
     /// Countries showing at least `threshold` improvement (paper: 62
@@ -107,9 +105,7 @@ impl RescanReport {
     pub fn countries_improving_at_least(&self, threshold: f64) -> Vec<&'static str> {
         self.per_country
             .iter()
-            .filter(|(_, (fixed, total))| {
-                *total > 0 && *fixed as f64 / *total as f64 >= threshold
-            })
+            .filter(|(_, (fixed, total))| *total > 0 && *fixed as f64 / *total as f64 >= threshold)
             .map(|(cc, _)| *cc)
             .collect()
     }
@@ -174,7 +170,10 @@ mod tests {
         let optimistic = r.optimistic_improvement();
         // Paper: 8.3% strict, 18.7% optimistic.
         assert!((0.04..0.20).contains(&strict), "strict {strict}");
-        assert!((0.10..0.33).contains(&optimistic), "optimistic {optimistic}");
+        assert!(
+            (0.10..0.33).contains(&optimistic),
+            "optimistic {optimistic}"
+        );
         assert!(optimistic > strict);
     }
 

@@ -89,7 +89,12 @@ impl DnsZone {
     /// Resolve A records for `name`.
     pub fn resolve(&self, name: &str) -> DnsOutcome {
         let name = name.to_ascii_lowercase();
-        match self.behavior.get(&name).copied().unwrap_or(DnsBehavior::Answer) {
+        match self
+            .behavior
+            .get(&name)
+            .copied()
+            .unwrap_or(DnsBehavior::Answer)
+        {
             DnsBehavior::NxDomain => DnsOutcome::NxDomain,
             DnsBehavior::Timeout => DnsOutcome::Timeout,
             DnsBehavior::Answer => match self.records.get(&name) {
@@ -147,7 +152,10 @@ mod tests {
     fn resolve_published_name() {
         let mut zone = DnsZone::new();
         zone.publish_a("www.nih.gov", ip("156.40.1.1"));
-        assert_eq!(zone.resolve("www.nih.gov"), DnsOutcome::Ok(vec![ip("156.40.1.1")]));
+        assert_eq!(
+            zone.resolve("www.nih.gov"),
+            DnsOutcome::Ok(vec![ip("156.40.1.1")])
+        );
         assert_eq!(zone.resolve("WWW.NIH.GOV").first(), Some(ip("156.40.1.1")));
     }
 
@@ -175,7 +183,10 @@ mod tests {
         let mut zone = DnsZone::new();
         zone.publish_a("lb.example.gov", ip("192.0.2.1"));
         zone.publish_a("lb.example.gov", ip("192.0.2.2"));
-        assert_eq!(zone.resolve("lb.example.gov").first(), Some(ip("192.0.2.1")));
+        assert_eq!(
+            zone.resolve("lb.example.gov").first(),
+            Some(ip("192.0.2.1"))
+        );
     }
 
     #[test]
@@ -192,10 +203,7 @@ mod tests {
     fn caa_own_records_take_precedence() {
         let mut zone = DnsZone::new();
         zone.publish_caa("agency.gov.uk", vec![CaaRecord::issue("letsencrypt.org")]);
-        zone.publish_caa(
-            "www.agency.gov.uk",
-            vec![CaaRecord::issue("digicert.com")],
-        );
+        zone.publish_caa("www.agency.gov.uk", vec![CaaRecord::issue("digicert.com")]);
         let set = zone.caa_relevant_set("www.agency.gov.uk");
         assert_eq!(set[0].value, "digicert.com");
     }

@@ -10,7 +10,9 @@
 /// `links` (absolute URLs or bare hostnames).
 pub fn render_page(title: &str, links: &[String]) -> String {
     let mut out = String::with_capacity(256 + links.len() * 64);
-    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n  <meta charset=\"utf-8\">\n  <title>");
+    out.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n  <meta charset=\"utf-8\">\n  <title>",
+    );
     out.push_str(&escape(title));
     out.push_str("</title>\n</head>\n<body>\n  <header><h1>");
     out.push_str(&escape(title));
@@ -39,7 +41,10 @@ pub fn extract_links(html: &str) -> Vec<String> {
         let a_start = pos + a_rel;
         // Must be "<a" followed by whitespace or '>' (not e.g. <abbr>).
         let after = lower.as_bytes().get(a_start + 2).copied();
-        if !matches!(after, Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'>')) {
+        if !matches!(
+            after,
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'>')
+        ) {
             pos = a_start + 2;
             continue;
         }
@@ -131,11 +136,17 @@ pub fn link_hostname(link: &str) -> Option<String> {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    s.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 #[cfg(test)]
@@ -177,16 +188,29 @@ mod tests {
 
     #[test]
     fn ignores_non_anchor_tags_and_anchors_without_href() {
-        let html = r#"<abbr title="x">y</abbr><a name="top">anchor</a><area href="https://map.gov">"#;
+        let html =
+            r#"<abbr title="x">y</abbr><a name="top">anchor</a><area href="https://map.gov">"#;
         assert!(extract_links(html).is_empty());
     }
 
     #[test]
     fn hostname_extraction() {
-        assert_eq!(link_hostname("https://www.nih.gov/health"), Some("www.nih.gov".into()));
-        assert_eq!(link_hostname("http://x.gov.bd:8080/a"), Some("x.gov.bd".into()));
-        assert_eq!(link_hostname("//cdn.example.gov/lib.js"), Some("cdn.example.gov".into()));
-        assert_eq!(link_hostname("WWW.EXAMPLE.GOV"), Some("www.example.gov".into()));
+        assert_eq!(
+            link_hostname("https://www.nih.gov/health"),
+            Some("www.nih.gov".into())
+        );
+        assert_eq!(
+            link_hostname("http://x.gov.bd:8080/a"),
+            Some("x.gov.bd".into())
+        );
+        assert_eq!(
+            link_hostname("//cdn.example.gov/lib.js"),
+            Some("cdn.example.gov".into())
+        );
+        assert_eq!(
+            link_hostname("WWW.EXAMPLE.GOV"),
+            Some("www.example.gov".into())
+        );
         assert_eq!(link_hostname("/relative/path"), None);
         assert_eq!(link_hostname("#fragment"), None);
         assert_eq!(link_hostname("mailto:webmaster@agency.gov"), None);

@@ -86,7 +86,9 @@ pub struct CidrTable<L: Clone> {
 impl<L: Clone> CidrTable<L> {
     /// An empty table.
     pub fn new() -> Self {
-        CidrTable { entries: Vec::new() }
+        CidrTable {
+            entries: Vec::new(),
+        }
     }
 
     /// Add a block with its label.

@@ -211,7 +211,11 @@ mod tests {
     #[test]
     fn http_only_host_round_trip() {
         let mut net = SimNet::new();
-        net.add_host(HostConfig::http_only("agency.gov.xx", ip("192.0.2.1"), page()));
+        net.add_host(HostConfig::http_only(
+            "agency.gov.xx",
+            ip("192.0.2.1"),
+            page(),
+        ));
         assert_eq!(net.len(), 1);
         assert_eq!(net.resolve("agency.gov.xx").first(), Some(ip("192.0.2.1")));
         assert!(net.fetch("agency.gov.xx", false, &client()).is_ok_200());
@@ -242,15 +246,25 @@ mod tests {
     #[test]
     fn unknown_host_is_dns_failure() {
         let net = SimNet::new();
-        assert_eq!(net.fetch("ghost.gov", false, &client()), HttpOutcome::DnsFailure);
+        assert_eq!(
+            net.fetch("ghost.gov", false, &client()),
+            HttpOutcome::DnsFailure
+        );
     }
 
     #[test]
     fn dns_timeout_behavior() {
         let mut net = SimNet::new();
-        net.add_host(HostConfig::http_only("slow.gov.cn", ip("192.0.2.3"), page()));
+        net.add_host(HostConfig::http_only(
+            "slow.gov.cn",
+            ip("192.0.2.3"),
+            page(),
+        ));
         net.set_dns_behavior("slow.gov.cn", DnsBehavior::Timeout);
-        assert_eq!(net.fetch("slow.gov.cn", false, &client()), HttpOutcome::DnsTimeout);
+        assert_eq!(
+            net.fetch("slow.gov.cn", false, &client()),
+            HttpOutcome::DnsTimeout
+        );
     }
 
     #[test]
@@ -290,7 +304,10 @@ mod tests {
         net.add_host(HostConfig::http_only("gone.gov", ip("192.0.2.6"), page()));
         assert!(net.fetch("gone.gov", false, &client()).is_ok_200());
         net.remove_host("gone.gov");
-        assert_eq!(net.fetch("gone.gov", false, &client()), HttpOutcome::DnsFailure);
+        assert_eq!(
+            net.fetch("gone.gov", false, &client()),
+            HttpOutcome::DnsFailure
+        );
     }
 
     #[test]
@@ -310,7 +327,11 @@ mod tests {
     #[test]
     fn case_insensitive_hostnames() {
         let mut net = SimNet::new();
-        net.add_host(HostConfig::http_only("MiXeD.Gov.Br", ip("192.0.2.8"), page()));
+        net.add_host(HostConfig::http_only(
+            "MiXeD.Gov.Br",
+            ip("192.0.2.8"),
+            page(),
+        ));
         assert!(net.fetch("mixed.gov.br", false, &client()).is_ok_200());
         assert!(net.fetch("MIXED.GOV.BR", false, &client()).is_ok_200());
     }

@@ -9,6 +9,8 @@
 //! it offers TLS 1.0–1.3 by default and records exactly which failure it
 //! observed.
 
+use std::sync::Arc;
+
 use govscan_pki::Certificate;
 
 /// SSL/TLS protocol versions, oldest first.
@@ -127,8 +129,10 @@ pub struct TlsServerConfig {
     pub suites: Vec<CipherSuite>,
     /// The certificate chain sent in Certificate messages (leaf first —
     /// possibly incomplete or over-complete, exactly as misconfigured
-    /// real servers send).
-    pub chain: Vec<Certificate>,
+    /// real servers send). Shared: every handshake hands the same
+    /// reference-counted chain to its session instead of deep-copying
+    /// the certificates.
+    pub chain: Arc<[Certificate]>,
     /// Optional fault quirk.
     pub quirk: Option<TlsQuirk>,
 }
@@ -140,7 +144,7 @@ impl TlsServerConfig {
             min_version: TlsVersion::Tls12,
             max_version: TlsVersion::Tls13,
             suites: CipherSuite::MODERN.to_vec(),
-            chain,
+            chain: chain.into(),
             quirk: None,
         }
     }
@@ -151,7 +155,7 @@ impl TlsServerConfig {
             min_version: TlsVersion::Ssl2,
             max_version: TlsVersion::Ssl3,
             suites: vec![CipherSuite::Rc4Md5, CipherSuite::ExportDes40Sha],
-            chain,
+            chain: chain.into(),
             quirk: None,
         }
     }
@@ -235,8 +239,10 @@ pub struct TlsSession {
     pub version: TlsVersion,
     /// Negotiated cipher suite.
     pub suite: CipherSuite,
-    /// Peer certificate chain, leaf first, exactly as sent.
-    pub peer_chain: Vec<Certificate>,
+    /// Peer certificate chain, leaf first, exactly as sent. A shared
+    /// handle onto the server's chain — retrieving it is O(1), not a
+    /// deep copy per handshake.
+    pub peer_chain: Arc<[Certificate]>,
 }
 
 /// Run the handshake between `client` and `server`.
@@ -277,7 +283,7 @@ pub fn handshake(
     Ok(TlsSession {
         version,
         suite,
-        peer_chain: server.chain.clone(),
+        peer_chain: Arc::clone(&server.chain),
     })
 }
 
@@ -322,8 +328,14 @@ mod tests {
         for (quirk, err) in [
             (TlsQuirk::WrongVersionNumber, TlsError::WrongVersionNumber),
             (TlsQuirk::AlertInternalError, TlsError::AlertInternalError),
-            (TlsQuirk::AlertHandshakeFailure, TlsError::AlertHandshakeFailure),
-            (TlsQuirk::AlertProtocolVersion, TlsError::AlertProtocolVersion),
+            (
+                TlsQuirk::AlertHandshakeFailure,
+                TlsError::AlertHandshakeFailure,
+            ),
+            (
+                TlsQuirk::AlertProtocolVersion,
+                TlsError::AlertProtocolVersion,
+            ),
         ] {
             let mut server = TlsServerConfig::modern(vec![]);
             server.quirk = Some(quirk);
@@ -356,7 +368,10 @@ mod tests {
         c.min_version = TlsVersion::Ssl3;
         let server = TlsServerConfig::legacy_ssl(vec![]);
         // Version negotiates to SSLv3, but all legacy suites are weak.
-        assert_eq!(handshake(&c, &server).unwrap_err(), TlsError::NoSharedCipher);
+        assert_eq!(
+            handshake(&c, &server).unwrap_err(),
+            TlsError::NoSharedCipher
+        );
     }
 
     #[test]

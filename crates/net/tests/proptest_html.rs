@@ -1,47 +1,96 @@
-//! Property-based tests for the HTML renderer/extractor pair: links that
+//! Randomized tests for the HTML renderer/extractor pair: links that
 //! go in must come out, and hostile input must never panic.
+//!
+//! Originally `proptest`-based; rewritten as seeded randomized tests
+//! (deterministic per seed) for the offline build.
 
 use govscan_net::html::{extract_links, link_hostname, render_page};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn url() -> impl Strategy<Value = String> {
-    (
-        prop_oneof![Just("http"), Just("https")],
-        "[a-z][a-z0-9-]{0,10}",
-        "[a-z]{2,6}",
-        "[a-z0-9/_-]{0,20}",
-    )
-        .prop_map(|(scheme, host, tld, path)| format!("{scheme}://{host}.{tld}/{path}"))
+const CASES: usize = 256;
+
+fn ranged_string(rng: &mut StdRng, pat: &[u8], min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| char::from(pat[rng.gen_range(0..pat.len())]))
+        .collect()
 }
 
-proptest! {
-    /// render → extract is the identity on the link list.
-    #[test]
-    fn render_extract_round_trips(title in "\\PC{0,40}", links in proptest::collection::vec(url(), 0..20)) {
-        let html = render_page(&title, &links);
-        prop_assert_eq!(extract_links(&html), links);
-    }
+fn lower_label(rng: &mut StdRng, max: usize) -> String {
+    let first = char::from(rng.gen_range(b'a'..=b'z'));
+    let rest = ranged_string(rng, b"abcdefghijklmnopqrstuvwxyz0123456789-", 0, max);
+    format!("{first}{rest}")
+}
 
-    /// The extractor never panics on arbitrary input.
-    #[test]
-    fn extractor_is_total(html in "\\PC{0,500}") {
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => char::from(rng.gen_range(0x20u8..0x7f)),
+            1 => char::from_u32(rng.gen_range(0xA0u32..0x2000)).unwrap_or('x'),
+            _ => char::from(rng.gen_range(b'a'..=b'z')),
+        })
+        .collect()
+}
+
+fn url(rng: &mut StdRng) -> String {
+    let scheme = if rng.gen::<f64>() < 0.5 {
+        "http"
+    } else {
+        "https"
+    };
+    let host = lower_label(rng, 10);
+    let tld = ranged_string(rng, b"abcdefghijklmnopqrstuvwxyz", 2, 6);
+    let path = ranged_string(rng, b"abcdefghijklmnopqrstuvwxyz0123456789/_-", 0, 20);
+    format!("{scheme}://{host}.{tld}/{path}")
+}
+
+/// render → extract is the identity on the link list.
+#[test]
+fn render_extract_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xB741);
+    for _ in 0..CASES {
+        let title = random_text(&mut rng, 40);
+        let links: Vec<String> = (0..rng.gen_range(0..20)).map(|_| url(&mut rng)).collect();
+        let html = render_page(&title, &links);
+        assert_eq!(extract_links(&html), links);
+    }
+}
+
+/// The extractor never panics on arbitrary input.
+#[test]
+fn extractor_is_total() {
+    let mut rng = StdRng::seed_from_u64(0xB742);
+    for _ in 0..CASES {
+        let html = random_text(&mut rng, 500);
         let _ = extract_links(&html);
     }
+}
 
-    /// link_hostname never panics and always yields a lowercase dotted name.
-    #[test]
-    fn hostname_extraction_is_total(link in "\\PC{0,120}") {
+/// link_hostname never panics and always yields a lowercase dotted name.
+#[test]
+fn hostname_extraction_is_total() {
+    let mut rng = StdRng::seed_from_u64(0xB743);
+    for _ in 0..CASES * 2 {
+        let link = random_text(&mut rng, 120);
         if let Some(h) = link_hostname(&link) {
-            prop_assert!(h.contains('.'));
-            prop_assert_eq!(h.clone(), h.to_ascii_lowercase());
+            assert!(h.contains('.'));
+            assert_eq!(h, h.to_ascii_lowercase());
         }
     }
+}
 
-    /// Hostnames embedded in well-formed URLs are recovered exactly.
-    #[test]
-    fn url_hostnames_recovered(host in "[a-z][a-z0-9-]{0,10}", tld in "[a-z]{2,6}", path in "[a-z0-9/_-]{0,20}") {
+/// Hostnames embedded in well-formed URLs are recovered exactly.
+#[test]
+fn url_hostnames_recovered() {
+    let mut rng = StdRng::seed_from_u64(0xB744);
+    for _ in 0..CASES {
+        let host = lower_label(&mut rng, 10);
+        let tld = ranged_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 2, 6);
+        let path = ranged_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz0123456789/_-", 0, 20);
         let expected = format!("{host}.{tld}");
         let link = format!("https://{expected}/{path}");
-        prop_assert_eq!(link_hostname(&link), Some(expected));
+        assert_eq!(link_hostname(&link), Some(expected));
     }
 }

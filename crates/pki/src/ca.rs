@@ -120,7 +120,7 @@ impl CertificateAuthority {
             name,
             key,
             policy,
-            cert: Certificate { tbs, signature },
+            cert: Certificate::new(tbs, signature),
             ev_policy: None,
             next_serial: 2,
         }
@@ -156,13 +156,14 @@ impl CertificateAuthority {
                 ..Default::default()
             },
         };
-        let signature = govscan_crypto::sign(&parent.key, parent.policy.signature_alg, &tbs.to_der())
-            .expect("parent key compatible with parent policy");
+        let signature =
+            govscan_crypto::sign(&parent.key, parent.policy.signature_alg, &tbs.to_der())
+                .expect("parent key compatible with parent policy");
         CertificateAuthority {
             name,
             key,
             policy,
-            cert: Certificate { tbs, signature },
+            cert: Certificate::new(tbs, signature),
             ev_policy: None,
             next_serial: 1,
         }
@@ -209,7 +210,7 @@ impl CertificateAuthority {
         };
         let signature = govscan_crypto::sign(&self.key, self.policy.signature_alg, &tbs.to_der())
             .expect("CA key compatible with policy");
-        Certificate { tbs, signature }
+        Certificate::new(tbs, signature)
     }
 }
 
@@ -220,7 +221,7 @@ impl CertificateAuthority {
 /// §5.3.3 pathology, is refused.
 #[derive(Debug, Clone, Default)]
 pub struct KeyDirectory {
-    seen: std::collections::HashMap<String, Vec<String>>,
+    seen: std::collections::HashMap<govscan_crypto::Fingerprint, Vec<String>>,
 }
 
 /// Why [`CertificateAuthority::issue_checked`] refused.
@@ -331,7 +332,7 @@ pub fn self_signed(
     };
     let signature =
         govscan_crypto::sign(key, signature_alg, &tbs.to_der()).expect("compatible key");
-    Certificate { tbs, signature }
+    Certificate::new(tbs, signature)
 }
 
 #[cfg(test)]
@@ -457,8 +458,11 @@ mod tests {
         ca.issue_checked(&LeafProfile::dv("portal.gov.bd", key.public(), t), &mut dir)
             .expect("first issuance allowed");
         // Sub-domain of the first: allowed per §8.1.
-        ca.issue_checked(&LeafProfile::dv("forms.portal.gov.bd", key.public(), t), &mut dir)
-            .expect("sub-domain allowed");
+        ca.issue_checked(
+            &LeafProfile::dv("forms.portal.gov.bd", key.public(), t),
+            &mut dir,
+        )
+        .expect("sub-domain allowed");
         // Unrelated government (the Colombia-style reuse): refused.
         let err = ca
             .issue_checked(&LeafProfile::dv("tax.gov.co", key.public(), t), &mut dir)
@@ -480,10 +484,16 @@ mod tests {
         let mut p = LeafProfile::dv("*.portal.gov.bd", key.public(), t);
         p.san = vec!["*.portal.gov.bd".into()];
         ca.issue_checked(&p, &mut dir).expect("wildcard issuance");
-        ca.issue_checked(&LeafProfile::dv("x.portal.gov.bd", key.public(), t), &mut dir)
-            .expect("host under the wildcard scope");
+        ca.issue_checked(
+            &LeafProfile::dv("x.portal.gov.bd", key.public(), t),
+            &mut dir,
+        )
+        .expect("host under the wildcard scope");
         assert!(ca
-            .issue_checked(&LeafProfile::dv("unrelated.gov.vn", key.public(), t), &mut dir)
+            .issue_checked(
+                &LeafProfile::dv("unrelated.gov.vn", key.public(), t),
+                &mut dir
+            )
             .is_err());
     }
 
@@ -505,6 +515,9 @@ mod tests {
             Time::from_ymd(2020, 1, 1),
         ));
         assert!(cert.verify_signature(&ca.key.public()));
-        assert_eq!(cert.signature.algorithm, SignatureAlgorithm::EcdsaWithSha384);
+        assert_eq!(
+            cert.signature.algorithm,
+            SignatureAlgorithm::EcdsaWithSha384
+        );
     }
 }

@@ -61,7 +61,8 @@ impl CaaRecord {
                 v == ";"
                     || (!v.is_empty()
                         && v.contains('.')
-                        && v.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'))
+                        && v.chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'))
             }
         }
     }
@@ -77,7 +78,10 @@ impl CaaRecord {
 /// - A value of `;` forbids issuance.
 pub fn permits(records: &[CaaRecord], ca_domain: &str, wildcard: bool) -> bool {
     let issue_set: Vec<&CaaRecord> = if wildcard {
-        let wilds: Vec<&CaaRecord> = records.iter().filter(|r| r.tag == CaaTag::IssueWild).collect();
+        let wilds: Vec<&CaaRecord> = records
+            .iter()
+            .filter(|r| r.tag == CaaTag::IssueWild)
+            .collect();
         if !wilds.is_empty() {
             wilds
         } else {
@@ -111,7 +115,10 @@ mod tests {
     fn issue_restricts_to_named_ca() {
         let records = [CaaRecord::issue("letsencrypt.org")];
         assert!(permits(&records, "letsencrypt.org", false));
-        assert!(permits(&records, "LETSENCRYPT.ORG", false), "case-insensitive");
+        assert!(
+            permits(&records, "LETSENCRYPT.ORG", false),
+            "case-insensitive"
+        );
         assert!(!permits(&records, "digicert.com", false));
     }
 

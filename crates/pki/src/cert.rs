@@ -1,7 +1,9 @@
 //! X.509 certificates: the typed model and its DER encoding.
 
+use std::sync::{Arc, OnceLock};
+
 use govscan_asn1::{Asn1Error, DerReader, DerWriter, Oid, Result, Tag, Time};
-use govscan_crypto::{hex, KeyAlgorithm, PublicKey, Sha256};
+use govscan_crypto::{hex, Fingerprint, KeyAlgorithm, PublicKey, Sha256};
 use govscan_crypto::{Digest, Signature, SignatureAlgorithm};
 
 use crate::extensions::Extensions;
@@ -49,13 +51,47 @@ pub struct TbsCertificate {
     pub extensions: Extensions,
 }
 
+/// Lazily computed derived forms of a certificate. Shared across clones
+/// via `Arc`: a chain cloned into a TLS session reuses the DER and
+/// fingerprint its origin already paid for.
+#[derive(Default)]
+struct CertCache {
+    der: OnceLock<Box<[u8]>>,
+    fingerprint: OnceLock<Fingerprint>,
+}
+
 /// A complete certificate: TBS + signature.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Logically immutable once built: [`Certificate::to_der`] and
+/// [`Certificate::fingerprint`] memoize their results, so mutating
+/// `tbs` or `signature` *after* calling either would leave the caches
+/// stale. Build a fresh `Certificate` (via [`Certificate::new`]) from
+/// modified parts instead of editing in place.
+#[derive(Clone)]
 pub struct Certificate {
     /// The signed fields.
     pub tbs: TbsCertificate,
     /// Signature over the DER encoding of `tbs`.
     pub signature: Signature,
+    cache: Arc<CertCache>,
+}
+
+impl PartialEq for Certificate {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state and never participates in identity.
+        self.tbs == other.tbs && self.signature == other.signature
+    }
+}
+
+impl Eq for Certificate {}
+
+impl std::fmt::Debug for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Certificate")
+            .field("tbs", &self.tbs)
+            .field("signature", &self.signature)
+            .finish()
+    }
 }
 
 fn curve_oid(bits: u16) -> Option<&'static str> {
@@ -157,7 +193,10 @@ impl TbsCertificate {
             serial,
             signature_alg,
             issuer,
-            validity: Validity { not_before, not_after },
+            validity: Validity {
+                not_before,
+                not_after,
+            },
             subject,
             public_key,
             extensions,
@@ -219,15 +258,29 @@ fn decode_sig_alg(r: &mut DerReader<'_>) -> Result<SignatureAlgorithm> {
 }
 
 impl Certificate {
+    /// Assemble a certificate from its signed fields, with empty caches.
+    pub fn new(tbs: TbsCertificate, signature: Signature) -> Certificate {
+        Certificate {
+            tbs,
+            signature,
+            cache: Arc::new(CertCache::default()),
+        }
+    }
+
     /// DER-encode the full certificate.
-    pub fn to_der(&self) -> Vec<u8> {
-        let mut w = DerWriter::new();
-        w.sequence(|w| {
-            self.tbs.encode(w);
-            encode_sig_alg(w, self.signature.algorithm);
-            w.bit_string(&self.signature.bytes);
-        });
-        w.finish()
+    ///
+    /// Computed once and memoized; returns the cached bytes on every
+    /// later call (and on calls through clones of this certificate).
+    pub fn to_der(&self) -> &[u8] {
+        self.cache.der.get_or_init(|| {
+            let mut w = DerWriter::new();
+            w.sequence(|w| {
+                self.tbs.encode(w);
+                encode_sig_alg(w, self.signature.algorithm);
+                w.bit_string(&self.signature.bytes);
+            });
+            w.finish().into_boxed_slice()
+        })
     }
 
     /// Parse a certificate from DER. Strict: trailing bytes are rejected.
@@ -243,18 +296,23 @@ impl Certificate {
         if algorithm != tbs.signature_alg {
             return Err(Asn1Error::BadValue("inner/outer algorithm mismatch"));
         }
-        Ok(Certificate {
+        Ok(Certificate::new(
             tbs,
-            signature: Signature {
+            Signature {
                 algorithm,
                 bytes: sig_bytes.to_vec(),
             },
-        })
+        ))
     }
 
-    /// SHA-256 fingerprint of the DER encoding, hex-encoded.
-    pub fn fingerprint(&self) -> String {
-        hex::encode(&Sha256::digest(&self.to_der()))
+    /// SHA-256 fingerprint of the DER encoding.
+    ///
+    /// Computed once and memoized, like [`Certificate::to_der`].
+    pub fn fingerprint(&self) -> Fingerprint {
+        *self
+            .cache
+            .fingerprint
+            .get_or_init(|| Fingerprint::from_digest(&Sha256::digest(self.to_der())))
     }
 
     /// Serial number as lowercase hex.
@@ -284,9 +342,19 @@ impl Certificate {
     /// behaviour, which the paper's OpenSSL-based pipeline also applied).
     pub fn dns_names(&self) -> Vec<&str> {
         if !self.tbs.extensions.subject_alt_names.is_empty() {
-            self.tbs.extensions.subject_alt_names.iter().map(|s| s.as_str()).collect()
+            self.tbs
+                .extensions
+                .subject_alt_names
+                .iter()
+                .map(|s| s.as_str())
+                .collect()
         } else {
-            self.tbs.subject.common_name.as_deref().into_iter().collect()
+            self.tbs
+                .subject
+                .common_name
+                .as_deref()
+                .into_iter()
+                .collect()
         }
     }
 
@@ -340,16 +408,15 @@ mod tests {
 
     fn signed(tbs: TbsCertificate) -> Certificate {
         let ca_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ca");
-        let signature =
-            govscan_crypto::sign(&ca_key, tbs.signature_alg, &tbs.to_der()).unwrap();
-        Certificate { tbs, signature }
+        let signature = govscan_crypto::sign(&ca_key, tbs.signature_alg, &tbs.to_der()).unwrap();
+        Certificate::new(tbs, signature)
     }
 
     #[test]
     fn der_round_trip() {
         let cert = signed(sample_tbs());
         let der = cert.to_der();
-        let parsed = Certificate::from_der(&der).unwrap();
+        let parsed = Certificate::from_der(der).unwrap();
         assert_eq!(parsed, cert);
         // Canonical: re-encoding is byte-identical.
         assert_eq!(parsed.to_der(), der);
@@ -359,7 +426,7 @@ mod tests {
     fn signature_survives_round_trip() {
         let ca_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"ca");
         let cert = signed(sample_tbs());
-        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert!(parsed.verify_signature(&ca_key.public()));
     }
 
@@ -380,8 +447,8 @@ mod tests {
         tbs.signature_alg = SignatureAlgorithm::EcdsaWithSha384;
         let ca = KeyPair::from_seed(KeyAlgorithm::Ec(384), b"ec-ca");
         let signature = govscan_crypto::sign(&ca, tbs.signature_alg, &tbs.to_der()).unwrap();
-        let cert = Certificate { tbs, signature };
-        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        let cert = Certificate::new(tbs, signature);
+        let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert_eq!(parsed.tbs.public_key.algorithm, KeyAlgorithm::Ec(384));
         assert!(parsed.verify_signature(&ca.public()));
     }
@@ -394,8 +461,8 @@ mod tests {
         tbs.signature_alg = SignatureAlgorithm::EcdsaWithSha256;
         let ca = KeyPair::from_seed(KeyAlgorithm::Ec(256), b"ca");
         let signature = govscan_crypto::sign(&ca, tbs.signature_alg, &tbs.to_der()).unwrap();
-        let cert = Certificate { tbs, signature };
-        let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+        let cert = Certificate::new(tbs, signature);
+        let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert_eq!(parsed.tbs.public_key.algorithm, KeyAlgorithm::Ec(192));
     }
 
@@ -416,7 +483,7 @@ mod tests {
             extensions: Extensions::default(),
         };
         let signature = govscan_crypto::sign(&key, tbs.signature_alg, &tbs.to_der()).unwrap();
-        let cert = Certificate { tbs, signature };
+        let cert = Certificate::new(tbs, signature);
         assert!(cert.is_self_issued());
         assert!(cert.is_self_signed());
 
@@ -426,7 +493,7 @@ mod tests {
             let mut tbs = cert.tbs.clone();
             tbs.serial = vec![2];
             let signature = govscan_crypto::sign(&other, tbs.signature_alg, &tbs.to_der()).unwrap();
-            Certificate { tbs, signature }
+            Certificate::new(tbs, signature)
         };
         assert!(cert2.is_self_issued());
         assert!(!cert2.is_self_signed());
@@ -451,7 +518,7 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         let cert = signed(sample_tbs());
-        let mut der = cert.to_der();
+        let mut der = cert.to_der().to_vec();
         der.push(0);
         assert!(Certificate::from_der(&der).is_err());
     }

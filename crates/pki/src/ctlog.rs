@@ -12,7 +12,9 @@
 //! standard unbalanced split (largest power of two strictly less than
 //! `n`). Inclusion (audit) proofs verify against the signed tree head.
 
-use govscan_crypto::{Digest, Sha256};
+use std::collections::HashMap;
+
+use govscan_crypto::{Digest, Fingerprint, Sha256};
 
 use crate::cert::Certificate;
 
@@ -76,7 +78,9 @@ pub struct InclusionProof {
 #[derive(Debug, Clone, Default)]
 pub struct CtLog {
     leaves: Vec<Hash>,
-    entries: Vec<String>, // leaf fingerprints, for lookup
+    // First leaf index per fingerprint. The CT-coverage analysis probes
+    // this once per scanned host, so lookup must not walk the log.
+    index: HashMap<Fingerprint, u64>,
 }
 
 impl CtLog {
@@ -87,10 +91,12 @@ impl CtLog {
 
     /// Append a certificate; returns its leaf index.
     pub fn append(&mut self, cert: &Certificate) -> u64 {
-        let der = cert.to_der();
-        self.leaves.push(leaf_hash(&der));
-        self.entries.push(cert.fingerprint());
-        (self.leaves.len() - 1) as u64
+        let idx = self.leaves.len() as u64;
+        self.leaves.push(leaf_hash(cert.to_der()));
+        // Duplicates keep their first index, matching what a linear
+        // front-to-back scan of the log would report.
+        self.index.entry(cert.fingerprint()).or_insert(idx);
+        idx
     }
 
     /// Number of logged entries.
@@ -109,13 +115,13 @@ impl CtLog {
     }
 
     /// Is a certificate (by fingerprint) present?
-    pub fn contains_fingerprint(&self, fingerprint: &str) -> bool {
-        self.entries.iter().any(|e| e == fingerprint)
+    pub fn contains_fingerprint(&self, fingerprint: Fingerprint) -> bool {
+        self.index.contains_key(&fingerprint)
     }
 
-    /// Index of a certificate by fingerprint.
-    pub fn index_of(&self, fingerprint: &str) -> Option<u64> {
-        self.entries.iter().position(|e| e == fingerprint).map(|i| i as u64)
+    /// Index of a certificate by fingerprint (first occurrence).
+    pub fn index_of(&self, fingerprint: Fingerprint) -> Option<u64> {
+        self.index.get(&fingerprint).copied()
     }
 
     /// Build the RFC 6962 §2.1.1 audit path for `leaf_index` against the
@@ -140,7 +146,7 @@ impl CtLog {
         if proof.leaf_index >= proof.tree_size {
             return false;
         }
-        let mut hash = leaf_hash(&cert.to_der());
+        let mut hash = leaf_hash(cert.to_der());
         let mut index = proof.leaf_index;
         let mut size = proof.tree_size;
         let mut path = proof.path.iter();
@@ -329,8 +335,8 @@ mod tests {
         for c in &certs {
             log.append(c);
         }
-        assert!(log.contains_fingerprint(&certs[2].fingerprint()));
-        assert_eq!(log.index_of(&certs[2].fingerprint()), Some(2));
+        assert!(log.contains_fingerprint(certs[2].fingerprint()));
+        assert_eq!(log.index_of(certs[2].fingerprint()), Some(2));
         // Something never logged (self-signed appliance cert).
         let key = KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"unlogged");
         let ss = ca::self_signed(
@@ -343,6 +349,6 @@ mod tests {
                 not_after: Time::from_ymd(2035, 1, 1),
             },
         );
-        assert!(!log.contains_fingerprint(&ss.fingerprint()));
+        assert!(!log.contains_fingerprint(ss.fingerprint()));
     }
 }

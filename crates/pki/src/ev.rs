@@ -19,17 +19,17 @@ pub struct EvRegistry {
 /// Well-known per-CA EV policy OIDs (a representative subset of Mozilla's
 /// ExtendedValidation.cpp list, plus the CABF umbrella OID).
 pub const KNOWN_EV_OIDS: &[&str] = &[
-    oids::POLICY_EV_CABF,       // CA/Browser Forum EV
-    "2.16.840.1.114412.2.1",    // DigiCert EV
+    oids::POLICY_EV_CABF,         // CA/Browser Forum EV
+    "2.16.840.1.114412.2.1",      // DigiCert EV
     "2.16.840.1.113733.1.7.23.6", // Symantec/VeriSign EV
-    "1.3.6.1.4.1.34697.2.1",    // AffirmTrust EV
-    "2.16.756.1.89.1.2.1.1",    // SwissSign / QuoVadis EV
+    "1.3.6.1.4.1.34697.2.1",      // AffirmTrust EV
+    "2.16.756.1.89.1.2.1.1",      // SwissSign / QuoVadis EV
     "1.3.6.1.4.1.6449.1.2.1.5.1", // Comodo/Sectigo EV
     "2.16.840.1.114413.1.7.23.3", // GoDaddy EV
     "2.16.840.1.114414.1.7.23.3", // Starfield EV
-    "1.3.6.1.4.1.4146.1.1",     // GlobalSign EV
-    "2.16.840.1.114028.10.1.2", // Entrust EV
-    "1.3.6.1.4.1.14370.1.6",    // GeoTrust EV
+    "1.3.6.1.4.1.4146.1.1",       // GlobalSign EV
+    "2.16.840.1.114028.10.1.2",   // Entrust EV
+    "1.3.6.1.4.1.14370.1.6",      // GeoTrust EV
     "2.16.840.1.113733.1.7.48.1", // Thawte EV
 ];
 
@@ -65,7 +65,11 @@ impl EvRegistry {
 
     /// Does `cert` assert any recognised EV policy?
     pub fn is_ev(&self, cert: &Certificate) -> bool {
-        cert.tbs.extensions.policies.iter().any(|p| self.is_ev_oid(p))
+        cert.tbs
+            .extensions
+            .policies
+            .iter()
+            .any(|p| self.is_ev_oid(p))
     }
 }
 

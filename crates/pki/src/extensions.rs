@@ -200,7 +200,12 @@ impl Extensions {
     }
 }
 
-fn encode_ext(w: &mut DerWriter, oid_str: &str, critical: bool, value: impl FnOnce(&mut DerWriter)) {
+fn encode_ext(
+    w: &mut DerWriter,
+    oid_str: &str,
+    critical: bool,
+    value: impl FnOnce(&mut DerWriter),
+) {
     w.sequence(|w| {
         w.oid(&oids::oid(oid_str));
         if critical {

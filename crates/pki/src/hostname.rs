@@ -84,7 +84,10 @@ mod tests {
 
     #[test]
     fn wildcard_position_rules() {
-        assert!(!matches("f*.example.gov", "foo.example.gov"), "partial-label wildcard");
+        assert!(
+            !matches("f*.example.gov", "foo.example.gov"),
+            "partial-label wildcard"
+        );
         assert!(!matches("*.*.gov", "a.b.gov"), "double wildcard");
         assert!(!matches("foo.*.gov", "foo.bar.gov"), "inner wildcard");
         assert!(!matches("*", "gov"), "bare wildcard");

@@ -38,13 +38,17 @@ pub mod name;
 pub mod oids;
 pub mod trust;
 pub mod validate;
+pub mod vcache;
 
 pub use ca::{CertificateAuthority, IssuancePolicy, LeafProfile};
 pub use cert::{Certificate, TbsCertificate, Validity};
 pub use extensions::{BasicConstraints, Extensions, KeyUsage};
 pub use name::DistinguishedName;
 pub use trust::{TrustStore, TrustStoreProfile};
-pub use validate::{validate_chain, CertError, ValidatedChain};
+pub use validate::{
+    check_hostname, validate_chain, validate_chain_structure, CertError, ValidatedChain,
+};
+pub use vcache::ChainVerdictCache;
 
 pub use govscan_asn1::Time;
-pub use govscan_crypto::{KeyAlgorithm, KeyPair, PublicKey, SignatureAlgorithm};
+pub use govscan_crypto::{Fingerprint, KeyAlgorithm, KeyPair, PublicKey, SignatureAlgorithm};

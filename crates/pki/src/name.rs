@@ -31,7 +31,11 @@ impl DistinguishedName {
     }
 
     /// A CA-style name: common name plus organization and country.
-    pub fn ca(common_name: impl Into<String>, org: impl Into<String>, country: impl Into<String>) -> Self {
+    pub fn ca(
+        common_name: impl Into<String>,
+        org: impl Into<String>,
+        country: impl Into<String>,
+    ) -> Self {
         DistinguishedName {
             common_name: Some(common_name.into()),
             organization: Some(org.into()),
@@ -168,7 +172,10 @@ mod tests {
     #[test]
     fn oneline_format_is_stable() {
         let name = DistinguishedName::ca("GTS CA 1C3", "Google Trust Services", "US");
-        assert_eq!(name.to_oneline(), "C=US, O=Google Trust Services, CN=GTS CA 1C3");
+        assert_eq!(
+            name.to_oneline(),
+            "C=US, O=Google Trust Services, CN=GTS CA 1C3"
+        );
         assert_eq!(format!("{name}"), name.to_oneline());
     }
 
@@ -180,7 +187,10 @@ mod tests {
         let der = w.finish();
         let mut r = DerReader::new(&der);
         assert_eq!(
-            DistinguishedName::decode(&mut r).unwrap().common_name.unwrap(),
+            DistinguishedName::decode(&mut r)
+                .unwrap()
+                .common_name
+                .unwrap(),
             "한국정보인증"
         );
     }

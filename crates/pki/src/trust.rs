@@ -7,7 +7,9 @@
 //! certificates chaining to an untrusted root (e.g. the Korean NPKI CAs
 //! of §6.3) validate differently per profile.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+use govscan_crypto::Fingerprint;
 
 use crate::cert::Certificate;
 
@@ -31,10 +33,14 @@ impl TrustStoreProfile {
     ];
 }
 
-/// A set of trusted root certificates, indexed by subject name.
+/// A set of trusted root certificates, indexed by subject name and by
+/// fingerprint. The fingerprint index makes the anchor check the chain
+/// walker performs on every link an O(1) set probe instead of a deep
+/// certificate comparison.
 #[derive(Debug, Clone, Default)]
 pub struct TrustStore {
     roots: HashMap<String, Certificate>,
+    fingerprints: HashSet<Fingerprint>,
 }
 
 impl TrustStore {
@@ -52,7 +58,12 @@ impl TrustStore {
         if !cert.is_self_issued() || !cert.is_ca() {
             return false;
         }
-        self.roots.insert(cert.tbs.subject.to_oneline(), cert);
+        let fp = cert.fingerprint();
+        if let Some(old) = self.roots.insert(cert.tbs.subject.to_oneline(), cert) {
+            // A same-subject replacement evicts the old anchor entirely.
+            self.fingerprints.remove(&old.fingerprint());
+        }
+        self.fingerprints.insert(fp);
         true
     }
 
@@ -63,9 +74,7 @@ impl TrustStore {
 
     /// Is this exact certificate (by fingerprint) a trust anchor?
     pub fn contains(&self, cert: &Certificate) -> bool {
-        self.roots
-            .get(&cert.tbs.subject.to_oneline())
-            .is_some_and(|c| c == cert)
+        self.fingerprints.contains(&cert.fingerprint())
     }
 
     /// Number of roots.
@@ -115,7 +124,9 @@ mod tests {
         let mut store = TrustStore::new();
         assert!(store.add_root(ca.cert.clone()));
         assert_eq!(store.len(), 1);
-        let found = store.find_by_subject(&ca.cert.tbs.subject.to_oneline()).unwrap();
+        let found = store
+            .find_by_subject(&ca.cert.tbs.subject.to_oneline())
+            .unwrap();
         assert_eq!(found, &ca.cert);
         assert!(store.contains(&ca.cert));
     }

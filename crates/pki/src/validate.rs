@@ -6,8 +6,22 @@
 //! either the validated path or the *first* error in the same precedence
 //! OpenSSL reports: chain construction, then signatures, then time
 //! validity, then hostname matching.
+//!
+//! The verdict is computed in two layers that mirror the precedence
+//! boundary: [`validate_chain_structure`] covers everything independent
+//! of the hostname dialled (construction, signatures, path length, time
+//! validity — a function of chain × trust store × scan time only), and
+//! [`check_hostname`] applies the final per-host name match. Because
+//! hostname mismatch is the *last* error OpenSSL reports, composing the
+//! two layers reproduces the single-pass precedence exactly — which is
+//! what lets the scanner memoize the expensive structural verdict per
+//! chain (see `vcache`) while the cheap hostname step runs per host.
 
 use govscan_asn1::Time;
+
+use std::collections::HashSet;
+
+use govscan_crypto::Fingerprint;
 
 use crate::cert::Certificate;
 use crate::hostname;
@@ -100,11 +114,28 @@ pub fn validate_chain(
     host: &str,
     now: Time,
 ) -> Result<ValidatedChain, CertError> {
+    let validated = validate_chain_structure(peer_chain, trust, now)?;
+    check_hostname(&validated, host)?;
+    Ok(validated)
+}
+
+/// The host-independent part of the verdict: chain construction,
+/// signatures, CA and path-length constraints, and time validity.
+///
+/// For a fixed trust store and scan time this is a pure function of the
+/// peer chain, which makes it memoizable by chain fingerprint. Every
+/// error except [`CertError::HostnameMismatch`] originates here, in the
+/// same precedence [`validate_chain`] reports.
+pub fn validate_chain_structure(
+    peer_chain: &[Certificate],
+    trust: &TrustStore,
+    now: Time,
+) -> Result<ValidatedChain, CertError> {
     let leaf = peer_chain.first().ok_or(CertError::EmptyChain)?;
 
     // --- Phase 1: path construction (leaf → anchor). ---
     let mut path: Vec<Certificate> = vec![leaf.clone()];
-    let mut used: Vec<String> = vec![leaf.fingerprint()];
+    let mut used: HashSet<Fingerprint> = HashSet::from([leaf.fingerprint()]);
     loop {
         let cur = path.last().expect("non-empty");
         if path.len() > MAX_PATH {
@@ -150,7 +181,7 @@ pub fn validate_chain(
         if !cur.verify_signature(&issuer.tbs.public_key) {
             return Err(CertError::BadSignature);
         }
-        used.push(issuer.fingerprint());
+        used.insert(issuer.fingerprint());
         path.push(issuer);
     }
 
@@ -164,12 +195,18 @@ pub fn validate_chain(
         }
     }
 
-    // --- Phase 4: hostname. ---
-    if !hostname::matches_any(path[0].dns_names(), host) {
+    Ok(ValidatedChain { path })
+}
+
+/// The per-host step: does the validated leaf cover `host`?
+///
+/// Phase 4 of the verdict, split out so a structurally validated chain
+/// can be checked against many hostnames without re-walking the path.
+pub fn check_hostname(validated: &ValidatedChain, host: &str) -> Result<(), CertError> {
+    if !hostname::matches_any(validated.leaf().dns_names(), host) {
         return Err(CertError::HostnameMismatch);
     }
-
-    Ok(ValidatedChain { path })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -331,9 +368,7 @@ mod tests {
         let err = validate_chain(&chain, &p.trust, "finance.gov.bd", scan_time()).unwrap_err();
         assert_eq!(err, CertError::HostnameMismatch);
         // …and the same chain on a covered host is valid.
-        assert!(
-            validate_chain(&chain, &p.trust, "forms.portal.gov.bd", scan_time()).is_ok()
-        );
+        assert!(validate_chain(&chain, &p.trust, "forms.portal.gov.bd", scan_time()).is_ok());
     }
 
     #[test]
@@ -359,9 +394,8 @@ mod tests {
         tbs.extensions.subject_alt_names = vec!["sitetwo.gov".into()];
         tbs.public_key = key2.public();
         let fake_key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"siteone.gov");
-        let signature =
-            govscan_crypto::sign(&fake_key, tbs.signature_alg, &tbs.to_der()).unwrap();
-        let leaf2 = Certificate { tbs, signature };
+        let signature = govscan_crypto::sign(&fake_key, tbs.signature_alg, &tbs.to_der()).unwrap();
+        let leaf2 = Certificate::new(tbs, signature);
         let chain = vec![leaf2, leaf1, p.inter.cert.clone()];
         let err = validate_chain(&chain, &p.trust, "sitetwo.gov", scan_time()).unwrap_err();
         assert_eq!(err, CertError::NotACa);

@@ -1,0 +1,311 @@
+//! Memoized chain validation — the scan hot path's verdict cache.
+//!
+//! Real-world scans see the same certificate chain on many hosts: a
+//! wildcard certificate deployed across a ministry's portals, a CDN
+//! terminating thousands of government sites, one appliance cert copied
+//! onto every city's server. The structural half of the verdict
+//! ([`validate_chain_structure`]) depends only on the chain, the trust
+//! store, and the scan time — so a [`ChainVerdictCache`] computes it
+//! once per distinct chain and replays it for every later host, leaving
+//! only the cheap per-host [`check_hostname`] step on the hot path.
+//!
+//! The cache is keyed by the chain's certificate fingerprints, which
+//! identify the DER bytes exactly. It is sharded: each shard holds an
+//! independent map behind its own mutex, so scanner workers contend only
+//! when they hash to the same shard. Verdicts are stored as
+//! `Result<Arc<ValidatedChain>, CertError>` — hits clone an `Arc` and a
+//! `Copy` error, never a certificate path.
+//!
+//! One cache is valid for exactly one (trust store, scan time) pair:
+//! both are fixed at construction, and using the cache with a different
+//! trust store than the one it was built for would replay stale
+//! verdicts. [`ChainVerdictCache::validate`] therefore takes the trust
+//! store from the cache itself, not from the caller.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use govscan_asn1::Time;
+use govscan_crypto::Fingerprint;
+use parking_lot::Mutex;
+
+use crate::cert::Certificate;
+use crate::trust::TrustStore;
+use crate::validate::{check_hostname, validate_chain_structure, CertError, ValidatedChain};
+
+/// Number of independent shards. Fingerprints are uniformly distributed
+/// (they are SHA-256 output), so a power of two spreads load evenly;
+/// 16 shards keep contention negligible for the worker counts the
+/// scanner uses (≤ 8) without bloating the structure.
+const SHARDS: usize = 16;
+
+/// The host-independent verdict for one chain, as stored in the cache.
+type Verdict = Result<Arc<ValidatedChain>, CertError>;
+
+/// A sharded, thread-safe memo of structural chain verdicts for one
+/// (trust store, scan time) pair.
+pub struct ChainVerdictCache {
+    trust: TrustStore,
+    now: Time,
+    shards: Vec<Mutex<HashMap<Box<[Fingerprint]>, Verdict>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ChainVerdictCache {
+    /// Build an empty cache bound to `trust` and scan time `now`.
+    pub fn new(trust: TrustStore, now: Time) -> ChainVerdictCache {
+        ChainVerdictCache {
+            trust,
+            now,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The trust store verdicts are computed against.
+    pub fn trust(&self) -> &TrustStore {
+        &self.trust
+    }
+
+    /// The scan time verdicts are computed at.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Full validation of `peer_chain` as presented to `host`:
+    /// memoized structural verdict, then the per-host hostname check.
+    ///
+    /// Equivalent to [`crate::validate_chain`] with this cache's trust
+    /// store and scan time — same verdicts, same error precedence — but
+    /// O(1) after the first sighting of a chain.
+    pub fn validate(
+        &self,
+        peer_chain: &[Certificate],
+        host: &str,
+    ) -> Result<Arc<ValidatedChain>, CertError> {
+        let validated = self.structure(peer_chain)?;
+        check_hostname(&validated, host)?;
+        Ok(validated)
+    }
+
+    /// The memoized structural verdict for `peer_chain`.
+    pub fn structure(&self, peer_chain: &[Certificate]) -> Verdict {
+        let key: Box<[Fingerprint]> = peer_chain.iter().map(|c| c.fingerprint()).collect();
+        let shard = &self.shards[Self::shard_of(&key)];
+        if let Some(verdict) = shard.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return verdict.clone();
+        }
+        // Compute outside the lock: structural validation walks and
+        // verifies the whole chain, and other chains hashing to this
+        // shard shouldn't wait behind it. Two workers racing on the
+        // same previously-unseen chain both compute — the verdicts are
+        // identical, so last-write-wins is harmless.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = validate_chain_structure(peer_chain, &self.trust, self.now).map(Arc::new);
+        shard.lock().insert(key, verdict.clone());
+        verdict
+    }
+
+    /// Cache hits so far (structural lookups answered from the memo).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (structural verdicts actually computed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct chains memoized.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no verdict has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoized verdict and reset the hit/miss counters,
+    /// returning the cache to its freshly-constructed state (the bound
+    /// trust store and scan time are unchanged).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn shard_of(key: &[Fingerprint]) -> usize {
+        // The first byte of a SHA-256 fingerprint is already uniform.
+        key.first()
+            .map_or(0, |fp| fp.as_bytes()[0] as usize % SHARDS)
+    }
+}
+
+impl std::fmt::Debug for ChainVerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainVerdictCache")
+            .field("chains", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CertificateAuthority, IssuancePolicy, LeafProfile};
+    use crate::cert::Validity;
+    use crate::name::DistinguishedName;
+    use crate::validate_chain;
+    use govscan_crypto::{KeyAlgorithm, KeyPair};
+
+    fn scan_time() -> Time {
+        Time::from_ymd(2020, 4, 22)
+    }
+
+    fn pki() -> (CertificateAuthority, CertificateAuthority, TrustStore) {
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::ca("Cache Root", "Org", "US"),
+            KeyPair::from_seed(KeyAlgorithm::Rsa(4096), b"cache-root"),
+            IssuancePolicy::default(),
+            Validity {
+                not_before: Time::from_ymd(2010, 1, 1),
+                not_after: Time::from_ymd(2040, 1, 1),
+            },
+        );
+        let inter = CertificateAuthority::new_intermediate(
+            &mut root,
+            DistinguishedName::ca("Cache Inter", "Org", "US"),
+            KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"cache-inter"),
+            IssuancePolicy::default(),
+            Validity {
+                not_before: Time::from_ymd(2010, 1, 1),
+                not_after: Time::from_ymd(2040, 1, 1),
+            },
+        );
+        let mut trust = TrustStore::new();
+        trust.add_root(root.cert.clone());
+        (root, inter, trust)
+    }
+
+    fn issue(inter: &mut CertificateAuthority, host: &str) -> Certificate {
+        let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), host.as_bytes());
+        inter.issue(&LeafProfile::dv(
+            host,
+            key.public(),
+            Time::from_ymd(2020, 3, 1),
+        ))
+    }
+
+    #[test]
+    fn hit_replays_identical_verdict() {
+        let (_root, mut inter, trust) = pki();
+        let leaf = issue(&mut inter, "www.nih.gov");
+        let chain = vec![leaf, inter.cert.clone()];
+        let cache = ChainVerdictCache::new(trust.clone(), scan_time());
+
+        let first = cache.validate(&chain, "www.nih.gov").expect("valid");
+        let second = cache.validate(&chain, "www.nih.gov").expect("valid");
+        assert_eq!(first.path, second.path);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+
+        let reference = validate_chain(&chain, &trust, "www.nih.gov", scan_time()).unwrap();
+        assert_eq!(first.path, reference.path);
+    }
+
+    #[test]
+    fn hostname_mismatch_still_per_host() {
+        // The structural verdict is shared; the hostname verdict is not.
+        let (_root, mut inter, trust) = pki();
+        let leaf = issue(&mut inter, "a.gov.xx");
+        let chain = vec![leaf, inter.cert.clone()];
+        let cache = ChainVerdictCache::new(trust, scan_time());
+
+        assert!(cache.validate(&chain, "a.gov.xx").is_ok());
+        assert_eq!(
+            cache.validate(&chain, "b.gov.xx").unwrap_err(),
+            CertError::HostnameMismatch
+        );
+        // One structural computation served both hosts.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let (_root, mut inter, _trust) = pki();
+        let leaf = issue(&mut inter, "x.gov.xx");
+        let chain = vec![leaf, inter.cert.clone()];
+        // Empty store: every chain fails with UnableToGetLocalIssuer.
+        let cache = ChainVerdictCache::new(TrustStore::new(), scan_time());
+        for _ in 0..3 {
+            assert_eq!(
+                cache.validate(&chain, "x.gov.xx").unwrap_err(),
+                CertError::UnableToGetLocalIssuer
+            );
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn distinct_chains_get_distinct_entries() {
+        let (_root, mut inter, trust) = pki();
+        let cache = ChainVerdictCache::new(trust, scan_time());
+        for i in 0..10 {
+            let host = format!("h{i}.gov.xx");
+            let chain = vec![issue(&mut inter, &host), inter.cert.clone()];
+            assert!(cache.validate(&chain, &host).is_ok());
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn empty_chain_verdict() {
+        let cache = ChainVerdictCache::new(TrustStore::new(), scan_time());
+        assert_eq!(
+            cache.validate(&[], "x.gov").unwrap_err(),
+            CertError::EmptyChain
+        );
+        assert_eq!(
+            cache.validate(&[], "y.gov").unwrap_err(),
+            CertError::EmptyChain
+        );
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let (_root, mut inter, trust) = pki();
+        let leaf = issue(&mut inter, "par.gov.xx");
+        let chain = vec![leaf, inter.cert.clone()];
+        let cache = ChainVerdictCache::new(trust, scan_time());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert!(cache.validate(&chain, "par.gov.xx").is_ok());
+                    }
+                });
+            }
+        });
+        // Racing first sightings may compute a handful of times, but the
+        // steady state is all hits and a single retained entry.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.misses() <= 4);
+        assert_eq!(cache.hits() + cache.misses(), 200);
+    }
+}

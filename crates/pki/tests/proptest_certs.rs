@@ -1,6 +1,9 @@
-//! Property-based tests for the X.509 layer: arbitrary certificate
+//! Randomized tests for the X.509 layer: arbitrary certificate
 //! contents must round-trip DER exactly, mutated DER must never panic
 //! the parser, and the validator must be total over hostile inputs.
+//!
+//! Originally `proptest`-based; rewritten as seeded randomized tests
+//! (deterministic per seed) for the offline build.
 
 use govscan_asn1::Time;
 use govscan_crypto::{KeyAlgorithm, KeyPair, SignatureAlgorithm};
@@ -9,21 +12,31 @@ use govscan_pki::extensions::{BasicConstraints, Extensions, KeyUsage};
 use govscan_pki::name::DistinguishedName;
 use govscan_pki::trust::TrustStore;
 use govscan_pki::{hostname, validate_chain};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn dns_label() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,14}[a-z0-9]".prop_map(|s| s)
+const CASES: usize = 64;
+
+fn dns_label(rng: &mut StdRng) -> String {
+    let first = char::from(rng.gen_range(b'a'..=b'z'));
+    let mid: String = (0..rng.gen_range(0..15))
+        .map(|_| char::from(b"abcdefghijklmnopqrstuvwxyz0123456789-"[rng.gen_range(0..37)]))
+        .collect();
+    let last = char::from(b"abcdefghijklmnopqrstuvwxyz0123456789"[rng.gen_range(0..36)]);
+    format!("{first}{mid}{last}")
 }
 
-fn hostname_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(dns_label(), 2..5).prop_map(|labels| labels.join("."))
+fn random_hostname(rng: &mut StdRng) -> String {
+    let labels: Vec<String> = (0..rng.gen_range(2..5)).map(|_| dns_label(rng)).collect();
+    labels.join(".")
 }
 
-fn key_algorithm() -> impl Strategy<Value = KeyAlgorithm> {
-    prop_oneof![
-        (512u16..8192).prop_map(KeyAlgorithm::Rsa),
-        prop_oneof![Just(192u16), Just(256), Just(384), Just(521)].prop_map(KeyAlgorithm::Ec),
-    ]
+fn key_algorithm(rng: &mut StdRng) -> KeyAlgorithm {
+    if rng.gen::<bool>() {
+        KeyAlgorithm::Rsa(rng.gen_range(512u16..8192))
+    } else {
+        KeyAlgorithm::Ec([192u16, 256, 384, 521][rng.gen_range(0..4)])
+    }
 }
 
 fn signature_algorithm(key: KeyAlgorithm) -> SignatureAlgorithm {
@@ -34,111 +47,136 @@ fn signature_algorithm(key: KeyAlgorithm) -> SignatureAlgorithm {
     }
 }
 
-fn arbitrary_cert() -> impl Strategy<Value = Certificate> {
-    (
-        hostname_strategy(),
-        proptest::collection::vec(hostname_strategy(), 0..4),
-        key_algorithm(),
-        proptest::collection::vec(1u8..=255, 1..16),
-        1980i32..2080,
-        1u8..=12,
-        1u8..=28,
-        1i64..5000,
-        any::<bool>(),
-        proptest::option::of(0u8..4),
-    )
-        .prop_map(
-            |(cn, san, key_alg, serial, year, month, day, days, is_ca, path_len)| {
-                let key = KeyPair::from_seed(key_alg, cn.as_bytes());
-                let sig_alg = signature_algorithm(key_alg);
-                let not_before = Time::from_ymd(year, month, day);
-                let tbs = TbsCertificate {
-                    serial,
-                    signature_alg: sig_alg,
-                    issuer: DistinguishedName::ca("Prop CA", "Prop Org", "US"),
-                    validity: Validity {
-                        not_before,
-                        not_after: not_before.plus_days(days),
-                    },
-                    subject: DistinguishedName::cn(cn),
-                    public_key: key.public(),
-                    extensions: Extensions {
-                        subject_alt_names: san,
-                        basic_constraints: Some(BasicConstraints {
-                            is_ca,
-                            path_len: if is_ca { path_len } else { None },
-                        }),
-                        key_usage: Some(KeyUsage {
-                            digital_signature: !is_ca,
-                            key_encipherment: !is_ca,
-                            key_cert_sign: is_ca,
-                            crl_sign: is_ca,
-                        }),
-                        ..Default::default()
-                    },
-                };
-                let signer = KeyPair::from_seed(key_alg, b"prop-ca-key");
-                let signature =
-                    govscan_crypto::sign(&signer, sig_alg, &tbs.to_der()).expect("compatible");
-                Certificate { tbs, signature }
-            },
-        )
+fn arbitrary_cert(rng: &mut StdRng) -> Certificate {
+    let cn = random_hostname(rng);
+    let san: Vec<String> = (0..rng.gen_range(0..4))
+        .map(|_| random_hostname(rng))
+        .collect();
+    let key_alg = key_algorithm(rng);
+    let serial: Vec<u8> = (0..rng.gen_range(1..16))
+        .map(|_| rng.gen_range(1u8..=255))
+        .collect();
+    let is_ca = rng.gen::<bool>();
+    let path_len = if rng.gen::<bool>() {
+        Some(rng.gen_range(0u8..4))
+    } else {
+        None
+    };
+    let key = KeyPair::from_seed(key_alg, cn.as_bytes());
+    let sig_alg = signature_algorithm(key_alg);
+    let not_before = Time::from_ymd(
+        rng.gen_range(1980i32..2080),
+        rng.gen_range(1u8..=12),
+        rng.gen_range(1u8..=28),
+    );
+    let tbs = TbsCertificate {
+        serial,
+        signature_alg: sig_alg,
+        issuer: DistinguishedName::ca("Prop CA", "Prop Org", "US"),
+        validity: Validity {
+            not_before,
+            not_after: not_before.plus_days(rng.gen_range(1i64..5000)),
+        },
+        subject: DistinguishedName::cn(cn),
+        public_key: key.public(),
+        extensions: Extensions {
+            subject_alt_names: san,
+            basic_constraints: Some(BasicConstraints {
+                is_ca,
+                path_len: if is_ca { path_len } else { None },
+            }),
+            key_usage: Some(KeyUsage {
+                digital_signature: !is_ca,
+                key_encipherment: !is_ca,
+                key_cert_sign: is_ca,
+                crl_sign: is_ca,
+            }),
+            ..Default::default()
+        },
+    };
+    let signer = KeyPair::from_seed(key_alg, b"prop-ca-key");
+    let signature = govscan_crypto::sign(&signer, sig_alg, &tbs.to_der()).expect("compatible");
+    Certificate::new(tbs, signature)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any certificate this library can represent must round-trip DER
-    /// byte-exactly.
-    #[test]
-    fn certificate_der_round_trips(cert in arbitrary_cert()) {
+/// Any certificate this library can represent must round-trip DER
+/// byte-exactly.
+#[test]
+fn certificate_der_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xC341);
+    for _ in 0..CASES {
+        let cert = arbitrary_cert(&mut rng);
         let der = cert.to_der();
-        let parsed = Certificate::from_der(&der).expect("own encoding parses");
-        prop_assert_eq!(&parsed, &cert);
-        prop_assert_eq!(parsed.to_der(), der, "canonical re-encoding");
+        let parsed = Certificate::from_der(der).expect("own encoding parses");
+        assert_eq!(&parsed, &cert);
+        assert_eq!(parsed.to_der(), der, "canonical re-encoding");
     }
+}
 
-    /// Flipping any single byte of the DER must never panic the parser —
-    /// it either errors or yields a (differently-) valid certificate.
-    #[test]
-    fn mutated_der_never_panics(cert in arbitrary_cert(), idx in any::<prop::sample::Index>(), bit in 0u8..8) {
-        let mut der = cert.to_der();
-        let i = idx.index(der.len());
-        der[i] ^= 1 << bit;
+/// Flipping any single byte of the DER must never panic the parser —
+/// it either errors or yields a (differently-) valid certificate.
+#[test]
+fn mutated_der_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xC342);
+    for _ in 0..CASES {
+        let cert = arbitrary_cert(&mut rng);
+        let mut der = cert.to_der().to_vec();
+        let i = rng.gen_range(0..der.len());
+        der[i] ^= 1 << rng.gen_range(0u8..8);
         let _ = Certificate::from_der(&der);
     }
+}
 
-    /// The validator is total: arbitrary chains of arbitrary certs never
-    /// panic, whatever hostname and time they are checked against.
-    #[test]
-    fn validator_is_total(
-        certs in proptest::collection::vec(arbitrary_cert(), 1..4),
-        host in hostname_strategy(),
-        at in 0i64..4_000_000_000,
-    ) {
+/// The validator is total: arbitrary chains of arbitrary certs never
+/// panic, whatever hostname and time they are checked against.
+#[test]
+fn validator_is_total() {
+    let mut rng = StdRng::seed_from_u64(0xC343);
+    for _ in 0..CASES {
+        let certs: Vec<Certificate> = (0..rng.gen_range(1..4))
+            .map(|_| arbitrary_cert(&mut rng))
+            .collect();
+        let host = random_hostname(&mut rng);
+        let at = rng.gen_range(0i64..4_000_000_000);
         let trust = TrustStore::new();
         let _ = validate_chain(&certs, &trust, &host, Time(at));
     }
+}
 
-    /// Hostname matching is symmetric in case and never panics.
-    #[test]
-    fn hostname_matching_case_insensitive(pattern in hostname_strategy(), host in hostname_strategy()) {
+/// Hostname matching is symmetric in case and never panics.
+#[test]
+fn hostname_matching_case_insensitive() {
+    let mut rng = StdRng::seed_from_u64(0xC344);
+    for _ in 0..CASES * 4 {
+        let pattern = random_hostname(&mut rng);
+        let host = random_hostname(&mut rng);
         let a = hostname::matches(&pattern, &host);
         let b = hostname::matches(&pattern.to_uppercase(), &host.to_uppercase());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // Exact self-match always holds for wildcard-free names.
-        prop_assert!(hostname::matches(&host, &host));
+        assert!(hostname::matches(&host, &host));
     }
+}
 
-    /// A wildcard pattern `*.suffix` matches exactly the hosts with one
-    /// extra leading label.
-    #[test]
-    fn wildcard_semantics(suffix in hostname_strategy(), label in dns_label()) {
+/// A wildcard pattern `*.suffix` matches exactly the hosts with one
+/// extra leading label.
+#[test]
+fn wildcard_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xC345);
+    for _ in 0..CASES * 4 {
+        let suffix = random_hostname(&mut rng);
+        let label = dns_label(&mut rng);
         let pattern = format!("*.{suffix}");
         let direct = format!("{label}.{suffix}");
         let deeper = format!("{label}.{label}.{suffix}");
-        prop_assert!(hostname::matches(&pattern, &direct));
-        prop_assert!(!hostname::matches(&pattern, &suffix), "bare domain never matches");
-        prop_assert!(!hostname::matches(&pattern, &deeper), "wildcard is single-label");
+        assert!(hostname::matches(&pattern, &direct));
+        assert!(
+            !hostname::matches(&pattern, &suffix),
+            "bare domain never matches"
+        );
+        assert!(
+            !hostname::matches(&pattern, &deeper),
+            "wildcard is single-label"
+        );
     }
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary: see `govscan_repro::experiments::ablation_probe_config`.
 
 fn main() {
-    govscan_repro::run_and_print("ablation_probe_config", govscan_repro::experiments::ablation_probe_config);
+    govscan_repro::run_and_print(
+        "ablation_probe_config",
+        govscan_repro::experiments::ablation_probe_config,
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary: see `govscan_repro::experiments::ablation_trust_stores`.
 
 fn main() {
-    govscan_repro::run_and_print("ablation_trust_stores", govscan_repro::experiments::ablation_trust_stores);
+    govscan_repro::run_and_print(
+        "ablation_trust_stores",
+        govscan_repro::experiments::ablation_trust_stores,
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduction binary: see `govscan_repro::experiments::fig6_fig7`.
 
 fn main() {
-    govscan_repro::run_and_print("fig7_rank_regression", govscan_repro::experiments::fig6_fig7);
+    govscan_repro::run_and_print(
+        "fig7_rank_regression",
+        govscan_repro::experiments::fig6_fig7,
+    );
 }

@@ -22,7 +22,11 @@ pub fn table1(env: &mut Env) -> String {
         &format!("{:.0} (scaled 12,293)", 12_293.0 * scale),
         &tranco.counts[3].to_string(),
     ));
-    out.push_str(&cmp_row("Cisco top band gov sites", "0", &t.columns[2].counts[0].to_string()));
+    out.push_str(&cmp_row(
+        "Cisco top band gov sites",
+        "0",
+        &t.columns[2].counts[0].to_string(),
+    ));
     out
 }
 
@@ -31,8 +35,16 @@ pub fn table2(env: &mut Env) -> String {
     let t = analysis::table2::build(&env.study.scan);
     let mut out = t.render();
     out.push('\n');
-    out.push_str(&cmp_row("https share", "39.33%", &format!("{:.2}%", t.https_share().percent())));
-    out.push_str(&cmp_row("valid | https", "71.41%", &format!("{:.2}%", t.valid_share().percent())));
+    out.push_str(&cmp_row(
+        "https share",
+        "39.33%",
+        &format!("{:.2}%", t.https_share().percent()),
+    ));
+    out.push_str(&cmp_row(
+        "valid | https",
+        "71.41%",
+        &format!("{:.2}%", t.valid_share().percent()),
+    ));
     out.push_str(&cmp_row(
         "not using valid https",
         "~72%",
@@ -51,7 +63,8 @@ pub fn table2(env: &mut Env) -> String {
         "73.65%",
         &format!(
             "{:.2}%",
-            100.0 * t.count(ErrorCategory::UnsupportedProtocol) as f64 / t.exceptions().max(1) as f64
+            100.0 * t.count(ErrorCategory::UnsupportedProtocol) as f64
+                / t.exceptions().max(1) as f64
         ),
     ));
     out
@@ -83,7 +96,11 @@ pub fn fig2(env: &mut Env) -> String {
     let fig = analysis::issuers::build(&env.study.scan, 40);
     let mut out = fig.render();
     if let Some(leader) = fig.leader() {
-        out.push_str(&cmp_row("leading CA", "Let's Encrypt (~20%)", &leader.issuer));
+        out.push_str(&cmp_row(
+            "leading CA",
+            "Let's Encrypt (~20%)",
+            &leader.issuer,
+        ));
         out.push_str(&cmp_row(
             "leader invalid share",
             "~20%",
@@ -106,9 +123,16 @@ pub fn fig3(env: &mut Env) -> String {
     out.push_str(&cmp_row(
         "invalid multiples of 365",
         "43.24%",
-        &format!("{:.1}%", 100.0 * s.multiple_of_365 as f64 / s.total.max(1) as f64),
+        &format!(
+            "{:.1}%",
+            100.0 * s.multiple_of_365 as f64 / s.total.max(1) as f64
+        ),
     ));
-    out.push_str(&cmp_row("10-year certs (scaled 617)", "617", &s.ten_year.to_string()));
+    out.push_str(&cmp_row(
+        "10-year certs (scaled 617)",
+        "617",
+        &s.ten_year.to_string(),
+    ));
     out
 }
 
@@ -184,8 +208,11 @@ pub fn fig6_fig7(env: &mut Env) -> String {
     let uniform = analysis::compare::nongov_uniform(&ctx, &env.world.tranco, n, &mut rng);
     let matched = analysis::compare::nongov_rank_matched(&ctx, &env.world.tranco, 50, &mut rng);
     let top = analysis::compare::nongov_top(&ctx, &env.world.tranco, n);
-    let mut out =
-        analysis::compare::render_fig7(&[&gov, &uniform, &matched, &top], env.world.tranco.size, 50);
+    let mut out = analysis::compare::render_fig7(
+        &[&gov, &uniform, &matched, &top],
+        env.world.tranco.size,
+        50,
+    );
     out.push('\n');
     out.push_str(&cmp_row(
         "gov valid share (top million)",
@@ -365,7 +392,11 @@ pub fn reuse(env: &mut Env) -> String {
     out.push_str(&cmp_row(
         "valid cross-country key reuse",
         "none",
-        if report.valid_cross_country_reuse() { "FOUND (!)" } else { "none" },
+        if report.valid_cross_country_reuse() {
+            "FOUND (!)"
+        } else {
+            "none"
+        },
     ));
     out.push_str(&cmp_row(
         "cross-country cert reuse (scaled 154 / 1,390)",
@@ -413,7 +444,11 @@ pub fn crawl_growth(env: &mut Env) -> String {
     out.push_str(&cmp_row(
         "discovery declines after peak",
         "yes",
-        if growth.declines_after_peak() { "yes" } else { "no" },
+        if growth.declines_after_peak() {
+            "yes"
+        } else {
+            "no"
+        },
     ));
     out
 }
@@ -429,7 +464,11 @@ pub fn interlink(env: &mut Env) -> String {
         &format!("{:.0}%", report.share_linking_at_least(7) * 100.0),
     ));
     if let Some((cc, d)) = report.top_linker() {
-        out.push_str(&cmp_row("top linker", "Austria (70)", &format!("{cc} ({d})")));
+        out.push_str(&cmp_row(
+            "top linker",
+            "Austria (70)",
+            &format!("{cc} ({d})"),
+        ));
     }
     out
 }
@@ -502,7 +541,8 @@ pub fn phishing(env: &mut Env) -> String {
 /// Mutates the world (remediation) — run last.
 pub fn disclosure(env: &mut Env) -> String {
     let mut rng = StdRng::seed_from_u64(env.world.config.seed ^ 0xD15C);
-    let campaign = govscan_disclosure::campaign::run(&env.study.scan, &mut rng, env.world.config.seed);
+    let campaign =
+        govscan_disclosure::campaign::run(&env.study.scan, &mut rng, env.world.config.seed);
     let unreachable: Vec<String> = env
         .study
         .scan
@@ -543,7 +583,11 @@ pub fn disclosure(env: &mut Env) -> String {
         "62",
         &report.countries_improving_at_least(0.10).len().to_string(),
     ));
-    out.push_str(&format!("hosts fixed: {}, removed: {}\n", plan.fixed.len(), plan.removed.len()));
+    out.push_str(&format!(
+        "hosts fixed: {}, removed: {}\n",
+        plan.fixed.len(),
+        plan.removed.len()
+    ));
     out
 }
 
@@ -594,9 +638,7 @@ pub fn ablation_trust_stores(env: &mut Env) -> String {
         let valid = scan.valid().count();
         let invalid = scan.invalid().count();
         counts.push((profile, valid, invalid));
-        out.push_str(&format!(
-            "{profile:?}: valid {valid}, invalid {invalid}\n"
-        ));
+        out.push_str(&format!("{profile:?}: valid {valid}, invalid {invalid}\n"));
     }
     let apple = counts[0].1;
     let ms = counts[1].1;
@@ -651,13 +693,20 @@ pub fn ablation_probe_config(env: &mut Env) -> String {
     out.push_str(&cmp_row(
         "legacy-only servers remain broken even for a permissive probe",
         "yes (weak ciphers)",
-        if permissive_unsup == checked { "yes" } else { "partially" },
+        if permissive_unsup == checked {
+            "yes"
+        } else {
+            "partially"
+        },
     ));
     out
 }
 
+/// One registered experiment: display name + renderer.
+pub type Experiment = (&'static str, fn(&mut Env) -> String);
+
 /// The `(name, experiment)` registry used by `run_all`.
-pub fn all() -> Vec<(&'static str, fn(&mut Env) -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         ("table1_overlap (Table 1)", table1),
         ("table2_worldwide (Table 2)", table2),

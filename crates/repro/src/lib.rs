@@ -96,7 +96,11 @@ impl Env {
         self.world
             .gsa_hosts
             .iter()
-            .filter_map(|h| self.world.record(h).map(|r| (h.clone(), r.gsa_datasets.clone())))
+            .filter_map(|h| {
+                self.world
+                    .record(h)
+                    .map(|r| (h.clone(), r.gsa_datasets.clone()))
+            })
             .collect()
     }
 }

@@ -1,7 +1,7 @@
 //! Classification of per-host scan outcomes into the Table 2 taxonomy.
 
 use govscan_asn1::Time;
-use govscan_crypto::{KeyAlgorithm, SignatureAlgorithm};
+use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
 use govscan_net::TlsError;
 use govscan_pki::ev::EvRegistry;
 use govscan_pki::{CertError, Certificate};
@@ -154,9 +154,9 @@ pub struct CertMeta {
     /// Serial number, hex.
     pub serial: String,
     /// SHA-256 fingerprint of the leaf.
-    pub fingerprint: String,
+    pub fingerprint: Fingerprint,
     /// SHA-256 fingerprint of the leaf public key (reuse analysis).
-    pub key_fingerprint: String,
+    pub key_fingerprint: Fingerprint,
     /// Does any SAN entry carry a wildcard?
     pub wildcard: bool,
     /// Does the certificate assert a recognised EV policy OID?
@@ -245,7 +245,10 @@ mod tests {
         assert!(ErrorCategory::UnsupportedProtocol.is_exception());
         assert!(ErrorCategory::TimedOut.is_exception());
         assert!(ErrorCategory::WrongVersionNumber.is_exception());
-        let exceptions = ErrorCategory::ALL.iter().filter(|c| c.is_exception()).count();
+        let exceptions = ErrorCategory::ALL
+            .iter()
+            .filter(|c| c.is_exception())
+            .count();
         assert_eq!(exceptions, 8);
     }
 

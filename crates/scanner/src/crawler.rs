@@ -44,7 +44,12 @@ impl CrawlReport {
     /// Growth of the government dataset relative to the seed (Fig A.4's
     /// red line): percentage increase contributed by each level ≥ 1.
     pub fn growth_percent_per_level(&self) -> Vec<f64> {
-        let seed_gov = self.levels.first().map(|l| l.government).max(Some(1)).unwrap() as f64;
+        let seed_gov = self
+            .levels
+            .first()
+            .map(|l| l.government)
+            .max(Some(1))
+            .unwrap() as f64;
         self.levels
             .iter()
             .skip(1)
@@ -93,7 +98,9 @@ pub fn crawl(net: &SimNet, filter: &GovFilter, seeds: &[String]) -> CrawlReport 
         }
     }
     report.levels.push(level0);
-    report.levels.resize(MAX_DEPTH as usize + 1, LevelStats::default());
+    report
+        .levels
+        .resize(MAX_DEPTH as usize + 1, LevelStats::default());
 
     while let Some((host, depth)) = queue.pop_front() {
         if depth >= MAX_DEPTH {
@@ -172,7 +179,12 @@ mod tests {
     #[test]
     fn does_not_follow_gtld_links() {
         let mut net = SimNet::new();
-        page_host(&mut net, "a.gov.bd", 1, &["http://ads.example.com/", "http://b.gov.bd/"]);
+        page_host(
+            &mut net,
+            "a.gov.bd",
+            1,
+            &["http://ads.example.com/", "http://b.gov.bd/"],
+        );
         page_host(&mut net, "b.gov.bd", 2, &[]);
         page_host(&mut net, "ads.example.com", 3, &["http://secret.gov.bd/"]);
         page_host(&mut net, "secret.gov.bd", 4, &[]);
@@ -190,7 +202,12 @@ mod tests {
         // A chain of 10 hosts: only 8 levels (0..=7) are reachable.
         for i in 0..10u8 {
             let next = format!("h{}.gov.bd", i + 1);
-            page_host(&mut net, &format!("h{i}.gov.bd"), i + 1, &[&format!("http://{next}/")]);
+            page_host(
+                &mut net,
+                &format!("h{i}.gov.bd"),
+                i + 1,
+                &[&format!("http://{next}/")],
+            );
         }
         let f = GovFilter::standard();
         let report = crawl(&net, &f, &["h0.gov.bd".to_string()]);

@@ -124,7 +124,8 @@ impl ScanDataset {
         match self.index.get(&record.hostname) {
             Some(&i) => self.records[i] = record,
             None => {
-                self.index.insert(record.hostname.clone(), self.records.len());
+                self.index
+                    .insert(record.hostname.clone(), self.records.len());
                 self.records.push(record);
             }
         }
@@ -138,6 +139,14 @@ impl ScanDataset {
     /// Look up by hostname.
     pub fn get(&self, hostname: &str) -> Option<&ScanRecord> {
         self.index.get(hostname).map(|&i| &self.records[i])
+    }
+
+    /// Look up by hostname, mutably — for annotating records in place.
+    ///
+    /// The hostname itself must not be changed through the returned
+    /// reference: the dataset's index is keyed by it.
+    pub fn get_mut(&mut self, hostname: &str) -> Option<&mut ScanRecord> {
+        self.index.get(hostname).map(|&i| &mut self.records[i])
     }
 
     /// Total records (available or not).
@@ -194,7 +203,7 @@ impl ScanDataset {
 mod tests {
     use super::*;
     use crate::classify::{CertMeta, ErrorCategory};
-    use govscan_crypto::{KeyAlgorithm, SignatureAlgorithm};
+    use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
 
     fn meta() -> CertMeta {
         CertMeta {
@@ -204,8 +213,8 @@ mod tests {
             not_before: Time::from_ymd(2020, 1, 1),
             not_after: Time::from_ymd(2020, 7, 1),
             serial: "01".into(),
-            fingerprint: "f".into(),
-            key_fingerprint: "k".into(),
+            fingerprint: Fingerprint([0xf; 32]),
+            key_fingerprint: Fingerprint([0xa; 32]),
             wildcard: false,
             is_ev: false,
             self_issued: false,
@@ -226,7 +235,11 @@ mod tests {
         let ds = ScanDataset::new(
             vec![
                 rec("a.gov", HttpsStatus::Valid(meta()), true),
-                rec("b.gov", HttpsStatus::Invalid(ErrorCategory::Expired, Some(meta())), true),
+                rec(
+                    "b.gov",
+                    HttpsStatus::Invalid(ErrorCategory::Expired, Some(meta())),
+                    true,
+                ),
                 rec("c.gov", HttpsStatus::None, true),
                 rec("d.gov", HttpsStatus::None, false),
             ],

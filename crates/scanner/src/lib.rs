@@ -19,7 +19,9 @@
 //!
 //! The scanner dials only the simulated wire ([`govscan_net::SimNet`]);
 //! it never reads generator ground truth. Scan parallelism uses a
-//! crossbeam worker pool, mirroring the original scan architecture.
+//! scoped worker pool fed by bounded chunked dispatch, and all workers
+//! share one [`govscan_pki::ChainVerdictCache`] so each distinct
+//! certificate chain is structurally validated only once per scan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -64,16 +64,19 @@ impl<'w> StudyPipeline<'w> {
         self
     }
 
-    /// The scan context for this pipeline.
+    /// The scan context for this pipeline. Each context carries a fresh
+    /// verdict cache bound to the pipeline's current trust profile and
+    /// scan time, so reconfiguring via [`Self::with_scan_time`] or
+    /// [`Self::with_trust_profile`] can never replay stale verdicts.
     pub fn context(&self) -> ScanContext<'w> {
-        ScanContext {
-            net: &self.world.net,
-            trust: self.world.cadb.trust_store(self.trust_profile),
-            ev: self.world.cadb.ev_registry(),
-            providers: &self.world.provider_table,
-            now: self.scan_time,
-            client: TlsClientConfig::default(),
-        }
+        ScanContext::new(
+            &self.world.net,
+            self.world.cadb.trust_store(self.trust_profile),
+            self.world.cadb.ev_registry(),
+            &self.world.provider_table,
+            self.scan_time,
+            TlsClientConfig::default(),
+        )
     }
 
     /// Scan an explicit hostname list (used by the case studies and the
@@ -136,23 +139,14 @@ impl<'w> StudyPipeline<'w> {
         // Whitelisted hostnames don't match the conservative filter; the
         // hand-curation that added them also recorded their country
         // (§4.2.3), which we carry over here.
-        let curated: std::collections::HashMap<&str, &'static str> = self
-            .world
-            .whitelist
-            .iter()
-            .filter_map(|h| self.world.record(h).map(|r| (h.as_str(), r.country)))
-            .collect();
-        let annotations: Vec<(String, &'static str)> = scan
-            .records()
-            .iter()
-            .filter(|r| r.country.is_none())
-            .filter_map(|r| curated.get(r.hostname.as_str()).map(|cc| (r.hostname.clone(), *cc)))
-            .collect();
-        for (host, cc) in annotations {
-            if let Some(r) = scan.get(&host).cloned() {
-                let mut r = r;
-                r.country = Some(cc);
-                scan.push(r);
+        for h in &self.world.whitelist {
+            let Some(truth) = self.world.record(h) else {
+                continue;
+            };
+            if let Some(r) = scan.get_mut(&h.to_ascii_lowercase()) {
+                if r.country.is_none() {
+                    r.country = Some(truth.country);
+                }
             }
         }
 
@@ -193,14 +187,10 @@ mod tests {
     }
 
     #[test]
-    fn final_list_is_mostly_outside_the_seed(){
+    fn final_list_is_mostly_outside_the_seed() {
         let (_world, out) = output();
         let seed: HashSet<&String> = out.seed_list.iter().collect();
-        let outside = out
-            .final_list
-            .iter()
-            .filter(|h| !seed.contains(h))
-            .count();
+        let outside = out.final_list.iter().filter(|h| !seed.contains(h)).count();
         let share = outside as f64 / out.final_list.len() as f64;
         // The paper: >90% of the final dataset is outside the top millions.
         assert!(share > 0.6, "long-tail share {share}");
@@ -222,7 +212,11 @@ mod tests {
             .iter()
             .filter(|r| r.country.is_some())
             .count();
-        assert_eq!(with_country, out.scan.len(), "every gov host gets a country");
+        assert_eq!(
+            with_country,
+            out.scan.len(),
+            "every gov host gets a country"
+        );
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! first A record against the provider CIDR table.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use govscan_net::{CidrTable, DnsOutcome, HttpOutcome, SimNet, TcpOutcome, TlsClientConfig};
 use govscan_pki::caa::CaaRecord;
 use govscan_pki::ev::EvRegistry;
 use govscan_pki::trust::TrustStore;
-use govscan_pki::Time;
+use govscan_pki::{ChainVerdictCache, Time};
 
 use crate::classify::{CertMeta, ErrorCategory, HttpsStatus};
 use crate::dataset::{HostingKind, ScanRecord};
@@ -34,6 +35,33 @@ pub struct ScanContext<'a> {
     pub now: Time,
     /// TLS probe configuration.
     pub client: TlsClientConfig,
+    /// Shared memo of structural chain verdicts. Must be bound to the
+    /// same trust store and scan time as `trust`/`now`; build contexts
+    /// with [`ScanContext::new`] to keep them consistent.
+    pub verdicts: Arc<ChainVerdictCache>,
+}
+
+impl<'a> ScanContext<'a> {
+    /// Build a context whose verdict cache is bound to exactly the given
+    /// trust store and scan time.
+    pub fn new(
+        net: &'a SimNet,
+        trust: &'a TrustStore,
+        ev: &'a EvRegistry,
+        providers: &'a CidrTable<(&'static str, bool)>,
+        now: Time,
+        client: TlsClientConfig,
+    ) -> ScanContext<'a> {
+        ScanContext {
+            net,
+            trust,
+            ev,
+            providers,
+            now,
+            client,
+            verdicts: Arc::new(ChainVerdictCache::new(trust.clone(), now)),
+        }
+    }
 }
 
 /// Number of DNS/connect retries before declaring a host unavailable.
@@ -92,12 +120,10 @@ pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
                     hsts = r.hsts.is_some();
                 }
                 let meta = CertMeta::from_chain(&session.peer_chain, ctx.ev);
-                match govscan_pki::validate_chain(
-                    &session.peer_chain,
-                    ctx.trust,
-                    &hostname,
-                    ctx.now,
-                ) {
+                // Memoized: the structural verdict for this chain is
+                // computed once per scan and replayed for every other
+                // host presenting the same certificates.
+                match ctx.verdicts.validate(&session.peer_chain, &hostname) {
                     Ok(_) => HttpsStatus::Valid(meta.expect("valid chain has a leaf")),
                     Err(e) => HttpsStatus::Invalid(ErrorCategory::from_cert_error(e), meta),
                 }
@@ -135,8 +161,20 @@ pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
     }
 }
 
-/// Scan many hostnames on a crossbeam worker pool. Results are returned
-/// in input order; the pool size adapts to the machine.
+/// How many chunks each worker sees on average. Small enough to keep
+/// dispatch overhead negligible, large enough that an unlucky worker
+/// stuck with slow hosts doesn't serialize the tail.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Scan many hostnames on a scoped worker pool. Results are returned in
+/// input order; the pool size adapts to the machine.
+///
+/// Dispatch is *bounded and chunked*: hostnames are split into
+/// contiguous chunks, each paired with its disjoint slice of the output
+/// buffer, and fed through a rendezvous-sized channel. Workers write
+/// records straight into their output slice, so there is no per-host
+/// send/receive traffic and no unbounded queue holding the whole world —
+/// memory stays O(workers) beyond the output itself.
 pub fn scan_hosts(ctx: &ScanContext<'_>, hostnames: &[String]) -> Vec<ScanRecord> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -145,36 +183,40 @@ pub fn scan_hosts(ctx: &ScanContext<'_>, hostnames: &[String]) -> Vec<ScanRecord
     if workers <= 1 || hostnames.len() < 64 {
         return hostnames.iter().map(|h| scan_host(ctx, h)).collect();
     }
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, &String)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, ScanRecord)>();
-    for job in hostnames.iter().enumerate() {
-        job_tx.send(job).expect("queue open");
-    }
-    drop(job_tx);
-    crossbeam::scope(|s| {
+    let chunk = hostnames
+        .len()
+        .div_ceil(workers * CHUNKS_PER_WORKER)
+        .max(16);
+    let mut results: Vec<Option<ScanRecord>> = vec![None; hostnames.len()];
+    // Bounded to the worker count: the sender blocks once every worker
+    // has a chunk in hand and one is queued, which is all the lookahead
+    // load balancing needs. Workers never block sending (they write into
+    // their own slice), so this cannot deadlock.
+    let (job_tx, job_rx) =
+        std::sync::mpsc::sync_channel::<(&[String], &mut [Option<ScanRecord>])>(workers);
+    let job_rx = std::sync::Mutex::new(job_rx);
+    std::thread::scope(|s| {
+        let job_rx = &job_rx;
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let out_tx = out_tx.clone();
-            s.spawn(move |_| {
-                while let Ok((i, host)) = job_rx.recv() {
-                    let record = scan_host(ctx, host);
-                    if out_tx.send((i, record)).is_err() {
-                        break;
-                    }
+            s.spawn(move || loop {
+                let job = job_rx.lock().expect("receiver intact").recv();
+                let Ok((hosts, out)) = job else { break };
+                for (host, slot) in hosts.iter().zip(out.iter_mut()) {
+                    *slot = Some(scan_host(ctx, host));
                 }
             });
         }
-        drop(out_tx);
-        let mut results: Vec<Option<ScanRecord>> = vec![None; hostnames.len()];
-        while let Ok((i, record)) = out_rx.recv() {
-            results[i] = Some(record);
+        for job in hostnames.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            job_tx.send(job).expect("a worker is always receiving");
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every job produced a record"))
-            .collect()
-    })
-    .expect("scan workers do not panic")
+        // Close the queue so idle workers' recv() errors and they exit.
+        drop(job_tx);
+    });
+    drop(job_rx);
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk was dispatched"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,14 +225,16 @@ mod tests {
     use govscan_worldgen::{World, WorldConfig};
 
     fn ctx(world: &World) -> ScanContext<'_> {
-        ScanContext {
-            net: &world.net,
-            trust: world.cadb.trust_store(govscan_pki::trust::TrustStoreProfile::Apple),
-            ev: world.cadb.ev_registry(),
-            providers: &world.provider_table,
-            now: world.scan_time(),
-            client: TlsClientConfig::default(),
-        }
+        ScanContext::new(
+            &world.net,
+            world
+                .cadb
+                .trust_store(govscan_pki::trust::TrustStoreProfile::Apple),
+            world.cadb.ev_registry(),
+            &world.provider_table,
+            world.scan_time(),
+            TlsClientConfig::default(),
+        )
     }
 
     #[test]
@@ -208,9 +252,7 @@ mod tests {
                 Posture::Unreachable => !rec.available,
                 Posture::HttpOnly => rec.available && !rec.https.attempts(),
                 Posture::ValidHttps { .. } => rec.https.is_valid(),
-                Posture::InvalidHttps { .. } => {
-                    rec.https.attempts() && !rec.https.is_valid()
-                }
+                Posture::InvalidHttps { .. } => rec.https.attempts() && !rec.https.is_valid(),
             };
             if ok {
                 agree += 1;
@@ -233,6 +275,15 @@ mod tests {
             assert_eq!(a.available, b.available);
             assert_eq!(a.https, b.https);
         }
+        // Both passes shared one verdict cache: the serial scan warmed
+        // it, so the parallel pass (and repeat chains within the serial
+        // one) answered structural validation from the memo.
+        assert!(ctx.verdicts.hits() > 0, "shared cache saw hits");
+        assert!(
+            ctx.verdicts.misses() <= ctx.verdicts.hits(),
+            "warm pass dominated: {:?}",
+            ctx.verdicts
+        );
     }
 
     #[test]

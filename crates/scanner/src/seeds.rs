@@ -22,7 +22,10 @@ pub fn build_seed_list(filter: &GovFilter, lists: &[&RankingList]) -> Vec<String
 }
 
 /// Count seed hostnames per inferred country (input to the MTurk stage).
-pub fn seeds_per_country(filter: &GovFilter, seeds: &[String]) -> std::collections::HashMap<&'static str, usize> {
+pub fn seeds_per_country(
+    filter: &GovFilter,
+    seeds: &[String],
+) -> std::collections::HashMap<&'static str, usize> {
     let mut counts = std::collections::HashMap::new();
     for host in seeds {
         if let Some(cc) = filter.classify(host) {
@@ -59,7 +62,10 @@ mod tests {
         let a = list("a", &[("www.nih.gov", true), ("shop.com", false)]);
         let b = list("b", &[("www.nih.gov", true), ("tax.gov.bd", true)]);
         let seeds = build_seed_list(&f, &[&a, &b]);
-        assert_eq!(seeds, vec!["tax.gov.bd".to_string(), "www.nih.gov".to_string()]);
+        assert_eq!(
+            seeds,
+            vec!["tax.gov.bd".to_string(), "www.nih.gov".to_string()]
+        );
     }
 
     #[test]

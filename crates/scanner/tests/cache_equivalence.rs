@@ -1,0 +1,112 @@
+//! The memoized validator must be observationally identical to the
+//! pristine `validate_chain` — same verdicts, same error precedence —
+//! across every chain a generated world actually serves.
+
+use govscan_net::{TcpOutcome, TlsClientConfig};
+use govscan_pki::{validate_chain, CertError, ChainVerdictCache};
+use govscan_worldgen::{World, WorldConfig};
+
+/// Every (chain, host) the world serves on 443, as the prober sees them.
+fn served_chains(world: &World) -> Vec<(String, std::sync::Arc<[govscan_pki::Certificate]>)> {
+    let client = TlsClientConfig::default();
+    world
+        .gov_hosts
+        .iter()
+        .filter(|h| matches!(world.net.tcp_connect(h, 443), TcpOutcome::Accepted))
+        .filter_map(|h| {
+            world
+                .net
+                .tls_connect(h, &client)
+                .ok()
+                .map(|s| (h.clone(), s.peer_chain))
+        })
+        .collect()
+}
+
+#[test]
+fn cached_verdicts_match_pristine_validator_across_a_world() {
+    let world = World::generate(&WorldConfig::small(4242));
+    let trust = world
+        .cadb
+        .trust_store(govscan_pki::trust::TrustStoreProfile::Apple);
+    let now = world.scan_time();
+    let cache = ChainVerdictCache::new(trust.clone(), now);
+
+    let chains = served_chains(&world);
+    assert!(chains.len() > 200, "world serves enough chains");
+
+    let mut errors_seen = std::collections::HashSet::new();
+    for (host, chain) in &chains {
+        let reference = validate_chain(chain, trust, host, now);
+        let cached = cache.validate(chain, host);
+        match (&reference, &cached) {
+            (Ok(a), Ok(b)) => {
+                // Bit-identical validated path, not just both-Ok.
+                assert_eq!(a.path, b.path, "path for {host}");
+                assert_eq!(a.leaf(), b.leaf(), "leaf for {host}");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "error for {host}");
+                errors_seen.insert(*a);
+            }
+            _ => panic!(
+                "verdict diverged for {host}: reference {reference:?} vs cached {:?}",
+                cached.map(|v| v.path.len())
+            ),
+        }
+        // Replaying through the (now populated) memo must not change
+        // the verdict either.
+        let replay = cache.validate(chain, host);
+        match (&cached, &replay) {
+            (Ok(a), Ok(b)) => assert_eq!(a.path, b.path),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            _ => panic!("replay diverged for {host}"),
+        }
+    }
+    // The world exercises several failure modes, so precedence agreement
+    // above was tested on real errors, not just the happy path.
+    assert!(
+        errors_seen.len() >= 3,
+        "world exercises multiple error categories: {errors_seen:?}"
+    );
+    // Every chain went through the cache at least twice.
+    assert!(cache.hits() >= chains.len() as u64);
+}
+
+#[test]
+fn hostname_precedence_is_still_last() {
+    // A structurally broken chain must report its structural error even
+    // for a host that also mismatches — from the cache as from the
+    // pristine validator (OpenSSL precedence: hostname is checked last).
+    let world = World::generate(&WorldConfig::small(4243));
+    let trust = world
+        .cadb
+        .trust_store(govscan_pki::trust::TrustStoreProfile::Apple);
+    let now = world.scan_time();
+    let cache = ChainVerdictCache::new(trust.clone(), now);
+
+    let mut structural_failures = 0usize;
+    for (host, chain) in &served_chains(&world) {
+        // Two extra labels: a single-label wildcard (`*.gov.xx`) can
+        // never match, and neither can any exact SAN for `host`.
+        let wrong_host = format!("a.b.{host}");
+        let reference = validate_chain(chain, trust, &wrong_host, now);
+        let cached = cache.validate(chain, &wrong_host);
+        match (reference, cached) {
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "precedence for {host}");
+                if a != CertError::HostnameMismatch {
+                    structural_failures += 1;
+                }
+            }
+            (a, b) => panic!(
+                "wrong-host verdict not an error for {host}: {a:?} vs {:?}",
+                b.is_ok()
+            ),
+        }
+    }
+    assert!(
+        structural_failures > 0,
+        "some chains fail structurally, proving precedence was exercised"
+    );
+}

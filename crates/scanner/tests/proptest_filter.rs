@@ -1,61 +1,93 @@
-//! Property-based tests for the government-hostname filter: totality
-//! over arbitrary input, label-boundary strictness, and idempotence of
+//! Randomized tests for the government-hostname filter: totality over
+//! arbitrary input, label-boundary strictness, and idempotence of
 //! classification.
+//!
+//! Originally `proptest`-based; rewritten as seeded randomized tests
+//! (deterministic per seed) for the offline build.
 
 use govscan_scanner::GovFilter;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn label() -> impl Strategy<Value = String> {
-    "[a-z0-9][a-z0-9-]{0,12}".prop_map(|s| s)
+const CASES: usize = 256;
+
+fn label(rng: &mut StdRng) -> String {
+    let first = char::from(b"abcdefghijklmnopqrstuvwxyz0123456789"[rng.gen_range(0..36)]);
+    let rest: String = (0..rng.gen_range(0..13))
+        .map(|_| char::from(b"abcdefghijklmnopqrstuvwxyz0123456789-"[rng.gen_range(0..37)]))
+        .collect();
+    format!("{first}{rest}")
 }
 
-proptest! {
-    /// Arbitrary byte soup must never panic the filter.
-    #[test]
-    fn filter_is_total(s in "\\PC{0,80}") {
-        let f = GovFilter::standard();
+fn arbitrary_text(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => char::from(rng.gen_range(0x20u8..0x7f)),
+            1 => char::from_u32(rng.gen_range(0xA0u32..0x2000)).unwrap_or('x'),
+            _ => char::from(rng.gen_range(b'a'..=b'z')),
+        })
+        .collect()
+}
+
+/// Arbitrary byte soup must never panic the filter.
+#[test]
+fn filter_is_total() {
+    let mut rng = StdRng::seed_from_u64(0xD141);
+    let f = GovFilter::standard();
+    for _ in 0..CASES {
+        let s = arbitrary_text(&mut rng, 80);
         let _ = f.classify(&s);
         let _ = f.is_gov(&s);
         let _ = f.has_cc_tld(&s);
         let _ = f.crawlable(&s);
     }
+}
 
-    /// Every `<label>.gov.<cc>` host classifies to the cc (for real ccs),
-    /// and the same name *without the label boundary* never matches.
-    #[test]
-    fn label_boundary_strictness(l in label()) {
-        let f = GovFilter::standard();
+/// Every `<label>.gov.<cc>` host classifies to the cc (for real ccs),
+/// and the same name *without the label boundary* never matches.
+#[test]
+fn label_boundary_strictness() {
+    let mut rng = StdRng::seed_from_u64(0xD142);
+    let f = GovFilter::standard();
+    for _ in 0..CASES {
+        let l = label(&mut rng);
         let real = format!("{l}.gov.bd");
         let fake = format!("{l}gov.bd");
-        prop_assert_eq!(f.classify(&real), Some("bd"));
+        assert_eq!(f.classify(&real), Some("bd"));
         // The collapsed form only matches if the label part itself ends
         // with a whole-label ".gov" — impossible here since we removed
         // the dot.
-        prop_assert_eq!(f.classify(&fake), None);
+        assert_eq!(f.classify(&fake), None);
     }
+}
 
-    /// Classification is idempotent under case-folding and trailing dots.
-    #[test]
-    fn classification_is_normalization_invariant(l in label()) {
-        let f = GovFilter::standard();
+/// Classification is idempotent under case-folding and trailing dots.
+#[test]
+fn classification_is_normalization_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xD143);
+    let f = GovFilter::standard();
+    for _ in 0..CASES {
+        let l = label(&mut rng);
         let host = format!("{l}.gouv.fr");
-        let variants = [
-            host.clone(),
-            host.to_uppercase(),
-            format!("{host}."),
-        ];
+        let variants = [host.clone(), host.to_uppercase(), format!("{host}.")];
         let expected = f.classify(&host);
         for v in &variants {
-            prop_assert_eq!(f.classify(v), expected, "{}", v);
+            assert_eq!(f.classify(v), expected, "{}", v);
         }
     }
+}
 
-    /// A gTLD host never classifies as governmental, whatever the label
-    /// says.
-    #[test]
-    fn gtlds_never_match(l in label(), tld in prop_oneof![Just("com"), Just("net"), Just("org"), Just("info")]) {
-        let f = GovFilter::standard();
-        prop_assert_eq!(f.classify(&format!("{l}.gov.{tld}")), None);
-        prop_assert_eq!(f.classify(&format!("gov.{l}.{tld}")), None);
+/// A gTLD host never classifies as governmental, whatever the label
+/// says.
+#[test]
+fn gtlds_never_match() {
+    let mut rng = StdRng::seed_from_u64(0xD144);
+    let f = GovFilter::standard();
+    for _ in 0..CASES {
+        let l = label(&mut rng);
+        let tld = ["com", "net", "org", "info"][rng.gen_range(0..4)];
+        assert_eq!(f.classify(&format!("{l}.gov.{tld}")), None);
+        assert_eq!(f.classify(&format!("gov.{l}.{tld}")), None);
     }
 }

@@ -73,49 +73,522 @@ const MS_ONLY: (bool, bool, bool) = (false, true, false);
 
 /// The worldwide issuing-CA roster, shares shaped like Figure 2.
 pub const CA_PROFILES: &[CaProfile] = &[
-    ca!("Let's Encrypt Authority X3", "Let's Encrypt", "US", 20.0, SHA256RSA, RSA2048, 90, None, ALL_STORES, "letsencrypt.org"),
-    ca!("cPanel Inc. Certification Authority", "cPanel, Inc.", "US", 6.5, SHA256RSA, RSA2048, 90, None, ALL_STORES, "sectigo.com"),
-    ca!("Sectigo RSA Domain Validation Secure Server CA", "Sectigo Limited", "GB", 6.0, SHA256RSA, RSA2048, 365, None, ALL_STORES, "sectigo.com"),
-    ca!("DigiCert SHA2 Secure Server CA", "DigiCert Inc", "US", 5.5, SHA256RSA, RSA2048, 730, Some("2.16.840.1.114412.2.1"), ALL_STORES, "digicert.com"),
-    ca!("Encryption Everywhere DV TLS CA - G1", "DigiCert Inc", "US", 4.5, SHA256RSA, RSA2048, 365, None, ALL_STORES, "digicert.com"),
-    ca!("Go Daddy Secure Certificate Authority - G2", "GoDaddy.com, Inc.", "US", 4.0, SHA256RSA, RSA2048, 730, Some("2.16.840.1.114413.1.7.23.3"), ALL_STORES, "godaddy.com"),
-    ca!("Amazon", "Amazon", "US", 3.5, SHA256RSA, RSA2048, 395, None, ALL_STORES, "amazon.com"),
-    ca!("CloudFlare Inc ECC CA-2", "CloudFlare, Inc.", "US", 3.2, ECDSA256, EC256, 365, None, ALL_STORES, "digicert.com"),
-    ca!("GlobalSign CloudSSL CA - SHA256 - G3", "GlobalSign nv-sa", "BE", 2.8, SHA256RSA, RSA2048, 365, Some("1.3.6.1.4.1.4146.1.1"), ALL_STORES, "globalsign.com"),
-    ca!("AlphaSSL CA - SHA256 - G2", "GlobalSign nv-sa", "BE", 2.6, SHA256RSA, RSA2048, 365, None, ALL_STORES, "globalsign.com"),
-    ca!("COMODO RSA Domain Validation Secure Server CA", "COMODO CA Limited", "GB", 2.5, SHA256RSA, RSA2048, 365, Some("1.3.6.1.4.1.6449.1.2.1.5.1"), ALL_STORES, "comodoca.com"),
-    ca!("RapidSSL RSA CA 2018", "DigiCert Inc", "US", 2.2, SHA256RSA, RSA2048, 365, None, ALL_STORES, "digicert.com"),
-    ca!("GeoTrust RSA CA 2018", "DigiCert Inc", "US", 2.0, SHA256RSA, RSA2048, 730, Some("1.3.6.1.4.1.14370.1.6"), ALL_STORES, "digicert.com"),
-    ca!("DigiCert SHA2 High Assurance Server CA", "DigiCert Inc", "US", 1.9, SHA256RSA, RSA2048, 730, Some("2.16.840.1.114412.2.1"), ALL_STORES, "digicert.com"),
-    ca!("Thawte RSA CA 2018", "DigiCert Inc", "US", 1.7, SHA256RSA, RSA2048, 730, Some("2.16.840.1.113733.1.7.48.1"), ALL_STORES, "digicert.com"),
-    ca!("Entrust Certification Authority - L1K", "Entrust, Inc.", "US", 1.6, SHA256RSA, RSA2048, 730, Some("2.16.840.1.114028.10.1.2"), ALL_STORES, "entrust.net"),
-    ca!("QuoVadis Global SSL ICA G3", "QuoVadis Limited", "BM", 1.5, SHA256RSA, RSA4096, 730, Some("2.16.756.1.89.1.2.1.1"), ALL_STORES, "quovadisglobal.com"),
-    ca!("Starfield Secure Certificate Authority - G2", "Starfield Technologies, Inc.", "US", 1.4, SHA256RSA, RSA2048, 730, Some("2.16.840.1.114414.1.7.23.3"), ALL_STORES, "starfieldtech.com"),
-    ca!("Network Solutions OV Server CA 2", "Network Solutions L.L.C.", "US", 1.3, SHA256RSA, RSA2048, 730, None, ALL_STORES, "networksolutions.com"),
-    ca!("GTS CA 1O1", "Google Trust Services", "US", 1.3, SHA256RSA, RSA2048, 90, None, ALL_STORES, "pki.goog"),
-    ca!("Microsoft IT TLS CA 5", "Microsoft Corporation", "US", 1.2, SHA256RSA, RSA2048, 730, None, ALL_STORES, "microsoft.com"),
-    ca!("Sectigo ECC Domain Validation Secure Server CA", "Sectigo Limited", "GB", 1.1, ECDSA256, EC256, 365, None, ALL_STORES, "sectigo.com"),
-    ca!("SwissSign Server Gold CA 2014 - G22", "SwissSign AG", "CH", 1.0, SHA256RSA, RSA2048, 730, None, ALL_STORES, "swisssign.com"),
-    ca!("Certum Domain Validation CA SHA2", "Unizeto Technologies S.A.", "PL", 0.9, SHA256RSA, RSA2048, 365, None, ALL_STORES, "certum.pl"),
-    ca!("Gandi Standard SSL CA 2", "Gandi", "FR", 0.9, SHA256RSA, RSA2048, 365, None, ALL_STORES, "gandi.net"),
-    ca!("Actalis Organization Validated Server CA G2", "Actalis S.p.A.", "IT", 0.8, SHA256RSA, RSA2048, 365, None, ALL_STORES, "actalis.it"),
-    ca!("TrustAsia TLS RSA CA", "TrustAsia Technologies, Inc.", "CN", 0.8, SHA256RSA, RSA2048, 365, None, ALL_STORES, "trustasia.com"),
-    ca!("WoTrus DV Server CA", "WoTrus CA Limited", "CN", 0.7, SHA256RSA, RSA2048, 365, None, MS_ONLY, "wotrus.com"),
-    ca!("CA134100031", "KICA (NPKI)", "KR", 0.7, SHA256RSA, RSA2048, 730, None, NO_STORES, "signgate.com"),
-    ca!("Secom Passport for Web SR 3.0", "SECOM Trust Systems", "JP", 0.6, SHA256RSA, RSA2048, 730, None, ALL_STORES, "secomtrust.net"),
-    ca!("CA131100001", "KTNET (NPKI)", "KR", 0.5, SHA1RSA, RSA2048, 1095, None, NO_STORES, "tradesign.net"),
-    ca!("izenpe.com SSL CA", "IZENPE S.A.", "ES", 0.5, SHA256RSA, RSA2048, 730, None, ALL_STORES, "izenpe.com"),
-    ca!("Government CA - Taiwan GRCA", "Government Root Certification Authority", "TW", 0.5, SHA256RSA, RSA4096, 1095, None, MS_ONLY, "grca.nat.gov.tw"),
-    ca!("Staat der Nederlanden Organisatie CA - G3", "Staat der Nederlanden", "NL", 0.4, SHA256RSA, RSA4096, 1095, None, ALL_STORES, "pkioverheid.nl"),
-    ca!("TurkTrust SSL CA", "TURKTRUST", "TR", 0.4, SHA256RSA, RSA2048, 730, None, MS_ONLY, "turktrust.com.tr"),
-    ca!("E-Tugra SSL CA", "E-Tugra EBG", "TR", 0.35, SHA256RSA, RSA2048, 730, None, ALL_STORES, "e-tugra.com"),
-    ca!("Chunghwa Telecom ePKI Root", "Chunghwa Telecom", "TW", 0.3, SHA256RSA, RSA2048, 1095, None, ALL_STORES, "cht.com.tw"),
-    ca!("GlobalTrust GmbH Server CA", "GlobalTrust", "AT", 0.3, SHA256RSA, RSA2048, 730, None, MS_ONLY, "globaltrust.eu"),
-    ca!("Hongkong Post e-Cert CA 3", "Hongkong Post", "HK", 0.3, SHA256RSA, RSA2048, 1095, None, ALL_STORES, "hongkongpost.gov.hk"),
-    ca!("ANF Server CA", "ANF Autoridad de Certificacion", "ES", 0.25, SHA256RSA, RSA2048, 730, None, MS_ONLY, "anf.es"),
-    ca!("Buypass Class 2 CA 5", "Buypass AS", "NO", 0.25, SHA256RSA, RSA2048, 180, None, ALL_STORES, "buypass.com"),
-    ca!("SSL.com RSA SSL subCA", "SSL Corporation", "US", 0.25, SHA256RSA, RSA2048, 365, None, ALL_STORES, "ssl.com"),
-    ca!("DigiCert ECC Secure Server CA", "DigiCert Inc", "US", 0.6, ECDSA384, EC384, 730, Some("2.16.840.1.114412.2.1"), ALL_STORES, "digicert.com"),
+    ca!(
+        "Let's Encrypt Authority X3",
+        "Let's Encrypt",
+        "US",
+        20.0,
+        SHA256RSA,
+        RSA2048,
+        90,
+        None,
+        ALL_STORES,
+        "letsencrypt.org"
+    ),
+    ca!(
+        "cPanel Inc. Certification Authority",
+        "cPanel, Inc.",
+        "US",
+        6.5,
+        SHA256RSA,
+        RSA2048,
+        90,
+        None,
+        ALL_STORES,
+        "sectigo.com"
+    ),
+    ca!(
+        "Sectigo RSA Domain Validation Secure Server CA",
+        "Sectigo Limited",
+        "GB",
+        6.0,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "sectigo.com"
+    ),
+    ca!(
+        "DigiCert SHA2 Secure Server CA",
+        "DigiCert Inc",
+        "US",
+        5.5,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.114412.2.1"),
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "Encryption Everywhere DV TLS CA - G1",
+        "DigiCert Inc",
+        "US",
+        4.5,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "Go Daddy Secure Certificate Authority - G2",
+        "GoDaddy.com, Inc.",
+        "US",
+        4.0,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.114413.1.7.23.3"),
+        ALL_STORES,
+        "godaddy.com"
+    ),
+    ca!(
+        "Amazon",
+        "Amazon",
+        "US",
+        3.5,
+        SHA256RSA,
+        RSA2048,
+        395,
+        None,
+        ALL_STORES,
+        "amazon.com"
+    ),
+    ca!(
+        "CloudFlare Inc ECC CA-2",
+        "CloudFlare, Inc.",
+        "US",
+        3.2,
+        ECDSA256,
+        EC256,
+        365,
+        None,
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "GlobalSign CloudSSL CA - SHA256 - G3",
+        "GlobalSign nv-sa",
+        "BE",
+        2.8,
+        SHA256RSA,
+        RSA2048,
+        365,
+        Some("1.3.6.1.4.1.4146.1.1"),
+        ALL_STORES,
+        "globalsign.com"
+    ),
+    ca!(
+        "AlphaSSL CA - SHA256 - G2",
+        "GlobalSign nv-sa",
+        "BE",
+        2.6,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "globalsign.com"
+    ),
+    ca!(
+        "COMODO RSA Domain Validation Secure Server CA",
+        "COMODO CA Limited",
+        "GB",
+        2.5,
+        SHA256RSA,
+        RSA2048,
+        365,
+        Some("1.3.6.1.4.1.6449.1.2.1.5.1"),
+        ALL_STORES,
+        "comodoca.com"
+    ),
+    ca!(
+        "RapidSSL RSA CA 2018",
+        "DigiCert Inc",
+        "US",
+        2.2,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "GeoTrust RSA CA 2018",
+        "DigiCert Inc",
+        "US",
+        2.0,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("1.3.6.1.4.1.14370.1.6"),
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "DigiCert SHA2 High Assurance Server CA",
+        "DigiCert Inc",
+        "US",
+        1.9,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.114412.2.1"),
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "Thawte RSA CA 2018",
+        "DigiCert Inc",
+        "US",
+        1.7,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.113733.1.7.48.1"),
+        ALL_STORES,
+        "digicert.com"
+    ),
+    ca!(
+        "Entrust Certification Authority - L1K",
+        "Entrust, Inc.",
+        "US",
+        1.6,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.114028.10.1.2"),
+        ALL_STORES,
+        "entrust.net"
+    ),
+    ca!(
+        "QuoVadis Global SSL ICA G3",
+        "QuoVadis Limited",
+        "BM",
+        1.5,
+        SHA256RSA,
+        RSA4096,
+        730,
+        Some("2.16.756.1.89.1.2.1.1"),
+        ALL_STORES,
+        "quovadisglobal.com"
+    ),
+    ca!(
+        "Starfield Secure Certificate Authority - G2",
+        "Starfield Technologies, Inc.",
+        "US",
+        1.4,
+        SHA256RSA,
+        RSA2048,
+        730,
+        Some("2.16.840.1.114414.1.7.23.3"),
+        ALL_STORES,
+        "starfieldtech.com"
+    ),
+    ca!(
+        "Network Solutions OV Server CA 2",
+        "Network Solutions L.L.C.",
+        "US",
+        1.3,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "networksolutions.com"
+    ),
+    ca!(
+        "GTS CA 1O1",
+        "Google Trust Services",
+        "US",
+        1.3,
+        SHA256RSA,
+        RSA2048,
+        90,
+        None,
+        ALL_STORES,
+        "pki.goog"
+    ),
+    ca!(
+        "Microsoft IT TLS CA 5",
+        "Microsoft Corporation",
+        "US",
+        1.2,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "microsoft.com"
+    ),
+    ca!(
+        "Sectigo ECC Domain Validation Secure Server CA",
+        "Sectigo Limited",
+        "GB",
+        1.1,
+        ECDSA256,
+        EC256,
+        365,
+        None,
+        ALL_STORES,
+        "sectigo.com"
+    ),
+    ca!(
+        "SwissSign Server Gold CA 2014 - G22",
+        "SwissSign AG",
+        "CH",
+        1.0,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "swisssign.com"
+    ),
+    ca!(
+        "Certum Domain Validation CA SHA2",
+        "Unizeto Technologies S.A.",
+        "PL",
+        0.9,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "certum.pl"
+    ),
+    ca!(
+        "Gandi Standard SSL CA 2",
+        "Gandi",
+        "FR",
+        0.9,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "gandi.net"
+    ),
+    ca!(
+        "Actalis Organization Validated Server CA G2",
+        "Actalis S.p.A.",
+        "IT",
+        0.8,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "actalis.it"
+    ),
+    ca!(
+        "TrustAsia TLS RSA CA",
+        "TrustAsia Technologies, Inc.",
+        "CN",
+        0.8,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "trustasia.com"
+    ),
+    ca!(
+        "WoTrus DV Server CA",
+        "WoTrus CA Limited",
+        "CN",
+        0.7,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        MS_ONLY,
+        "wotrus.com"
+    ),
+    ca!(
+        "CA134100031",
+        "KICA (NPKI)",
+        "KR",
+        0.7,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        NO_STORES,
+        "signgate.com"
+    ),
+    ca!(
+        "Secom Passport for Web SR 3.0",
+        "SECOM Trust Systems",
+        "JP",
+        0.6,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "secomtrust.net"
+    ),
+    ca!(
+        "CA131100001",
+        "KTNET (NPKI)",
+        "KR",
+        0.5,
+        SHA1RSA,
+        RSA2048,
+        1095,
+        None,
+        NO_STORES,
+        "tradesign.net"
+    ),
+    ca!(
+        "izenpe.com SSL CA",
+        "IZENPE S.A.",
+        "ES",
+        0.5,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "izenpe.com"
+    ),
+    ca!(
+        "Government CA - Taiwan GRCA",
+        "Government Root Certification Authority",
+        "TW",
+        0.5,
+        SHA256RSA,
+        RSA4096,
+        1095,
+        None,
+        MS_ONLY,
+        "grca.nat.gov.tw"
+    ),
+    ca!(
+        "Staat der Nederlanden Organisatie CA - G3",
+        "Staat der Nederlanden",
+        "NL",
+        0.4,
+        SHA256RSA,
+        RSA4096,
+        1095,
+        None,
+        ALL_STORES,
+        "pkioverheid.nl"
+    ),
+    ca!(
+        "TurkTrust SSL CA",
+        "TURKTRUST",
+        "TR",
+        0.4,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        MS_ONLY,
+        "turktrust.com.tr"
+    ),
+    ca!(
+        "E-Tugra SSL CA",
+        "E-Tugra EBG",
+        "TR",
+        0.35,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        ALL_STORES,
+        "e-tugra.com"
+    ),
+    ca!(
+        "Chunghwa Telecom ePKI Root",
+        "Chunghwa Telecom",
+        "TW",
+        0.3,
+        SHA256RSA,
+        RSA2048,
+        1095,
+        None,
+        ALL_STORES,
+        "cht.com.tw"
+    ),
+    ca!(
+        "GlobalTrust GmbH Server CA",
+        "GlobalTrust",
+        "AT",
+        0.3,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        MS_ONLY,
+        "globaltrust.eu"
+    ),
+    ca!(
+        "Hongkong Post e-Cert CA 3",
+        "Hongkong Post",
+        "HK",
+        0.3,
+        SHA256RSA,
+        RSA2048,
+        1095,
+        None,
+        ALL_STORES,
+        "hongkongpost.gov.hk"
+    ),
+    ca!(
+        "ANF Server CA",
+        "ANF Autoridad de Certificacion",
+        "ES",
+        0.25,
+        SHA256RSA,
+        RSA2048,
+        730,
+        None,
+        MS_ONLY,
+        "anf.es"
+    ),
+    ca!(
+        "Buypass Class 2 CA 5",
+        "Buypass AS",
+        "NO",
+        0.25,
+        SHA256RSA,
+        RSA2048,
+        180,
+        None,
+        ALL_STORES,
+        "buypass.com"
+    ),
+    ca!(
+        "SSL.com RSA SSL subCA",
+        "SSL Corporation",
+        "US",
+        0.25,
+        SHA256RSA,
+        RSA2048,
+        365,
+        None,
+        ALL_STORES,
+        "ssl.com"
+    ),
+    ca!(
+        "DigiCert ECC Secure Server CA",
+        "DigiCert Inc",
+        "US",
+        0.6,
+        ECDSA384,
+        EC384,
+        730,
+        Some("2.16.840.1.114412.2.1"),
+        ALL_STORES,
+        "digicert.com"
+    ),
 ];
 
 /// Index of Let's Encrypt in [`CA_PROFILES`].
@@ -315,9 +788,8 @@ impl CaDb {
         let ca = &mut self.cas[idx];
         let cert = ca.issuing.issue(leaf);
         let log_it = idx == LETS_ENCRYPT || {
-            let fp = cert.fingerprint();
-            // First hex nibble-pair as a deterministic 0..256 draw.
-            u8::from_str_radix(&fp[..2], 16).unwrap_or(0) >= 30 // ≈ 88%
+            // First fingerprint byte as a deterministic 0..256 draw.
+            cert.fingerprint().as_bytes()[0] >= 30 // ≈ 88%
         };
         if log_it {
             self.ct.append(&cert);
@@ -459,7 +931,12 @@ mod tests {
         for _ in 0..5000 {
             counts[db.pick(&mut rng, "br", true)] += 1;
         }
-        let max = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let max = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
         assert_eq!(max, LETS_ENCRYPT);
     }
 

@@ -51,7 +51,14 @@ macro_rules! c {
 pub const COUNTRIES: &[Country] = &[
     // --- Major hosts of government websites ---
     c!("cn", "China", ["gov.cn"], 1, 0.55, 16.6),
-    c!("us", "United States", ["gov", "fed.us", "mil", "gov.us"], 3, 0.92, 3.7),
+    c!(
+        "us",
+        "United States",
+        ["gov", "fed.us", "mil", "gov.us"],
+        3,
+        0.92,
+        3.7
+    ),
     c!("in", "India", ["gov.in", "nic.in"], 2, 0.55, 3.4),
     c!("br", "Brazil", ["gov.br"], 6, 0.65, 3.1),
     c!("id", "Indonesia", ["go.id"], 4, 0.55, 2.9),
@@ -144,7 +151,14 @@ pub const COUNTRIES: &[Country] = &[
     c!("sv", "El Salvador", ["gob.sv"], 110, 0.55, 0.1),
     c!("hn", "Honduras", ["gob.hn"], 95, 0.48, 0.06),
     c!("ni", "Nicaragua", ["gob.ni"], 109, 0.45, 0.08),
-    c!("do", "Dominican Republic", ["gob.do", "gov.do"], 85, 0.58, 0.15),
+    c!(
+        "do",
+        "Dominican Republic",
+        ["gob.do", "gov.do"],
+        85,
+        0.58,
+        0.15
+    ),
     c!("cu", "Cuba", ["gob.cu"], 83, 0.40, 0.1),
     // --- The long tail (MTurk + whitelist countries of §4.2) ---
     c!("is", "Iceland", ["gov.is"], 180, 0.95, 0.08),
@@ -153,7 +167,14 @@ pub const COUNTRIES: &[Country] = &[
     c!("li", "Liechtenstein", ["llv.li"], 217, 0.90, 0.02),
     c!("mt", "Malta", ["gov.mt"], 174, 0.85, 0.08),
     c!("cy", "Cyprus", ["gov.cy"], 160, 0.82, 0.1),
-    c!("lu", "Luxembourg", ["gouvernement.lu", "public.lu"], 168, 0.93, 0.08),
+    c!(
+        "lu",
+        "Luxembourg",
+        ["gouvernement.lu", "public.lu"],
+        168,
+        0.93,
+        0.08
+    ),
     c!("al", "Albania", ["gov.al"], 140, 0.66, 0.12),
     c!("mk", "North Macedonia", ["gov.mk"], 148, 0.68, 0.1),
     c!("me", "Montenegro", ["gov.me"], 169, 0.70, 0.06),
@@ -242,7 +263,14 @@ pub const COUNTRIES: &[Country] = &[
     c!("ga", "Gabon", [], 143, 0.42, 0.02),
     c!("cg", "Republic of the Congo", ["gouv.cg"], 118, 0.30, 0.02),
     c!("cd", "DR Congo", ["gouv.cd"], 16, 0.20, 0.03),
-    c!("cf", "Central African Republic", ["gouv.cf"], 120, 0.15, 0.01),
+    c!(
+        "cf",
+        "Central African Republic",
+        ["gouv.cf"],
+        120,
+        0.15,
+        0.01
+    ),
     c!("gq", "Equatorial Guinea", ["gob.gq"], 154, 0.35, 0.01),
     c!("st", "Sao Tome and Principe", ["gov.st"], 185, 0.35, 0.01),
     c!("cv", "Cape Verde", ["gov.cv"], 172, 0.55, 0.03),
@@ -261,7 +289,9 @@ impl Country {
     /// Look up by ISO code (case-insensitive).
     pub fn by_code(code: &str) -> Option<&'static Country> {
         let code = code.to_ascii_lowercase();
-        COUNTRIES.iter().find(|c| c.code == code && c.host_weight > 0.0)
+        COUNTRIES
+            .iter()
+            .find(|c| c.code == code && c.host_weight > 0.0)
     }
 
     /// Whether this country appears only via the hand-curated whitelist
@@ -317,13 +347,34 @@ mod tests {
 
     #[test]
     fn paper_conventions_present() {
-        assert!(Country::by_code("fr").unwrap().gov_suffixes.contains(&"gouv.fr"));
-        assert!(Country::by_code("mx").unwrap().gov_suffixes.contains(&"gob.mx"));
-        assert!(Country::by_code("kr").unwrap().gov_suffixes.contains(&"go.kr"));
-        assert!(Country::by_code("nz").unwrap().gov_suffixes.contains(&"govt.nz"));
-        assert!(Country::by_code("ch").unwrap().gov_suffixes.contains(&"admin.ch"));
-        assert!(Country::by_code("uy").unwrap().gov_suffixes.contains(&"gub.uy"));
-        assert!(Country::by_code("ad").unwrap().gov_suffixes.contains(&"govern.ad"));
+        assert!(Country::by_code("fr")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"gouv.fr"));
+        assert!(Country::by_code("mx")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"gob.mx"));
+        assert!(Country::by_code("kr")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"go.kr"));
+        assert!(Country::by_code("nz")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"govt.nz"));
+        assert!(Country::by_code("ch")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"admin.ch"));
+        assert!(Country::by_code("uy")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"gub.uy"));
+        assert!(Country::by_code("ad")
+            .unwrap()
+            .gov_suffixes
+            .contains(&"govern.ad"));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub enum Posture {
 impl Posture {
     /// Does this host attempt https at all?
     pub fn attempts_https(&self) -> bool {
-        matches!(self, Posture::ValidHttps { .. } | Posture::InvalidHttps { .. })
+        matches!(
+            self,
+            Posture::ValidHttps { .. } | Posture::InvalidHttps { .. }
+        )
     }
 
     /// Is the https configuration valid?
@@ -170,10 +173,24 @@ mod tests {
     #[test]
     fn posture_helpers() {
         assert!(!Posture::HttpOnly.attempts_https());
-        assert!(Posture::ValidHttps { serves_http_too: false, hsts: false }.attempts_https());
-        assert!(Posture::ValidHttps { serves_http_too: true, hsts: true }.is_valid_https());
-        assert!(Posture::InvalidHttps { error: InjectedError::Expired }.attempts_https());
-        assert!(!Posture::InvalidHttps { error: InjectedError::Expired }.is_valid_https());
+        assert!(Posture::ValidHttps {
+            serves_http_too: false,
+            hsts: false
+        }
+        .attempts_https());
+        assert!(Posture::ValidHttps {
+            serves_http_too: true,
+            hsts: true
+        }
+        .is_valid_https());
+        assert!(Posture::InvalidHttps {
+            error: InjectedError::Expired
+        }
+        .attempts_https());
+        assert!(!Posture::InvalidHttps {
+            error: InjectedError::Expired
+        }
+        .is_valid_https());
         assert!(!Posture::Unreachable.attempts_https());
     }
 

@@ -7,28 +7,127 @@ use crate::countries::Country;
 
 /// Department/function words used as labels (language-neutral mix).
 const DEPARTMENTS: &[&str] = &[
-    "health", "finance", "tax", "customs", "immigration", "interior", "justice", "police",
-    "defense", "education", "agriculture", "environment", "energy", "transport", "labor",
-    "commerce", "industry", "tourism", "culture", "sports", "science", "statistics", "census",
-    "elections", "parliament", "senate", "president", "pm", "cabinet", "treasury", "budget",
-    "planning", "housing", "water", "forestry", "fisheries", "mines", "telecom", "post",
-    "weather", "met", "geology", "survey", "lands", "registry", "courts", "prisons", "fire",
-    "emergency", "disaster", "redcross", "social", "welfare", "pension", "insurance", "veterans",
-    "youth", "women", "children", "seniors", "disability", "foreign", "embassy", "consulate",
-    "trade", "export", "investment", "sme", "bank", "audit", "procurement", "ethics", "ombudsman",
-    "archives", "library", "museum", "portal", "services", "eservices", "egov", "data", "opendata",
-    "maps", "gis", "news", "media", "press", "info", "mail", "intranet",
+    "health",
+    "finance",
+    "tax",
+    "customs",
+    "immigration",
+    "interior",
+    "justice",
+    "police",
+    "defense",
+    "education",
+    "agriculture",
+    "environment",
+    "energy",
+    "transport",
+    "labor",
+    "commerce",
+    "industry",
+    "tourism",
+    "culture",
+    "sports",
+    "science",
+    "statistics",
+    "census",
+    "elections",
+    "parliament",
+    "senate",
+    "president",
+    "pm",
+    "cabinet",
+    "treasury",
+    "budget",
+    "planning",
+    "housing",
+    "water",
+    "forestry",
+    "fisheries",
+    "mines",
+    "telecom",
+    "post",
+    "weather",
+    "met",
+    "geology",
+    "survey",
+    "lands",
+    "registry",
+    "courts",
+    "prisons",
+    "fire",
+    "emergency",
+    "disaster",
+    "redcross",
+    "social",
+    "welfare",
+    "pension",
+    "insurance",
+    "veterans",
+    "youth",
+    "women",
+    "children",
+    "seniors",
+    "disability",
+    "foreign",
+    "embassy",
+    "consulate",
+    "trade",
+    "export",
+    "investment",
+    "sme",
+    "bank",
+    "audit",
+    "procurement",
+    "ethics",
+    "ombudsman",
+    "archives",
+    "library",
+    "museum",
+    "portal",
+    "services",
+    "eservices",
+    "egov",
+    "data",
+    "opendata",
+    "maps",
+    "gis",
+    "news",
+    "media",
+    "press",
+    "info",
+    "mail",
+    "intranet",
 ];
 
 /// City/region flavor words for sub-national sites.
 const LOCALITIES: &[&str] = &[
-    "capital", "north", "south", "east", "west", "central", "metro", "riverside", "lakeside",
-    "highlands", "valley", "coastal", "upper", "lower", "port", "new", "old", "saint", "fort",
-    "mount", "grand",
+    "capital",
+    "north",
+    "south",
+    "east",
+    "west",
+    "central",
+    "metro",
+    "riverside",
+    "lakeside",
+    "highlands",
+    "valley",
+    "coastal",
+    "upper",
+    "lower",
+    "port",
+    "new",
+    "old",
+    "saint",
+    "fort",
+    "mount",
+    "grand",
 ];
 
 /// Subdomain prefixes (www and service-style).
-const PREFIXES: &[&str] = &["www", "portal", "online", "my", "e", "apps", "secure", "services"];
+const PREFIXES: &[&str] = &[
+    "www", "portal", "online", "my", "e", "apps", "secure", "services",
+];
 
 /// Generic second-level names for non-government hosts.
 const NONGOV_WORDS: &[&str] = &[
@@ -109,7 +208,11 @@ impl HostnameGen {
             let word2 = NONGOV_WORDS[rng.gen_range(0..NONGOV_WORDS.len())];
             let tld = match rng.gen_range(0..3) {
                 0 => "com".to_string(),
-                1 => self.suffixes[0].split('.').next_back().unwrap_or("com").to_string(),
+                1 => self.suffixes[0]
+                    .split('.')
+                    .next_back()
+                    .unwrap_or("com")
+                    .to_string(),
                 _ => ["net", "org", "info"][rng.gen_range(0..3)].to_string(),
             };
             self.counter += 1;

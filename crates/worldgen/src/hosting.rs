@@ -21,7 +21,10 @@ pub struct Provider {
 }
 
 fn cidrs(specs: &[&str]) -> Vec<Cidr> {
-    specs.iter().map(|s| Cidr::parse(s).expect("static CIDR")).collect()
+    specs
+        .iter()
+        .map(|s| Cidr::parse(s).expect("static CIDR"))
+        .collect()
 }
 
 /// The providers the paper attributed (Akamai publishes no ranges and is
@@ -31,12 +34,23 @@ pub fn providers() -> Vec<Provider> {
         Provider {
             name: "aws",
             is_cdn: false,
-            cidrs: cidrs(&["3.0.0.0/9", "13.32.0.0/15", "18.128.0.0/9", "52.0.0.0/10", "54.64.0.0/11"]),
+            cidrs: cidrs(&[
+                "3.0.0.0/9",
+                "13.32.0.0/15",
+                "18.128.0.0/9",
+                "52.0.0.0/10",
+                "54.64.0.0/11",
+            ]),
         },
         Provider {
             name: "azure",
             is_cdn: false,
-            cidrs: cidrs(&["13.64.0.0/11", "20.33.0.0/16", "40.64.0.0/10", "52.224.0.0/11"]),
+            cidrs: cidrs(&[
+                "13.64.0.0/11",
+                "20.33.0.0/16",
+                "40.64.0.0/10",
+                "52.224.0.0/11",
+            ]),
         },
         Provider {
             name: "gcp",
@@ -80,8 +94,16 @@ pub fn provider_table() -> CidrTable<(&'static str, bool)> {
 /// Private/unknown address space used for self-hosted sites (kept
 /// disjoint from every provider block).
 const PRIVATE_BLOCKS: &[&str] = &[
-    "61.0.0.0/10", "80.0.0.0/9", "90.0.0.0/10", "110.0.0.0/9", "150.0.0.0/10",
-    "163.0.0.0/10", "185.0.0.0/10", "190.0.0.0/10", "200.0.0.0/9", "210.0.0.0/10",
+    "61.0.0.0/10",
+    "80.0.0.0/9",
+    "90.0.0.0/10",
+    "110.0.0.0/9",
+    "150.0.0.0/10",
+    "163.0.0.0/10",
+    "185.0.0.0/10",
+    "190.0.0.0/10",
+    "200.0.0.0/9",
+    "210.0.0.0/10",
 ];
 
 /// Assigns hosting classes and IP addresses.

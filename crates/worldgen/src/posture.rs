@@ -301,9 +301,15 @@ mod tests {
         let reachable = (http_only + valid + invalid) as f64;
         let https = (valid + invalid) as f64;
         let https_rate = https / reachable;
-        assert!((https_rate - 0.3933).abs() < 0.02, "https rate {https_rate}");
+        assert!(
+            (https_rate - 0.3933).abs() < 0.02,
+            "https rate {https_rate}"
+        );
         let valid_rate = valid as f64 / https;
-        assert!((valid_rate - 0.7141).abs() < 0.03, "valid rate {valid_rate}");
+        assert!(
+            (valid_rate - 0.7141).abs() < 0.03,
+            "valid rate {valid_rate}"
+        );
     }
 
     #[test]

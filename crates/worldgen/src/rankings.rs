@@ -70,11 +70,17 @@ pub struct OverlapProfile {
 
 /// Table 1, paper scale (top 1K / 10K / 100K / 1M):
 /// Majestic 56/508/2538/12445, Cisco 0/14/433/9296, Tranco 30/373/2351/12293.
-pub const TRANCO_OVERLAP: OverlapProfile = OverlapProfile { at: [30, 373, 2351, 12293] };
+pub const TRANCO_OVERLAP: OverlapProfile = OverlapProfile {
+    at: [30, 373, 2351, 12293],
+};
 /// Majestic million overlap.
-pub const MAJESTIC_OVERLAP: OverlapProfile = OverlapProfile { at: [56, 508, 2538, 12445] };
+pub const MAJESTIC_OVERLAP: OverlapProfile = OverlapProfile {
+    at: [56, 508, 2538, 12445],
+};
 /// Cisco (Umbrella) million overlap.
-pub const CISCO_OVERLAP: OverlapProfile = OverlapProfile { at: [0, 14, 433, 9296] };
+pub const CISCO_OVERLAP: OverlapProfile = OverlapProfile {
+    at: [0, 14, 433, 9296],
+};
 
 /// Build a ranking list.
 ///
@@ -85,6 +91,7 @@ pub const CISCO_OVERLAP: OverlapProfile = OverlapProfile { at: [0, 14, 433, 9296
 ///   already scaled).
 /// - `nongov`: generator for materialized non-government rows, called
 ///   with a uniformly chosen rank.
+#[allow(clippy::too_many_arguments)]
 pub fn build_list(
     rng: &mut impl Rng,
     name: &'static str,
@@ -123,7 +130,7 @@ pub fn build_list(
                 if used_ranks.insert(r) {
                     break r;
                 }
-                if used_ranks.len() as u32 >= hi - lo + 1 {
+                if used_ranks.len() as u32 > hi - lo {
                     break hi; // band saturated (tiny test worlds)
                 }
             };
@@ -152,7 +159,11 @@ pub fn build_list(
         });
     }
     entries.sort_by_key(|e| e.rank);
-    RankingList { name, size, entries }
+    RankingList {
+        name,
+        size,
+        entries,
+    }
 }
 
 #[cfg(test)]

@@ -76,12 +76,64 @@ impl RokSpec {
 
 /// Department names used for Government24 hostnames (romanized).
 pub const ROK_DEPARTMENTS: &[&str] = &[
-    "minwon", "moef", "moel", "molit", "mofa", "moe", "motie", "mnd", "mois", "moj", "mafra",
-    "mcst", "me", "mohw", "msit", "mss", "mfds", "kostat", "korea", "epeople", "gwanbo", "nts",
-    "customs", "police", "kcg", "nfa", "kma", "forest", "rda", "kipo", "kdi", "nec", "assembly",
-    "scourt", "ccourt", "acrc", "ftc", "fsc", "nssc", "pps", "oka", "seoul", "busan", "daegu",
-    "incheon", "gwangju", "daejeon", "ulsan", "sejong", "gyeonggi", "gangwon", "chungbuk",
-    "chungnam", "jeonbuk", "jeonnam", "gyeongbuk", "gyeongnam", "jeju",
+    "minwon",
+    "moef",
+    "moel",
+    "molit",
+    "mofa",
+    "moe",
+    "motie",
+    "mnd",
+    "mois",
+    "moj",
+    "mafra",
+    "mcst",
+    "me",
+    "mohw",
+    "msit",
+    "mss",
+    "mfds",
+    "kostat",
+    "korea",
+    "epeople",
+    "gwanbo",
+    "nts",
+    "customs",
+    "police",
+    "kcg",
+    "nfa",
+    "kma",
+    "forest",
+    "rda",
+    "kipo",
+    "kdi",
+    "nec",
+    "assembly",
+    "scourt",
+    "ccourt",
+    "acrc",
+    "ftc",
+    "fsc",
+    "nssc",
+    "pps",
+    "oka",
+    "seoul",
+    "busan",
+    "daegu",
+    "incheon",
+    "gwangju",
+    "daejeon",
+    "ulsan",
+    "sejong",
+    "gyeonggi",
+    "gangwon",
+    "chungbuk",
+    "chungnam",
+    "jeonbuk",
+    "jeonnam",
+    "gyeongbuk",
+    "gyeongnam",
+    "jeju",
 ];
 
 #[cfg(test)]

@@ -86,21 +86,186 @@ macro_rules! ds {
 
 /// Tables A.1 + A.2, transcribed.
 pub const USA_DATASETS: &[UsaDatasetSpec] = &[
-    ds!(StateOnly, 'A', "Govt. State Only Domains", 827, 203, 106, 561, 406, 155, (5, 1, 8, 10, 80, 20, 3, 28)),
-    ds!(NativeSovereign, 'B', "Govt. Native Sovereign Only Domains", 53, 24, 15, 37, 27, 10, (0, 0, 1, 4, 5, 0, 0, 0)),
-    ds!(RdnsFederal, 'C', "rDNS Federal Snapshot", 8896, 142, 68, 3614, 3370, 244, (19, 9, 73, 2, 98, 6, 6, 31)),
-    ds!(RegionalOnly, 'D', "Govt. Regional Only Domains", 51, 18, 8, 32, 23, 9, (0, 0, 1, 3, 4, 1, 0, 0)),
-    ds!(NotUsed, 'E', "Govt. Not used Domains", 2511, 845, 474, 1509, 925, 584, (16, 8, 27, 90, 249, 53, 19, 122)),
-    ds!(OcspCrl, 'F', "Govt. OCSP CRL", 15, 12, 0, 0, 0, 0, (0, 0, 0, 0, 0, 0, 0, 0)),
-    ds!(QuasiGov, 'G', "Govt. Quasi governmental Only Domains", 64, 7, 4, 50, 36, 14, (0, 0, 0, 0, 4, 6, 0, 4)),
-    ds!(EndOfTerm2016, 'H', "End of Term 2016 Snapshot", 177969, 16079, 9190, 56531, 45789, 10742, (212, 80, 1320, 555, 5982, 337, 268, 1419)),
-    ds!(CensysFederal, 'I', "Censys Federal Snapshot", 47909, 475, 203, 10415, 9737, 678, (53, 20, 203, 3, 184, 18, 151, 46)),
-    ds!(OtherWebsites, 'J', "Other Websites", 14330, 157, 98, 3382, 3096, 286, (15, 2, 44, 7, 173, 15, 15, 14)),
-    ds!(FederalOnly, 'K', "Govt. Federal Only Domains", 391, 77, 39, 213, 159, 54, (3, 0, 2, 5, 29, 5, 4, 6)),
-    ds!(CurrentFederal, 'L', "Govt. Current Federal Domains", 1249, 32, 19, 892, 811, 81, (4, 1, 11, 0, 30, 14, 3, 18)),
-    ds!(LocalOnly, 'M', "Govt. Local Only Domains", 6228, 2476, 1544, 4751, 3613, 1138, (34, 11, 89, 112, 584, 51, 34, 223)),
-    ds!(DotMil, 'N', "DOT .MIL (Dept. of Defense)", 89, 10, 6, 36, 29, 7, (0, 0, 3, 0, 3, 1, 0, 0)),
-    ds!(CountyOnly, 'O', "Govt. County Only Domains", 1399, 534, 278, 883, 630, 253, (7, 2, 25, 13, 124, 8, 4, 70)),
+    ds!(
+        StateOnly,
+        'A',
+        "Govt. State Only Domains",
+        827,
+        203,
+        106,
+        561,
+        406,
+        155,
+        (5, 1, 8, 10, 80, 20, 3, 28)
+    ),
+    ds!(
+        NativeSovereign,
+        'B',
+        "Govt. Native Sovereign Only Domains",
+        53,
+        24,
+        15,
+        37,
+        27,
+        10,
+        (0, 0, 1, 4, 5, 0, 0, 0)
+    ),
+    ds!(
+        RdnsFederal,
+        'C',
+        "rDNS Federal Snapshot",
+        8896,
+        142,
+        68,
+        3614,
+        3370,
+        244,
+        (19, 9, 73, 2, 98, 6, 6, 31)
+    ),
+    ds!(
+        RegionalOnly,
+        'D',
+        "Govt. Regional Only Domains",
+        51,
+        18,
+        8,
+        32,
+        23,
+        9,
+        (0, 0, 1, 3, 4, 1, 0, 0)
+    ),
+    ds!(
+        NotUsed,
+        'E',
+        "Govt. Not used Domains",
+        2511,
+        845,
+        474,
+        1509,
+        925,
+        584,
+        (16, 8, 27, 90, 249, 53, 19, 122)
+    ),
+    ds!(
+        OcspCrl,
+        'F',
+        "Govt. OCSP CRL",
+        15,
+        12,
+        0,
+        0,
+        0,
+        0,
+        (0, 0, 0, 0, 0, 0, 0, 0)
+    ),
+    ds!(
+        QuasiGov,
+        'G',
+        "Govt. Quasi governmental Only Domains",
+        64,
+        7,
+        4,
+        50,
+        36,
+        14,
+        (0, 0, 0, 0, 4, 6, 0, 4)
+    ),
+    ds!(
+        EndOfTerm2016,
+        'H',
+        "End of Term 2016 Snapshot",
+        177969,
+        16079,
+        9190,
+        56531,
+        45789,
+        10742,
+        (212, 80, 1320, 555, 5982, 337, 268, 1419)
+    ),
+    ds!(
+        CensysFederal,
+        'I',
+        "Censys Federal Snapshot",
+        47909,
+        475,
+        203,
+        10415,
+        9737,
+        678,
+        (53, 20, 203, 3, 184, 18, 151, 46)
+    ),
+    ds!(
+        OtherWebsites,
+        'J',
+        "Other Websites",
+        14330,
+        157,
+        98,
+        3382,
+        3096,
+        286,
+        (15, 2, 44, 7, 173, 15, 15, 14)
+    ),
+    ds!(
+        FederalOnly,
+        'K',
+        "Govt. Federal Only Domains",
+        391,
+        77,
+        39,
+        213,
+        159,
+        54,
+        (3, 0, 2, 5, 29, 5, 4, 6)
+    ),
+    ds!(
+        CurrentFederal,
+        'L',
+        "Govt. Current Federal Domains",
+        1249,
+        32,
+        19,
+        892,
+        811,
+        81,
+        (4, 1, 11, 0, 30, 14, 3, 18)
+    ),
+    ds!(
+        LocalOnly,
+        'M',
+        "Govt. Local Only Domains",
+        6228,
+        2476,
+        1544,
+        4751,
+        3613,
+        1138,
+        (34, 11, 89, 112, 584, 51, 34, 223)
+    ),
+    ds!(
+        DotMil,
+        'N',
+        "DOT .MIL (Dept. of Defense)",
+        89,
+        10,
+        6,
+        36,
+        29,
+        7,
+        (0, 0, 3, 0, 3, 1, 0, 0)
+    ),
+    ds!(
+        CountyOnly,
+        'O',
+        "Govt. County Only Domains",
+        1399,
+        534,
+        278,
+        883,
+        630,
+        253,
+        (7, 2, 25, 13, 124, 8, 4, 70)
+    ),
 ];
 
 impl UsaDatasetSpec {
@@ -132,18 +297,18 @@ impl UsaDatasetSpec {
             hsts_rate: 0.45,
             error_mix: [
                 e9 as f64 + exc * 0.70, // hostname mismatch (+ unknown exc)
-                e7 as f64,        // unable local issuer
-                e8 as f64,        // self-signed
-                e6 as f64,        // self-signed in chain
-                e5 as f64,        // expired
-                exc * 0.12,       // unsupported protocol
-                e10 as f64,       // timeout
-                e11 as f64,       // refused
-                exc * 0.08,       // reset
-                exc * 0.04,       // wrong version
-                exc * 0.02,       // alert internal
-                exc * 0.02,       // alert handshake
-                exc * 0.02,       // alert protocol version
+                e7 as f64,              // unable local issuer
+                e8 as f64,              // self-signed
+                e6 as f64,              // self-signed in chain
+                e5 as f64,              // expired
+                exc * 0.12,             // unsupported protocol
+                e10 as f64,             // timeout
+                e11 as f64,             // refused
+                exc * 0.08,             // reset
+                exc * 0.04,             // wrong version
+                exc * 0.02,             // alert internal
+                exc * 0.02,             // alert handshake
+                exc * 0.02,             // alert protocol version
             ],
         }
     }

@@ -88,8 +88,16 @@ pub fn assign_links(
 
     for (_, indices) in by_country.iter() {
         // Partition into seeds (level 0) and the rest.
-        let seeds: Vec<usize> = indices.iter().copied().filter(|&i| hosts[i].is_seed).collect();
-        let rest: Vec<usize> = indices.iter().copied().filter(|&i| !hosts[i].is_seed).collect();
+        let seeds: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| hosts[i].is_seed)
+            .collect();
+        let rest: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| !hosts[i].is_seed)
+            .collect();
         // Levels 0..=7, filled progressively.
         let mut levels: Vec<Vec<usize>> = vec![seeds.clone()];
         let mut remaining: &[usize] = &rest;
@@ -197,7 +205,9 @@ pub fn cross_country_degree(
 ) -> HashMap<&'static str, usize> {
     let mut out: HashMap<&'static str, std::collections::HashSet<&str>> = HashMap::new();
     for (host, links) in &graph.links {
-        let Some(&src) = country_of.get(host) else { continue };
+        let Some(&src) = country_of.get(host) else {
+            continue;
+        };
         for link in links {
             if let Some(target) = govscan_net::html::link_hostname(link) {
                 if let Some(&dst) = country_of.get(&target) {

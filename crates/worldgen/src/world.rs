@@ -237,12 +237,20 @@ impl Generator {
                 .map(|c| c.gov_suffixes.first().copied().unwrap_or(cc))
                 .unwrap_or(cc);
             for (ci, chunk) in pool.chunks(pool.len().div_ceil(certs as usize)).enumerate() {
-                let wildcard = format!("*.portal{}.{suffix}", if ci == 0 { String::new() } else { ci.to_string() });
+                let wildcard = format!(
+                    "*.portal{}.{suffix}",
+                    if ci == 0 {
+                        String::new()
+                    } else {
+                        ci.to_string()
+                    }
+                );
                 let key = KeyPair::from_seed(
                     KeyAlgorithm::Rsa(2048),
                     format!("cluster-{cc}-{ci}").as_bytes(),
                 );
-                let mut profile = LeafProfile::dv(wildcard.clone(), key.public(), scan.plus_days(-200));
+                let mut profile =
+                    LeafProfile::dv(wildcard.clone(), key.public(), scan.plus_days(-200));
                 profile.san = vec![wildcard];
                 profile.validity_days = Some(730);
                 profile.serial = Some(vec![0xc1, cc.as_bytes()[0], ci as u8]);
@@ -257,7 +265,8 @@ impl Generator {
         // tiny test worlds keep Table 2's category proportions.
         let specs: [(u64, usize); 4] = [(108, 2), (19, 3), (11, 4), (1, 24)];
         let mut host_budget = self.config.scaled(1_390) as usize;
-        let appliance_key = KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"factory-default-appliance");
+        let appliance_key =
+            KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"factory-default-appliance");
         let all_countries: Vec<&'static str> =
             countries::active_countries().map(|c| c.code).collect();
         for (count, spread) in specs {
@@ -272,7 +281,8 @@ impl Generator {
                     &appliance_key,
                     SignatureAlgorithm::Sha1WithRsa,
                     Validity {
-                        not_before: Time::from_ymd(2012, 1, 1).plus_days((i * spread as u64) as i64 % 365),
+                        not_before: Time::from_ymd(2012, 1, 1)
+                            .plus_days((i * spread as u64) as i64 % 365),
                         not_after: Time::from_ymd(2032, 1, 1),
                     },
                 );
@@ -482,10 +492,14 @@ impl Generator {
         }
         let countries: Vec<&'static str> = alive_by_country.keys().copied().collect();
         for (cc, portal) in &portals {
-            let hash = cc
-                .bytes()
-                .fold(self.config.seed, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
-            let palette_size = if *cc == "at" { 70 } else { (2 + hash % 14) as usize };
+            let hash = cc.bytes().fold(self.config.seed, |a, b| {
+                a.wrapping_mul(131).wrapping_add(b as u64)
+            });
+            let palette_size = if *cc == "at" {
+                70
+            } else {
+                (2 + hash % 14) as usize
+            };
             let start = (hash % countries.len() as u64) as usize;
             let mut added = 0usize;
             for step in 0..countries.len() {
@@ -539,7 +553,10 @@ impl Generator {
             Posture::HttpOnly => {
                 self.net.add_host(HostConfig::http_only(hostname, ip, page));
             }
-            Posture::ValidHttps { serves_http_too, hsts } => {
+            Posture::ValidHttps {
+                serves_http_too,
+                hsts,
+            } => {
                 let chain = self.issue_for(hostname, None);
                 let tls = TlsServerConfig::modern(chain);
                 let http = if serves_http_too {
@@ -617,12 +634,8 @@ impl Generator {
                     let chain = vec![self.issue_self_signed(hostname)];
                     (chain, None, true, false)
                 }
-                InjectedError::Timeout => {
-                    (vec![], Some(TlsQuirk::HandshakeTimeout), false, false)
-                }
-                InjectedError::Refused => {
-                    (vec![], Some(TlsQuirk::HandshakeRefused), false, false)
-                }
+                InjectedError::Timeout => (vec![], Some(TlsQuirk::HandshakeTimeout), false, false),
+                InjectedError::Refused => (vec![], Some(TlsQuirk::HandshakeRefused), false, false),
                 InjectedError::Reset => (vec![], Some(TlsQuirk::HandshakeReset), false, false),
                 InjectedError::WrongVersion => {
                     (vec![], Some(TlsQuirk::WrongVersionNumber), false, false)
@@ -942,8 +955,9 @@ impl Generator {
         let mut twins = vec![hostgen::phishing_twin("eta.gov.lk", "sl")];
         let n = self.config.scaled(85);
         for i in 0..n {
-            let dept = ["tax", "visa", "health", "travel", "permit", "id", "dmv", "irs"]
-                [(i as usize) % 8];
+            let dept = [
+                "tax", "visa", "health", "travel", "permit", "id", "dmv", "irs",
+            ][(i as usize) % 8];
             twins.push(format!("{dept}{i}gov.us"));
         }
         for hostname in twins {
@@ -1112,7 +1126,7 @@ mod tests {
     fn reuse_clusters_share_keys() {
         let w = world();
         // Find Bangladesh mismatch hosts sharing a certificate.
-        let mut fingerprints: HashMap<String, usize> = HashMap::new();
+        let mut fingerprints: HashMap<govscan_crypto::Fingerprint, usize> = HashMap::new();
         let client = govscan_net::TlsClientConfig::default();
         for h in &w.gov_hosts {
             let rec = &w.records[h];

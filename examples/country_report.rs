@@ -25,7 +25,10 @@ fn main() {
     if wanted.is_empty() {
         println!("{}", fig.render());
     } else {
-        println!("{:<8} {:>7} {:>8} {:>8} {:>8}", "country", "hosts", "avail%", "https%", "valid%");
+        println!(
+            "{:<8} {:>7} {:>8} {:>8} {:>8}",
+            "country", "hosts", "avail%", "https%", "valid%"
+        );
         for cc in &wanted {
             match fig.get(cc) {
                 Some(row) => println!(

@@ -45,7 +45,10 @@ fn main() {
 
     // §7.2.2: the follow-up scan.
     let report = run_rescan(&world, &study.scan, &unreachable);
-    println!("\n== effectiveness re-scan (§7.2.2) ==\n{}", report.render());
+    println!(
+        "\n== effectiveness re-scan (§7.2.2) ==\n{}",
+        report.render()
+    );
     println!(
         "paper: strict improvement 8.3%, optimistic 18.7% — measured {:.1}% / {:.1}%",
         report.strict_improvement() * 100.0,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local CI: exactly what .github/workflows/ci.yml runs.
+#
+# Offline-friendly by design: every dependency is a path crate (see
+# shims/), so no step needs the network. `--offline` makes that a hard
+# guarantee rather than an accident of a warm cargo cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --release --workspace
+run cargo fmt --all --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The DER writer only needs an append-only growable byte buffer; this
+//! shim provides [`BytesMut`] and the [`BufMut`] trait methods it calls,
+//! backed by a plain `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// Byte-appending operations.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.inner.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_export() {
+        let mut b = BytesMut::new();
+        assert!(b.is_empty());
+        b.put_u8(0x30);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.to_vec(), vec![0x30, 1, 2, 3]);
+        assert_eq!(Vec::from(b), vec![0x30, 1, 2, 3]);
+    }
+}

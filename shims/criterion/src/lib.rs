@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! throughput/sample-size knobs, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a simple
+//! wall-clock harness: one warm-up call, an adaptive inner batch size so
+//! nanosecond-scale bodies still resolve, then `sample_size` timed
+//! samples. Results are printed per benchmark (mean / min / max) and are
+//! also retrievable programmatically via [`Criterion::results`] so
+//! benches can emit their own JSON artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted, reported as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One benchmark's measured summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Total iterations executed across samples.
+    pub iterations: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full_id = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        // Warm-up + batch sizing: aim for samples of at least ~2ms so
+        // Instant resolution is irrelevant, capped to keep suites quick.
+        let mut b = Bencher {
+            batch: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 4096) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / batch as u32);
+            iterations += batch;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                let gbps = n as f64 / mean.as_nanos() as f64;
+                format!("  {gbps:.3} GB/s")
+            }
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                let meps = n as f64 * 1e3 / mean.as_nanos() as f64;
+                format!("  {meps:.3} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!("bench {full_id:<48} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}{tp}");
+        self.criterion.results.push(BenchResult {
+            id: full_id,
+            mean,
+            min,
+            max,
+            iterations,
+        });
+        self
+    }
+
+    /// Finish the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; times the supplied closure.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `batch` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "unit/spin");
+        assert!(c.results()[0].iterations >= 3);
+    }
+}

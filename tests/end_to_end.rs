@@ -35,7 +35,9 @@ fn measured_outcomes_agree_with_generated_ground_truth() {
     let mut mismatches = Vec::new();
     let mut compared = 0;
     for r in out.scan.records() {
-        let Some(truth) = world.record(&r.hostname) else { continue };
+        let Some(truth) = world.record(&r.hostname) else {
+            continue;
+        };
         compared += 1;
         let ok = match &truth.posture {
             Posture::Unreachable => !r.available,
@@ -64,9 +66,15 @@ fn injected_error_classes_survive_the_full_pipeline() {
     let mut agreements = 0usize;
     let mut total = 0usize;
     for r in out.scan.records() {
-        let Some(truth) = world.record(&r.hostname) else { continue };
-        let Posture::InvalidHttps { error } = &truth.posture else { continue };
-        let Some(measured) = r.https.error() else { continue };
+        let Some(truth) = world.record(&r.hostname) else {
+            continue;
+        };
+        let Posture::InvalidHttps { error } = &truth.posture else {
+            continue;
+        };
+        let Some(measured) = r.https.error() else {
+            continue;
+        };
         let expected = match error {
             I::HostnameMismatch => ErrorCategory::HostnameMismatch,
             I::UnableLocalIssuer => ErrorCategory::UnableLocalIssuer,
@@ -89,7 +97,10 @@ fn injected_error_classes_survive_the_full_pipeline() {
     }
     assert!(total > 200, "invalid hosts measured: {total}");
     let rate = agreements as f64 / total as f64;
-    assert!(rate > 0.98, "taxonomy agreement {rate} ({agreements}/{total})");
+    assert!(
+        rate > 0.98,
+        "taxonomy agreement {rate} ({agreements}/{total})"
+    );
 }
 
 #[test]
@@ -118,7 +129,11 @@ fn every_available_host_has_consistent_flags() {
             assert!(r.https.meta().is_some(), "{}", r.hostname);
         }
         if let Some(meta) = r.https.meta() {
-            assert!(!meta.issuer.is_empty() || meta.self_issued, "{}", r.hostname);
+            assert!(
+                !meta.issuer.is_empty() || meta.self_issued,
+                "{}",
+                r.hostname
+            );
             assert!(meta.chain_len >= 1, "{}", r.hostname);
         }
     }
@@ -151,10 +166,12 @@ fn certificates_on_the_wire_are_real_der() {
     let client = TlsClientConfig::default();
     let mut checked = 0;
     for r in out.scan.valid().take(50) {
-        let session = world.net.tls_connect(&r.hostname, &client).expect("handshake");
-        for cert in &session.peer_chain {
-            let der = cert.to_der();
-            let parsed = Certificate::from_der(&der).expect("wire certs parse");
+        let session = world
+            .net
+            .tls_connect(&r.hostname, &client)
+            .expect("handshake");
+        for cert in session.peer_chain.iter() {
+            let parsed = Certificate::from_der(cert.to_der()).expect("wire certs parse");
             assert_eq!(&parsed, cert);
         }
         checked += 1;

@@ -5,7 +5,7 @@
 
 use std::sync::OnceLock;
 
-use govscan::analysis as analysis;
+use govscan::analysis;
 use govscan::scanner::{GovFilter, StudyOutput, StudyPipeline};
 use govscan::worldgen::{World, WorldConfig};
 
@@ -34,9 +34,15 @@ fn table2_marginals() {
     let (_, out) = study();
     let t2 = analysis::table2::build(&out.scan);
     let https = t2.https_share().fraction();
-    assert!((0.30..0.50).contains(&https), "https {https} (paper 39.33%)");
+    assert!(
+        (0.30..0.50).contains(&https),
+        "https {https} (paper 39.33%)"
+    );
     let valid = t2.valid_share().fraction();
-    assert!((0.60..0.82).contains(&valid), "valid {valid} (paper 71.41%)");
+    assert!(
+        (0.60..0.82).contains(&valid),
+        "valid {valid} (paper 71.41%)"
+    );
 }
 
 #[test]
@@ -131,8 +137,14 @@ fn china_slice_matches_7_1_2() {
     let (_, out) = study();
     let map = analysis::choropleth::build(&out.scan);
     let cn = map.get("cn").expect("china measured");
-    assert!(cn.availability().fraction() < 0.65, "china mostly firewalled");
-    assert!(cn.valid_share().fraction() < 0.25, "china https rarely valid");
+    assert!(
+        cn.availability().fraction() < 0.65,
+        "china mostly firewalled"
+    );
+    assert!(
+        cn.valid_share().fraction() < 0.25,
+        "china https rarely valid"
+    );
 }
 
 #[test]
