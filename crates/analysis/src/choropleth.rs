@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::stats::Share;
 use crate::table::{pct, TextTable};
 
@@ -45,19 +46,28 @@ pub struct Choropleth {
     pub rows: BTreeMap<&'static str, CountryRow>,
 }
 
-/// Build from the worldwide scan.
+/// Build from the worldwide scan. Thin wrapper over
+/// [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> Choropleth {
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build from a pre-built aggregation index, walking the per-country
+/// groups (which include unavailable hosts — the top map's denominator).
+pub fn build_from_index(index: &AggregateIndex) -> Choropleth {
     let mut rows: BTreeMap<&'static str, CountryRow> = BTreeMap::new();
-    for r in scan.records() {
-        let Some(cc) = r.country else { continue };
+    for (cc, members) in &index.by_country {
         let row = rows.entry(cc).or_default();
-        row.total += 1;
-        if r.available {
-            row.available += 1;
-            if r.https.attempts() {
-                row.https += 1;
-                if r.https.is_valid() {
-                    row.valid += 1;
+        for &pos in members {
+            let h = index.host(pos);
+            row.total += 1;
+            if h.available {
+                row.available += 1;
+                if h.attempts {
+                    row.https += 1;
+                    if h.valid {
+                        row.valid += 1;
+                    }
                 }
             }
         }

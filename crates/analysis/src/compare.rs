@@ -1,7 +1,7 @@
 //! §5.5, Figures 6 & 7: government vs non-government sites in the top
 //! million — samplers, rank bins, and the linear-regression overlay.
 
-use govscan_scanner::{ScanContext, ScanRecord};
+use govscan_scanner::{ScanContext, ScanDataset, ScanRecord};
 use govscan_worldgen::RankingList;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -91,6 +91,22 @@ pub fn gov_group(ctx: &ScanContext<'_>, tranco: &RankingList) -> Group {
         "gov",
         tranco.gov_entries().map(|e| (e.rank, e.hostname.clone())),
     )
+}
+
+/// The government group pulled from an existing scan instead of
+/// re-dialling every host: each ranked government hostname is looked up
+/// in the dataset's index (no dataset walk). Every government entry of a
+/// study-built ranking list is in the study scan, so this matches
+/// [`gov_group`] member-for-member without the second scan.
+pub fn gov_group_from_scan(scan: &ScanDataset, tranco: &RankingList) -> Group {
+    let members: Vec<(u32, ScanRecord)> = tranco
+        .gov_entries()
+        .filter_map(|e| scan.get(&e.hostname).map(|r| (e.rank, r.clone())))
+        .collect();
+    Group {
+        label: "gov",
+        members,
+    }
 }
 
 /// Uniformly sample `n` materialized non-government entries (sampler \[1\] in §5.5).
@@ -221,6 +237,23 @@ mod tests {
             top: nongov_top(&ctx, &world.tranco, n),
             gov,
             size: world.tranco.size,
+        }
+    }
+
+    #[test]
+    fn gov_group_from_scan_matches_a_fresh_rescan() {
+        let (world, out) = study();
+        let pipeline = StudyPipeline::new(world);
+        let ctx = pipeline.context();
+        let rescanned = gov_group(&ctx, &world.tranco);
+        let from_scan = gov_group_from_scan(&out.scan, &world.tranco);
+        assert_eq!(from_scan.label, "gov");
+        assert_eq!(rescanned.members.len(), from_scan.members.len());
+        for (a, b) in rescanned.members.iter().zip(&from_scan.members) {
+            assert_eq!(a.0, b.0, "ranks align");
+            assert_eq!(a.1.hostname, b.1.hostname);
+            assert_eq!(a.1.available, b.1.available);
+            assert_eq!(a.1.https, b.1.https, "{}", a.1.hostname);
         }
     }
 

@@ -6,6 +6,7 @@
 use govscan_pki::ctlog::CtLog;
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::stats::Share;
 use crate::table::{pct, TextTable};
 
@@ -36,30 +37,43 @@ pub struct CtReport {
 }
 
 /// Build the report: look every scanned government certificate up in the
-/// log and spot-check inclusion proofs for the logged ones.
+/// log and spot-check inclusion proofs for the logged ones. Thin wrapper
+/// over [`build_from_index`].
 pub fn build(scan: &ScanDataset, log: &CtLog, net: &govscan_net::SimNet) -> CtReport {
+    build_from_index(&AggregateIndex::build(scan), log, net)
+}
+
+/// Build from a pre-built aggregation index.
+pub fn build_from_index(
+    index: &AggregateIndex,
+    log: &CtLog,
+    net: &govscan_net::SimNet,
+) -> CtReport {
     let mut report = CtReport::default();
     let root = log.root();
     let client = govscan_net::TlsClientConfig::default();
-    for r in scan.https_attempting() {
-        let Some(meta) = r.https.meta() else { continue };
-        if meta.self_issued {
+    for h in index.cert_hosts() {
+        let cert = index.cert_bits(h).expect("cert population has cert bits");
+        if cert.self_issued {
             report.self_signed += 1;
             continue;
         }
         report.ca_issued += 1;
-        let row = report.by_issuer.entry(meta.issuer.clone()).or_default();
+        let row = report
+            .by_issuer
+            .entry(index.issuer(cert.issuer).to_string())
+            .or_default();
         row.seen += 1;
-        if let Some(index) = log.index_of(meta.fingerprint) {
+        if let Some(leaf_index) = log.index_of(cert.fingerprint) {
             report.ca_logged += 1;
             row.logged += 1;
             // Spot-check one inclusion proof in 16 (proofs are O(log n)
             // but chain retrieval re-dials the host).
-            if index % 16 == 0 {
-                if let Ok(session) = net.tls_connect(&r.hostname, &client) {
+            if leaf_index % 16 == 0 {
+                if let Ok(session) = net.tls_connect(&h.hostname, &client) {
                     if let Some(leaf) = session.peer_chain.first() {
                         report.proofs_checked += 1;
-                        let proof = log.prove_inclusion(index).expect("indexed leaf");
+                        let proof = log.prove_inclusion(leaf_index).expect("indexed leaf");
                         if CtLog::verify_inclusion(leaf, &proof, &root) {
                             report.proofs_ok += 1;
                         }

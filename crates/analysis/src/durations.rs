@@ -4,6 +4,7 @@
 use govscan_pki::Time;
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::table::{pct, TextTable};
 
 /// Scatter point: one certificate's dates and verdict.
@@ -79,23 +80,30 @@ fn accumulate(stats: &mut DurationStats, issued: Time, days: i64) {
     }
 }
 
-/// Build from a scan dataset.
+/// Build from a scan dataset. Thin wrapper over [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> DurationFigure {
-    let mut fig = DurationFigure::default();
-    for r in scan.https_attempting() {
-        let Some(meta) = r.https.meta() else { continue };
-        let valid = r.https.is_valid();
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build from a pre-built aggregation index (points keep record order).
+pub fn build_from_index(index: &AggregateIndex) -> DurationFigure {
+    let mut fig = DurationFigure {
+        points: Vec::with_capacity(index.cert_hosts.len()),
+        ..DurationFigure::default()
+    };
+    for h in index.cert_hosts() {
+        let cert = index.cert_bits(h).expect("cert population has cert bits");
         fig.points.push(CertPoint {
-            issued: meta.not_before,
-            expires: meta.not_after,
-            valid,
+            issued: cert.not_before,
+            expires: cert.not_after,
+            valid: h.valid,
         });
-        let stats = if valid {
+        let stats = if h.valid {
             &mut fig.valid_stats
         } else {
             &mut fig.invalid_stats
         };
-        accumulate(stats, meta.not_before, meta.validity_days());
+        accumulate(stats, cert.not_before, cert.validity_days);
     }
     fig
 }

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::stats::Share;
 use crate::table::{pct, TextTable};
 
@@ -28,18 +29,28 @@ pub struct EvReport {
     pub by_issuer: BTreeMap<String, EvIssuerRow>,
 }
 
-/// Build from a scan dataset.
+/// Build from a scan dataset. Thin wrapper over [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> EvReport {
-    let mut report = EvReport::default();
-    for r in scan.https_attempting() {
-        let Some(meta) = r.https.meta() else { continue };
-        report.hosts_with_certs += 1;
-        if !meta.is_ev {
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build from a pre-built aggregation index.
+pub fn build_from_index(index: &AggregateIndex) -> EvReport {
+    let mut report = EvReport {
+        hosts_with_certs: index.cert_hosts.len() as u64,
+        ..EvReport::default()
+    };
+    for h in index.cert_hosts() {
+        let cert = index.cert_bits(h).expect("cert population has cert bits");
+        if !cert.is_ev {
             continue;
         }
         report.ev_hosts += 1;
-        let row = report.by_issuer.entry(meta.issuer.clone()).or_default();
-        if r.https.is_valid() {
+        let row = report
+            .by_issuer
+            .entry(index.issuer(cert.issuer).to_string())
+            .or_default();
+        if h.valid {
             row.valid += 1;
         } else {
             row.invalid += 1;

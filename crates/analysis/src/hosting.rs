@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use govscan_scanner::{ScanDataset, ScanRecord};
 
+use crate::aggregate::AggregateIndex;
 use crate::table::{pct, TextTable};
 
 /// Counts for one hosting class.
@@ -68,9 +69,49 @@ pub fn build<'a>(records: impl Iterator<Item = &'a ScanRecord>) -> HostingFigure
     fig
 }
 
-/// Build over a whole dataset.
+/// Build over a whole dataset. Thin wrapper over
+/// [`build_all_from_index`].
 pub fn build_all(scan: &ScanDataset) -> HostingFigure {
-    build(scan.records().iter())
+    build_all_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build over a pre-built aggregation index.
+pub fn build_all_from_index(index: &AggregateIndex) -> HostingFigure {
+    // Both groupings have a handful of static-string keys, so accumulate
+    // through linear-scan tables (two ordered-map lookups per host are
+    // measurable at the 135k-host scale) and sort once at the end.
+    let mut coarse: Vec<(&'static str, HostingRow)> = Vec::new();
+    let mut providers: Vec<(&'static str, HostingRow)> = Vec::new();
+    let bump = |table: &mut Vec<(&'static str, HostingRow)>, key, attempts, valid| {
+        let slot = match table.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                table.push((key, HostingRow::default()));
+                table.len() - 1
+            }
+        };
+        let row = &mut table[slot].1;
+        row.total += 1;
+        if attempts {
+            row.https += 1;
+        }
+        if valid {
+            row.valid += 1;
+        }
+    };
+    for h in &index.hosts {
+        if !h.available {
+            continue;
+        }
+        bump(&mut coarse, h.hosting.coarse(), h.attempts, h.valid);
+        if let Some(p) = h.hosting.provider() {
+            bump(&mut providers, p, h.attempts, h.valid);
+        }
+    }
+    HostingFigure {
+        coarse: coarse.into_iter().collect(),
+        providers: providers.into_iter().collect(),
+    }
 }
 
 impl HostingFigure {

@@ -2,10 +2,11 @@
 //! into the HSTS preload list") and the post-disclosure US mandate
 //! (§7.2.2: HSTS preloading required for `.gov` by September 2020).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::stats::Share;
 use crate::table::{pct, TextTable};
 
@@ -39,16 +40,30 @@ fn bump(row: &mut HstsRow, hsts: bool, enforcing: bool) {
     }
 }
 
-/// Build from a scan.
+/// Build from a scan. Thin wrapper over [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> HstsReport {
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build from a pre-built aggregation index.
+pub fn build_from_index(index: &AggregateIndex) -> HstsReport {
     let mut report = HstsReport::default();
-    for r in scan.valid() {
-        let enforcing = r.hsts && r.http_redirects_https;
-        bump(&mut report.world, r.hsts, enforcing);
-        if let Some(cc) = r.country {
-            bump(report.by_country.entry(cc).or_default(), r.hsts, enforcing);
+    // Accumulate country rows through a hash map and sort once at the
+    // end; a per-host ordered-map lookup is measurable at scale.
+    let mut by_country: HashMap<&'static str, HstsRow> = HashMap::new();
+    for h in &index.hosts {
+        // `valid` implies available + attempting in the summary, but the
+        // availability gate keeps the `scan.valid()` population explicit.
+        if !h.available || !h.valid {
+            continue;
+        }
+        let enforcing = h.hsts && h.http_redirects_https;
+        bump(&mut report.world, h.hsts, enforcing);
+        if let Some(cc) = h.country {
+            bump(by_country.entry(cc).or_default(), h.hsts, enforcing);
         }
     }
+    report.by_country = by_country.into_iter().collect();
     report
 }
 

@@ -1,10 +1,9 @@
 //! Figures 2 / 8 / 11: top certificate issuers with valid and invalid
 //! counts (worldwide, USA, South Korea).
 
-use std::collections::HashMap;
-
 use govscan_scanner::ScanDataset;
 
+use crate::aggregate::AggregateIndex;
 use crate::table::{pct, TextTable};
 
 /// One issuer's bar.
@@ -44,33 +43,40 @@ pub struct IssuerFigure {
 }
 
 /// Build from a scan dataset, keeping the top `n` issuers (the paper
-/// shows 40 worldwide).
+/// shows 40 worldwide). Thin wrapper over [`build_from_index`].
 pub fn build(scan: &ScanDataset, n: usize) -> IssuerFigure {
-    let mut map: HashMap<String, IssuerRow> = HashMap::new();
+    build_from_index(&AggregateIndex::build(scan), n)
+}
+
+/// Build from a pre-built aggregation index: one row per pre-grouped
+/// issuer, no per-host hashing.
+pub fn build_from_index(index: &AggregateIndex, n: usize) -> IssuerFigure {
+    let mut rows: Vec<IssuerRow> = Vec::new();
     let mut without = 0u64;
-    for r in scan.https_attempting() {
-        match r.https.meta() {
-            None => {
-                // Exceptions with no chain retrieved.
-                continue;
-            }
-            Some(meta) if meta.issuer.is_empty() => {
-                without += 1;
-            }
-            Some(meta) => {
-                let row = map.entry(meta.issuer.clone()).or_insert_with(|| IssuerRow {
-                    issuer: meta.issuer.clone(),
-                    ..Default::default()
-                });
-                if r.https.is_valid() {
-                    row.valid += 1;
-                } else {
-                    row.invalid += 1;
-                }
+    for (id, members) in index.by_issuer.iter().enumerate() {
+        // Issuers interned from unavailable hosts leave empty groups.
+        if members.is_empty() {
+            continue;
+        }
+        let issuer = &index.issuers[id];
+        if issuer.is_empty() {
+            // Chains whose leaves carried no issuer information.
+            without += members.len() as u64;
+            continue;
+        }
+        let mut row = IssuerRow {
+            issuer: issuer.clone(),
+            ..Default::default()
+        };
+        for &pos in members {
+            if index.host(pos).valid {
+                row.valid += 1;
+            } else {
+                row.invalid += 1;
             }
         }
+        rows.push(row);
     }
-    let mut rows: Vec<IssuerRow> = map.into_values().collect();
     rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.issuer.cmp(&b.issuer)));
     rows.truncate(n);
     IssuerFigure {

@@ -7,6 +7,7 @@
 //!
 //! | Module | Reproduces |
 //! |---|---|
+//! | [`aggregate`] | shared: single-pass `AggregateIndex` over the scan |
 //! | [`table1`] | Table 1 — overlap with the public top-million lists |
 //! | [`table2`] | Table 2 — worldwide validity + error breakdown |
 //! | [`choropleth`] | Figure 1 — per-country availability/https/validity |
@@ -30,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod caa;
 pub mod casestudy;
 pub mod choropleth;

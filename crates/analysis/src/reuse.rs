@@ -1,11 +1,12 @@
 //! §5.3.3: host public-key and certificate reuse across hostnames and
 //! governments.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use govscan_crypto::Fingerprint;
-use govscan_scanner::ScanDataset;
+use govscan_scanner::{ErrorCategory, ScanDataset};
 
+use crate::aggregate::AggregateIndex;
 use crate::table::TextTable;
 
 /// A group of hosts presenting the same public key.
@@ -25,8 +26,9 @@ pub struct ReuseCluster {
     pub mismatch_hosts: usize,
     /// Hosts with self-signed leaves.
     pub self_signed_hosts: usize,
-    /// Issuer of the first certificate seen.
-    pub issuer: String,
+    /// Distinct issuers seen with this key, lexicographically sorted —
+    /// more than one means the key was re-certified across CAs.
+    pub issuers: Vec<String>,
 }
 
 /// A group of hosts presenting the same *certificate* (the unit the
@@ -50,51 +52,58 @@ pub struct ReuseReport {
     pub cert_clusters: Vec<CertCluster>,
 }
 
-/// Build from the worldwide scan.
+/// Build from the worldwide scan. Thin wrapper over
+/// [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> ReuseReport {
-    let mut map: HashMap<Fingerprint, ReuseCluster> = HashMap::new();
-    let mut by_cert: HashMap<Fingerprint, CertCluster> = HashMap::new();
-    for r in scan.https_attempting() {
-        let Some(meta) = r.https.meta() else { continue };
-        let cc_cluster = by_cert
-            .entry(meta.fingerprint)
-            .or_insert_with(|| CertCluster {
-                fingerprint: meta.fingerprint,
-                hosts: Vec::new(),
-                countries: HashSet::new(),
-            });
-        cc_cluster.hosts.push(r.hostname.clone());
-        if let Some(cc) = r.country {
-            cc_cluster.countries.insert(cc);
-        }
-        let cluster = map
-            .entry(meta.key_fingerprint)
-            .or_insert_with(|| ReuseCluster {
-                key_fingerprint: meta.key_fingerprint,
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build from a pre-built aggregation index: only the pre-grouped
+/// fingerprint clusters with two or more hosts are materialized, so the
+/// (dominant) singleton population costs nothing here.
+pub fn build_from_index(index: &AggregateIndex) -> ReuseReport {
+    let mut clusters: Vec<ReuseCluster> = index
+        .by_key
+        .iter()
+        .filter(|(_, members)| members.len() >= 2)
+        .map(|(&key_fingerprint, members)| {
+            let mut cluster = ReuseCluster {
+                key_fingerprint,
                 cert_fingerprints: HashSet::new(),
-                hosts: Vec::new(),
+                hosts: Vec::with_capacity(members.len()),
                 countries: HashSet::new(),
                 valid_hosts: 0,
                 mismatch_hosts: 0,
                 self_signed_hosts: 0,
-                issuer: meta.issuer.clone(),
-            });
-        cluster.cert_fingerprints.insert(meta.fingerprint);
-        cluster.hosts.push(r.hostname.clone());
-        if let Some(cc) = r.country {
-            cluster.countries.insert(cc);
-        }
-        if r.https.is_valid() {
-            cluster.valid_hosts += 1;
-        }
-        match r.https.error() {
-            Some(govscan_scanner::ErrorCategory::HostnameMismatch) => cluster.mismatch_hosts += 1,
-            Some(govscan_scanner::ErrorCategory::SelfSigned) => cluster.self_signed_hosts += 1,
-            _ => {}
-        }
-    }
-    let mut clusters: Vec<ReuseCluster> =
-        map.into_values().filter(|c| c.hosts.len() >= 2).collect();
+                issuers: Vec::new(),
+            };
+            let mut issuer_ids: BTreeSet<u32> = BTreeSet::new();
+            for &pos in members.as_slice() {
+                let h = index.host(pos);
+                let cert = index.cert_bits(h).expect("cert population has cert bits");
+                cluster.cert_fingerprints.insert(cert.fingerprint);
+                cluster.hosts.push(h.hostname.clone());
+                if let Some(cc) = h.country {
+                    cluster.countries.insert(cc);
+                }
+                if h.valid {
+                    cluster.valid_hosts += 1;
+                }
+                match h.error {
+                    Some(ErrorCategory::HostnameMismatch) => cluster.mismatch_hosts += 1,
+                    Some(ErrorCategory::SelfSigned) => cluster.self_signed_hosts += 1,
+                    _ => {}
+                }
+                issuer_ids.insert(cert.issuer);
+            }
+            cluster.issuers = issuer_ids
+                .into_iter()
+                .map(|id| index.issuer(id).to_string())
+                .collect();
+            cluster.issuers.sort();
+            cluster
+        })
+        .collect();
     clusters.sort_by(|a, b| {
         b.hosts
             .len()
@@ -102,9 +111,25 @@ pub fn build(scan: &ScanDataset) -> ReuseReport {
             .then(b.countries.len().cmp(&a.countries.len()))
             .then(a.key_fingerprint.cmp(&b.key_fingerprint))
     });
-    let mut cert_clusters: Vec<CertCluster> = by_cert
-        .into_values()
-        .filter(|c| c.hosts.len() >= 2)
+    let mut cert_clusters: Vec<CertCluster> = index
+        .by_cert
+        .iter()
+        .filter(|(_, members)| members.len() >= 2)
+        .map(|(&fingerprint, members)| {
+            let mut cluster = CertCluster {
+                fingerprint,
+                hosts: Vec::with_capacity(members.len()),
+                countries: HashSet::new(),
+            };
+            for &pos in members.as_slice() {
+                let h = index.host(pos);
+                cluster.hosts.push(h.hostname.clone());
+                if let Some(cc) = h.country {
+                    cluster.countries.insert(cc);
+                }
+            }
+            cluster
+        })
         .collect();
     cert_clusters.sort_by(|a, b| {
         b.hosts
@@ -188,6 +213,7 @@ impl ReuseReport {
         );
         let mut t = TextTable::new(vec![
             "Issuer/CN",
+            "Issuers",
             "Hosts",
             "Countries",
             "Valid",
@@ -196,7 +222,8 @@ impl ReuseReport {
         ]);
         for c in self.clusters.iter().take(15) {
             t.row(vec![
-                c.issuer.clone(),
+                c.issuers.first().cloned().unwrap_or_default(),
+                c.issuers.len().to_string(),
                 c.hosts.len().to_string(),
                 c.countries.len().to_string(),
                 c.valid_hosts.to_string(),
@@ -232,10 +259,23 @@ mod tests {
         // The shared appliance key shows up as self-signed localhost.
         let localhost = r
             .cross_country()
-            .find(|c| c.issuer == "localhost")
+            .find(|c| c.issuers.iter().any(|i| i == "localhost"))
             .expect("localhost cluster");
         assert!(localhost.self_signed_hosts > 0);
         assert!(localhost.countries.len() >= 2);
+    }
+
+    #[test]
+    fn issuer_sets_are_distinct_and_sorted() {
+        let r = report();
+        for c in &r.clusters {
+            assert!(!c.issuers.is_empty(), "every cluster saw an issuer");
+            for w in c.issuers.windows(2) {
+                assert!(w[0] < w[1], "sorted, deduplicated: {:?}", c.issuers);
+            }
+            // A key can never span more issuers than certificates.
+            assert!(c.issuers.len() <= c.cert_fingerprints.len().max(1));
+        }
     }
 
     #[test]

@@ -251,6 +251,38 @@ mod tests {
     }
 
     #[test]
+    fn binning_degenerate_parameters() {
+        // The upper bound itself lands in the last bin, not one past it.
+        assert_eq!(bin_index(100.0, 0.0, 100.0, 4), 3);
+        // Zero bins and inverted/empty ranges collapse to bin 0.
+        assert_eq!(bin_index(5.0, 0.0, 100.0, 0), 0);
+        assert_eq!(bin_index(5.0, 100.0, 0.0, 4), 0);
+        assert_eq!(bin_index(5.0, 5.0, 5.0, 4), 0);
+    }
+
+    #[test]
+    fn zero_point_and_single_point_spread() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[42.0]), 0.0);
+        // Two points give an exact fit with no residual and no claim of
+        // significance (n < 3).
+        let fit = linear_fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 2.0);
+        assert_eq!(fit.intercept, 1.0);
+        assert_eq!(fit.residual_se, 0.0);
+        assert!(!fit.slope_significant());
+        assert!(fit.ci95_half_width(1.0).is_infinite());
+    }
+
+    #[test]
+    fn share_zero_denominators() {
+        assert_eq!(Share::new(0, 0).fraction(), 0.0);
+        assert_eq!(Share::new(7, 0).fraction(), 0.0);
+        assert_eq!(Share::new(7, 0).percent(), 0.0);
+        assert_eq!(format!("{}", Share::new(7, 0)), "7 (0.00%)");
+    }
+
+    #[test]
     fn share_rendering() {
         let s = Share::new(15_223, 53_256);
         assert!((s.percent() - 28.58).abs() < 0.01);

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use govscan_scanner::{ErrorCategory, ScanDataset};
 
+use crate::aggregate::AggregateIndex;
 use crate::stats::Share;
 use crate::table::TextTable;
 
@@ -27,28 +28,29 @@ pub struct Table2 {
 }
 
 /// Build Table 2 from a scan dataset (gov hosts only; pass the worldwide
-/// study scan).
+/// study scan). Thin wrapper over [`build_from_index`].
 pub fn build(scan: &ScanDataset) -> Table2 {
-    let mut t = Table2::default();
-    for r in scan.available() {
-        t.total += 1;
-        if !r.https.attempts() {
-            t.http_only += 1;
-            continue;
-        }
-        t.https += 1;
-        if r.https.is_valid() {
-            t.valid += 1;
-            if r.serves_both() {
-                t.valid_serving_both += 1;
-            }
-        } else {
-            t.invalid += 1;
-            let cat = r.https.error().expect("invalid has a category");
-            *t.errors.entry(cat).or_default() += 1;
-        }
+    build_from_index(&AggregateIndex::build(scan))
+}
+
+/// Build Table 2 from a pre-built aggregation index: the spine comes
+/// straight from the single-pass totals, the error breakdown from the
+/// pre-grouped category index.
+pub fn build_from_index(index: &AggregateIndex) -> Table2 {
+    let t = index.totals;
+    Table2 {
+        total: t.available,
+        http_only: t.http_only,
+        https: t.https,
+        valid: t.valid,
+        valid_serving_both: t.valid_serving_both,
+        invalid: t.invalid,
+        errors: index
+            .by_error
+            .iter()
+            .map(|(cat, members)| (*cat, members.len() as u64))
+            .collect(),
     }
-    t
 }
 
 impl Table2 {

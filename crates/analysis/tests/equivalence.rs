@@ -1,0 +1,109 @@
+//! Aggregation-layer equivalence: every ported module must produce
+//! byte-identical tables whether it walks the dataset itself (`build`)
+//! or consumes the shared single-pass index (`build_from_index`), and
+//! the whole index-fed report set must cost exactly one dataset walk.
+
+use std::sync::OnceLock;
+
+use govscan_analysis::aggregate::AggregateIndex;
+use govscan_analysis::{
+    choropleth, compare, ct, durations, ev, hosting, hsts, issuers, keys, reuse, table2,
+};
+use govscan_scanner::{StudyOutput, StudyPipeline};
+use govscan_worldgen::{World, WorldConfig};
+
+fn study() -> &'static (World, StudyOutput) {
+    static STUDY: OnceLock<(World, StudyOutput)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let world = World::generate(&WorldConfig::small(0x51E5));
+        let output = StudyPipeline::new(&world).run();
+        (world, output)
+    })
+}
+
+#[test]
+fn ported_modules_render_identically() {
+    let (world, out) = study();
+    let scan = &out.scan;
+    let index = AggregateIndex::build(scan);
+
+    assert_eq!(
+        table2::build(scan).render(),
+        table2::build_from_index(&index).render()
+    );
+    assert_eq!(
+        choropleth::build(scan).render(),
+        choropleth::build_from_index(&index).render()
+    );
+    let a = issuers::build(scan, 40);
+    let b = issuers::build_from_index(&index, 40);
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.without_issuer, b.without_issuer);
+    assert_eq!(
+        keys::build(scan).render(),
+        keys::build_from_index(&index).render()
+    );
+    assert_eq!(
+        durations::build(scan).render(),
+        durations::build_from_index(&index).render()
+    );
+    assert_eq!(
+        hosting::build_all(scan).render(),
+        hosting::build_all_from_index(&index).render()
+    );
+    assert_eq!(
+        hsts::build(scan).render(),
+        hsts::build_from_index(&index).render()
+    );
+    assert_eq!(
+        ev::build(scan).render(),
+        ev::build_from_index(&index).render()
+    );
+    assert_eq!(
+        ct::build(scan, world.cadb.ct_log(), &world.net).render(),
+        ct::build_from_index(&index, world.cadb.ct_log(), &world.net).render()
+    );
+    assert_eq!(
+        reuse::build(scan).render(),
+        reuse::build_from_index(&index).render()
+    );
+}
+
+#[test]
+fn index_fed_report_set_costs_one_walk() {
+    let (world, out) = study();
+    // A private clone: the shared fixture's walk counter is bumped by
+    // sibling tests running concurrently, this one's is ours alone.
+    let scan = out.scan.clone();
+    let before = scan.walks();
+    let index = AggregateIndex::build(&scan);
+    let _ = table2::build_from_index(&index);
+    let _ = choropleth::build_from_index(&index);
+    let _ = issuers::build_from_index(&index, 40);
+    let _ = keys::build_from_index(&index);
+    let _ = durations::build_from_index(&index);
+    let _ = hosting::build_all_from_index(&index);
+    let _ = hsts::build_from_index(&index);
+    let _ = ev::build_from_index(&index);
+    let _ = ct::build_from_index(&index, world.cadb.ct_log(), &world.net);
+    let _ = reuse::build_from_index(&index);
+    // The gov comparison group uses indexed lookups, not a walk.
+    let _ = compare::gov_group_from_scan(&scan, &world.tranco);
+    assert_eq!(scan.walks() - before, 1, "one walk for the whole report");
+}
+
+#[test]
+fn durations_points_keep_record_order() {
+    let (_, out) = study();
+    let scan = &out.scan;
+    let index = AggregateIndex::build(scan);
+    let direct = durations::build(scan);
+    let indexed = durations::build_from_index(&index);
+    assert_eq!(direct.points.len(), indexed.points.len());
+    for (a, b) in direct.points.iter().zip(&indexed.points) {
+        assert_eq!(
+            (a.issued, a.expires, a.valid),
+            (b.issued, b.expires, b.valid)
+        );
+    }
+}

@@ -1,9 +1,10 @@
 //! Cold vs. warm full-world scan benchmark, with a pre-memoization
-//! baseline, emitting `BENCH_scan.json` at the workspace root so future
-//! changes have a perf trajectory to compare against.
+//! baseline, plus the analysis-aggregation benchmark (repeated-walk vs
+//! single-pass), emitting `BENCH_scan.json` at the workspace root so
+//! future changes have a perf trajectory to compare against.
 //!
-//! Three variants scan the same host list serially (serial, so the
-//! numbers isolate the validation-caching effect rather than thread
+//! Three scan variants measure the same host list serially (serial, so
+//! the numbers isolate the validation-caching effect rather than thread
 //! scheduling noise):
 //!
 //! - `baseline_uncached` — the pre-change probe: every host runs the
@@ -19,15 +20,27 @@
 //! - `warm` — `scan_host` against an already-populated cache, the
 //!   steady state of a long scan: structural validation is entirely
 //!   memo hits.
+//!
+//! The `aggregate` group compares the pre-refactor analysis layer
+//! (every module re-walking the dataset; the cores are frozen in
+//! [`frozen`]) against one `AggregateIndex::build` pass feeding every
+//! `build_from_index` consumer, on a paper-scale 135,408-host dataset.
+//! Set `GOVSCAN_BENCH_SMOKE=1` (CI) to shrink the dataset and skip the
+//! JSON artifact so the path is exercised quickly offline.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write as _;
+use std::sync::OnceLock;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use govscan_analysis::aggregate::AggregateIndex;
+use govscan_analysis::{choropleth, durations, ev, hosting, hsts, issuers, keys, reuse, table2};
 use govscan_net::{DnsOutcome, HttpOutcome, TcpOutcome};
 use govscan_pki::caa::CaaRecord;
+use govscan_pki::Time;
 use govscan_scanner::classify::{CertMeta, ErrorCategory, HttpsStatus};
 use govscan_scanner::dataset::HostingKind;
-use govscan_scanner::{scan_host, ScanContext, ScanRecord, StudyPipeline};
+use govscan_scanner::{scan_host, ScanContext, ScanDataset, ScanRecord, StudyPipeline};
 
 /// Hosts scanned per pass. Large enough that chain reuse shows up the
 /// way it does in the full study, small enough to keep the suite quick.
@@ -160,25 +173,442 @@ fn bench_scan_world(c: &mut Criterion) {
     });
     g.finish();
 
-    // Emit the perf trajectory artifact.
+    // Stashed for the unified JSON artifact, emitted after the
+    // aggregation group (the last group in this binary) finishes.
+    let _ = WARM_CACHE_STATS.set((
+        warm_ctx.verdicts.len(),
+        warm_ctx.verdicts.hits(),
+        warm_ctx.verdicts.misses(),
+    ));
+}
+
+/// Warm-scan cache statistics, carried from [`bench_scan_world`] to the
+/// artifact emission in [`bench_aggregate`].
+static WARM_CACHE_STATS: OnceLock<(usize, u64, u64)> = OnceLock::new();
+
+/// The pre-refactor analysis cores, frozen as the repeated-walk
+/// baseline: each function re-walks the dataset exactly the way its
+/// module's `build` did before the aggregation layer — same traversal,
+/// population filters, hashing, cloning, and sorting — minus the final
+/// report-struct assembly the ported builders share (which makes the
+/// baseline slightly *faster* than it really was, so the measured
+/// speedup is conservative).
+mod frozen {
+    use super::*;
+    use govscan_crypto::Fingerprint;
+
+    pub fn table2(scan: &ScanDataset) -> ([u64; 6], BTreeMap<ErrorCategory, u64>) {
+        let mut t = [0u64; 6];
+        let mut errors: BTreeMap<ErrorCategory, u64> = BTreeMap::new();
+        for r in scan.available() {
+            t[0] += 1;
+            if !r.https.attempts() {
+                t[1] += 1;
+                continue;
+            }
+            t[2] += 1;
+            if r.https.is_valid() {
+                t[3] += 1;
+                if r.serves_both() {
+                    t[4] += 1;
+                }
+            } else {
+                t[5] += 1;
+                let cat = r.https.error().expect("invalid has a category");
+                *errors.entry(cat).or_default() += 1;
+            }
+        }
+        (t, errors)
+    }
+
+    pub fn choropleth(scan: &ScanDataset) -> BTreeMap<&'static str, [u64; 4]> {
+        let mut rows: BTreeMap<&'static str, [u64; 4]> = BTreeMap::new();
+        for r in scan.records() {
+            let Some(cc) = r.country else { continue };
+            let row = rows.entry(cc).or_default();
+            row[0] += 1;
+            if r.available {
+                row[1] += 1;
+                if r.https.attempts() {
+                    row[2] += 1;
+                    if r.https.is_valid() {
+                        row[3] += 1;
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    pub fn issuers(scan: &ScanDataset, n: usize) -> (Vec<(String, u64, u64)>, u64) {
+        let mut map: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut without = 0u64;
+        for r in scan.https_attempting() {
+            match r.https.meta() {
+                None => continue,
+                Some(meta) if meta.issuer.is_empty() => without += 1,
+                Some(meta) => {
+                    let row = map.entry(meta.issuer.clone()).or_default();
+                    if r.https.is_valid() {
+                        row.0 += 1;
+                    } else {
+                        row.1 += 1;
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<(String, u64, u64)> =
+            map.into_iter().map(|(i, (v, x))| (i, v, x)).collect();
+        rows.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        (rows, without)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn keys(
+        scan: &ScanDataset,
+    ) -> (
+        BTreeMap<govscan_crypto::KeyAlgorithm, [u64; 2]>,
+        BTreeMap<govscan_crypto::SignatureAlgorithm, [u64; 2]>,
+        BTreeMap<
+            (
+                govscan_crypto::SignatureAlgorithm,
+                govscan_crypto::KeyAlgorithm,
+            ),
+            [u64; 2],
+        >,
+    ) {
+        let mut by_key = BTreeMap::new();
+        let mut by_signature = BTreeMap::new();
+        let mut joint = BTreeMap::new();
+        for r in scan.https_attempting() {
+            let Some(meta) = r.https.meta() else { continue };
+            let i = usize::from(!r.https.is_valid());
+            by_key.entry(meta.key_algorithm).or_insert([0u64; 2])[i] += 1;
+            by_signature
+                .entry(meta.signature_algorithm)
+                .or_insert([0u64; 2])[i] += 1;
+            joint
+                .entry((meta.signature_algorithm, meta.key_algorithm))
+                .or_insert([0u64; 2])[i] += 1;
+        }
+        (by_key, by_signature, joint)
+    }
+
+    pub fn durations(scan: &ScanDataset) -> (Vec<(Time, Time, bool)>, [u64; 8]) {
+        let mut points = Vec::new();
+        let mut stats = [0u64; 8];
+        for r in scan.https_attempting() {
+            let Some(meta) = r.https.meta() else { continue };
+            let valid = r.https.is_valid();
+            points.push((meta.not_before, meta.not_after, valid));
+            let days = meta.validity_days();
+            let off = if valid { 0 } else { 4 };
+            stats[off] += 1;
+            if days < 730 {
+                stats[off + 1] += 1;
+            }
+            if days % 365 == 0 {
+                stats[off + 2] += 1;
+            }
+            if days >= 3650 {
+                stats[off + 3] += 1;
+            }
+        }
+        (points, stats)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn hosting(
+        scan: &ScanDataset,
+    ) -> (
+        BTreeMap<&'static str, [u64; 3]>,
+        BTreeMap<&'static str, [u64; 3]>,
+    ) {
+        let mut coarse: BTreeMap<&'static str, [u64; 3]> = BTreeMap::new();
+        let mut providers: BTreeMap<&'static str, [u64; 3]> = BTreeMap::new();
+        for r in scan.records() {
+            if !r.available {
+                continue;
+            }
+            let row = coarse.entry(r.hosting.coarse()).or_default();
+            row[0] += 1;
+            if r.https.attempts() {
+                row[1] += 1;
+            }
+            if r.https.is_valid() {
+                row[2] += 1;
+            }
+            if let Some(p) = r.hosting.provider() {
+                let row = providers.entry(p).or_default();
+                row[0] += 1;
+                if r.https.attempts() {
+                    row[1] += 1;
+                }
+                if r.https.is_valid() {
+                    row[2] += 1;
+                }
+            }
+        }
+        (coarse, providers)
+    }
+
+    pub fn hsts(scan: &ScanDataset) -> ([u64; 3], BTreeMap<&'static str, [u64; 3]>) {
+        let mut world = [0u64; 3];
+        let mut by_country: BTreeMap<&'static str, [u64; 3]> = BTreeMap::new();
+        let bump = |c: &mut [u64; 3], hsts: bool, enforcing: bool| {
+            c[0] += 1;
+            if hsts {
+                c[1] += 1;
+            }
+            if enforcing {
+                c[2] += 1;
+            }
+        };
+        for r in scan.valid() {
+            let enforcing = r.hsts && r.http_redirects_https;
+            bump(&mut world, r.hsts, enforcing);
+            if let Some(cc) = r.country {
+                bump(by_country.entry(cc).or_default(), r.hsts, enforcing);
+            }
+        }
+        (world, by_country)
+    }
+
+    /// The China case study's error-mix walk over `scan.invalid()`, as
+    /// the report path ran it before the aggregation layer (alongside a
+    /// *second* full choropleth build).
+    pub fn china_error_mix(scan: &ScanDataset) -> (u64, u64, u64) {
+        let mut invalid = 0u64;
+        let mut mismatch = 0u64;
+        let mut local = 0u64;
+        for r in scan.invalid() {
+            if r.country == Some("cn") {
+                invalid += 1;
+                match r.https.error() {
+                    Some(ErrorCategory::HostnameMismatch) => mismatch += 1,
+                    Some(ErrorCategory::UnableLocalIssuer) => local += 1,
+                    _ => {}
+                }
+            }
+        }
+        (invalid, mismatch, local)
+    }
+
+    pub fn ev(scan: &ScanDataset) -> (u64, u64, BTreeMap<String, [u64; 2]>) {
+        let mut hosts_with_certs = 0u64;
+        let mut ev_hosts = 0u64;
+        let mut by_issuer: BTreeMap<String, [u64; 2]> = BTreeMap::new();
+        for r in scan.https_attempting() {
+            let Some(meta) = r.https.meta() else { continue };
+            hosts_with_certs += 1;
+            if !meta.is_ev {
+                continue;
+            }
+            ev_hosts += 1;
+            let row = by_issuer.entry(meta.issuer.clone()).or_default();
+            row[usize::from(!r.https.is_valid())] += 1;
+        }
+        (hosts_with_certs, ev_hosts, by_issuer)
+    }
+
+    type KeyCluster = (
+        HashSet<Fingerprint>,
+        Vec<String>,
+        HashSet<&'static str>,
+        [u64; 3],
+    );
+
+    #[allow(clippy::type_complexity)]
+    pub fn reuse(
+        scan: &ScanDataset,
+    ) -> (
+        Vec<(Fingerprint, KeyCluster)>,
+        Vec<(Fingerprint, Vec<String>, HashSet<&'static str>)>,
+    ) {
+        let mut map: HashMap<Fingerprint, KeyCluster> = HashMap::new();
+        let mut by_cert: HashMap<Fingerprint, (Vec<String>, HashSet<&'static str>)> =
+            HashMap::new();
+        for r in scan.https_attempting() {
+            let Some(meta) = r.https.meta() else { continue };
+            let cc_cluster = by_cert.entry(meta.fingerprint).or_default();
+            cc_cluster.0.push(r.hostname.clone());
+            if let Some(cc) = r.country {
+                cc_cluster.1.insert(cc);
+            }
+            let cluster = map.entry(meta.key_fingerprint).or_default();
+            cluster.0.insert(meta.fingerprint);
+            cluster.1.push(r.hostname.clone());
+            if let Some(cc) = r.country {
+                cluster.2.insert(cc);
+            }
+            if r.https.is_valid() {
+                cluster.3[0] += 1;
+            }
+            match r.https.error() {
+                Some(ErrorCategory::HostnameMismatch) => cluster.3[1] += 1,
+                Some(ErrorCategory::SelfSigned) => cluster.3[2] += 1,
+                _ => {}
+            }
+        }
+        let mut clusters: Vec<(Fingerprint, KeyCluster)> =
+            map.into_iter().filter(|(_, c)| c.1.len() >= 2).collect();
+        clusters.sort_by(|a, b| {
+            b.1 .1
+                .len()
+                .cmp(&a.1 .1.len())
+                .then(b.1 .2.len().cmp(&a.1 .2.len()))
+                .then(a.0.cmp(&b.0))
+        });
+        let mut cert_clusters: Vec<(Fingerprint, Vec<String>, HashSet<&'static str>)> = by_cert
+            .into_iter()
+            .filter(|(_, c)| c.0.len() >= 2)
+            .map(|(fp, (h, cc))| (fp, h, cc))
+            .collect();
+        cert_clusters.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        (clusters, cert_clusters)
+    }
+}
+
+/// Replicate the fixture's scan records up to `target` hosts (hostnames
+/// uniquified per cycle), approximating the paper's 135,408-host
+/// dataset with realistic per-record shape.
+fn synthetic_dataset(target: usize) -> ScanDataset {
+    let (_, study) = govscan_bench::fixture();
+    let base = study.scan.records();
+    let scan_time = study.scan.scan_time.unwrap_or(Time::from_ymd(2020, 4, 22));
+    let mut records = Vec::with_capacity(target);
+    let mut cycle = 0usize;
+    'fill: loop {
+        for r in base {
+            if records.len() >= target {
+                break 'fill;
+            }
+            let mut r = r.clone();
+            if cycle > 0 {
+                r.hostname = format!("c{cycle}.{}", r.hostname);
+                // Keep cluster sizes realistic: certificates are only
+                // shared within a cycle, not across all ~45 replicas.
+                let perturb = |fp: &mut govscan_crypto::Fingerprint| {
+                    fp.0[0] ^= cycle as u8;
+                    fp.0[1] ^= (cycle >> 8) as u8;
+                };
+                match &mut r.https {
+                    HttpsStatus::Valid(m) | HttpsStatus::Invalid(_, Some(m)) => {
+                        perturb(&mut m.fingerprint);
+                        perturb(&mut m.key_fingerprint);
+                    }
+                    _ => {}
+                }
+            }
+            records.push(r);
+        }
+        cycle += 1;
+    }
+    ScanDataset::new(records, scan_time)
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok();
+    let target = if smoke { 2_000 } else { 135_408 };
+    let scan = synthetic_dataset(target);
+    println!(
+        "aggregate dataset: {} hosts ({} walks so far)",
+        scan.len(),
+        scan.walks()
+    );
+
+    let mut g = c.benchmark_group("aggregate");
+    g.sample_size(10);
+    g.bench_function("repeated_walk", |b| {
+        b.iter(|| {
+            black_box(frozen::table2(&scan));
+            black_box(frozen::choropleth(&scan));
+            black_box(frozen::issuers(&scan, 40));
+            black_box(frozen::keys(&scan));
+            black_box(frozen::durations(&scan));
+            black_box(frozen::hosting(&scan));
+            black_box(frozen::hsts(&scan));
+            black_box(frozen::ev(&scan));
+            black_box(frozen::reuse(&scan));
+            // The report path built the choropleth a second time for the
+            // China case study, plus its error-mix walk.
+            black_box(frozen::choropleth(&scan));
+            black_box(frozen::china_error_mix(&scan));
+        })
+    });
+    g.bench_function("index_build", |b| {
+        b.iter(|| black_box(AggregateIndex::build(&scan)))
+    });
+    g.bench_function("single_pass", |b| {
+        b.iter(|| {
+            let index = AggregateIndex::build(&scan);
+            black_box(table2::build_from_index(&index));
+            black_box(choropleth::build_from_index(&index));
+            black_box(issuers::build_from_index(&index, 40));
+            black_box(keys::build_from_index(&index));
+            black_box(durations::build_from_index(&index));
+            black_box(hosting::build_all_from_index(&index));
+            black_box(hsts::build_from_index(&index));
+            black_box(ev::build_from_index(&index));
+            black_box(reuse::build_from_index(&index));
+            // The China case study's second choropleth and error mix, as
+            // the ported report path serves them from the same index.
+            black_box(choropleth::build_from_index(&index));
+            let mut mix = (0u64, 0u64, 0u64);
+            for h in index
+                .by_country
+                .get("cn")
+                .map(|m| m.as_slice())
+                .unwrap_or(&[])
+                .iter()
+                .map(|&pos| index.host(pos))
+            {
+                if !h.available || !h.attempts || h.valid {
+                    continue;
+                }
+                mix.0 += 1;
+                match h.error {
+                    Some(ErrorCategory::HostnameMismatch) => mix.1 += 1,
+                    Some(ErrorCategory::UnableLocalIssuer) => mix.2 += 1,
+                    _ => {}
+                }
+            }
+            black_box(mix);
+        })
+    });
+    g.finish();
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_scan.json emission");
+        return;
+    }
+
+    // Emit the unified perf trajectory artifact. All recorded times are
+    // per-sample minima: these benches run on shared single-core
+    // machines where scheduler preemption inflates means unpredictably,
+    // and the minimum is the standard low-noise estimator for
+    // deterministic CPU-bound bodies.
     let by_id = |needle: &str| {
         c.results()
             .iter()
             .find(|r| r.id.ends_with(needle))
             .expect("bench ran")
-            .mean
+            .min
             .as_nanos() as f64
     };
     let baseline = by_id("baseline_uncached");
     let cold = by_id("cold");
     let warm = by_id("warm");
+    let repeated = by_id("aggregate/repeated_walk");
+    let index_build = by_id("aggregate/index_build");
+    let single = by_id("aggregate/single_pass");
+    let (chains, hits, misses) = *WARM_CACHE_STATS.get().expect("scan group ran first");
     let json = format!(
-        "{{\n  \"hosts_per_pass\": {HOSTS},\n  \"baseline_uncached_ns\": {baseline:.0},\n  \"cold_ns\": {cold:.0},\n  \"warm_ns\": {warm:.0},\n  \"cold_speedup_vs_baseline\": {:.2},\n  \"warm_speedup_vs_baseline\": {:.2},\n  \"warm_cache_chains\": {},\n  \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {}\n}}\n",
+        "{{\n  \"hosts_per_pass\": {HOSTS},\n  \"baseline_uncached_ns\": {baseline:.0},\n  \"cold_ns\": {cold:.0},\n  \"warm_ns\": {warm:.0},\n  \"cold_speedup_vs_baseline\": {:.2},\n  \"warm_speedup_vs_baseline\": {:.2},\n  \"warm_cache_chains\": {chains},\n  \"warm_cache_hits\": {hits},\n  \"warm_cache_misses\": {misses},\n  \"aggregate_hosts\": {target},\n  \"aggregate_repeated_walk_ns\": {repeated:.0},\n  \"aggregate_index_build_ns\": {index_build:.0},\n  \"aggregate_single_pass_ns\": {single:.0},\n  \"aggregate_speedup\": {:.2}\n}}\n",
         baseline / cold,
         baseline / warm,
-        warm_ctx.verdicts.len(),
-        warm_ctx.verdicts.hits(),
-        warm_ctx.verdicts.misses(),
+        repeated / single,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
     let mut f = std::fs::File::create(path).expect("writable workspace root");
@@ -186,5 +616,5 @@ fn bench_scan_world(c: &mut Criterion) {
     println!("wrote {path}:\n{json}");
 }
 
-criterion_group!(benches, bench_scan_world);
+criterion_group!(benches, bench_scan_world, bench_aggregate);
 criterion_main!(benches);

@@ -32,7 +32,7 @@ pub fn table1(env: &mut Env) -> String {
 
 /// Table 2: worldwide https validity and error breakdown.
 pub fn table2(env: &mut Env) -> String {
-    let t = analysis::table2::build(&env.study.scan);
+    let t = analysis::table2::build_from_index(env.index());
     let mut out = t.render();
     out.push('\n');
     out.push_str(&cmp_row(
@@ -72,7 +72,7 @@ pub fn table2(env: &mut Env) -> String {
 
 /// Figure 1: per-country availability / https / validity.
 pub fn fig1(env: &mut Env) -> String {
-    let fig = analysis::choropleth::build(&env.study.scan);
+    let fig = analysis::choropleth::build_from_index(env.index());
     let mut out = fig.render();
     if let Some(cn) = fig.get("cn") {
         out.push_str(&cmp_row(
@@ -93,7 +93,7 @@ pub fn fig1(env: &mut Env) -> String {
 
 /// Figure 2: top-40 worldwide certificate issuers.
 pub fn fig2(env: &mut Env) -> String {
-    let fig = analysis::issuers::build(&env.study.scan, 40);
+    let fig = analysis::issuers::build_from_index(env.index(), 40);
     let mut out = fig.render();
     if let Some(leader) = fig.leader() {
         out.push_str(&cmp_row(
@@ -112,7 +112,7 @@ pub fn fig2(env: &mut Env) -> String {
 
 /// Figure 3 + §5.3.1: issue/expiry dates and durations.
 pub fn fig3(env: &mut Env) -> String {
-    let fig = analysis::durations::build(&env.study.scan);
+    let fig = analysis::durations::build_from_index(env.index());
     let mut out = fig.render();
     let s = &fig.invalid_stats;
     out.push_str(&cmp_row(
@@ -138,7 +138,7 @@ pub fn fig3(env: &mut Env) -> String {
 
 /// Figure 4: validity by key type and signing algorithm.
 pub fn fig4(env: &mut Env) -> String {
-    let fig = analysis::keys::build(&env.study.scan);
+    let fig = analysis::keys::build_from_index(env.index());
     let mut out = fig.render();
     let (ec, rsa) = fig.ec_vs_rsa_valid_share();
     out.push_str(&cmp_row(
@@ -161,7 +161,7 @@ pub fn fig4(env: &mut Env) -> String {
 
 /// Figure 5: validity by hosting type (world / USA / ROK).
 pub fn fig5(env: &mut Env) -> String {
-    let world_fig = analysis::hosting::build_all(&env.study.scan);
+    let world_fig = analysis::hosting::build_all_from_index(env.index());
     let usa_fig = {
         let scan = env.usa_scan().clone();
         analysis::hosting::build_all(&scan)
@@ -203,7 +203,9 @@ pub fn fig6_fig7(env: &mut Env) -> String {
     let pipeline = StudyPipeline::new(&env.world);
     let ctx = pipeline.context();
     let mut rng = StdRng::seed_from_u64(env.world.config.seed ^ 0xF167);
-    let gov = analysis::compare::gov_group(&ctx, &env.world.tranco);
+    // The government group is already in the worldwide scan — pull it by
+    // indexed lookup instead of re-dialling every government host.
+    let gov = analysis::compare::gov_group_from_scan(&env.study.scan, &env.world.tranco);
     let n = gov.members.len();
     let uniform = analysis::compare::nongov_uniform(&ctx, &env.world.tranco, n, &mut rng);
     let matched = analysis::compare::nongov_rank_matched(&ctx, &env.world.tranco, 50, &mut rng);
@@ -339,7 +341,8 @@ pub fn case_contrast(env: &mut Env) -> String {
 
 /// §7.1.2: the China slice.
 pub fn china(env: &mut Env) -> String {
-    let fig = analysis::choropleth::build(&env.study.scan);
+    let index = env.index();
+    let fig = analysis::choropleth::build_from_index(index);
     let mut out = String::new();
     if let Some(cn) = fig.get("cn") {
         out.push_str(&cmp_row(
@@ -358,18 +361,26 @@ pub fn china(env: &mut Env) -> String {
             &format!("{:.1}%", cn.valid_share().percent()),
         ));
     }
-    // Error mix within China.
+    // Error mix within China, off the pre-grouped country index.
     let mut mismatch = 0u64;
     let mut local = 0u64;
     let mut invalid = 0u64;
-    for r in env.study.scan.invalid() {
-        if r.country == Some("cn") {
-            invalid += 1;
-            match r.https.error() {
-                Some(ErrorCategory::HostnameMismatch) => mismatch += 1,
-                Some(ErrorCategory::UnableLocalIssuer) => local += 1,
-                _ => {}
-            }
+    for h in index
+        .by_country
+        .get("cn")
+        .map(|members| members.as_slice())
+        .unwrap_or(&[])
+        .iter()
+        .map(|&pos| index.host(pos))
+    {
+        if !h.available || !h.attempts || h.valid {
+            continue;
+        }
+        invalid += 1;
+        match h.error {
+            Some(ErrorCategory::HostnameMismatch) => mismatch += 1,
+            Some(ErrorCategory::UnableLocalIssuer) => local += 1,
+            _ => {}
         }
     }
     out.push_str(&cmp_row(
@@ -387,7 +398,7 @@ pub fn china(env: &mut Env) -> String {
 
 /// §5.3.3: key and certificate reuse.
 pub fn reuse(env: &mut Env) -> String {
-    let report = analysis::reuse::build(&env.study.scan);
+    let report = analysis::reuse::build_from_index(env.index());
     let mut out = report.render();
     out.push_str(&cmp_row(
         "valid cross-country key reuse",
@@ -475,7 +486,7 @@ pub fn interlink(env: &mut Env) -> String {
 
 /// Figures A.2/A.3/A.6: EV certificate usage.
 pub fn ev(env: &mut Env) -> String {
-    let world = analysis::ev::build(&env.study.scan);
+    let world = analysis::ev::build_from_index(env.index());
     let usa_scan = env.usa_scan().clone();
     let rok_scan = env.rok_scan().clone();
     let usa = analysis::ev::build(&usa_scan);
@@ -506,11 +517,10 @@ pub fn phishing(env: &mut Env) -> String {
     let filter = GovFilter::standard();
     let candidates: Vec<String> = env.world.net.hostnames().map(str::to_string).collect();
     let collapsed: std::collections::HashSet<String> = env
-        .study
-        .scan
-        .records()
+        .index()
+        .hosts
         .iter()
-        .map(|r| r.hostname.replace('.', ""))
+        .map(|h| h.hostname.replace('.', ""))
         .collect();
     let report = analysis::phishing::detect(
         &ctx,
@@ -544,12 +554,11 @@ pub fn disclosure(env: &mut Env) -> String {
     let campaign =
         govscan_disclosure::campaign::run(&env.study.scan, &mut rng, env.world.config.seed);
     let unreachable: Vec<String> = env
-        .study
-        .scan
-        .records()
+        .index()
+        .hosts
         .iter()
-        .filter(|r| !r.available)
-        .map(|r| r.hostname.clone())
+        .filter(|h| !h.available)
+        .map(|h| h.hostname.clone())
         .collect();
     let plan = govscan_disclosure::remediation::apply(
         &mut env.world,
@@ -594,7 +603,8 @@ pub fn disclosure(env: &mut Env) -> String {
 /// Extension (§2.2): CT-log coverage of government certificates — the
 /// measurement the paper flags as missing from the literature.
 pub fn ct_coverage(env: &mut Env) -> String {
-    let report = analysis::ct::build(&env.study.scan, env.world.cadb.ct_log(), &env.world.net);
+    let report =
+        analysis::ct::build_from_index(env.index(), env.world.cadb.ct_log(), &env.world.net);
     let mut out = report.render();
     out.push_str(&cmp_row(
         "gov certs missing from CT",
@@ -611,7 +621,7 @@ pub fn ct_coverage(env: &mut Env) -> String {
 
 /// Extension (§8.2): HSTS adoption among valid government hosts.
 pub fn hsts_adoption(env: &mut Env) -> String {
-    let report = analysis::hsts::build(&env.study.scan);
+    let report = analysis::hsts::build_from_index(env.index());
     let mut out = report.render();
     if let Some(us) = report.country_adoption("us") {
         out.push_str(&cmp_row(

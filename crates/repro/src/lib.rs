@@ -19,7 +19,9 @@
 pub mod experiments;
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
+use govscan_analysis::aggregate::AggregateIndex;
 use govscan_scanner::{ScanDataset, StudyOutput, StudyPipeline};
 use govscan_worldgen::{World, WorldConfig};
 
@@ -30,6 +32,9 @@ pub struct Env {
     pub world: World,
     /// The worldwide study output.
     pub study: StudyOutput,
+    /// Single-pass aggregation over the worldwide scan, built on first
+    /// use and shared by every experiment via [`Env::index`].
+    aggregate: OnceLock<AggregateIndex>,
     usa_scan: Option<ScanDataset>,
     rok_scan: Option<ScanDataset>,
 }
@@ -60,17 +65,30 @@ impl Env {
             world.net.len()
         );
         let study = StudyPipeline::new(&world).run();
+        // Build the shared index up front: the startup summary below
+        // reads its totals instead of spending a dataset walk, so the
+        // whole full-report run walks the scan exactly once — here.
+        let index = AggregateIndex::build(&study.scan);
         eprintln!(
             "[govscan] study: {} hosts measured ({} available)",
             study.scan.len(),
-            study.scan.available().count()
+            index.totals.available,
         );
         Env {
             world,
             study,
+            aggregate: OnceLock::from(index),
             usa_scan: None,
             rok_scan: None,
         }
+    }
+
+    /// The shared aggregation index over the worldwide scan. The first
+    /// caller pays the one dataset walk; every later experiment reads
+    /// the same index, so the full report costs exactly one walk.
+    pub fn index(&self) -> &AggregateIndex {
+        self.aggregate
+            .get_or_init(|| AggregateIndex::build(&self.study.scan))
     }
 
     /// The USA GSA case-study scan (computed once).

@@ -42,14 +42,16 @@ pub struct CrawlReport {
 
 impl CrawlReport {
     /// Growth of the government dataset relative to the seed (Fig A.4's
-    /// red line): percentage increase contributed by each level ≥ 1.
+    /// red line): the percentage increase each level ≥ 1 contributes,
+    /// i.e. `100 · (government hosts first seen at level N) / (seed
+    /// government hosts)`. A level that discovers nothing new reads as
+    /// 0% growth.
     pub fn growth_percent_per_level(&self) -> Vec<f64> {
-        let seed_gov = self
-            .levels
-            .first()
-            .map(|l| l.government)
-            .max(Some(1))
-            .unwrap() as f64;
+        let Some(seed) = self.levels.first() else {
+            return Vec::new();
+        };
+        // An all-non-government seed still yields finite percentages.
+        let seed_gov = seed.government.max(1) as f64;
         self.levels
             .iter()
             .skip(1)
@@ -239,6 +241,46 @@ mod tests {
         let f = GovFilter::standard();
         let report = crawl(&net, &f, &["r.gov.bd".to_string()]);
         assert!(report.hostnames.contains(&"t.gov.bd".to_string()));
+    }
+
+    #[test]
+    fn growth_percent_is_per_level_increase_over_seed() {
+        // Hand-built report: 50-host government seed, then levels adding
+        // 25 / 0 / 5 new government hosts.
+        let gov = |n: usize| LevelStats {
+            discovered: n,
+            government: n,
+            fetched: 0,
+        };
+        let report = CrawlReport {
+            levels: vec![gov(50), gov(25), gov(0), gov(5)],
+            ..CrawlReport::default()
+        };
+        let growth = report.growth_percent_per_level();
+        assert_eq!(growth, vec![50.0, 0.0, 10.0], "{growth:?}");
+    }
+
+    #[test]
+    fn growth_percent_degenerate_reports() {
+        // No levels at all: nothing to report, no panic.
+        assert!(CrawlReport::default().growth_percent_per_level().is_empty());
+        // Zero-government seed: percentages stay finite (denominator 1).
+        let report = CrawlReport {
+            levels: vec![
+                LevelStats {
+                    discovered: 10,
+                    government: 0,
+                    fetched: 0,
+                },
+                LevelStats {
+                    discovered: 3,
+                    government: 3,
+                    fetched: 0,
+                },
+            ],
+            ..CrawlReport::default()
+        };
+        assert_eq!(report.growth_percent_per_level(), vec![300.0]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use govscan_net::tls::TlsVersion;
 use govscan_pki::caa::CaaRecord;
@@ -97,12 +98,26 @@ impl ScanRecord {
 }
 
 /// A queryable scan dataset.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ScanDataset {
     records: Vec<ScanRecord>,
     index: HashMap<String, usize>,
     /// The snapshot time of the scan.
     pub scan_time: Option<Time>,
+    /// Full-dataset walks handed out so far (instrumentation for the
+    /// single-pass aggregation invariant; see `govscan_analysis::aggregate`).
+    walks: AtomicU64,
+}
+
+impl Clone for ScanDataset {
+    fn clone(&self) -> ScanDataset {
+        ScanDataset {
+            records: self.records.clone(),
+            index: self.index.clone(),
+            scan_time: self.scan_time,
+            walks: AtomicU64::new(self.walks.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ScanDataset {
@@ -112,6 +127,7 @@ impl ScanDataset {
             records: Vec::with_capacity(records.len()),
             index: HashMap::new(),
             scan_time: Some(scan_time),
+            walks: AtomicU64::new(0),
         };
         for r in records {
             ds.push(r);
@@ -132,8 +148,19 @@ impl ScanDataset {
     }
 
     /// All records.
+    ///
+    /// Counts as one full-dataset walk: each call bumps [`Self::walks`],
+    /// which the aggregation layer's tests use to assert that the
+    /// full-report path touches the dataset exactly once.
     pub fn records(&self) -> &[ScanRecord] {
+        self.walks.fetch_add(1, Ordering::Relaxed);
         &self.records
+    }
+
+    /// How many full-dataset walks ([`Self::records`], the filtered
+    /// iterators, [`Self::by_country`]) have been handed out.
+    pub fn walks(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
     }
 
     /// Look up by hostname.
@@ -161,7 +188,7 @@ impl ScanDataset {
 
     /// Records with a 200 somewhere — the paper's analysis denominator.
     pub fn available(&self) -> impl Iterator<Item = &ScanRecord> {
-        self.records.iter().filter(|r| r.available)
+        self.records().iter().filter(|r| r.available)
     }
 
     /// Available records attempting https.
@@ -183,7 +210,7 @@ impl ScanDataset {
     /// Group available records by inferred country.
     pub fn by_country(&self) -> BTreeMap<&'static str, Vec<&ScanRecord>> {
         let mut map: BTreeMap<&'static str, Vec<&ScanRecord>> = BTreeMap::new();
-        for r in self.records.iter() {
+        for r in self.records() {
             if let Some(cc) = r.country {
                 map.entry(cc).or_default().push(r);
             }
@@ -276,6 +303,20 @@ mod tests {
         let by = ds.by_country();
         assert_eq!(by["bd"].len(), 2);
         assert_eq!(by["fr"].len(), 1);
+    }
+
+    #[test]
+    fn walk_counter_counts_full_iterations() {
+        let t = Time::from_ymd(2020, 4, 22);
+        let ds = ScanDataset::new(vec![rec("a.gov", HttpsStatus::None, true)], t);
+        assert_eq!(ds.walks(), 0, "construction does not walk");
+        let _ = ds.records();
+        assert_eq!(ds.walks(), 1);
+        let _ = ds.available().count();
+        let _ = ds.by_country();
+        assert_eq!(ds.walks(), 3);
+        let _ = ds.get("a.gov");
+        assert_eq!(ds.walks(), 3, "indexed lookups are not walks");
     }
 
     #[test]

@@ -82,11 +82,10 @@ pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
             DnsOutcome::NxDomain | DnsOutcome::Timeout => continue,
         }
     }
-    let ip = resolved.as_ref().and_then(|a| a.first().copied());
-    if ip.is_none() {
+    let Some(ip) = resolved.as_ref().and_then(|a| a.first().copied()) else {
+        // NXDOMAIN/timeouts on every retry, or an empty A record set.
         return ScanRecord::unavailable(hostname);
-    }
-    let ip = ip.unwrap();
+    };
 
     // --- Plain http. ---
     let (http_200, http_redirects_https) = match ctx.net.fetch(&hostname, false, &ctx.client) {

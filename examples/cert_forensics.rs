@@ -20,8 +20,9 @@ fn main() {
     println!("{}", report.render());
     for cluster in report.cross_country().take(5) {
         println!(
-            "cluster '{}' spans {} countries over {} hosts (e.g. {})",
-            cluster.issuer,
+            "cluster '{}' ({} issuers) spans {} countries over {} hosts (e.g. {})",
+            cluster.issuers.first().map(String::as_str).unwrap_or("-"),
+            cluster.issuers.len(),
             cluster.countries.len(),
             cluster.hosts.len(),
             cluster.hosts.first().map(String::as_str).unwrap_or("-")

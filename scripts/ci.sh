@@ -16,5 +16,9 @@ run cargo build --release --offline --workspace
 run cargo test -q --offline --release --workspace
 run cargo fmt --all --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+# Smoke-run the aggregation bench on a shrunken dataset: exercises the
+# repeated-walk vs single-pass path end to end without emitting (or
+# perturbing) the full-scale BENCH_scan.json artifact.
+run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench scan
 
 echo "CI OK"
