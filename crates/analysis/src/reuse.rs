@@ -191,10 +191,15 @@ impl ReuseReport {
         self.cross_country().any(|c| c.valid_hosts > 0)
     }
 
-    /// Largest cluster within one country (the Bangladesh case: one
-    /// certificate across 102 hostnames).
+    /// Largest *pathological* cluster within one country (the Bangladesh
+    /// case: one certificate across 102 hostnames). All-valid national
+    /// clusters are skipped — those are legitimate shared hosting (one
+    /// wildcard or SAN-packed chain serving many sites of one
+    /// government), not the §5.3.3 misuse pattern.
     pub fn largest_national(&self) -> Option<&ReuseCluster> {
-        self.clusters.iter().find(|c| c.countries.len() == 1)
+        self.clusters
+            .iter()
+            .find(|c| c.countries.len() == 1 && c.valid_hosts < c.hosts.len())
     }
 
     /// Render the headline numbers plus the top clusters.

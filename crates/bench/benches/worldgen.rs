@@ -1,0 +1,133 @@
+//! Serial vs. parallel `World::generate` benchmark, emitting
+//! `BENCH_worldgen.json` at the workspace root so future changes have a
+//! perf trajectory to compare against.
+//!
+//! Both arms build the identical world — the per-phase/per-shard RNG
+//! streams make output independent of worker count (DESIGN.md §9) — so
+//! the comparison isolates scheduling overhead vs. parallel speedup:
+//!
+//! - `generate_serial` — `GOVSCAN_WORLDGEN_THREADS=1`: every shard runs
+//!   inline on the calling thread, the pre-parallelism behaviour.
+//! - `generate_parallel` — the thread count pinned to the machine's
+//!   available parallelism (capped at 8, matching the generator's own
+//!   default cap) so recorded numbers state their worker count instead
+//!   of drifting with the runner.
+//!
+//! After timing, one more world is built to record the shared-chain
+//! consolidation stats: the count of distinct leaf certificates served
+//! by valid-TLS government hosts must fall measurably below the host
+//! count (wildcard and SAN-packed chains cover many hosts each), which
+//! is what makes the scanner's chain-verdict cache effective on a cold
+//! scan. Set `GOVSCAN_BENCH_SMOKE=1` (CI) to run at test scale and skip
+//! the JSON artifact; the consolidation assertion runs in both modes.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use govscan_net::TlsClientConfig;
+use govscan_worldgen::{World, WorldConfig};
+
+/// Worker count for the parallel arm: the machine's parallelism, capped
+/// at 8 like `stream::worldgen_threads` and floored at 2 so the worker
+/// pool engages even on a single-core runner (there the arm measures
+/// pool overhead rather than speedup — the recorded thread count says
+/// which). The count is recorded in the artifact.
+fn pinned_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
+fn bench_worldgen(c: &mut Criterion) {
+    let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok();
+    let config = if smoke {
+        WorldConfig::small(0x90D5EED)
+    } else {
+        WorldConfig::paper_scale(0x90D5EED)
+    };
+    let threads = pinned_threads();
+
+    let mut g = c.benchmark_group("worldgen");
+    // World generation runs tens of seconds at paper scale; two timed
+    // samples (the shim's minimum) plus the warm-up pass keep the suite
+    // tractable while the per-sample minimum absorbs scheduler noise.
+    g.sample_size(2);
+    std::env::set_var("GOVSCAN_WORLDGEN_THREADS", "1");
+    g.bench_function("generate_serial", |b| {
+        b.iter(|| black_box(World::generate(&config)))
+    });
+    std::env::set_var("GOVSCAN_WORLDGEN_THREADS", threads.to_string());
+    g.bench_function("generate_parallel", |b| {
+        b.iter(|| black_box(World::generate(&config)))
+    });
+    std::env::remove_var("GOVSCAN_WORLDGEN_THREADS");
+    g.finish();
+
+    // Shared-chain consolidation stats, measured on the wire the way the
+    // scanner sees them: distinct leaf certificates across valid-TLS
+    // government hosts.
+    let world = World::generate(&config);
+    let client = TlsClientConfig::default();
+    let mut tls_hosts = 0usize;
+    let mut chains = HashSet::new();
+    for h in &world.gov_hosts {
+        if !world.records[h].posture.is_valid_https() {
+            continue;
+        }
+        let session = world
+            .net
+            .tls_connect(h, &client)
+            .expect("valid host handshakes");
+        tls_hosts += 1;
+        chains.insert(
+            session
+                .peer_chain
+                .first()
+                .expect("chain non-empty")
+                .fingerprint(),
+        );
+    }
+    let distinct_chains = chains.len();
+    assert!(
+        distinct_chains * 20 < tls_hosts * 19,
+        "shared chains consolidate: {distinct_chains} distinct chains for {tls_hosts} TLS hosts"
+    );
+    println!(
+        "worldgen stats: {} gov hosts, {tls_hosts} valid-TLS hosts served by {distinct_chains} distinct chains",
+        world.gov_hosts.len()
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_worldgen.json emission");
+        return;
+    }
+
+    // Per-sample minima, as in BENCH_scan.json: the low-noise estimator
+    // for deterministic CPU-bound bodies on shared machines.
+    let by_id = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id.ends_with(needle))
+            .expect("bench ran")
+            .min
+            .as_nanos() as f64
+    };
+    let serial = by_id("generate_serial");
+    let parallel = by_id("generate_parallel");
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"gov_hosts\": {},\n  \"tls_hosts\": {tls_hosts},\n  \"distinct_chains\": {distinct_chains},\n  \"serial_ns\": {serial:.0},\n  \"parallel_ns\": {parallel:.0},\n  \"parallel_threads\": {threads},\n  \"speedup\": {:.2}\n}}\n",
+        world.config.scale,
+        world.gov_hosts.len(),
+        serial / parallel,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_worldgen.json");
+    let mut f = std::fs::File::create(path).expect("writable workspace root");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_worldgen.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_worldgen);
+criterion_main!(benches);

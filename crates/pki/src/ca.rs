@@ -182,6 +182,56 @@ impl CertificateAuthority {
     /// Issue a leaf certificate for `profile`.
     pub fn issue(&mut self, profile: &LeafProfile) -> Certificate {
         let serial = profile.serial.clone().unwrap_or_else(|| self.draw_serial());
+        self.issue_with_serial(serial, profile)
+    }
+
+    /// Issue a leaf with a serial derived from the leaf contents instead
+    /// of the CA's counter, leaving the CA untouched (`&self`).
+    ///
+    /// Two profiles differing in any subject/SAN/key/validity byte get
+    /// different serials with overwhelming probability, and the same
+    /// profile always gets the same serial — which is what lets world
+    /// generation issue from many threads in any order and still produce
+    /// bit-identical certificates. The profile's `serial` override still
+    /// wins (the §5.3.3 serial-reuse pathology).
+    pub fn issue_deterministic(&self, profile: &LeafProfile) -> Certificate {
+        let serial = profile
+            .serial
+            .clone()
+            .unwrap_or_else(|| self.content_serial(profile));
+        self.issue_with_serial(serial, profile)
+    }
+
+    /// Serial for [`Self::issue_deterministic`]: 8 bytes of a SHA-1 over
+    /// the issuing CA identity and the leaf contents, first byte forced
+    /// non-zero so the encoding stays canonical.
+    fn content_serial(&self, profile: &LeafProfile) -> Vec<u8> {
+        let mut h = Sha1::new();
+        h.update(b"govscan-serial-v1");
+        h.update(&self.cert.fingerprint().0);
+        h.update(profile.subject_cn.as_bytes());
+        for san in &profile.san {
+            h.update(&[0xff]);
+            h.update(san.as_bytes());
+        }
+        h.update(&[0xff]);
+        h.update(&profile.public_key.bytes);
+        h.update(&profile.not_before.0.to_le_bytes());
+        h.update(
+            &profile
+                .validity_days
+                .unwrap_or(self.policy.default_validity_days)
+                .to_le_bytes(),
+        );
+        let digest = h.finalize();
+        let mut serial = digest[..8].to_vec();
+        if serial[0] == 0 {
+            serial[0] = 0x01;
+        }
+        serial
+    }
+
+    fn issue_with_serial(&self, serial: Vec<u8>, profile: &LeafProfile) -> Certificate {
         let days = profile
             .validity_days
             .unwrap_or(self.policy.default_validity_days);
@@ -406,6 +456,29 @@ mod tests {
         let a = ca.issue(&LeafProfile::dv("a.gov", k.public(), t));
         let b = ca.issue(&LeafProfile::dv("b.gov", k.public(), t));
         assert_ne!(a.tbs.serial, b.tbs.serial);
+    }
+
+    #[test]
+    fn deterministic_issue_is_stable_and_collision_free() {
+        let mut ca = root();
+        let k = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"k");
+        let t = Time::from_ymd(2020, 1, 1);
+        let p_a = LeafProfile::dv("a.gov", k.public(), t);
+        let p_b = LeafProfile::dv("b.gov", k.public(), t);
+        // Same profile, any order or repetition → identical certificate.
+        let a1 = ca.issue_deterministic(&p_a);
+        let b = ca.issue_deterministic(&p_b);
+        let a2 = ca.issue_deterministic(&p_a);
+        assert_eq!(a1.to_der(), a2.to_der());
+        assert_ne!(a1.tbs.serial, b.tbs.serial);
+        assert!(a1.verify_signature(&ca.key.public()));
+        // The serial override (reuse pathology) still wins.
+        let mut p_o = LeafProfile::dv("a.gov", k.public(), t);
+        p_o.serial = Some(vec![0xca, 0xfe]);
+        assert_eq!(ca.issue_deterministic(&p_o).serial_hex(), "cafe");
+        // Counter-based issuance is untouched by deterministic calls.
+        let counter = ca.issue(&p_a);
+        assert_eq!(counter.tbs.serial, vec![2]);
     }
 
     #[test]

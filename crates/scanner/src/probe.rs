@@ -166,7 +166,9 @@ pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
 const CHUNKS_PER_WORKER: usize = 8;
 
 /// Scan many hostnames on a scoped worker pool. Results are returned in
-/// input order; the pool size adapts to the machine.
+/// input order; the pool size adapts to the machine, or is pinned by the
+/// `GOVSCAN_SCAN_THREADS` environment variable (≥ 1; benches and
+/// reproducibility runs set it for stable numbers).
 ///
 /// Dispatch is *bounded and chunked*: hostnames are split into
 /// contiguous chunks, each paired with its disjoint slice of the output
@@ -175,10 +177,16 @@ const CHUNKS_PER_WORKER: usize = 8;
 /// send/receive traffic and no unbounded queue holding the whole world —
 /// memory stays O(workers) beyond the output itself.
 pub fn scan_hosts(ctx: &ScanContext<'_>, hostnames: &[String]) -> Vec<ScanRecord> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
+    let workers = match std::env::var("GOVSCAN_SCAN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+    };
     if workers <= 1 || hostnames.len() < 64 {
         return hostnames.iter().map(|h| scan_host(ctx, h)).collect();
     }

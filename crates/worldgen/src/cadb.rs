@@ -785,16 +785,33 @@ impl CaDb {
     /// CAs log ~88% (CT "misses around 10% in the .com/.net/.org zones",
     /// §2.2) — deciding deterministically from the certificate bytes.
     pub fn issue_chain(&mut self, idx: usize, leaf: &LeafProfile) -> Vec<Certificate> {
-        let ca = &mut self.cas[idx];
-        let cert = ca.issuing.issue(leaf);
+        let (chain, log_it) = self.issue_chain_pure(idx, leaf);
+        if log_it {
+            self.ct.append(&chain[0]);
+        }
+        chain
+    }
+
+    /// The side-effect-free core of [`Self::issue_chain`]: issue via the
+    /// deterministic (content-serial) path, touching neither the CA
+    /// counters nor the CT log, and report whether the certificate should
+    /// be logged. Parallel worldgen workers call this from many threads
+    /// and the merge step applies [`Self::ct_append`] in a fixed order.
+    pub fn issue_chain_pure(&self, idx: usize, leaf: &LeafProfile) -> (Vec<Certificate>, bool) {
+        let ca = &self.cas[idx];
+        let cert = ca.issuing.issue_deterministic(leaf);
         let log_it = idx == LETS_ENCRYPT || {
             // First fingerprint byte as a deterministic 0..256 draw.
             cert.fingerprint().as_bytes()[0] >= 30 // ≈ 88%
         };
-        if log_it {
-            self.ct.append(&cert);
-        }
-        vec![cert, ca.issuing.cert.clone()]
+        let chain = vec![cert, ca.issuing.cert.clone()];
+        (chain, log_it)
+    }
+
+    /// Append a certificate to the shared CT log (the apply half of
+    /// [`Self::issue_chain_pure`]).
+    pub fn ct_append(&mut self, cert: &Certificate) {
+        self.ct.append(cert);
     }
 
     /// The shared Certificate Transparency log.
@@ -897,6 +914,24 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, govscan_pki::CertError::UnableToGetLocalIssuer);
+    }
+
+    #[test]
+    fn pure_issuance_matches_stateful_and_defers_ct() {
+        let mut db = CaDb::build(7);
+        let key = KeyPair::from_seed(KeyAlgorithm::Rsa(2048), b"host");
+        let leaf = LeafProfile::dv("city.example.gov", key.public(), Time::from_ymd(2020, 3, 1));
+        let (pure, log_it) = db.issue_chain_pure(LETS_ENCRYPT, &leaf);
+        assert!(log_it, "Let's Encrypt logs everything");
+        assert_eq!(db.ct_log().size(), 0, "pure issuance never touches CT");
+        // Repeatable from &self, and identical to the stateful wrapper.
+        let (again, _) = db.issue_chain_pure(LETS_ENCRYPT, &leaf);
+        assert_eq!(pure[0].to_der(), again[0].to_der());
+        let stateful = db.issue_chain(LETS_ENCRYPT, &leaf);
+        assert_eq!(pure[0].to_der(), stateful[0].to_der());
+        assert_eq!(db.ct_log().size(), 1);
+        db.ct_append(&pure[0]);
+        assert_eq!(db.ct_log().size(), 2);
     }
 
     #[test]

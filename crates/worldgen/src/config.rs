@@ -20,6 +20,13 @@ pub struct WorldConfig {
     /// sane at paper scale while giving the §5.5 samplers a full
     /// rank-distributed pool; see DESIGN.md §4.
     pub nongov_materialize_rate: f64,
+    /// Fraction of ordinary valid-TLS government hosts that are served
+    /// from a shared wildcard or SAN-packed chain (one certificate
+    /// covering many hosts of the same country) instead of a dedicated
+    /// per-host chain. Models the consolidated-hosting reality that makes
+    /// the scanner's chain-verdict cache effective even on a cold scan;
+    /// see DESIGN.md §9.
+    pub shared_chain_rate: f64,
 }
 
 impl WorldConfig {
@@ -32,6 +39,7 @@ impl WorldConfig {
             scan_time: Time::from_ymd(2020, 4, 22),
             ranking_size: 1_000_000,
             nongov_materialize_rate: 0.04,
+            shared_chain_rate: 0.3,
         }
     }
 
@@ -43,6 +51,7 @@ impl WorldConfig {
             scan_time: Time::from_ymd(2020, 4, 22),
             ranking_size: 1_000_000,
             nongov_materialize_rate: 0.04,
+            shared_chain_rate: 0.3,
         }
     }
 
@@ -55,6 +64,7 @@ impl WorldConfig {
             scan_time: Time::from_ymd(2020, 4, 22),
             ranking_size: 1_000_000,
             nongov_materialize_rate: 0.04,
+            shared_chain_rate: 0.3,
         }
     }
 

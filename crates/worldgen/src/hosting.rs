@@ -122,10 +122,22 @@ impl Default for HostingAssigner {
 impl HostingAssigner {
     /// Build with the standard provider set.
     pub fn new() -> Self {
+        Self::with_base(0)
+    }
+
+    /// Build with the allocation counter starting at `base`.
+    ///
+    /// Parallel worldgen gives each shard its own assigner whose base is
+    /// hashed from the shard tag, so IP allocation is independent of
+    /// every other shard. The counter is multiplied by a large odd
+    /// constant and reduced mod the block size, so distinct bases
+    /// collide only by coincidence — and a rare collision is harmless
+    /// (hosts are keyed by hostname; only CIDR membership matters).
+    pub fn with_base(base: u64) -> Self {
         HostingAssigner {
             providers: providers(),
             private: cidrs(PRIVATE_BLOCKS),
-            counter: 0,
+            counter: base,
         }
     }
 

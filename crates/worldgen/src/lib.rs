@@ -31,6 +31,7 @@ pub mod hosting;
 pub mod posture;
 pub mod rankings;
 pub mod rok;
+pub mod stream;
 pub mod usa;
 pub mod webgraph;
 pub mod world;
@@ -40,4 +41,5 @@ pub use config::WorldConfig;
 pub use countries::{Country, COUNTRIES};
 pub use host::{HostRecord, HostingClass, InjectedError, Posture};
 pub use rankings::{RankingEntry, RankingList};
+pub use stream::StreamSeeder;
 pub use world::World;

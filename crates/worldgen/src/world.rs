@@ -1,6 +1,12 @@
 //! The world orchestrator: generates every host population, injects the
 //! paper's pathologies, builds ranking lists and the web graph, and
 //! registers everything in a [`SimNet`].
+//!
+//! Generation is parallel but deterministic: every hot phase shards its
+//! population (by country, dataset or fixed-size chunk), each shard draws
+//! from its own [`StreamSeeder`] RNG stream, and shard outputs are merged
+//! in a fixed order. The same seed therefore produces the same Internet
+//! byte for byte at any worker count — see DESIGN.md §9.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -15,7 +21,7 @@ use govscan_pki::caa::CaaRecord;
 use govscan_pki::cert::{Certificate, Validity};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::cadb::CaDb;
 use crate::config::WorldConfig;
@@ -26,6 +32,7 @@ use crate::hosting::{provider_table, HostingAssigner};
 use crate::posture::{self, PostureRates};
 use crate::rankings::{self, RankingList};
 use crate::rok::{ROK, ROK_DEPARTMENTS};
+use crate::stream::{self, StreamSeeder};
 use crate::usa::USA_DATASETS;
 use crate::webgraph::{self, GraphHost, WebGraph};
 
@@ -39,6 +46,11 @@ const WORLD_CANDIDATES: u64 = 183_000;
 const SEED_POOL: u64 = 44_000;
 /// Hand-curated whitelist size (§4.2.3).
 const WHITELIST_EXTRA: u64 = 596;
+/// Shard size for populations without a natural country split (the ROK
+/// case study and the materialized non-government ranking hosts). Fixed —
+/// never derived from the thread count — so shard boundaries, and with
+/// them every RNG stream, are identical at any parallelism.
+const CHUNK: usize = 4096;
 
 /// The generated world.
 pub struct World {
@@ -80,7 +92,13 @@ impl World {
 
     /// Ground-truth record for a hostname.
     pub fn record(&self, hostname: &str) -> Option<&HostRecord> {
-        self.records.get(&hostname.to_ascii_lowercase())
+        // Generated hostnames are always lowercase; only fold (and
+        // allocate) when the query actually contains uppercase.
+        if hostname.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.records.get(&hostname.to_ascii_lowercase())
+        } else {
+            self.records.get(hostname)
+        }
     }
 
     /// The scan snapshot time.
@@ -101,28 +119,32 @@ struct SharedCluster {
 
 struct Generator {
     config: WorldConfig,
-    rng: StdRng,
+    seeder: StreamSeeder,
+    threads: usize,
     cadb: CaDb,
-    assigner: HostingAssigner,
     net: SimNet,
     records: HashMap<String, HostRecord>,
     gov_hosts: Vec<String>,
+    /// Worldwide hostnames grouped by country, in generation order —
+    /// the shard layout for the realize phase.
+    gov_blocks: Vec<(&'static str, Vec<String>)>,
     clusters: Vec<SharedCluster>,
     shared_chain_of: HashMap<String, usize>,
 }
 
 impl Generator {
     fn new(config: WorldConfig) -> Generator {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let seeder = StreamSeeder::new(config.seed);
         let cadb = CaDb::build(config.seed);
         Generator {
-            config,
-            rng,
+            seeder,
+            threads: stream::worldgen_threads(),
             cadb,
-            assigner: HostingAssigner::new(),
+            config,
             net: SimNet::new(),
             records: HashMap::new(),
             gov_hosts: Vec::new(),
+            gov_blocks: Vec::new(),
             clusters: Vec::new(),
             shared_chain_of: HashMap::new(),
         }
@@ -167,6 +189,28 @@ impl Generator {
         }
     }
 
+    /// Merge one shard's output into the world, in call order. This is
+    /// the only place worker results touch shared state, so the merged
+    /// world depends on shard order alone — never on scheduling.
+    fn apply(&mut self, batch: RealizeBatch) {
+        for rec in batch.records {
+            self.records.insert(rec.hostname.clone(), rec);
+        }
+        for host in batch.hosts {
+            self.net.add_host(host);
+        }
+        for name in batch.dns_timeouts {
+            self.net
+                .set_dns_behavior(&name, govscan_net::dns::DnsBehavior::Timeout);
+        }
+        for (name, set) in batch.caa {
+            self.net.dns.publish_caa(&name, set);
+        }
+        for cert in batch.ct {
+            self.cadb.ct_append(&cert);
+        }
+    }
+
     fn cloud_share(country: &Country) -> f64 {
         match country.code {
             "us" => 0.13,
@@ -178,26 +222,31 @@ impl Generator {
     fn generate_worldwide(&mut self) {
         let total_weight = countries::total_weight();
         let candidates = self.config.scaled(WORLD_CANDIDATES);
-        for country in countries::active_countries() {
+        let shards: Vec<&'static Country> = countries::active_countries().collect();
+        let seeder = self.seeder;
+        let assigner = HostingAssigner::new();
+        let blocks = stream::par_map(self.threads, shards, |_, country| {
+            let mut rng = seeder.rng("worldwide", country.code);
             let n = ((candidates as f64) * country.host_weight / total_weight).round() as u64;
             let n = n.max(1);
             let rates = PostureRates::for_country(country);
             let mut namer = HostnameGen::new(country);
             let cloud = Self::cloud_share(country);
+            let mut records = Vec::with_capacity(n as usize);
             for _ in 0..n {
-                let hostname = namer.next_gov(&mut self.rng);
-                let posture = rates.sample(&mut self.rng);
-                let hosting = self.assigner.sample_class(&mut self.rng, cloud);
+                let hostname = namer.next_gov(&mut rng);
+                let posture = rates.sample(&mut rng);
+                let hosting = assigner.sample_class(&mut rng, cloud);
                 // §7.1.2: the Great-Firewall vantage breaks Chinese TLS
                 // regardless of hosting, so the platform boost does not
                 // apply there.
                 let posture = posture::apply_cloud_boost(
-                    &mut self.rng,
+                    &mut rng,
                     posture,
                     hosting != HostingClass::Private && country.code != "cn",
                 );
-                let record = HostRecord {
-                    hostname: hostname.clone(),
+                records.push(HostRecord {
+                    hostname,
                     country: country.code,
                     is_gov: true,
                     posture,
@@ -207,12 +256,20 @@ impl Generator {
                     in_seed: false,
                     gsa_datasets: Vec::new(),
                     in_rok_list: false,
-                    has_caa: self.rng.gen::<f64>() < 0.0136,
+                    has_caa: rng.gen::<f64>() < 0.0136,
                     is_ev: false,
-                };
-                self.records.insert(hostname.clone(), record);
-                self.gov_hosts.push(hostname);
+                });
             }
+            (country.code, records)
+        });
+        for (cc, records) in blocks {
+            let mut names = Vec::with_capacity(records.len());
+            for rec in records {
+                names.push(rec.hostname.clone());
+                self.gov_hosts.push(rec.hostname.clone());
+                self.records.insert(rec.hostname.clone(), rec);
+            }
+            self.gov_blocks.push((cc, names));
         }
     }
 
@@ -348,6 +405,7 @@ impl Generator {
     /// Build ranking lists and derive the seed list (§4.1: the merged
     /// top-million data contributed 27,532 unique government hostnames).
     fn build_rankings(&mut self) -> (Vec<String>, RankingList, RankingList, RankingList) {
+        let mut rng = self.seeder.rng("rankings", "");
         // Popularity pool: bias toward high-tech countries.
         let mut pool: Vec<String> = self
             .gov_hosts
@@ -356,11 +414,11 @@ impl Generator {
                 let rec = &self.records[*h];
                 let tech = Country::by_code(rec.country).map(|c| c.tech).unwrap_or(0.5);
                 // Higher-tech countries are far more likely to be ranked.
-                self.rng.gen::<f64>() < 0.18 + 0.6 * tech
+                rng.gen::<f64>() < 0.18 + 0.6 * tech
             })
             .cloned()
             .collect();
-        pool.shuffle(&mut self.rng);
+        pool.shuffle(&mut rng);
         let seed_n = (self.config.scaled(SEED_POOL) as usize).min(pool.len());
         let ranked_pool: Vec<String> = pool[..seed_n].to_vec();
 
@@ -378,7 +436,7 @@ impl Generator {
         // only need their government overlap counts (Table 1).
         let mut draw = ranked_pool.clone();
         let tranco = rankings::build_list(
-            &mut self.rng,
+            &mut rng,
             "tranco",
             size,
             rankings::TRANCO_OVERLAP,
@@ -387,9 +445,9 @@ impl Generator {
             mat_rate,
             &mut nongov_namer,
         );
-        draw.shuffle(&mut self.rng);
+        draw.shuffle(&mut rng);
         let majestic = rankings::build_list(
-            &mut self.rng,
+            &mut rng,
             "majestic",
             size,
             rankings::MAJESTIC_OVERLAP,
@@ -398,9 +456,9 @@ impl Generator {
             0.0,
             &mut nongov_namer,
         );
-        draw.shuffle(&mut self.rng);
+        draw.shuffle(&mut rng);
         let cisco = rankings::build_list(
-            &mut self.rng,
+            &mut rng,
             "cisco",
             size,
             rankings::CISCO_OVERLAP,
@@ -433,6 +491,7 @@ impl Generator {
     }
 
     fn build_whitelist(&mut self, seed: &[String]) -> Vec<String> {
+        let mut rng = self.seeder.rng("whitelist", "");
         let mut whitelist: Vec<String> = Vec::new();
         // Whitelist-only countries (Germany, Denmark, NL, Greenland,
         // Gabon, …) enter exclusively through the whitelist.
@@ -451,12 +510,13 @@ impl Generator {
             .filter(|h| !seed.contains(h) && !whitelist.contains(h))
             .cloned()
             .collect();
-        candidates.shuffle(&mut self.rng);
+        candidates.shuffle(&mut rng);
         whitelist.extend(candidates.into_iter().take(extra));
         whitelist
     }
 
     fn build_webgraph(&mut self, seed: &[String]) -> WebGraph {
+        let mut rng = self.seeder.rng("webgraph", "");
         let seed_set: std::collections::HashSet<&String> = seed.iter().collect();
         let hosts: Vec<GraphHost> = self
             .gov_hosts
@@ -469,7 +529,7 @@ impl Generator {
             })
             .collect();
         let mut counter = 0u64;
-        let mut graph = webgraph::assign_links(&mut self.rng, &hosts, 0.0, move |_| {
+        let mut graph = webgraph::assign_links(&mut rng, &hosts, 0.0, move |_| {
             counter += 1;
             format!("cdn{counter}.example-ads.com")
         });
@@ -526,59 +586,470 @@ impl Generator {
         graph
     }
 
+    /// Realize the worldwide population: one shard per country, each
+    /// issuing chains against the shared `&CaDb` and emitting a batch
+    /// merged back in country order.
     fn realize_worldwide(&mut self, graph: &WebGraph) {
-        for host in self.gov_hosts.clone() {
-            let links: Vec<String> = graph.links_for(&host).to_vec();
-            self.realize_host(&host, &links);
+        let jobs: Vec<(&'static str, Vec<RealizeItem>)> = self
+            .gov_blocks
+            .iter()
+            .map(|(cc, hosts)| {
+                let items = hosts
+                    .iter()
+                    .map(|h| (self.records[h].clone(), graph.links_for(h).to_vec()))
+                    .collect();
+                (*cc, items)
+            })
+            .collect();
+        let seeder = self.seeder;
+        let config = &self.config;
+        let cadb = &self.cadb;
+        let clusters = &self.clusters[..];
+        let shared = &self.shared_chain_of;
+        let batches = stream::par_map(self.threads, jobs, |_, (cc, items)| {
+            let mut r = Realizer::for_shard(config, cadb, clusters, shared, seeder, "realize", cc);
+            r.plan_shared_chains(cc, &items);
+            for (rec, links) in items {
+                r.realize(rec, &links);
+            }
+            r.into_batch()
+        });
+        for batch in batches {
+            self.apply(batch);
         }
     }
 
-    /// Materialize one record into SimNet wire behaviour.
-    fn realize_host(&mut self, hostname: &str, links: &[String]) {
-        let rec = self.records.get(hostname).expect("record exists").clone();
+    /// USA GSA case-study populations (§6.1, Tables A.1/A.2): one shard
+    /// per dataset.
+    fn generate_gsa(&mut self) -> Vec<String> {
+        let specs: Vec<_> = USA_DATASETS.to_vec();
+        let seeder = self.seeder;
+        let config = &self.config;
+        let cadb = &self.cadb;
+        let clusters = &self.clusters[..];
+        let shared = &self.shared_chain_of;
+        let results = stream::par_map(self.threads, specs, |_, spec| {
+            let mut r =
+                Realizer::for_shard(config, cadb, clusters, shared, seeder, "gsa", spec.tag());
+            let n = config.scaled(spec.total as u64);
+            let rates = spec.rates();
+            let mut hosts = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let hostname = format!("{}{}-usgsa.{}", spec.tag(), i, spec.suffix());
+                let posture = rates.sample(&mut r.rng);
+                let hosting = r.assigner.sample_class(&mut r.rng, 0.13);
+                let posture = posture::apply_cloud_boost(
+                    &mut r.rng,
+                    posture,
+                    hosting != HostingClass::Private,
+                );
+                let record = HostRecord {
+                    hostname: hostname.clone(),
+                    country: "us",
+                    is_gov: true,
+                    posture,
+                    issuer: None,
+                    hosting,
+                    tranco_rank: None,
+                    in_seed: false,
+                    gsa_datasets: vec![spec.dataset],
+                    in_rok_list: false,
+                    has_caa: r.rng.gen::<f64>() < 0.03,
+                    is_ev: false,
+                };
+                r.realize(record, &[]);
+                hosts.push(hostname);
+            }
+            (hosts, r.into_batch())
+        });
+        let mut gsa_hosts = Vec::new();
+        for (hosts, batch) in results {
+            gsa_hosts.extend(hosts);
+            self.apply(batch);
+        }
+        gsa_hosts
+    }
+
+    /// South Korea Government24 population (§6.2, Tables A.3/A.4):
+    /// fixed-size chunks of the global index space.
+    fn generate_rok(&mut self) -> Vec<String> {
+        let n = self.config.scaled(ROK.total as u64);
+        let starts: Vec<u64> = (0..n).step_by(CHUNK).collect();
+        let seeder = self.seeder;
+        let config = &self.config;
+        let cadb = &self.cadb;
+        let clusters = &self.clusters[..];
+        let shared = &self.shared_chain_of;
+        let results = stream::par_map(self.threads, starts, |ci, start| {
+            let mut r = Realizer::for_shard(
+                config,
+                cadb,
+                clusters,
+                shared,
+                seeder,
+                "rok",
+                &ci.to_string(),
+            );
+            let rates = ROK.rates();
+            let end = (start + CHUNK as u64).min(n);
+            let mut hosts = Vec::with_capacity((end - start) as usize);
+            for i in start..end {
+                let dept = ROK_DEPARTMENTS[(i as usize) % ROK_DEPARTMENTS.len()];
+                let hostname = match i % 4 {
+                    0 => format!("www{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                    1 => format!("minwon{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                    2 => format!("{dept}{}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                    _ => format!("e{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
+                };
+                let posture = rates.sample(&mut r.rng);
+                let hosting = r.assigner.sample_class(&mut r.rng, 0.0021);
+                let record = HostRecord {
+                    hostname: hostname.clone(),
+                    country: "kr",
+                    is_gov: true,
+                    posture,
+                    issuer: None,
+                    hosting,
+                    tranco_rank: None,
+                    in_seed: false,
+                    gsa_datasets: Vec::new(),
+                    in_rok_list: true,
+                    has_caa: r.rng.gen::<f64>() < 0.005,
+                    is_ev: false,
+                };
+                r.realize(record, &[]);
+                hosts.push(hostname);
+            }
+            (hosts, r.into_batch())
+        });
+        let mut rok_hosts = Vec::new();
+        for (hosts, batch) in results {
+            rok_hosts.extend(hosts);
+            self.apply(batch);
+        }
+        rok_hosts
+    }
+
+    /// Materialize the tranco list's non-government rows as dialable
+    /// hosts with rank-dependent https quality (§5.5 / Figure 7: ~72%
+    /// valid at the top of the list declining to ~40% at the bottom).
+    fn realize_nongov(&mut self, tranco: &RankingList) {
+        let size = tranco.size as f64;
+        let entries: Vec<(u32, String)> = tranco
+            .nongov_entries()
+            .map(|e| (e.rank, e.hostname.clone()))
+            .collect();
+        let chunks: Vec<Vec<(u32, String)>> = entries.chunks(CHUNK).map(|c| c.to_vec()).collect();
+        let seeder = self.seeder;
+        let config = &self.config;
+        let cadb = &self.cadb;
+        let clusters = &self.clusters[..];
+        let shared = &self.shared_chain_of;
+        let batches = stream::par_map(self.threads, chunks, |ci, chunk| {
+            let mut r = Realizer::for_shard(
+                config,
+                cadb,
+                clusters,
+                shared,
+                seeder,
+                "nongov",
+                &ci.to_string(),
+            );
+            for (rank, hostname) in chunk {
+                let frac = rank as f64 / size;
+                let p_valid = 0.72 - 0.32 * frac;
+                let p_https = 0.88 - 0.25 * frac;
+                let roll = r.rng.gen::<f64>();
+                let posture = if roll < p_valid {
+                    Posture::ValidHttps {
+                        serves_http_too: r.rng.gen::<f64>() < 0.15,
+                        hsts: r.rng.gen::<f64>() < 0.4,
+                    }
+                } else if roll < p_https {
+                    let idx = crate::cadb::weighted_pick(&mut r.rng, &posture::WORLD_ERROR_MIX);
+                    Posture::InvalidHttps {
+                        error: InjectedError::ALL[idx],
+                    }
+                } else {
+                    Posture::HttpOnly
+                };
+                // Non-government top-million sites are far more cloud-hosted.
+                let hosting = r.assigner.sample_class(&mut r.rng, 0.45);
+                let record = HostRecord {
+                    hostname: hostname.clone(),
+                    country: "us",
+                    is_gov: false,
+                    posture,
+                    issuer: None,
+                    hosting,
+                    tranco_rank: Some(rank),
+                    in_seed: false,
+                    gsa_datasets: Vec::new(),
+                    in_rok_list: false,
+                    has_caa: r.rng.gen::<f64>() < 0.05,
+                    is_ev: false,
+                };
+                r.realize(record, &[]);
+            }
+            r.into_batch()
+        });
+        for batch in batches {
+            self.apply(batch);
+        }
+    }
+
+    /// §7.3.2: lookalike registrations with perfectly valid certificates —
+    /// `etagov.sl` posing as `eta.gov.lk`, and `<word>gov.us` twins.
+    fn inject_phishing_twins(&mut self) {
+        let mut twins = vec![hostgen::phishing_twin("eta.gov.lk", "sl")];
+        let n = self.config.scaled(85);
+        for i in 0..n {
+            let dept = [
+                "tax", "visa", "health", "travel", "permit", "id", "dmv", "irs",
+            ][(i as usize) % 8];
+            twins.push(format!("{dept}{i}gov.us"));
+        }
+        let mut r = Realizer::for_shard(
+            &self.config,
+            &self.cadb,
+            &self.clusters,
+            &self.shared_chain_of,
+            self.seeder,
+            "phishing",
+            "",
+        );
+        for hostname in twins {
+            let record = HostRecord {
+                hostname: hostname.clone(),
+                country: "us",
+                is_gov: false, // impersonation, not government
+                posture: Posture::ValidHttps {
+                    serves_http_too: false,
+                    hsts: false,
+                },
+                issuer: None,
+                hosting: HostingClass::Cdn("cloudflare"),
+                tranco_rank: None,
+                in_seed: false,
+                gsa_datasets: Vec::new(),
+                in_rok_list: false,
+                has_caa: false,
+                is_ev: false,
+            };
+            r.realize(record, &[]);
+        }
+        let batch = r.into_batch();
+        self.apply(batch);
+    }
+}
+
+/// One host's realization input: its ground-truth record plus the
+/// outbound links the webgraph gave it.
+type RealizeItem = (HostRecord, Vec<String>);
+
+/// Everything one shard wants to write into the world, in emission
+/// order. Workers fill a batch against shared `&` state; the generator
+/// applies batches in fixed shard order, which keeps the merged world
+/// independent of scheduling.
+#[derive(Default)]
+struct RealizeBatch {
+    records: Vec<HostRecord>,
+    hosts: Vec<HostConfig>,
+    dns_timeouts: Vec<String>,
+    caa: Vec<(String, Vec<CaaRecord>)>,
+    /// Leaves to append to the CT log (in issuance order).
+    ct: Vec<Certificate>,
+}
+
+/// Per-shard host realizer: owns the shard's RNG stream and IP
+/// allocator, borrows the shared (read-only) CA roster and cluster
+/// table, and accumulates a [`RealizeBatch`].
+struct Realizer<'a> {
+    config: &'a WorldConfig,
+    cadb: &'a CaDb,
+    clusters: &'a [SharedCluster],
+    shared_chain_of: &'a HashMap<String, usize>,
+    assigner: HostingAssigner,
+    rng: StdRng,
+    /// §9 consolidated hosting: hostname → index into `shared_chains`.
+    shared_group_of: HashMap<String, usize>,
+    /// (chain, issuing-CA label) per shared group.
+    shared_chains: Vec<(Vec<Certificate>, String)>,
+    batch: RealizeBatch,
+}
+
+impl<'a> Realizer<'a> {
+    fn for_shard(
+        config: &'a WorldConfig,
+        cadb: &'a CaDb,
+        clusters: &'a [SharedCluster],
+        shared_chain_of: &'a HashMap<String, usize>,
+        seeder: StreamSeeder,
+        phase: &str,
+        shard: &str,
+    ) -> Realizer<'a> {
+        let ip_tag = format!("{phase}/{shard}");
+        Realizer {
+            config,
+            cadb,
+            clusters,
+            shared_chain_of,
+            assigner: HostingAssigner::with_base(seeder.stream_id("ip", &ip_tag)),
+            rng: seeder.rng(phase, shard),
+            shared_group_of: HashMap::new(),
+            shared_chains: Vec::new(),
+            batch: RealizeBatch::default(),
+        }
+    }
+
+    fn into_batch(self) -> RealizeBatch {
+        self.batch
+    }
+
+    /// Issue a chain without touching shared state; the leaf's CT-log
+    /// append (when the CA logs) is deferred into the batch.
+    fn issue(&mut self, ca_idx: usize, profile: &LeafProfile) -> Vec<Certificate> {
+        let (chain, log_it) = self.cadb.issue_chain_pure(ca_idx, profile);
+        if log_it {
+            self.batch.ct.push(chain[0].clone());
+        }
+        chain
+    }
+
+    /// Consolidated hosting (DESIGN.md §9): route a configurable slice of
+    /// this shard's ordinary valid-TLS hosts through shared chains — one
+    /// `*.{suffix}` wildcard per government suffix with ≥2 single-label
+    /// members, and SAN-packed certificates (≤50 names) for the rest —
+    /// so distinct chains grow slower than TLS hosts, like real shared
+    /// platforms. One key per (country, group): never cross-country.
+    fn plan_shared_chains(&mut self, cc: &str, items: &[RealizeItem]) {
+        let rate = self.config.shared_chain_rate;
+        if rate <= 0.0 {
+            return;
+        }
+        let suffixes: Vec<&str> = Country::by_code(cc)
+            .map(|c| c.gov_suffixes.to_vec())
+            .unwrap_or_default();
+        let mut wildcard: std::collections::BTreeMap<&str, Vec<String>> =
+            std::collections::BTreeMap::new();
+        let mut san_pool: Vec<String> = Vec::new();
+        for (rec, _) in items {
+            if !rec.posture.is_valid_https() || self.shared_chain_of.contains_key(&rec.hostname) {
+                continue;
+            }
+            if self.rng.gen::<f64>() >= rate {
+                continue;
+            }
+            // A single label directly under a multi-label government
+            // suffix can ride that suffix's wildcard; anything else is
+            // SAN-packed. (Single-label suffixes are excluded: the
+            // validator's public-suffix rule rejects `*.gov`-shaped
+            // wildcards.)
+            let suffix = suffixes.iter().find(|s| {
+                s.contains('.')
+                    && rec.hostname.len() > s.len() + 1
+                    && rec.hostname.ends_with(*s)
+                    && rec.hostname.as_bytes()[rec.hostname.len() - s.len() - 1] == b'.'
+            });
+            match suffix {
+                Some(s) => {
+                    let label = &rec.hostname[..rec.hostname.len() - s.len() - 1];
+                    if !label.is_empty() && !label.contains('.') {
+                        wildcard.entry(s).or_default().push(rec.hostname.clone());
+                    } else {
+                        san_pool.push(rec.hostname.clone());
+                    }
+                }
+                None => san_pool.push(rec.hostname.clone()),
+            }
+        }
+        // (names on the certificate, member hostnames) per group.
+        let mut groups: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+        for (suffix, members) in wildcard {
+            if members.len() >= 2 {
+                groups.push((vec![format!("*.{suffix}"), suffix.to_string()], members));
+            } else {
+                san_pool.extend(members);
+            }
+        }
+        for chunk in san_pool.chunks(50) {
+            if chunk.len() >= 2 {
+                groups.push((chunk.to_vec(), chunk.to_vec()));
+            }
+        }
+        let scan = self.config.scan_time;
+        for (gi, (names, members)) in groups.into_iter().enumerate() {
+            let key_alg = posture::sample_key_algorithm(&mut self.rng, true);
+            let key = KeyPair::from_seed(key_alg, format!("sharedkey-{cc}-{gi}").as_bytes());
+            let (not_before, days) =
+                posture::sample_validity_window(&mut self.rng, true, scan, false);
+            let ca_idx = self.cadb.pick(&mut self.rng, cc, true);
+            let mut profile = LeafProfile::dv(names[0].clone(), key.public(), not_before);
+            profile.san = names;
+            profile.validity_days = Some(days);
+            let chain = self.issue(ca_idx, &profile);
+            let label = self.cadb.get(ca_idx).profile.label.to_string();
+            let idx = self.shared_chains.len();
+            self.shared_chains.push((chain, label));
+            for m in members {
+                self.shared_group_of.insert(m, idx);
+            }
+        }
+    }
+
+    /// Materialize one record into batched wire behaviour.
+    fn realize(&mut self, mut rec: HostRecord, links: &[String]) {
         if matches!(rec.posture, Posture::Unreachable) {
             // Unregistered: DNS resolves NXDOMAIN. (A slice timeouts.)
             if self.rng.gen::<f64>() < 0.2 {
-                self.net
-                    .set_dns_behavior(hostname, govscan_net::dns::DnsBehavior::Timeout);
+                self.batch.dns_timeouts.push(rec.hostname.clone());
             }
+            self.batch.records.push(rec);
             return;
         }
         let ip = self.assigner.allocate_ip(&mut self.rng, &rec.hosting);
-        let title = format!("Official portal — {hostname}");
+        let title = format!("Official portal — {}", rec.hostname);
         let page = HttpResponse::page(&title, links);
 
         match rec.posture.clone() {
             Posture::Unreachable => unreachable!("handled above"),
             Posture::HttpOnly => {
-                self.net.add_host(HostConfig::http_only(hostname, ip, page));
+                self.batch
+                    .hosts
+                    .push(HostConfig::http_only(&rec.hostname, ip, page));
             }
             Posture::ValidHttps {
                 serves_http_too,
                 hsts,
             } => {
-                let chain = self.issue_for(hostname, None);
+                let chain = if let Some(&gi) = self.shared_group_of.get(&rec.hostname) {
+                    let (chain, label) = &self.shared_chains[gi];
+                    rec.issuer = Some(label.clone());
+                    chain.clone()
+                } else {
+                    self.issue_for(&mut rec, None)
+                };
                 let tls = TlsServerConfig::modern(chain);
                 let http = if serves_http_too {
                     page.clone()
                 } else {
-                    HttpResponse::redirect(format!("https://{hostname}/"))
+                    HttpResponse::redirect(format!("https://{}/", rec.hostname))
                 };
                 let https = if hsts { page.with_hsts() } else { page };
-                self.net
-                    .add_host(HostConfig::dual(hostname, ip, tls, http, https));
+                self.batch
+                    .hosts
+                    .push(HostConfig::dual(&rec.hostname, ip, tls, http, https));
             }
             Posture::InvalidHttps { error } => {
-                self.realize_invalid(hostname, ip, error, page);
+                self.realize_invalid(&mut rec, ip, error, page);
             }
         }
         if rec.has_caa {
             // Publish a CAA record authorizing the host's own CA (the
             // paper found 100% of published CAA records valid).
-            let ca_domain = self
-                .records
-                .get(hostname)
-                .and_then(|r| r.issuer.clone())
+            let ca_domain = rec
+                .issuer
+                .as_deref()
                 .and_then(|label| {
                     crate::cadb::CA_PROFILES
                         .iter()
@@ -586,72 +1057,55 @@ impl Generator {
                         .map(|p| p.caa_domain)
                 })
                 .unwrap_or("letsencrypt.org");
-            self.net
-                .dns
-                .publish_caa(hostname, vec![CaaRecord::issue(ca_domain)]);
+            self.batch
+                .caa
+                .push((rec.hostname.clone(), vec![CaaRecord::issue(ca_domain)]));
         }
+        self.batch.records.push(rec);
     }
 
     fn realize_invalid(
         &mut self,
-        hostname: &str,
+        rec: &mut HostRecord,
         ip: Ipv4Addr,
         error: InjectedError,
         page: HttpResponse,
     ) {
         // Shared-cluster members use the cluster chain verbatim.
-        let (chain, quirk, legacy, drop_443) = if let Some(&ci) = self.shared_chain_of.get(hostname)
-        {
+        let (chain, quirk, legacy) = if let Some(&ci) = self.shared_chain_of.get(&rec.hostname) {
             let chain = self.clusters[ci].chain.clone();
-            if let Some(rec) = self.records.get_mut(hostname) {
-                rec.issuer = Some(chain[0].issuer_label());
-            }
-            (chain, None, false, false)
+            rec.issuer = Some(chain[0].issuer_label());
+            (chain, None, false)
         } else {
             match error {
                 InjectedError::HostnameMismatch => {
                     let kind = MismatchKind::pick(&mut self.rng);
-                    let chain = self.issue_for(hostname, Some(kind));
-                    (chain, None, false, false)
+                    (self.issue_for(rec, Some(kind)), None, false)
                 }
-                InjectedError::Expired => {
-                    let chain = self.issue_expired(hostname);
-                    (chain, None, false, false)
-                }
+                InjectedError::Expired => (self.issue_expired(rec), None, false),
                 InjectedError::UnableLocalIssuer => {
-                    let chain = self.issue_local_issuer_broken(hostname);
-                    (chain, None, false, false)
+                    (self.issue_local_issuer_broken(rec), None, false)
                 }
-                InjectedError::SelfSigned => {
-                    let chain = vec![self.issue_self_signed(hostname)];
-                    (chain, None, false, false)
-                }
+                InjectedError::SelfSigned => (vec![self.issue_self_signed(rec)], None, false),
                 InjectedError::SelfSignedInChain => {
-                    let chain = self.issue_untrusted_full_chain(hostname);
-                    (chain, None, false, false)
+                    (self.issue_untrusted_full_chain(rec), None, false)
                 }
                 InjectedError::UnsupportedProtocol => {
-                    let chain = vec![self.issue_self_signed(hostname)];
-                    (chain, None, true, false)
+                    (vec![self.issue_self_signed(rec)], None, true)
                 }
-                InjectedError::Timeout => (vec![], Some(TlsQuirk::HandshakeTimeout), false, false),
-                InjectedError::Refused => (vec![], Some(TlsQuirk::HandshakeRefused), false, false),
-                InjectedError::Reset => (vec![], Some(TlsQuirk::HandshakeReset), false, false),
-                InjectedError::WrongVersion => {
-                    (vec![], Some(TlsQuirk::WrongVersionNumber), false, false)
-                }
-                InjectedError::AlertInternal => {
-                    (vec![], Some(TlsQuirk::AlertInternalError), false, false)
-                }
+                InjectedError::Timeout => (vec![], Some(TlsQuirk::HandshakeTimeout), false),
+                InjectedError::Refused => (vec![], Some(TlsQuirk::HandshakeRefused), false),
+                InjectedError::Reset => (vec![], Some(TlsQuirk::HandshakeReset), false),
+                InjectedError::WrongVersion => (vec![], Some(TlsQuirk::WrongVersionNumber), false),
+                InjectedError::AlertInternal => (vec![], Some(TlsQuirk::AlertInternalError), false),
                 InjectedError::AlertHandshake => {
-                    (vec![], Some(TlsQuirk::AlertHandshakeFailure), false, false)
+                    (vec![], Some(TlsQuirk::AlertHandshakeFailure), false)
                 }
                 InjectedError::AlertProtoVersion => {
-                    (vec![], Some(TlsQuirk::AlertProtocolVersion), false, false)
+                    (vec![], Some(TlsQuirk::AlertProtocolVersion), false)
                 }
             }
         };
-        let _ = drop_443;
         let mut tls = if legacy {
             TlsServerConfig::legacy_ssl(chain)
         } else {
@@ -660,15 +1114,20 @@ impl Generator {
         tls.quirk = quirk;
         // Invalid-https hosts typically still serve a plain-http page.
         let http = page.clone();
-        self.net
-            .add_host(HostConfig::dual(hostname, ip, tls, http, page));
+        self.batch
+            .hosts
+            .push(HostConfig::dual(&rec.hostname, ip, tls, http, page));
     }
 
-    /// Issue a (valid-shaped) chain for `hostname`. `mismatch` makes the
-    /// covered names deliberately wrong.
-    fn issue_for(&mut self, hostname: &str, mismatch: Option<MismatchKind>) -> Vec<Certificate> {
+    /// Issue a (valid-shaped) chain for the record's host. `mismatch`
+    /// makes the covered names deliberately wrong.
+    fn issue_for(
+        &mut self,
+        rec: &mut HostRecord,
+        mismatch: Option<MismatchKind>,
+    ) -> Vec<Certificate> {
         let valid = mismatch.is_none();
-        let rec = self.records.get(hostname).expect("record exists").clone();
+        let hostname = rec.hostname.clone();
         let key_alg = posture::sample_key_algorithm(&mut self.rng, valid);
         let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
         let (not_before, days) =
@@ -680,7 +1139,7 @@ impl Generator {
                 if parent.contains('.') && self.rng.gen::<f64>() < 0.39 {
                     vec![format!("*.{parent}"), parent.to_string()]
                 } else {
-                    vec![hostname.to_string()]
+                    vec![hostname.clone()]
                 }
             }
             Some(MismatchKind::WrongWildcardScope) => {
@@ -701,39 +1160,31 @@ impl Generator {
         if let Some(ev_oid) = ca_profile.ev_oid {
             if self.rng.gen::<f64>() < 0.18 {
                 profile.policies = vec![govscan_asn1::Oid::parse(ev_oid).expect("static")];
-                if let Some(r) = self.records.get_mut(hostname) {
-                    r.is_ev = true;
-                }
+                rec.is_ev = true;
             }
         }
-        if let Some(r) = self.records.get_mut(hostname) {
-            r.issuer = Some(ca_profile.label.to_string());
-        }
-        self.cadb.issue_chain(ca_idx, &profile)
+        rec.issuer = Some(ca_profile.label.to_string());
+        self.issue(ca_idx, &profile)
     }
 
-    fn issue_expired(&mut self, hostname: &str) -> Vec<Certificate> {
-        let rec = self.records.get(hostname).expect("record exists").clone();
+    fn issue_expired(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
-        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
         let (not_before, days) =
             posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, true);
         let ca_idx = self.cadb.pick(&mut self.rng, rec.country, true);
-        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        let mut profile = LeafProfile::dv(rec.hostname.clone(), key.public(), not_before);
         profile.validity_days = Some(days);
-        if let Some(r) = self.records.get_mut(hostname) {
-            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
-        }
-        self.cadb.issue_chain(ca_idx, &profile)
+        rec.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        self.issue(ca_idx, &profile)
     }
 
     /// "Unable to get local issuer": half the time a trusted CA whose
     /// intermediate the server forgets to send; half the time a complete
     /// chain from an untrusted CA (always NPKI-style for South Korea).
-    fn issue_local_issuer_broken(&mut self, hostname: &str) -> Vec<Certificate> {
-        let rec = self.records.get(hostname).expect("record exists").clone();
+    fn issue_local_issuer_broken(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
-        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
         let (not_before, days) =
             posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
         let untrusted = self.cadb.untrusted_indices();
@@ -751,21 +1202,19 @@ impl Generator {
         } else {
             self.cadb.pick(&mut self.rng, rec.country, true)
         };
-        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        let mut profile = LeafProfile::dv(rec.hostname.clone(), key.public(), not_before);
         profile.validity_days = Some(days);
-        if let Some(r) = self.records.get_mut(hostname) {
-            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
-        }
-        let mut chain = self.cadb.issue_chain(ca_idx, &profile);
+        rec.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        let mut chain = self.issue(ca_idx, &profile);
         if !use_untrusted {
             chain.truncate(1); // drop the intermediate: incomplete chain
         }
         chain
     }
 
-    fn issue_self_signed(&mut self, hostname: &str) -> Certificate {
+    fn issue_self_signed(&mut self, rec: &mut HostRecord) -> Certificate {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
-        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
         let sig = posture::legacy_signature_override(
             &mut self.rng,
             Some(InjectedError::SelfSigned),
@@ -781,13 +1230,11 @@ impl Generator {
         // Half cover the right name (self-signed is the error); half are
         // appliance defaults.
         let cn = if self.rng.gen::<f64>() < 0.5 {
-            hostname.to_string()
+            rec.hostname.clone()
         } else {
             "localhost".to_string()
         };
-        if let Some(r) = self.records.get_mut(hostname) {
-            r.issuer = Some(cn.clone());
-        }
+        rec.issuer = Some(cn.clone());
         ca::self_signed(
             &cn,
             vec![cn.clone()],
@@ -802,10 +1249,9 @@ impl Generator {
 
     /// Full chain from an untrusted CA with the self-signed root included
     /// in the peer stack → "self-signed certificate in chain".
-    fn issue_untrusted_full_chain(&mut self, hostname: &str) -> Vec<Certificate> {
-        let rec = self.records.get(hostname).expect("record exists").clone();
+    fn issue_untrusted_full_chain(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
-        let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
+        let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
         let (not_before, days) =
             posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
         let untrusted = self.cadb.untrusted_indices();
@@ -817,170 +1263,12 @@ impl Generator {
         } else {
             untrusted[self.rng.gen_range(0..untrusted.len())]
         };
-        let mut profile = LeafProfile::dv(hostname.to_string(), key.public(), not_before);
+        let mut profile = LeafProfile::dv(rec.hostname.clone(), key.public(), not_before);
         profile.validity_days = Some(days);
-        if let Some(r) = self.records.get_mut(hostname) {
-            r.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
-        }
-        let mut chain = self.cadb.issue_chain(ca_idx, &profile);
+        rec.issuer = Some(self.cadb.get(ca_idx).profile.label.to_string());
+        let mut chain = self.issue(ca_idx, &profile);
         chain.push(self.cadb.get(ca_idx).root.cert.clone());
         chain
-    }
-
-    /// USA GSA case-study populations (§6.1, Tables A.1/A.2).
-    fn generate_gsa(&mut self) -> Vec<String> {
-        let mut hosts = Vec::new();
-        let specs: Vec<_> = USA_DATASETS.to_vec();
-        for spec in specs {
-            let n = self.config.scaled(spec.total as u64);
-            let rates = spec.rates();
-            for i in 0..n {
-                let hostname = format!("{}{}-usgsa.{}", spec.tag(), i, spec.suffix());
-                let posture = rates.sample(&mut self.rng);
-                let hosting = self.assigner.sample_class(&mut self.rng, 0.13);
-                let posture = posture::apply_cloud_boost(
-                    &mut self.rng,
-                    posture,
-                    hosting != HostingClass::Private,
-                );
-                let record = HostRecord {
-                    hostname: hostname.clone(),
-                    country: "us",
-                    is_gov: true,
-                    posture,
-                    issuer: None,
-                    hosting,
-                    tranco_rank: None,
-                    in_seed: false,
-                    gsa_datasets: vec![spec.dataset],
-                    in_rok_list: false,
-                    has_caa: self.rng.gen::<f64>() < 0.03,
-                    is_ev: false,
-                };
-                self.records.insert(hostname.clone(), record);
-                self.realize_host(&hostname, &[]);
-                hosts.push(hostname);
-            }
-        }
-        hosts
-    }
-
-    /// South Korea Government24 population (§6.2, Tables A.3/A.4).
-    fn generate_rok(&mut self) -> Vec<String> {
-        let mut hosts = Vec::new();
-        let n = self.config.scaled(ROK.total as u64);
-        let rates = ROK.rates();
-        for i in 0..n {
-            let dept = ROK_DEPARTMENTS[(i as usize) % ROK_DEPARTMENTS.len()];
-            let hostname = match i % 4 {
-                0 => format!("www{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
-                1 => format!("minwon{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
-                2 => format!("{dept}{}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
-                _ => format!("e{}.{dept}.go.kr", i / ROK_DEPARTMENTS.len() as u64),
-            };
-            let posture = rates.sample(&mut self.rng);
-            let hosting = self.assigner.sample_class(&mut self.rng, 0.0021);
-            let record = HostRecord {
-                hostname: hostname.clone(),
-                country: "kr",
-                is_gov: true,
-                posture,
-                issuer: None,
-                hosting,
-                tranco_rank: None,
-                in_seed: false,
-                gsa_datasets: Vec::new(),
-                in_rok_list: true,
-                has_caa: self.rng.gen::<f64>() < 0.005,
-                is_ev: false,
-            };
-            self.records.insert(hostname.clone(), record);
-            self.realize_host(&hostname, &[]);
-            hosts.push(hostname);
-        }
-        hosts
-    }
-
-    /// Materialize the tranco list's non-government rows as dialable
-    /// hosts with rank-dependent https quality (§5.5 / Figure 7: ~72%
-    /// valid at the top of the list declining to ~40% at the bottom).
-    fn realize_nongov(&mut self, tranco: &RankingList) {
-        let size = tranco.size as f64;
-        let entries: Vec<(u32, String)> = tranco
-            .nongov_entries()
-            .map(|e| (e.rank, e.hostname.clone()))
-            .collect();
-        for (rank, hostname) in entries {
-            let frac = rank as f64 / size;
-            let p_valid = 0.72 - 0.32 * frac;
-            let p_https = 0.88 - 0.25 * frac;
-            let roll = self.rng.gen::<f64>();
-            let posture = if roll < p_valid {
-                Posture::ValidHttps {
-                    serves_http_too: self.rng.gen::<f64>() < 0.15,
-                    hsts: self.rng.gen::<f64>() < 0.4,
-                }
-            } else if roll < p_https {
-                let idx = crate::cadb::weighted_pick(&mut self.rng, &posture::WORLD_ERROR_MIX);
-                Posture::InvalidHttps {
-                    error: InjectedError::ALL[idx],
-                }
-            } else {
-                Posture::HttpOnly
-            };
-            // Non-government top-million sites are far more cloud-hosted.
-            let hosting = self.assigner.sample_class(&mut self.rng, 0.45);
-            let record = HostRecord {
-                hostname: hostname.clone(),
-                country: "us",
-                is_gov: false,
-                posture,
-                issuer: None,
-                hosting,
-                tranco_rank: Some(rank),
-                in_seed: false,
-                gsa_datasets: Vec::new(),
-                in_rok_list: false,
-                has_caa: self.rng.gen::<f64>() < 0.05,
-                is_ev: false,
-            };
-            self.records.insert(hostname.clone(), record);
-            self.realize_host(&hostname, &[]);
-        }
-    }
-
-    /// §7.3.2: lookalike registrations with perfectly valid certificates —
-    /// `etagov.sl` posing as `eta.gov.lk`, and `<word>gov.us` twins.
-    fn inject_phishing_twins(&mut self) {
-        let mut twins = vec![hostgen::phishing_twin("eta.gov.lk", "sl")];
-        let n = self.config.scaled(85);
-        for i in 0..n {
-            let dept = [
-                "tax", "visa", "health", "travel", "permit", "id", "dmv", "irs",
-            ][(i as usize) % 8];
-            twins.push(format!("{dept}{i}gov.us"));
-        }
-        for hostname in twins {
-            let record = HostRecord {
-                hostname: hostname.clone(),
-                country: "us",
-                is_gov: false, // impersonation, not government
-                posture: Posture::ValidHttps {
-                    serves_http_too: false,
-                    hsts: false,
-                },
-                issuer: None,
-                hosting: HostingClass::Cdn("cloudflare"),
-                tranco_rank: None,
-                in_seed: false,
-                gsa_datasets: Vec::new(),
-                in_rok_list: false,
-                has_caa: false,
-                is_ev: false,
-            };
-            self.records.insert(hostname.clone(), record);
-            self.realize_host(&hostname, &[]);
-        }
     }
 }
 
@@ -1012,6 +1300,45 @@ mod tests {
         World::generate(&WorldConfig::small(1234))
     }
 
+    /// A stable digest over everything observable about a world: ground
+    /// truth, wire behaviour, DNS (including timeout slices), rankings,
+    /// web graph and the CT log. Two worlds with equal digests are
+    /// behaviourally identical.
+    fn world_digest(w: &World) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        w.gov_hosts.hash(&mut h);
+        w.seed_list.hash(&mut h);
+        w.whitelist.hash(&mut h);
+        w.gsa_hosts.hash(&mut h);
+        w.rok_hosts.hash(&mut h);
+        let mut keys: Vec<&String> = w.records.keys().collect();
+        keys.sort();
+        for k in keys {
+            k.hash(&mut h);
+            format!("{:?}", w.records[k]).hash(&mut h);
+        }
+        let mut names: Vec<&str> = w.net.hostnames().collect();
+        names.sort_unstable();
+        for n in names {
+            format!("{:?}", w.net.host(n)).hash(&mut h);
+            format!("{:?}", w.net.caa_lookup(n)).hash(&mut h);
+        }
+        for g in &w.gov_hosts {
+            format!("{:?}", w.net.resolve(g)).hash(&mut h);
+        }
+        format!("{:?}", w.tranco).hash(&mut h);
+        format!("{:?}", w.majestic).hash(&mut h);
+        format!("{:?}", w.cisco).hash(&mut h);
+        let mut links: Vec<_> = w.webgraph.links.iter().collect();
+        links.sort();
+        format!("{links:?}").hash(&mut h);
+        w.cadb.ct_log().root().hash(&mut h);
+        w.cadb.ct_log().size().hash(&mut h);
+        h.finish()
+    }
+
     #[test]
     fn generates_deterministically() {
         let a = World::generate(&WorldConfig::small(7));
@@ -1019,6 +1346,78 @@ mod tests {
         assert_eq!(a.gov_hosts, b.gov_hosts);
         assert_eq!(a.seed_list, b.seed_list);
         assert_eq!(a.net.len(), b.net.len());
+        assert_eq!(world_digest(&a), world_digest(&b));
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        // The tentpole invariant: per-(phase, shard) RNG streams plus
+        // ordered merges make the world a pure function of the seed —
+        // one worker and many workers must produce bit-identical output.
+        // (The env var is process-global; a concurrent test generating a
+        // world merely changes its pool size, never its output — that is
+        // exactly the property under test.)
+        std::env::set_var("GOVSCAN_WORLDGEN_THREADS", "1");
+        let serial = World::generate(&WorldConfig::small(0x5EED));
+        std::env::set_var("GOVSCAN_WORLDGEN_THREADS", "4");
+        let parallel = World::generate(&WorldConfig::small(0x5EED));
+        std::env::remove_var("GOVSCAN_WORLDGEN_THREADS");
+        assert_eq!(serial.gov_hosts, parallel.gov_hosts);
+        assert_eq!(serial.seed_list, parallel.seed_list);
+        assert_eq!(serial.net.len(), parallel.net.len());
+        assert_eq!(
+            world_digest(&serial),
+            world_digest(&parallel),
+            "worlds must be bit-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn record_lookup_ignores_case() {
+        let w = world();
+        let h = w.gov_hosts[0].clone();
+        assert!(w.record(&h).is_some(), "lowercase fast path");
+        let upper = h.to_ascii_uppercase();
+        assert_ne!(upper, h);
+        assert_eq!(
+            w.record(&upper).map(|r| &r.hostname),
+            w.record(&h).map(|r| &r.hostname),
+            "mixed-case lookup folds to the same record"
+        );
+    }
+
+    #[test]
+    fn shared_chains_consolidate_within_countries() {
+        let w = world();
+        let client = govscan_net::TlsClientConfig::default();
+        let mut tls_hosts = 0usize;
+        let mut by_fp: HashMap<govscan_crypto::Fingerprint, std::collections::HashSet<&str>> =
+            HashMap::new();
+        for h in &w.gov_hosts {
+            let rec = &w.records[h];
+            if !rec.posture.is_valid_https() {
+                continue;
+            }
+            let session = w
+                .net
+                .tls_connect(h, &client)
+                .expect("valid host handshakes");
+            let leaf = session.peer_chain.first().expect("chain non-empty");
+            tls_hosts += 1;
+            by_fp
+                .entry(leaf.fingerprint())
+                .or_default()
+                .insert(rec.country);
+        }
+        let distinct = by_fp.len();
+        assert!(
+            distinct * 20 < tls_hosts * 19,
+            "shared chains consolidate: {distinct} chains for {tls_hosts} hosts"
+        );
+        // Shared chains never span countries (keys are per country-group).
+        for countries in by_fp.values() {
+            assert_eq!(countries.len(), 1, "a chain leaked across countries");
+        }
     }
 
     #[test]

@@ -20,5 +20,9 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 # repeated-walk vs single-pass path end to end without emitting (or
 # perturbing) the full-scale BENCH_scan.json artifact.
 run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench scan
+# Smoke-run the worldgen bench at test scale: exercises the serial and
+# parallel generation arms plus the shared-chain consolidation assertion
+# without emitting the full-scale BENCH_worldgen.json artifact.
+run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench worldgen
 
 echo "CI OK"
