@@ -33,9 +33,13 @@ impl std::fmt::Display for Asn1Error {
             Asn1Error::Truncated => write!(f, "truncated DER input"),
             Asn1Error::BadLength => write!(f, "malformed DER length"),
             Asn1Error::UnexpectedTag { expected, found } => {
+                // One hex implementation across the workspace
+                // (govscan_crypto::hex), not an ad-hoc format string.
                 write!(
                     f,
-                    "unexpected tag: expected 0x{expected:02x}, found 0x{found:02x}"
+                    "unexpected tag: expected 0x{}, found 0x{}",
+                    govscan_crypto::hex::encode(&[*expected]),
+                    govscan_crypto::hex::encode(&[*found])
                 )
             }
             Asn1Error::BadValue(what) => write!(f, "malformed DER value: {what}"),

@@ -470,48 +470,12 @@ mod frozen {
     }
 }
 
-/// Replicate the fixture's scan records up to `target` hosts (hostnames
-/// uniquified per cycle), approximating the paper's 135,408-host
-/// dataset with realistic per-record shape.
-fn synthetic_dataset(target: usize) -> ScanDataset {
-    let (_, study) = govscan_bench::fixture();
-    let base = study.scan.records();
-    let scan_time = study.scan.scan_time.unwrap_or(Time::from_ymd(2020, 4, 22));
-    let mut records = Vec::with_capacity(target);
-    let mut cycle = 0usize;
-    'fill: loop {
-        for r in base {
-            if records.len() >= target {
-                break 'fill;
-            }
-            let mut r = r.clone();
-            if cycle > 0 {
-                r.hostname = format!("c{cycle}.{}", r.hostname);
-                // Keep cluster sizes realistic: certificates are only
-                // shared within a cycle, not across all ~45 replicas.
-                let perturb = |fp: &mut govscan_crypto::Fingerprint| {
-                    fp.0[0] ^= cycle as u8;
-                    fp.0[1] ^= (cycle >> 8) as u8;
-                };
-                match &mut r.https {
-                    HttpsStatus::Valid(m) | HttpsStatus::Invalid(_, Some(m)) => {
-                        perturb(&mut m.fingerprint);
-                        perturb(&mut m.key_fingerprint);
-                    }
-                    _ => {}
-                }
-            }
-            records.push(r);
-        }
-        cycle += 1;
-    }
-    ScanDataset::new(records, scan_time)
-}
-
 fn bench_aggregate(c: &mut Criterion) {
     let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok();
     let target = if smoke { 2_000 } else { 135_408 };
-    let scan = synthetic_dataset(target);
+    // Shared with benches/store.rs so both suites measure the same
+    // synthetic population.
+    let scan = govscan_bench::synthetic_dataset(target);
     println!(
         "aggregate dataset: {} hosts ({} walks so far)",
         scan.len(),

@@ -16,7 +16,9 @@
 
 use std::sync::OnceLock;
 
-use govscan_scanner::{StudyOutput, StudyPipeline};
+use govscan_pki::Time;
+use govscan_scanner::classify::HttpsStatus;
+use govscan_scanner::{ScanDataset, StudyOutput, StudyPipeline};
 use govscan_worldgen::{World, WorldConfig};
 
 /// A shared small world + study output for the experiment benches (built
@@ -28,4 +30,43 @@ pub fn fixture() -> &'static (World, StudyOutput) {
         let study = StudyPipeline::new(&world).run();
         (world, study)
     })
+}
+
+/// Replicate the fixture's scan records up to `target` hosts (hostnames
+/// uniquified per cycle), approximating the paper's 135,408-host
+/// dataset with realistic per-record shape. Shared by the `scan` and
+/// `store` benches so both measure the same synthetic population.
+pub fn synthetic_dataset(target: usize) -> ScanDataset {
+    let (_, study) = fixture();
+    let base = study.scan.records();
+    let scan_time = study.scan.scan_time.unwrap_or(Time::from_ymd(2020, 4, 22));
+    let mut records = Vec::with_capacity(target);
+    let mut cycle = 0usize;
+    'fill: loop {
+        for r in base {
+            if records.len() >= target {
+                break 'fill;
+            }
+            let mut r = r.clone();
+            if cycle > 0 {
+                r.hostname = format!("c{cycle}.{}", r.hostname);
+                // Keep cluster sizes realistic: certificates are only
+                // shared within a cycle, not across all ~45 replicas.
+                let perturb = |fp: &mut govscan_crypto::Fingerprint| {
+                    fp.0[0] ^= cycle as u8;
+                    fp.0[1] ^= (cycle >> 8) as u8;
+                };
+                match &mut r.https {
+                    HttpsStatus::Valid(m) | HttpsStatus::Invalid(_, Some(m)) => {
+                        perturb(&mut m.fingerprint);
+                        perturb(&mut m.key_fingerprint);
+                    }
+                    _ => {}
+                }
+            }
+            records.push(r);
+        }
+        cycle += 1;
+    }
+    ScanDataset::new(records, scan_time)
 }

@@ -18,4 +18,6 @@ pub mod rescan;
 
 pub use campaign::{Campaign, CountryOutcome, ResponseKind};
 pub use remediation::RemediationPlan;
-pub use rescan::{run_rescan, RescanReport};
+pub use rescan::{
+    followup_scan, rescan_from_datasets, rescan_from_snapshots, run_rescan, RescanReport,
+};

@@ -42,20 +42,48 @@ pub struct RescanReport {
     pub per_country: BTreeMap<&'static str, (u64, u64)>, // (fixed-or-gone, total)
 }
 
-/// Run the follow-up scan against the (post-remediation) world.
-pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String]) -> RescanReport {
-    // Two months after the original snapshot (§7.2.2).
+/// Run the §7.2.2 follow-up scan against the (post-remediation) world:
+/// the previously-invalid hosts plus the previously-unreachable pool,
+/// two months after the original snapshot, merged into one dataset.
+///
+/// The result is exactly what [`run_rescan`] compares against — archive
+/// it with `govscan_store` and the comparison can be replayed later by
+/// [`rescan_from_snapshots`] with no `World` at all.
+pub fn followup_scan(world: &World, original: &ScanDataset, unreachable: &[String]) -> ScanDataset {
     let pipeline = StudyPipeline::new(world).with_scan_time(world.scan_time().plus_days(60));
+    let invalid_hosts: Vec<String> = original.invalid().map(|r| r.hostname.clone()).collect();
+    let mut followup = pipeline.scan_list(&invalid_hosts);
+    // The two target lists are disjoint (invalid ⊆ available), so this
+    // merge appends without collisions.
+    let replaced = followup.extend(pipeline.scan_list(unreachable));
+    debug_assert_eq!(replaced, 0, "invalid and unreachable pools are disjoint");
+    followup
+}
+
+/// Compute the §7.2.2 report from the original scan and a follow-up
+/// scan of the invalid + unreachable pools. Pure data comparison — this
+/// is the single code path behind both the live [`run_rescan`] and the
+/// snapshot-backed [`rescan_from_snapshots`].
+///
+/// A previously-invalid host missing from `followup` is skipped
+/// entirely (it was never re-measured, so it belongs in no outcome
+/// bucket); the live path always re-measures every host, so this only
+/// matters for hand-built or partial archives.
+pub fn rescan_from_datasets(
+    original: &ScanDataset,
+    followup: &ScanDataset,
+    unreachable: &[String],
+) -> RescanReport {
     let mut report = RescanReport::default();
 
-    let invalid_hosts: Vec<String> = original.invalid().map(|r| r.hostname.clone()).collect();
-    report.previously_invalid = invalid_hosts.len() as u64;
-    let rescan = pipeline.scan_list(&invalid_hosts);
-    for r in rescan.records() {
-        let country = original.get(&r.hostname).and_then(|o| o.country);
-        let entry = country.map(|cc| report.per_country.entry(cc).or_insert((0, 0)));
-        if let Some(e) = entry {
-            e.1 += 1;
+    for o in original.invalid() {
+        let Some(r) = followup.get(&o.hostname) else {
+            continue;
+        };
+        report.previously_invalid += 1;
+        let country = o.country;
+        if let Some(cc) = country {
+            report.per_country.entry(cc).or_insert((0, 0)).1 += 1;
         }
         if !r.available {
             report.now_unreachable += 1;
@@ -72,9 +100,11 @@ pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String])
         }
     }
 
-    report.previously_unreachable = unreachable.len() as u64;
-    let revisit = pipeline.scan_list(unreachable);
-    for r in revisit.records() {
+    for hostname in unreachable {
+        let Some(r) = followup.get(hostname) else {
+            continue;
+        };
+        report.previously_unreachable += 1;
         if !r.available {
             report.still_unreachable += 1;
         } else if r.https.is_valid() {
@@ -84,6 +114,34 @@ pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String])
         }
     }
     report
+}
+
+/// Run the follow-up scan against the (post-remediation) world.
+pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String]) -> RescanReport {
+    let followup = followup_scan(world, original, unreachable);
+    rescan_from_datasets(original, &followup, unreachable)
+}
+
+/// Produce the §7.2.2 report from two archived snapshot files: the
+/// original full scan and a follow-up scan (as written by
+/// [`followup_scan`] → `govscan_store::write_snapshot_file`).
+///
+/// The previously-unreachable pool is recovered from the original
+/// snapshot itself (its unavailable records), so the two files are the
+/// complete input — no live `World`, no regeneration.
+pub fn rescan_from_snapshots(
+    original: impl AsRef<std::path::Path>,
+    followup: impl AsRef<std::path::Path>,
+) -> Result<RescanReport, govscan_store::StoreError> {
+    let original = govscan_store::read_snapshot_file(original)?;
+    let followup = govscan_store::read_snapshot_file(followup)?;
+    let unreachable: Vec<String> = original
+        .records()
+        .iter()
+        .filter(|r| !r.available)
+        .map(|r| r.hostname.clone())
+        .collect();
+    Ok(rescan_from_datasets(&original, &followup, &unreachable))
 }
 
 impl RescanReport {

@@ -1,0 +1,76 @@
+//! Snapshot CLI: archive scans and analyse them offline.
+//!
+//! ```text
+//! snapshot scan --out scan.snap              run the study, archive the scan
+//! snapshot rescan --out-before a --out-after b
+//!                                            archive both sides of the §7.2
+//!                                            disclosure comparison
+//! snapshot report --from scan.snap           full figure set from a file
+//! snapshot diff before.snap after.snap       migrations + Figure 13 offline
+//! ```
+//!
+//! `scan`/`rescan` honour `GOVSCAN_SCALE` / `GOVSCAN_SEED`; `report` and
+//! `diff` never generate a world.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use govscan_repro::snapshot;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snapshot scan --out <path>\n\
+         \u{20}      snapshot rescan --out-before <path> --out-after <path>\n\
+         \u{20}      snapshot report --from <path>\n\
+         \u{20}      snapshot diff <before> <after>"
+    );
+    ExitCode::from(2)
+}
+
+/// Pull the value following a `--flag` out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("scan") => match flag_value(&args, "--out") {
+            Some(out) => snapshot::scan_to(&out),
+            None => return usage(),
+        },
+        Some("rescan") => {
+            match (
+                flag_value(&args, "--out-before"),
+                flag_value(&args, "--out-after"),
+            ) {
+                (Some(b), Some(a)) => snapshot::rescan_to(&b, &a),
+                _ => return usage(),
+            }
+        }
+        Some("report") => match flag_value(&args, "--from") {
+            Some(from) => snapshot::report_from(&from),
+            None => return usage(),
+        },
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(b), Some(a)) if !b.starts_with("--") => {
+                snapshot::diff_files(&PathBuf::from(b), &PathBuf::from(a))
+            }
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snapshot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

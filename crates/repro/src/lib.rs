@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod snapshot;
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;

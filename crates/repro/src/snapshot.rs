@@ -1,0 +1,141 @@
+//! Snapshot-backed workflows: archive a scan, report from an archive,
+//! diff two archives.
+//!
+//! This is the `govscan-store` integration for the reproduction CLI.
+//! `scan` is the only mode that generates a world; `report` and `diff`
+//! operate purely on archived files — the point of the archive is that
+//! the expensive part (worldgen + full scan, minutes at paper scale)
+//! happens once, and every later analysis is a cold load away.
+
+use std::path::Path;
+
+use govscan_analysis::aggregate::AggregateIndex;
+use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, reuse, table2};
+use govscan_store::snapshot::{dataset_digest, write_snapshot_file, SnapshotReader};
+use govscan_store::{diff_snapshot_files, Result};
+
+use crate::Env;
+
+/// Run the study and archive the worldwide scan to `out`.
+///
+/// Returns a human-readable receipt (path, size, host count, digest).
+pub fn scan_to(out: &Path) -> Result<String> {
+    let env = Env::load();
+    let bytes = write_snapshot_file(out, &env.study.scan)?;
+    Ok(format!(
+        "wrote {} ({bytes} bytes, {} hosts, digest {})\n",
+        out.display(),
+        env.study.scan.len(),
+        dataset_digest(&env.study.scan)?.to_hex(),
+    ))
+}
+
+/// Run the full §7.2 disclosure arc and archive both sides of the
+/// sixty-day comparison: the original scan to `before`, the follow-up
+/// scan (previously-invalid + previously-unreachable pools) to `after`.
+/// `diff` over the two files then reproduces Figure 13 offline.
+pub fn rescan_to(before: &Path, after: &Path) -> Result<String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut env = Env::load();
+    let mut rng = StdRng::seed_from_u64(env.world.config.seed ^ 0xD15C);
+    let campaign =
+        govscan_disclosure::campaign::run(&env.study.scan, &mut rng, env.world.config.seed);
+    let unreachable: Vec<String> = env
+        .index()
+        .hosts
+        .iter()
+        .filter(|h| !h.available)
+        .map(|h| h.hostname.clone())
+        .collect();
+    govscan_disclosure::remediation::apply(
+        &mut env.world,
+        &env.study.scan,
+        &unreachable,
+        &campaign,
+        &mut rng,
+    );
+    let followup = govscan_disclosure::followup_scan(&env.world, &env.study.scan, &unreachable);
+    let b = write_snapshot_file(before, &env.study.scan)?;
+    let a = write_snapshot_file(after, &followup)?;
+    Ok(format!(
+        "wrote {} ({b} bytes, {} hosts) and {} ({a} bytes, {} hosts)\n",
+        before.display(),
+        env.study.scan.len(),
+        after.display(),
+        followup.len(),
+    ))
+}
+
+/// Render the paper-figure report set from one dataset index.
+///
+/// Shared by the live and snapshot-backed paths, so "report from a
+/// file" is byte-for-byte the same renderer as "report from a scan".
+pub fn render_report(index: &AggregateIndex) -> String {
+    let sections: [(&str, String); 8] = [
+        (
+            "Table 2: worldwide https",
+            table2::build_from_index(index).render(),
+        ),
+        (
+            "Figure 1: valid share by country",
+            choropleth::build_from_index(index).render(),
+        ),
+        (
+            "Figure 2: issuers",
+            issuers::build_from_index(index, 40).render(),
+        ),
+        (
+            "Figure 3: validity durations",
+            durations::build_from_index(index).render(),
+        ),
+        (
+            "Figure 4: key algorithms",
+            keys::build_from_index(index).render(),
+        ),
+        (
+            "§5.3.4: key/cert reuse",
+            reuse::build_from_index(index).render(),
+        ),
+        (
+            "§6.1: HSTS adoption",
+            hsts::build_from_index(index).render(),
+        ),
+        (
+            "§5.3.3: EV certificates",
+            ev::build_from_index(index).render(),
+        ),
+    ];
+    let mut out = String::new();
+    for (title, body) in sections {
+        out.push_str("--- ");
+        out.push_str(title);
+        out.push_str(" ---\n");
+        out.push_str(&body);
+        out.push('\n');
+    }
+    out
+}
+
+/// Load an archived scan and render the full report set from it — no
+/// world generation, no scanning.
+pub fn report_from(path: &Path) -> Result<String> {
+    let bytes = std::fs::read(path)?;
+    let reader = SnapshotReader::new(&bytes)?;
+    let mut out = reader.describe()?;
+    let dataset = reader.dataset()?;
+    out.push('\n');
+    out.push_str(&render_report(&AggregateIndex::build(&dataset)));
+    Ok(out)
+}
+
+/// Diff two archived scans: host-state migrations plus, when the pair
+/// is an original/follow-up disclosure pair, the §7.2.2 Figure 13
+/// report — all computed from the files alone.
+pub fn diff_files(before: &Path, after: &Path) -> Result<String> {
+    let mut out = diff_snapshot_files(before, after)?.render();
+    out.push_str("-- §7.2.2 effectiveness (Figure 13) --\n");
+    out.push_str(&govscan_disclosure::rescan_from_snapshots(before, after)?.render());
+    Ok(out)
+}

@@ -41,7 +41,7 @@ impl HostingKind {
 }
 
 /// Everything the probe measured for one hostname.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanRecord {
     /// The hostname dialled.
     pub hostname: String,
@@ -219,10 +219,34 @@ impl ScanDataset {
     }
 
     /// Merge another dataset into this one.
-    pub fn extend(&mut self, other: ScanDataset) {
+    ///
+    /// Collision policy: **last write wins** — a hostname present in
+    /// both datasets keeps `other`'s record, at the position the
+    /// hostname first appeared in `self` (exactly [`Self::push`]'s
+    /// duplicate rule, so a merge behaves like re-scanning those hosts).
+    /// Returns how many records were replaced rather than appended.
+    ///
+    /// Merging is meant to fold a *newer* partial scan into an older
+    /// base (the disclosure follow-up merges its two `scan_list` passes
+    /// this way); merging backwards in time almost certainly means the
+    /// arguments are swapped, so debug builds assert monotonicity.
+    pub fn extend(&mut self, other: ScanDataset) -> usize {
+        if let (Some(base), Some(incoming)) = (self.scan_time, other.scan_time) {
+            debug_assert!(
+                incoming.0 >= base.0,
+                "merging an older scan (t={}) over a newer one (t={})",
+                incoming.0,
+                base.0
+            );
+        }
+        let mut replaced = 0;
         for r in other.records {
+            if self.index.contains_key(&r.hostname) {
+                replaced += 1;
+            }
             self.push(r);
         }
+        replaced
     }
 }
 
@@ -288,6 +312,42 @@ mod tests {
         ds.push(rec("a.gov", HttpsStatus::Valid(meta()), true));
         assert_eq!(ds.len(), 1);
         assert!(ds.get("a.gov").unwrap().available);
+    }
+
+    #[test]
+    fn extend_is_last_write_wins() {
+        let t0 = Time::from_ymd(2020, 4, 22);
+        let t1 = Time::from_ymd(2020, 6, 21);
+        let mut base = ScanDataset::new(
+            vec![
+                rec(
+                    "a.gov",
+                    HttpsStatus::Invalid(ErrorCategory::Expired, Some(meta())),
+                    true,
+                ),
+                rec("b.gov", HttpsStatus::None, true),
+            ],
+            t0,
+        );
+        let newer = ScanDataset::new(
+            vec![
+                rec("a.gov", HttpsStatus::Valid(meta()), true),
+                rec("c.gov", HttpsStatus::None, false),
+            ],
+            t1,
+        );
+        let replaced = base.extend(newer);
+        assert_eq!(replaced, 1, "only a.gov collided");
+        assert_eq!(base.len(), 3);
+        assert!(
+            base.get("a.gov").unwrap().https.is_valid(),
+            "collision keeps the incoming (newer) record"
+        );
+        // Replacement preserves the original position: a merge never
+        // reorders the base dataset.
+        assert_eq!(base.records()[0].hostname, "a.gov");
+        assert_eq!(base.records()[2].hostname, "c.gov");
+        assert_eq!(base.scan_time, Some(t0), "base keeps its own scan time");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Longitudinal diff over pairs of snapshots.
+//!
+//! The paper's disclosure experiment (§7, Figure 13) asks one question —
+//! what changed between two scans of the same host list? This module
+//! answers it for arbitrary snapshot pairs: each host is reduced to a
+//! [`HostState`] (unreachable / HTTP-only / valid / one of the Table 2
+//! error categories) and the diff reports the full state-migration
+//! matrix plus the derived quantities analysts actually plot:
+//! newly-valid and newly-broken hosts, HSTS adoption deltas, certificate
+//! chain turnover, and per-country improvement rates.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use govscan_pki::Time;
+use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
+
+use crate::error::Result;
+use crate::snapshot::read_snapshot_file;
+
+/// The HTTPS posture of one host at one scan, as the diff sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HostState {
+    /// The host did not resolve or respond at all.
+    Unreachable,
+    /// Reachable, but no HTTPS endpoint was offered.
+    HttpOnly,
+    /// HTTPS with an invalid configuration, by Table 2 category.
+    Invalid(ErrorCategory),
+    /// HTTPS with a fully valid configuration.
+    Valid,
+}
+
+impl HostState {
+    /// Classify one scan record.
+    pub fn of(record: &ScanRecord) -> HostState {
+        if !record.available {
+            return HostState::Unreachable;
+        }
+        if !record.https.attempts() {
+            return HostState::HttpOnly;
+        }
+        match record.https.error() {
+            None => HostState::Valid,
+            Some(cat) => HostState::Invalid(cat),
+        }
+    }
+
+    /// Human-readable label (error categories use Table 2 names).
+    pub fn label(self) -> &'static str {
+        match self {
+            HostState::Unreachable => "Unreachable",
+            HostState::HttpOnly => "HTTP only",
+            HostState::Valid => "Valid HTTPS",
+            HostState::Invalid(cat) => cat.label(),
+        }
+    }
+}
+
+/// Per-country adoption movement between the two snapshots, over hosts
+/// present in both.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountryDelta {
+    /// Hosts attempting HTTPS with a valid configuration, before.
+    pub valid_before: u64,
+    /// …and after.
+    pub valid_after: u64,
+    /// Hosts attempting HTTPS with an invalid configuration, before.
+    pub invalid_before: u64,
+    /// …and after.
+    pub invalid_after: u64,
+    /// Hosts that moved from an invalid state to valid.
+    pub improved: u64,
+    /// Hosts that moved from valid to an invalid state.
+    pub regressed: u64,
+}
+
+impl CountryDelta {
+    /// Fraction of the country's previously-invalid hosts that became
+    /// valid — the per-country remediation rate of Figure 13.
+    pub fn improvement_rate(&self) -> f64 {
+        if self.invalid_before == 0 {
+            0.0
+        } else {
+            self.improved as f64 / self.invalid_before as f64
+        }
+    }
+}
+
+/// Everything that changed between two snapshots of (roughly) the same
+/// host list. Built by [`diff_datasets`]; pure data, no live `World`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDiff {
+    /// Scan time of the earlier snapshot.
+    pub before_time: Option<Time>,
+    /// Scan time of the later snapshot.
+    pub after_time: Option<Time>,
+    /// Host counts in each snapshot.
+    pub hosts_before: u64,
+    /// Host count in the later snapshot.
+    pub hosts_after: u64,
+    /// Hostnames only in the later snapshot.
+    pub appeared: Vec<String>,
+    /// Hostnames only in the earlier snapshot.
+    pub disappeared: Vec<String>,
+    /// Full state-migration matrix over hosts present in both
+    /// snapshots: `(before, after) → count`, including the diagonal
+    /// (hosts that did not move).
+    pub migration: BTreeMap<(HostState, HostState), u64>,
+    /// Hosts that were not serving valid HTTPS before and are now.
+    pub newly_valid: Vec<String>,
+    /// Hosts that served valid HTTPS before and no longer do.
+    pub newly_broken: Vec<String>,
+    /// Hosts that turned HSTS on between the scans.
+    pub hsts_gained: u64,
+    /// Hosts that turned HSTS off.
+    pub hsts_lost: u64,
+    /// Hosts valid in both scans whose leaf certificate changed
+    /// (reissued or rotated).
+    pub chain_changed: u64,
+    /// Per-country movement, keyed by inferred country of the earlier
+    /// record.
+    pub per_country: BTreeMap<&'static str, CountryDelta>,
+}
+
+impl SnapshotDiff {
+    /// Hosts present in both snapshots (the population the migration
+    /// matrix is over).
+    pub fn tracked(&self) -> u64 {
+        self.migration.values().sum()
+    }
+
+    /// Count of hosts whose state changed at all.
+    pub fn moved(&self) -> u64 {
+        self.migration
+            .iter()
+            .filter(|((b, a), _)| b != a)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Render a fixed-width report of the diff, suitable for committing
+    /// next to the paper-figure outputs. Deterministic: every map is
+    /// ordered, every list sorted.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== snapshot diff ==");
+        let _ = writeln!(
+            out,
+            "scan times: {:?} -> {:?}",
+            self.before_time.map(|t| t.0),
+            self.after_time.map(|t| t.0)
+        );
+        let _ = writeln!(
+            out,
+            "hosts: {} -> {} ({} appeared, {} disappeared, {} tracked)",
+            self.hosts_before,
+            self.hosts_after,
+            self.appeared.len(),
+            self.disappeared.len(),
+            self.tracked()
+        );
+        let _ = writeln!(
+            out,
+            "moved: {} of {} tracked hosts changed state",
+            self.moved(),
+            self.tracked()
+        );
+        let _ = writeln!(
+            out,
+            "newly valid: {} · newly broken: {}",
+            self.newly_valid.len(),
+            self.newly_broken.len()
+        );
+        let _ = writeln!(
+            out,
+            "hsts: +{} -{} · chains rotated among still-valid: {}",
+            self.hsts_gained, self.hsts_lost, self.chain_changed
+        );
+        let _ = writeln!(out, "-- migration matrix (off-diagonal) --");
+        let mut moves: Vec<(&(HostState, HostState), &u64)> =
+            self.migration.iter().filter(|((b, a), _)| b != a).collect();
+        moves.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
+        for ((before, after), count) in moves {
+            let _ = writeln!(out, "{count:>8}  {} -> {}", before.label(), after.label());
+        }
+        let _ = writeln!(out, "-- per-country improvement --");
+        for (cc, delta) in &self.per_country {
+            if delta.invalid_before == 0 && delta.regressed == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{cc}  improved {:>6}/{:<6} ({:>6.2}%)  regressed {:>6}  valid {} -> {}",
+                delta.improved,
+                delta.invalid_before,
+                delta.improvement_rate() * 100.0,
+                delta.regressed,
+                delta.valid_before,
+                delta.valid_after
+            );
+        }
+        out
+    }
+}
+
+/// Diff two datasets host by host.
+///
+/// Hosts are matched by hostname; each dataset is walked exactly once.
+pub fn diff_datasets(before: &ScanDataset, after: &ScanDataset) -> SnapshotDiff {
+    let mut diff = SnapshotDiff {
+        before_time: before.scan_time,
+        after_time: after.scan_time,
+        hosts_before: before.len() as u64,
+        hosts_after: after.len() as u64,
+        appeared: Vec::new(),
+        disappeared: Vec::new(),
+        migration: BTreeMap::new(),
+        newly_valid: Vec::new(),
+        newly_broken: Vec::new(),
+        hsts_gained: 0,
+        hsts_lost: 0,
+        chain_changed: 0,
+        per_country: BTreeMap::new(),
+    };
+
+    for b in before.records() {
+        let Some(a) = after.get(&b.hostname) else {
+            diff.disappeared.push(b.hostname.clone());
+            continue;
+        };
+        let (sb, sa) = (HostState::of(b), HostState::of(a));
+        *diff.migration.entry((sb, sa)).or_insert(0) += 1;
+        match (sb == HostState::Valid, sa == HostState::Valid) {
+            (false, true) => diff.newly_valid.push(b.hostname.clone()),
+            (true, false) => diff.newly_broken.push(b.hostname.clone()),
+            _ => {}
+        }
+        match (b.hsts, a.hsts) {
+            (false, true) => diff.hsts_gained += 1,
+            (true, false) => diff.hsts_lost += 1,
+            _ => {}
+        }
+        if let (Some(mb), Some(ma)) = (b.https.meta(), a.https.meta()) {
+            if sb == HostState::Valid && sa == HostState::Valid && mb.fingerprint != ma.fingerprint
+            {
+                diff.chain_changed += 1;
+            }
+        }
+        if let Some(cc) = b.country {
+            let delta = diff.per_country.entry(cc).or_default();
+            let invalid = |s: HostState| matches!(s, HostState::Invalid(_));
+            if sb == HostState::Valid {
+                delta.valid_before += 1;
+            }
+            if sa == HostState::Valid {
+                delta.valid_after += 1;
+            }
+            if invalid(sb) {
+                delta.invalid_before += 1;
+            }
+            if invalid(sa) {
+                delta.invalid_after += 1;
+            }
+            if invalid(sb) && sa == HostState::Valid {
+                delta.improved += 1;
+            }
+            if sb == HostState::Valid && invalid(sa) {
+                delta.regressed += 1;
+            }
+        }
+    }
+    for a in after.records() {
+        if before.get(&a.hostname).is_none() {
+            diff.appeared.push(a.hostname.clone());
+        }
+    }
+    diff.appeared.sort();
+    diff.disappeared.sort();
+    diff.newly_valid.sort();
+    diff.newly_broken.sort();
+    diff
+}
+
+/// Diff two snapshot files. Both are fully validated before any
+/// comparison; no live `govscan_worldgen` `World` is involved.
+pub fn diff_snapshot_files(
+    before: impl AsRef<Path>,
+    after: impl AsRef<Path>,
+) -> Result<SnapshotDiff> {
+    let before = read_snapshot_file(before)?;
+    let after = read_snapshot_file(after)?;
+    Ok(diff_datasets(&before, &after))
+}

@@ -1,0 +1,129 @@
+//! Typed failures for the snapshot archive.
+//!
+//! Every way a snapshot file can be unusable maps to a distinct variant,
+//! and every decode path returns one — corruption must never surface as
+//! a panic or, worse, a silently partial dataset.
+
+/// Why a snapshot could not be written or read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — it is not a
+    /// govscan snapshot at all.
+    BadMagic {
+        /// The first bytes actually found (as many as were present).
+        found: Vec<u8>,
+    },
+    /// The file is a govscan snapshot, but of a format version this
+    /// build does not understand.
+    UnsupportedVersion(u32),
+    /// The file ends before the structure it promises: a header,
+    /// section table, or section payload runs past the end of the file.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's stored checksum does not match its payload — the
+    /// bytes were damaged after writing.
+    ChecksumMismatch {
+        /// The damaged section.
+        section: &'static str,
+    },
+    /// The bytes are structurally present and checksum clean but encode
+    /// something impossible (an out-of-range pool reference, an unknown
+    /// enum tag, inconsistent record flags).
+    Corrupt {
+        /// Where the impossibility was found.
+        context: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The dataset itself cannot be represented in this format version
+    /// (a field overflows its fixed-width encoding).
+    Unrepresentable {
+        /// The overflowing field.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not a govscan snapshot (magic {})",
+                    govscan_crypto::hex::encode(found)
+                )
+            }
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            StoreError::Corrupt { context, detail } => {
+                write!(f, "corrupt snapshot ({context}): {detail}")
+            }
+            StoreError::Unrepresentable { field } => {
+                write!(
+                    f,
+                    "dataset not representable in snapshot v1: {field} overflows"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Shorthand used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = StoreError::BadMagic {
+            found: vec![0xde, 0xad],
+        };
+        assert!(e.to_string().contains("dead"), "{e}");
+        assert!(StoreError::UnsupportedVersion(9)
+            .to_string()
+            .contains("version 9"));
+        assert!(StoreError::Truncated { context: "header" }
+            .to_string()
+            .contains("header"));
+        assert!(StoreError::ChecksumMismatch { section: "hosts" }
+            .to_string()
+            .contains("hosts"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StoreError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

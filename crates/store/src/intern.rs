@@ -1,0 +1,106 @@
+//! String interning for the snapshot's string table.
+//!
+//! Every string a snapshot stores — hostnames, issuer names, serial
+//! numbers, CAA values, country codes, hosting provider names — lives in
+//! one deduplicated table and is referenced by a `u32` id. Hostnames are
+//! unique so interning buys them nothing beyond the uniform reference
+//! scheme, but issuers, serials, and country codes repeat tens of
+//! thousands of times at the paper's 135,408-host scale.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+/// The id of a string in the table.
+pub type StringId = u32;
+
+/// Sentinel for "no string" in optional references.
+pub const NO_STRING: StringId = u32::MAX;
+
+/// Write-side interner: assigns dense ids in first-seen order, so the
+/// table (and with it the whole snapshot) is a deterministic function of
+/// the record sequence.
+#[derive(Debug, Default)]
+pub struct StringTable {
+    ids: HashMap<String, StringId>,
+    strings: Vec<String>,
+}
+
+impl StringTable {
+    /// An empty table.
+    pub fn new() -> StringTable {
+        StringTable::default()
+    }
+
+    /// Intern `s`, returning its id.
+    pub fn intern(&mut self, s: &str) -> StringId {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as StringId;
+        self.ids.insert(s.to_owned(), id);
+        self.strings.push(s.to_owned());
+        id
+    }
+
+    /// All interned strings, in id order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Intern a string into the process-lifetime pool, returning a
+/// `&'static str`.
+///
+/// [`govscan_scanner::ScanRecord`] carries its country code and hosting
+/// provider as `&'static str` (they come from static tables in the
+/// generator). A snapshot file outlives any such table, so the reader
+/// materialises these through this pool instead. The leak is bounded by
+/// the universe of country codes (~250) and provider names (~a dozen):
+/// only those two fields go through here, never hostnames or issuers.
+pub fn intern_static(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("interner lock never poisoned");
+    if let Some(&interned) = pool.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = StringTable::new();
+        assert_eq!(t.intern("a"), 0);
+        assert_eq!(t.intern("b"), 1);
+        assert_eq!(t.intern("a"), 0, "re-interning is a lookup");
+        assert_eq!(t.strings(), ["a".to_string(), "b".to_string()]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn static_interner_dedupes() {
+        let a = intern_static("zz-test-country");
+        let b = intern_static("zz-test-country");
+        assert!(std::ptr::eq(a, b), "same leaked allocation");
+        assert_eq!(a, "zz-test-country");
+    }
+}

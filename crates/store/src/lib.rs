@@ -1,0 +1,40 @@
+//! # govscan-store: scan-snapshot archive + longitudinal diff
+//!
+//! The measurement study ("Accept the Risk and Continue", IMC 2020) is
+//! longitudinal at heart: the headline disclosure result (Figure 13)
+//! compares a scan against a rescan sixty days later. Until now the
+//! repo could only produce that comparison with both scans live in
+//! memory, regenerated from the simulated Internet on every run. This
+//! crate makes scans durable:
+//!
+//! * [`snapshot`] — a versioned binary format for [`ScanDataset`]:
+//!   magic/version header, checksummed sections, an interned string
+//!   table, a content-addressed certificate pool, and fixed-width host
+//!   records. [`snapshot::SnapshotWriter`] streams with bounded memory;
+//!   [`snapshot::SnapshotReader`] validates everything before decoding.
+//! * [`diff`] — host-level transitions between two snapshots: the
+//!   state-migration matrix, newly-valid/newly-broken hosts, HSTS and
+//!   chain churn, and per-country improvement rates.
+//! * [`wire`], [`intern`], [`error`] — the byte codec, string
+//!   interning, and the typed [`StoreError`] every failure maps to.
+//!
+//! The round-trip invariant — write → read yields a dataset that is
+//! semantically identical, proven by [`snapshot::dataset_digest`]
+//! equality and byte-identical analysis renders — is asserted in this
+//! crate's tests at small scale and in `govscan-bench`'s `store` bench
+//! at the paper's 135,408-host scale.
+//!
+//! [`ScanDataset`]: govscan_scanner::ScanDataset
+
+pub mod diff;
+pub mod error;
+pub mod intern;
+pub mod snapshot;
+pub mod wire;
+
+pub use diff::{diff_datasets, diff_snapshot_files, CountryDelta, HostState, SnapshotDiff};
+pub use error::{Result, StoreError};
+pub use snapshot::{
+    dataset_digest, encode_snapshot, read_snapshot, read_snapshot_file, write_snapshot_file,
+    SnapshotReader, SnapshotWriter, MAGIC, VERSION,
+};

@@ -1,0 +1,885 @@
+//! The versioned binary snapshot format: writer and reader.
+//!
+//! A snapshot is the durable, columnar form of one [`ScanDataset`]:
+//!
+//! ```text
+//! header   (24 bytes)   magic "GOVSNAP1" · version u32 · reserved u32 ·
+//!                       section-table offset u64 (backpatched at finish)
+//! hosts    (streamed)   fixed-width 35-byte records referencing pools
+//! caa      (pool)       5-byte CAA entries; hosts reference runs
+//! certs    (pool)       95-byte entries, content-addressed by leaf
+//!                       fingerprint (+ presented chain length)
+//! strings  (pool)       deduplicated, length-prefixed UTF-8
+//! meta                  scan time + element counts (cross-validated)
+//! table                 per section: id · offset · length · FNV-1a64
+//! ```
+//!
+//! The writer streams host records as they are added — memory stays
+//! bounded by the pools (strings, deduplicated certificates, CAA runs),
+//! never by the host count — and the reader validates the magic,
+//! version, and every section checksum before decoding a single record.
+//! Round-tripping is semantically lossless: the rebuilt dataset renders
+//! every analysis byte-identically (proven in tests and at paper scale
+//! in `benches/store.rs`), and re-encoding it reproduces the archive
+//! byte for byte, which is what makes [`dataset_digest`] a meaningful
+//! identity.
+
+use std::collections::HashMap;
+use std::io::{Seek, SeekFrom, Write};
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+use govscan_crypto::{Digest, Fingerprint, KeyAlgorithm, Sha256, SignatureAlgorithm};
+use govscan_net::tls::TlsVersion;
+use govscan_pki::caa::{CaaRecord, CaaTag};
+use govscan_pki::Time;
+use govscan_scanner::classify::{CertMeta, HttpsStatus};
+use govscan_scanner::dataset::HostingKind;
+use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
+
+use crate::error::{Result, StoreError};
+use crate::intern::{intern_static, StringTable, NO_STRING};
+use crate::wire::{Checksum, Decoder, Encoder};
+
+/// File magic: the first eight bytes of every govscan snapshot.
+pub const MAGIC: [u8; 8] = *b"GOVSNAP1";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + reserved + table offset.
+const HEADER_LEN: u64 = 24;
+
+/// Fixed-width encodings (v1).
+const HOST_RECORD_LEN: usize = 35;
+const CERT_RECORD_LEN: usize = 95;
+const CAA_RECORD_LEN: usize = 5;
+
+/// Sentinel for "no certificate" in a host record.
+const NO_CERT: u32 = u32::MAX;
+
+/// Section identifiers, in the order they appear in the section table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+enum SectionId {
+    Meta = 1,
+    Strings = 2,
+    Certs = 3,
+    Caa = 4,
+    Hosts = 5,
+}
+
+impl SectionId {
+    fn name(self) -> &'static str {
+        match self {
+            SectionId::Meta => "meta",
+            SectionId::Strings => "strings",
+            SectionId::Certs => "certs",
+            SectionId::Caa => "caa",
+            SectionId::Hosts => "hosts",
+        }
+    }
+}
+
+/// One entry of the decoded section table.
+#[derive(Debug, Clone, Copy)]
+pub struct Section {
+    /// Numeric section id (see the format sketch in the module docs).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Payload offset from the start of the snapshot.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 checksum of the payload.
+    pub checksum: u64,
+}
+
+// --- Enum codecs. Wire codes are positions in each type's stable `ALL`
+// --- order, so adding variants appends codes instead of renumbering.
+
+fn error_code(c: ErrorCategory) -> u8 {
+    ErrorCategory::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("every category is in ALL") as u8
+}
+
+fn error_from(code: u8) -> Option<ErrorCategory> {
+    ErrorCategory::ALL.get(code as usize).copied()
+}
+
+fn tls_code(v: TlsVersion) -> u8 {
+    TlsVersion::ALL
+        .iter()
+        .position(|&x| x == v)
+        .expect("every version is in ALL") as u8
+}
+
+fn tls_from(code: u8) -> Option<TlsVersion> {
+    TlsVersion::ALL.get(code as usize).copied()
+}
+
+fn sig_code(s: SignatureAlgorithm) -> u8 {
+    SignatureAlgorithm::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("every algorithm is in ALL") as u8
+}
+
+fn sig_from(code: u8) -> Option<SignatureAlgorithm> {
+    SignatureAlgorithm::ALL.get(code as usize).copied()
+}
+
+// --- Host record flags.
+
+const F_AVAILABLE: u16 = 1 << 0;
+const F_HTTP_200: u16 = 1 << 1;
+const F_HTTP_REDIRECTS: u16 = 1 << 2;
+const F_HTTPS_200: u16 = 1 << 3;
+const F_HSTS: u16 = 1 << 4;
+const F_HAS_IP: u16 = 1 << 5;
+const F_ATTEMPTS: u16 = 1 << 6;
+const F_VALID: u16 = 1 << 7;
+
+// --- Cert record flags.
+
+const CF_WILDCARD: u8 = 1 << 0;
+const CF_EV: u8 = 1 << 1;
+const CF_SELF_ISSUED: u8 = 1 << 2;
+
+/// Streams a [`ScanDataset`] into the snapshot format.
+///
+/// Host records are written to `out` as they are [`added`](Self::add);
+/// only the pools (strings, deduplicated certificates, CAA entries) are
+/// buffered until [`finish`](Self::finish).
+pub struct SnapshotWriter<W: Write + Seek> {
+    out: W,
+    /// Stream position where this snapshot started (offsets are relative
+    /// to it, so snapshots can be embedded mid-stream).
+    base: u64,
+    scan_time: Option<Time>,
+    strings: StringTable,
+    /// Content-addressed certificate pool: leaf fingerprint plus the
+    /// presented chain length (the one [`CertMeta`] field not derived
+    /// from the leaf bytes themselves) → pool index.
+    cert_ids: HashMap<(Fingerprint, u16), u32>,
+    certs: Encoder,
+    cert_count: u32,
+    #[cfg(debug_assertions)]
+    cert_metas: Vec<CertMeta>,
+    caa: Encoder,
+    caa_count: u32,
+    hosts_checksum: Checksum,
+    hosts_len: u64,
+    host_count: u64,
+}
+
+impl<W: Write + Seek> SnapshotWriter<W> {
+    /// Begin a snapshot at the writer's current position.
+    pub fn new(mut out: W, scan_time: Option<Time>) -> Result<SnapshotWriter<W>> {
+        let base = out.stream_position()?;
+        // Placeholder header; the table offset is backpatched by finish().
+        let mut header = Encoder::new();
+        header.bytes(&MAGIC);
+        header.u32(VERSION);
+        header.u32(0); // reserved
+        header.u64(0); // table offset placeholder
+        debug_assert_eq!(header.len() as u64, HEADER_LEN);
+        out.write_all(header.as_bytes())?;
+        Ok(SnapshotWriter {
+            out,
+            base,
+            scan_time,
+            strings: StringTable::new(),
+            cert_ids: HashMap::new(),
+            certs: Encoder::new(),
+            cert_count: 0,
+            #[cfg(debug_assertions)]
+            cert_metas: Vec::new(),
+            caa: Encoder::new(),
+            caa_count: 0,
+            hosts_checksum: Checksum::default(),
+            hosts_len: 0,
+            host_count: 0,
+        })
+    }
+
+    fn intern_cert(&mut self, meta: &CertMeta) -> Result<u32> {
+        let chain_len = u16::try_from(meta.chain_len)
+            .map_err(|_| StoreError::Unrepresentable { field: "chain_len" })?;
+        if let Some(&id) = self.cert_ids.get(&(meta.fingerprint, chain_len)) {
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                &self.cert_metas[id as usize], meta,
+                "content-addressing invariant: same (fingerprint, chain length) must mean identical metadata"
+            );
+            return Ok(id);
+        }
+        let id = self.cert_count;
+        self.cert_ids.insert((meta.fingerprint, chain_len), id);
+        self.cert_count += 1;
+        #[cfg(debug_assertions)]
+        self.cert_metas.push(meta.clone());
+        let issuer = self.strings.intern(&meta.issuer);
+        let serial = self.strings.intern(&meta.serial);
+        let e = &mut self.certs;
+        e.bytes(meta.fingerprint.as_bytes());
+        e.bytes(meta.key_fingerprint.as_bytes());
+        e.u32(issuer);
+        e.u32(serial);
+        match meta.key_algorithm {
+            KeyAlgorithm::Rsa(bits) => {
+                e.u8(0);
+                e.u16(bits);
+            }
+            KeyAlgorithm::Ec(bits) => {
+                e.u8(1);
+                e.u16(bits);
+            }
+        }
+        e.u8(sig_code(meta.signature_algorithm));
+        e.i64(meta.not_before.0);
+        e.i64(meta.not_after.0);
+        let mut flags = 0u8;
+        if meta.wildcard {
+            flags |= CF_WILDCARD;
+        }
+        if meta.is_ev {
+            flags |= CF_EV;
+        }
+        if meta.self_issued {
+            flags |= CF_SELF_ISSUED;
+        }
+        e.u8(flags);
+        e.u16(chain_len);
+        debug_assert_eq!(e.len(), self.cert_count as usize * CERT_RECORD_LEN);
+        Ok(id)
+    }
+
+    /// Append one record. Records keep their order; duplicate hostnames
+    /// are stored as-is (the dataset they came from already resolved
+    /// collisions — see [`ScanDataset::push`]).
+    pub fn add(&mut self, record: &ScanRecord) -> Result<()> {
+        // CAA run for this host, appended to the pool.
+        let caa_offset = self.caa_count;
+        let caa_len = u16::try_from(record.caa.len())
+            .map_err(|_| StoreError::Unrepresentable { field: "caa run" })?;
+        for rec in &record.caa {
+            let value = self.strings.intern(&rec.value);
+            let mut flags = match rec.tag {
+                CaaTag::Issue => 0u8,
+                CaaTag::IssueWild => 1,
+                CaaTag::Iodef => 2,
+            };
+            if rec.critical {
+                flags |= 0x80;
+            }
+            self.caa.u8(flags);
+            self.caa.u32(value);
+            self.caa_count += 1;
+        }
+
+        let (attempts, valid) = (record.https.attempts(), record.https.is_valid());
+        let error = record.https.error();
+        let cert = match record.https.meta() {
+            Some(meta) => self.intern_cert(meta)?,
+            None => NO_CERT,
+        };
+        if record.tranco_rank == Some(u32::MAX) {
+            return Err(StoreError::Unrepresentable {
+                field: "tranco_rank",
+            });
+        }
+
+        let mut e = Encoder::new();
+        e.u32(self.strings.intern(&record.hostname));
+        let mut flags = 0u16;
+        let mut set = |bit: u16, on: bool| {
+            if on {
+                flags |= bit;
+            }
+        };
+        set(F_AVAILABLE, record.available);
+        set(F_HTTP_200, record.http_200);
+        set(F_HTTP_REDIRECTS, record.http_redirects_https);
+        set(F_HTTPS_200, record.https_200);
+        set(F_HSTS, record.hsts);
+        set(F_HAS_IP, record.ip.is_some());
+        set(F_ATTEMPTS, attempts);
+        set(F_VALID, valid);
+        e.u16(flags);
+        e.u32(record.ip.map(u32::from).unwrap_or(0));
+        e.u8(error.map(error_code).unwrap_or(u8::MAX));
+        e.u8(record.negotiated.map(tls_code).unwrap_or(u8::MAX));
+        let (hosting_tag, provider) = match record.hosting {
+            HostingKind::Private => (0u8, NO_STRING),
+            HostingKind::Cloud(p) => (1, self.strings.intern(p)),
+            HostingKind::Cdn(p) => (2, self.strings.intern(p)),
+        };
+        e.u8(hosting_tag);
+        e.u32(provider);
+        e.u32(cert);
+        e.u32(match record.country {
+            Some(cc) => self.strings.intern(cc),
+            None => NO_STRING,
+        });
+        e.u32(record.tranco_rank.unwrap_or(u32::MAX));
+        e.u32(caa_offset);
+        e.u16(caa_len);
+        debug_assert_eq!(e.len(), HOST_RECORD_LEN);
+
+        self.hosts_checksum.update(e.as_bytes());
+        self.hosts_len += e.len() as u64;
+        self.host_count += 1;
+        self.out.write_all(e.as_bytes())?;
+        Ok(())
+    }
+
+    /// Write the pools, metadata, and section table; backpatch the
+    /// header; return the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        let hosts = Section {
+            id: SectionId::Hosts as u32,
+            name: SectionId::Hosts.name(),
+            offset: HEADER_LEN,
+            len: self.hosts_len,
+            checksum: self.hosts_checksum.value(),
+        };
+
+        let mut strings = Encoder::new();
+        for s in self.strings.strings() {
+            strings.u32(s.len() as u32);
+            strings.bytes(s.as_bytes());
+        }
+
+        let mut meta = Encoder::new();
+        match self.scan_time {
+            Some(t) => {
+                meta.u8(1);
+                meta.i64(t.0);
+            }
+            None => {
+                meta.u8(0);
+                meta.i64(0);
+            }
+        }
+        meta.u64(self.host_count);
+        meta.u64(self.cert_count as u64);
+        meta.u64(self.caa_count as u64);
+        meta.u64(self.strings.len() as u64);
+
+        // Pools follow the streamed host section, each checksummed whole.
+        let mut cursor = HEADER_LEN + self.hosts_len;
+        let mut table = vec![hosts];
+        for (id, payload) in [
+            (SectionId::Caa, self.caa.as_bytes()),
+            (SectionId::Certs, self.certs.as_bytes()),
+            (SectionId::Strings, strings.as_bytes()),
+            (SectionId::Meta, meta.as_bytes()),
+        ] {
+            self.out.write_all(payload)?;
+            table.push(Section {
+                id: id as u32,
+                name: id.name(),
+                offset: cursor,
+                len: payload.len() as u64,
+                checksum: Checksum::of(payload),
+            });
+            cursor += payload.len() as u64;
+        }
+
+        let table_offset = cursor;
+        let mut t = Encoder::new();
+        t.u32(table.len() as u32);
+        table.sort_by_key(|s| s.id);
+        for s in &table {
+            t.u32(s.id);
+            t.u64(s.offset);
+            t.u64(s.len);
+            t.u64(s.checksum);
+        }
+        self.out.write_all(t.as_bytes())?;
+
+        // Backpatch the table offset in the header.
+        self.out.seek(SeekFrom::Start(self.base + 16))?;
+        self.out.write_all(&table_offset.to_le_bytes())?;
+        self.out
+            .seek(SeekFrom::Start(self.base + table_offset + t.len() as u64))?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Encode a whole dataset into an in-memory snapshot.
+///
+/// One [`ScanDataset::records`] walk; the dataset's scan time travels in
+/// the meta section.
+pub fn encode_snapshot(dataset: &ScanDataset) -> Result<Vec<u8>> {
+    let mut w = SnapshotWriter::new(std::io::Cursor::new(Vec::new()), dataset.scan_time)?;
+    for r in dataset.records() {
+        w.add(r)?;
+    }
+    Ok(w.finish()?.into_inner())
+}
+
+/// Write a dataset snapshot to `path`, returning the byte size.
+pub fn write_snapshot_file(path: impl AsRef<Path>, dataset: &ScanDataset) -> Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = SnapshotWriter::new(std::io::BufWriter::new(file), dataset.scan_time)?;
+    for r in dataset.records() {
+        w.add(r)?;
+    }
+    let mut out = w.finish()?;
+    Ok(out.stream_position()?)
+}
+
+/// The canonical content digest of a dataset: SHA-256 over its v1
+/// snapshot encoding. Two datasets are semantically identical exactly
+/// when their digests agree, which is how the round-trip invariant is
+/// asserted in tests and benches.
+pub fn dataset_digest(dataset: &ScanDataset) -> Result<Fingerprint> {
+    Ok(Fingerprint::from_digest(&Sha256::digest(&encode_snapshot(
+        dataset,
+    )?)))
+}
+
+/// A validated snapshot: header and section table parsed, every section
+/// checksum verified. Decoding into a [`ScanDataset`] is a second,
+/// explicit step ([`Self::dataset`]).
+pub struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    /// Format version of the file (always [`VERSION`] for now).
+    pub version: u32,
+    /// The archived scan time.
+    pub scan_time: Option<Time>,
+    /// Number of host records.
+    pub host_count: u64,
+    cert_count: u64,
+    caa_count: u64,
+    string_count: u64,
+    sections: Vec<Section>,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parse and validate `bytes` as a snapshot.
+    ///
+    /// Checks, in order: magic, version, header/table bounds, presence
+    /// of all v1 sections, each section's checksum, and the meta
+    /// section's counts against the section payload sizes. Any failure
+    /// is a typed [`StoreError`] — never a panic.
+    pub fn new(bytes: &'a [u8]) -> Result<SnapshotReader<'a>> {
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            if bytes.len() >= MAGIC.len() {
+                return Err(StoreError::BadMagic {
+                    found: bytes[..MAGIC.len()].to_vec(),
+                });
+            }
+            // Too short to even hold the magic: an empty or chopped file.
+            if bytes.is_empty() || !MAGIC.starts_with(bytes) {
+                return Err(StoreError::BadMagic {
+                    found: bytes.to_vec(),
+                });
+            }
+            return Err(StoreError::Truncated { context: "header" });
+        }
+        let mut header = Decoder::new(bytes, "header");
+        header.bytes(MAGIC.len())?;
+        let version = header.u32()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let _reserved = header.u32()?;
+        let table_offset = header.u64()?;
+        let table_bytes = usize::try_from(table_offset)
+            .ok()
+            .and_then(|o| bytes.get(o..))
+            .ok_or(StoreError::Truncated {
+                context: "section table",
+            })?;
+        let mut table = Decoder::new(table_bytes, "section table");
+        let count = table.u32()?;
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = table.u32()?;
+            let offset = table.u64()?;
+            let len = table.u64()?;
+            let checksum = table.u64()?;
+            let name = match id {
+                x if x == SectionId::Meta as u32 => SectionId::Meta.name(),
+                x if x == SectionId::Strings as u32 => SectionId::Strings.name(),
+                x if x == SectionId::Certs as u32 => SectionId::Certs.name(),
+                x if x == SectionId::Caa as u32 => SectionId::Caa.name(),
+                x if x == SectionId::Hosts as u32 => SectionId::Hosts.name(),
+                // Unknown sections from future minor revisions are
+                // tolerated (and checksummed) but not decoded.
+                _ => "unknown",
+            };
+            sections.push(Section {
+                id,
+                name,
+                offset,
+                len,
+                checksum,
+            });
+        }
+        let mut reader = SnapshotReader {
+            bytes,
+            version,
+            scan_time: None,
+            host_count: 0,
+            cert_count: 0,
+            caa_count: 0,
+            string_count: 0,
+            sections,
+        };
+        // Verify every section's bounds and checksum up front: a damaged
+        // archive is rejected before any decoding starts.
+        for s in &reader.sections {
+            let payload = reader.payload(s)?;
+            if Checksum::of(payload) != s.checksum {
+                return Err(StoreError::ChecksumMismatch { section: s.name });
+            }
+        }
+
+        let mut meta = Decoder::new(reader.section_payload(SectionId::Meta)?, "meta");
+        let has_time = meta.u8()?;
+        let time = meta.i64()?;
+        reader.scan_time = (has_time != 0).then_some(Time(time));
+        reader.host_count = meta.u64()?;
+        reader.cert_count = meta.u64()?;
+        reader.caa_count = meta.u64()?;
+        reader.string_count = meta.u64()?;
+        meta.finish()?;
+
+        // Cross-validate counts against fixed-width payload sizes.
+        let check = |id: SectionId, count: u64, width: usize| -> Result<()> {
+            let len = reader.section(id)?.len;
+            if len != count * width as u64 {
+                return Err(StoreError::Corrupt {
+                    context: id.name(),
+                    detail: format!("{len} bytes for {count} records of {width}"),
+                });
+            }
+            Ok(())
+        };
+        check(SectionId::Hosts, reader.host_count, HOST_RECORD_LEN)?;
+        check(SectionId::Certs, reader.cert_count, CERT_RECORD_LEN)?;
+        check(SectionId::Caa, reader.caa_count, CAA_RECORD_LEN)?;
+        Ok(reader)
+    }
+
+    /// The validated section table, in id order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Entries in the content-addressed certificate pool.
+    pub fn cert_count(&self) -> u64 {
+        self.cert_count
+    }
+
+    /// Entries in the CAA pool.
+    pub fn caa_count(&self) -> u64 {
+        self.caa_count
+    }
+
+    /// Entries in the string table.
+    pub fn string_count(&self) -> u64 {
+        self.string_count
+    }
+
+    fn section(&self, id: SectionId) -> Result<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id as u32)
+            .ok_or(StoreError::Corrupt {
+                context: "section table",
+                detail: format!("missing required section {:?}", id.name()),
+            })
+    }
+
+    fn payload(&self, s: &Section) -> Result<&'a [u8]> {
+        let start =
+            usize::try_from(s.offset).map_err(|_| StoreError::Truncated { context: s.name })?;
+        let len = usize::try_from(s.len).map_err(|_| StoreError::Truncated { context: s.name })?;
+        start
+            .checked_add(len)
+            .and_then(|end| self.bytes.get(start..end))
+            .ok_or(StoreError::Truncated { context: s.name })
+    }
+
+    fn section_payload(&self, id: SectionId) -> Result<&'a [u8]> {
+        self.payload(self.section(id)?)
+    }
+
+    fn decode_strings(&self) -> Result<Vec<String>> {
+        let mut d = Decoder::new(self.section_payload(SectionId::Strings)?, "strings");
+        let mut out = Vec::with_capacity(self.string_count as usize);
+        for _ in 0..self.string_count {
+            let len = d.u32()? as usize;
+            let bytes = d.bytes(len)?;
+            match std::str::from_utf8(bytes) {
+                Ok(s) => out.push(s.to_owned()),
+                Err(e) => return d.corrupt(format!("invalid UTF-8 in string table: {e}")),
+            }
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    fn decode_certs(&self, strings: &[String]) -> Result<Vec<CertMeta>> {
+        let mut d = Decoder::new(self.section_payload(SectionId::Certs)?, "certs");
+        let string = |d: &Decoder<'_>, id: u32| -> Result<String> {
+            match strings.get(id as usize) {
+                Some(s) => Ok(s.clone()),
+                None => d.corrupt(format!("string id {id} out of range")),
+            }
+        };
+        let mut out = Vec::with_capacity(self.cert_count as usize);
+        for _ in 0..self.cert_count {
+            let fingerprint = Fingerprint::from_digest(d.bytes(32)?);
+            let key_fingerprint = Fingerprint::from_digest(d.bytes(32)?);
+            let issuer_id = d.u32()?;
+            let issuer = string(&d, issuer_id)?;
+            let serial_id = d.u32()?;
+            let serial = string(&d, serial_id)?;
+            let key_tag = d.u8()?;
+            let key_bits = d.u16()?;
+            let key_algorithm = match key_tag {
+                0 => KeyAlgorithm::Rsa(key_bits),
+                1 => KeyAlgorithm::Ec(key_bits),
+                t => return d.corrupt(format!("unknown key algorithm tag {t}")),
+            };
+            let sig = d.u8()?;
+            let Some(signature_algorithm) = sig_from(sig) else {
+                return d.corrupt(format!("unknown signature algorithm code {sig}"));
+            };
+            let not_before = Time(d.i64()?);
+            let not_after = Time(d.i64()?);
+            let flags = d.u8()?;
+            let chain_len = d.u16()? as usize;
+            out.push(CertMeta {
+                issuer,
+                key_algorithm,
+                signature_algorithm,
+                not_before,
+                not_after,
+                serial,
+                fingerprint,
+                key_fingerprint,
+                wildcard: flags & CF_WILDCARD != 0,
+                is_ev: flags & CF_EV != 0,
+                self_issued: flags & CF_SELF_ISSUED != 0,
+                chain_len,
+            });
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    fn decode_caa(&self, strings: &[String]) -> Result<Vec<CaaRecord>> {
+        let mut d = Decoder::new(self.section_payload(SectionId::Caa)?, "caa");
+        let mut out = Vec::with_capacity(self.caa_count as usize);
+        for _ in 0..self.caa_count {
+            let flags = d.u8()?;
+            let value_id = d.u32()?;
+            let tag = match flags & 0x7f {
+                0 => CaaTag::Issue,
+                1 => CaaTag::IssueWild,
+                2 => CaaTag::Iodef,
+                t => return d.corrupt(format!("unknown CAA tag {t}")),
+            };
+            let Some(value) = strings.get(value_id as usize) else {
+                return d.corrupt(format!("CAA value string id {value_id} out of range"));
+            };
+            out.push(CaaRecord {
+                critical: flags & 0x80 != 0,
+                tag,
+                value: value.clone(),
+            });
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// Rebuild the archived [`ScanDataset`].
+    pub fn dataset(&self) -> Result<ScanDataset> {
+        let strings = self.decode_strings()?;
+        let certs = self.decode_certs(&strings)?;
+        let caa = self.decode_caa(&strings)?;
+
+        let mut d = Decoder::new(self.section_payload(SectionId::Hosts)?, "hosts");
+        let mut records = Vec::with_capacity(self.host_count as usize);
+        for _ in 0..self.host_count {
+            let hostname_id = d.u32()?;
+            let Some(hostname) = strings.get(hostname_id as usize) else {
+                return d.corrupt(format!("hostname string id {hostname_id} out of range"));
+            };
+            let flags = d.u16()?;
+            let ip_raw = d.u32()?;
+            let error_raw = d.u8()?;
+            let negotiated_raw = d.u8()?;
+            let hosting_tag = d.u8()?;
+            let provider_id = d.u32()?;
+            let cert_id = d.u32()?;
+            let country_id = d.u32()?;
+            let rank_raw = d.u32()?;
+            let caa_offset = d.u32()? as usize;
+            let caa_len = d.u16()? as usize;
+
+            let cert = match cert_id {
+                NO_CERT => None,
+                id => match certs.get(id as usize) {
+                    Some(meta) => Some(meta.clone()),
+                    None => return d.corrupt(format!("certificate id {id} out of range")),
+                },
+            };
+            let error = match error_raw {
+                u8::MAX => None,
+                code => match error_from(code) {
+                    Some(c) => Some(c),
+                    None => return d.corrupt(format!("unknown error category code {code}")),
+                },
+            };
+            let https = match (flags & F_ATTEMPTS != 0, flags & F_VALID != 0) {
+                (false, false) => {
+                    if error.is_some() || cert.is_some() {
+                        return d.corrupt("https=None record carries error or certificate");
+                    }
+                    HttpsStatus::None
+                }
+                (true, true) => match (cert, error) {
+                    (Some(meta), None) => HttpsStatus::Valid(meta),
+                    _ => return d.corrupt("valid record must have a certificate and no error"),
+                },
+                (true, false) => match error {
+                    Some(cat) => HttpsStatus::Invalid(cat, cert),
+                    None => return d.corrupt("invalid record without an error category"),
+                },
+                (false, true) => return d.corrupt("valid flag without attempts flag"),
+            };
+            let negotiated = match negotiated_raw {
+                u8::MAX => None,
+                code => match tls_from(code) {
+                    Some(v) => Some(v),
+                    None => return d.corrupt(format!("unknown TLS version code {code}")),
+                },
+            };
+            let hosting = match (hosting_tag, provider_id) {
+                (0, NO_STRING) => HostingKind::Private,
+                (tag @ (1 | 2), id) => match strings.get(id as usize) {
+                    Some(p) => {
+                        let p = intern_static(p);
+                        if tag == 1 {
+                            HostingKind::Cloud(p)
+                        } else {
+                            HostingKind::Cdn(p)
+                        }
+                    }
+                    None => return d.corrupt(format!("provider string id {id} out of range")),
+                },
+                (tag, _) => return d.corrupt(format!("unknown hosting tag {tag}")),
+            };
+            let country = match country_id {
+                NO_STRING => None,
+                id => match strings.get(id as usize) {
+                    Some(cc) => Some(intern_static(cc)),
+                    None => return d.corrupt(format!("country string id {id} out of range")),
+                },
+            };
+            let caa_run = match caa.get(caa_offset..caa_offset + caa_len) {
+                Some(run) => run.to_vec(),
+                None => {
+                    return d.corrupt(format!(
+                        "CAA run {caa_offset}+{caa_len} out of range ({} entries)",
+                        caa.len()
+                    ))
+                }
+            };
+            records.push(ScanRecord {
+                hostname: hostname.clone(),
+                available: flags & F_AVAILABLE != 0,
+                ip: (flags & F_HAS_IP != 0).then(|| Ipv4Addr::from(ip_raw)),
+                http_200: flags & F_HTTP_200 != 0,
+                http_redirects_https: flags & F_HTTP_REDIRECTS != 0,
+                https_200: flags & F_HTTPS_200 != 0,
+                hsts: flags & F_HSTS != 0,
+                https,
+                negotiated,
+                caa: caa_run,
+                hosting,
+                country,
+                tranco_rank: (rank_raw != u32::MAX).then_some(rank_raw),
+            });
+        }
+        d.finish()?;
+
+        let mut dataset = match self.scan_time {
+            Some(t) => ScanDataset::new(records, t),
+            None => {
+                let mut ds = ScanDataset::default();
+                for r in records {
+                    ds.push(r);
+                }
+                ds
+            }
+        };
+        dataset.scan_time = self.scan_time;
+        Ok(dataset)
+    }
+
+    /// A human-readable dump of the archive structure: section table
+    /// with checksums, element counts, and the first certificates of the
+    /// content-addressed pool. All hex goes through `govscan_crypto`'s
+    /// one encoder ([`govscan_crypto::hex`] / [`Fingerprint::to_hex`]).
+    pub fn describe(&self) -> Result<String> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "govscan snapshot v{} · {} bytes · scan_time {:?}",
+            self.version,
+            self.bytes.len(),
+            self.scan_time.map(|t| t.0),
+        );
+        let _ = writeln!(
+            out,
+            "counts: {} hosts · {} certs · {} caa · {} strings",
+            self.host_count, self.cert_count, self.caa_count, self.string_count
+        );
+        for s in &self.sections {
+            let _ = writeln!(
+                out,
+                "  section {:<8} id={} offset={:<10} len={:<10} fnv1a64={}",
+                s.name,
+                s.id,
+                s.offset,
+                s.len,
+                govscan_crypto::hex::encode(&s.checksum.to_be_bytes()),
+            );
+        }
+        let strings = self.decode_strings()?;
+        for (i, meta) in self.decode_certs(&strings)?.iter().take(5).enumerate() {
+            let _ = writeln!(
+                out,
+                "  cert[{i}] {} issuer={:?} serial={}",
+                meta.fingerprint.to_hex(),
+                meta.issuer,
+                meta.serial,
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// Decode an in-memory snapshot into a dataset (validate + rebuild).
+pub fn read_snapshot(bytes: &[u8]) -> Result<ScanDataset> {
+    SnapshotReader::new(bytes)?.dataset()
+}
+
+/// Read a snapshot file into a dataset.
+pub fn read_snapshot_file(path: impl AsRef<Path>) -> Result<ScanDataset> {
+    read_snapshot(&std::fs::read(path)?)
+}

@@ -1,0 +1,150 @@
+//! Diff-engine semantics over hand-built datasets, plus the file-level
+//! path over real snapshots.
+
+use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
+use govscan_pki::Time;
+use govscan_scanner::classify::{CertMeta, HttpsStatus};
+use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
+use govscan_store::diff::{diff_datasets, diff_snapshot_files, HostState};
+use govscan_store::snapshot::write_snapshot_file;
+
+fn meta(fp: u8) -> CertMeta {
+    CertMeta {
+        issuer: "Let's Encrypt R3".into(),
+        key_algorithm: KeyAlgorithm::Rsa(2048),
+        signature_algorithm: SignatureAlgorithm::Sha256WithRsa,
+        not_before: Time(0),
+        not_after: Time(7776000),
+        serial: "0a".into(),
+        fingerprint: Fingerprint([fp; 32]),
+        key_fingerprint: Fingerprint([fp.wrapping_add(1); 32]),
+        wildcard: false,
+        is_ev: false,
+        self_issued: false,
+        chain_len: 2,
+    }
+}
+
+fn host(name: &str, https: HttpsStatus, hsts: bool, country: &'static str) -> ScanRecord {
+    let mut r = ScanRecord::unavailable(name.to_string());
+    r.available = true;
+    r.https = https;
+    r.hsts = hsts;
+    r.country = Some(country);
+    r
+}
+
+fn datasets() -> (ScanDataset, ScanDataset) {
+    let before = ScanDataset::new(
+        vec![
+            host(
+                "a.gov",
+                HttpsStatus::Invalid(ErrorCategory::Expired, Some(meta(1))),
+                false,
+                "us",
+            ),
+            host("b.gov", HttpsStatus::Valid(meta(2)), true, "us"),
+            host("c.gov", HttpsStatus::Valid(meta(3)), false, "kr"),
+            host("d.gov", HttpsStatus::None, false, "kr"),
+            ScanRecord::unavailable("e.gov".to_string()),
+            host("gone.gov", HttpsStatus::None, false, "us"),
+        ],
+        Time(100),
+    );
+    let after = ScanDataset::new(
+        vec![
+            // a.gov remediated: expired -> valid, turned HSTS on.
+            host("a.gov", HttpsStatus::Valid(meta(9)), true, "us"),
+            // b.gov regressed to self-signed and dropped HSTS.
+            host(
+                "b.gov",
+                HttpsStatus::Invalid(ErrorCategory::SelfSigned, Some(meta(2))),
+                false,
+                "us",
+            ),
+            // c.gov stayed valid but rotated its certificate.
+            host("c.gov", HttpsStatus::Valid(meta(7)), false, "kr"),
+            // d.gov unchanged (HTTP only).
+            host("d.gov", HttpsStatus::None, false, "kr"),
+            // e.gov still unreachable.
+            ScanRecord::unavailable("e.gov".to_string()),
+            // new.gov appeared; gone.gov disappeared.
+            host("new.gov", HttpsStatus::Valid(meta(8)), false, "us"),
+        ],
+        Time(200),
+    );
+    (before, after)
+}
+
+#[test]
+fn migration_matrix_and_derived_counts() {
+    let (before, after) = datasets();
+    let diff = diff_datasets(&before, &after);
+
+    assert_eq!(diff.hosts_before, 6);
+    assert_eq!(diff.hosts_after, 6);
+    assert_eq!(diff.appeared, ["new.gov"]);
+    assert_eq!(diff.disappeared, ["gone.gov"]);
+    assert_eq!(diff.tracked(), 5, "five hosts present in both scans");
+
+    let m = |b, a| diff.migration.get(&(b, a)).copied().unwrap_or(0);
+    assert_eq!(
+        m(HostState::Invalid(ErrorCategory::Expired), HostState::Valid),
+        1
+    );
+    assert_eq!(
+        m(
+            HostState::Valid,
+            HostState::Invalid(ErrorCategory::SelfSigned)
+        ),
+        1
+    );
+    assert_eq!(m(HostState::Valid, HostState::Valid), 1);
+    assert_eq!(m(HostState::HttpOnly, HostState::HttpOnly), 1);
+    assert_eq!(m(HostState::Unreachable, HostState::Unreachable), 1);
+    assert_eq!(diff.moved(), 2);
+
+    assert_eq!(diff.newly_valid, ["a.gov"]);
+    assert_eq!(diff.newly_broken, ["b.gov"]);
+    assert_eq!(diff.hsts_gained, 1);
+    assert_eq!(diff.hsts_lost, 1);
+    assert_eq!(
+        diff.chain_changed, 1,
+        "only c.gov stayed valid with a new leaf"
+    );
+
+    let us = diff.per_country["us"];
+    assert_eq!((us.invalid_before, us.invalid_after), (1, 1));
+    assert_eq!((us.valid_before, us.valid_after), (1, 1));
+    assert_eq!((us.improved, us.regressed), (1, 1));
+    assert!((us.improvement_rate() - 1.0).abs() < f64::EPSILON);
+    let kr = diff.per_country["kr"];
+    assert_eq!((kr.improved, kr.regressed), (0, 0));
+    assert_eq!(kr.improvement_rate(), 0.0);
+
+    let rendered = diff.render();
+    assert!(
+        rendered.contains("Certificate Expired -> Valid HTTPS"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("newly valid: 1"), "{rendered}");
+    assert!(rendered.contains("us  improved"), "{rendered}");
+}
+
+#[test]
+fn file_level_diff_matches_in_memory() {
+    let (before, after) = datasets();
+    let dir = std::env::temp_dir().join(format!("govscan-store-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let b = dir.join("before.snap");
+    let a = dir.join("after.snap");
+    write_snapshot_file(&b, &before).unwrap();
+    write_snapshot_file(&a, &after).unwrap();
+
+    let from_files = diff_snapshot_files(&b, &a).unwrap();
+    assert_eq!(from_files, diff_datasets(&before, &after));
+    assert_eq!(from_files.before_time, Some(Time(100)));
+    assert_eq!(from_files.after_time, Some(Time(200)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,221 @@
+//! The two invariants the archive lives or dies by:
+//!
+//! 1. **Round-trip fidelity** — writing a real scan and reading it back
+//!    yields a semantically identical dataset: equal canonical digests,
+//!    byte-identical analysis renders, byte-identical re-encoding.
+//! 2. **Corruption robustness** — every way a file can be damaged
+//!    (truncation, foreign bytes, future version, bit rot) surfaces as
+//!    the matching typed [`StoreError`], never a panic and never a
+//!    silently partial dataset.
+
+use std::sync::OnceLock;
+
+use govscan_analysis::aggregate::AggregateIndex;
+use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, table2};
+use govscan_scanner::{ScanDataset, StudyPipeline};
+use govscan_store::snapshot::{dataset_digest, encode_snapshot, read_snapshot, SnapshotReader};
+use govscan_store::{StoreError, MAGIC, VERSION};
+use govscan_worldgen::{World, WorldConfig};
+
+/// One small-but-real scan, shared across tests.
+fn scan() -> &'static ScanDataset {
+    static SCAN: OnceLock<ScanDataset> = OnceLock::new();
+    SCAN.get_or_init(|| {
+        let world = World::generate(&WorldConfig::small(0x5709));
+        StudyPipeline::new(&world).run().scan
+    })
+}
+
+fn snapshot() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| encode_snapshot(scan()).expect("encodable"))
+}
+
+/// Render the full paper-figure set from a dataset via the single-pass
+/// aggregation layer.
+fn renders(ds: &ScanDataset) -> Vec<String> {
+    let index = AggregateIndex::build(ds);
+    vec![
+        table2::build_from_index(&index).render(),
+        choropleth::build_from_index(&index).render(),
+        issuers::build_from_index(&index, 40).render(),
+        keys::build_from_index(&index).render(),
+        durations::build_from_index(&index).render(),
+        hsts::build_from_index(&index).render(),
+        ev::build_from_index(&index).render(),
+    ]
+}
+
+#[test]
+fn round_trip_is_semantically_lossless() {
+    let original = scan();
+    let restored = read_snapshot(snapshot()).expect("valid snapshot reads back");
+
+    assert_eq!(original.len(), restored.len());
+    assert_eq!(original.scan_time, restored.scan_time);
+    assert_eq!(
+        dataset_digest(original).unwrap(),
+        dataset_digest(&restored).unwrap(),
+        "canonical digests must agree"
+    );
+    // Field-level spot check on every record (digest equality already
+    // implies this; the explicit loop localises any future failure).
+    for (a, b) in original.records().iter().zip(restored.records()) {
+        assert_eq!(a, b, "record {} must survive the round trip", a.hostname);
+    }
+    assert_eq!(
+        renders(original),
+        renders(&restored),
+        "analysis renders must be byte-identical"
+    );
+}
+
+#[test]
+fn reencoding_is_byte_identical() {
+    let restored = read_snapshot(snapshot()).expect("valid snapshot");
+    let again = encode_snapshot(&restored).expect("encodable");
+    assert_eq!(
+        snapshot(),
+        &again,
+        "snapshot encoding must be canonical (read → write reproduces the file)"
+    );
+}
+
+#[test]
+fn snapshot_deduplicates_certificates() {
+    let reader = SnapshotReader::new(snapshot()).expect("valid snapshot");
+    let with_cert = scan()
+        .records()
+        .iter()
+        .filter(|r| r.https.meta().is_some())
+        .count() as u64;
+    assert!(reader.host_count > 0);
+    assert!(with_cert > 0, "fixture world must have certificates");
+    // Content addressing must collapse hosts sharing a leaf (PR 3 made
+    // issuance share chains) instead of storing one entry per host.
+    assert!(
+        reader.cert_count() <= with_cert,
+        "pool ({}) cannot exceed hosts with certs ({with_cert})",
+        reader.cert_count()
+    );
+    let describe = reader.describe().expect("describe");
+    assert!(describe.contains("hosts"), "{describe}");
+    assert!(describe.contains("fnv1a64="), "{describe}");
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = snapshot().clone();
+    bytes[0] ^= 0xFF;
+    match read_snapshot(&bytes) {
+        Err(StoreError::BadMagic { found }) => assert_eq!(found.len(), MAGIC.len()),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+    // A file that is something else entirely.
+    assert!(matches!(
+        read_snapshot(b"PNG\r\n\x1a\n not a snapshot"),
+        Err(StoreError::BadMagic { .. })
+    ));
+    // The empty file.
+    assert!(matches!(
+        read_snapshot(b""),
+        Err(StoreError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let mut bytes = snapshot().clone();
+    bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    match read_snapshot(&bytes) {
+        Err(StoreError::UnsupportedVersion(v)) => assert_eq!(v, VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_never_panics_and_never_yields_data() {
+    let bytes = snapshot();
+    // Chop the file at a spread of lengths including every boundary of
+    // interest (mid-magic, mid-header, mid-section, mid-table).
+    let cuts: Vec<usize> = (0..bytes.len())
+        .step_by((bytes.len() / 97).max(1))
+        .chain([1, 7, 8, 15, 23, 24, bytes.len() - 1])
+        .collect();
+    for cut in cuts {
+        let err = read_snapshot(&bytes[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} bytes must not yield a dataset"));
+        assert!(
+            matches!(
+                err,
+                StoreError::BadMagic { .. }
+                    | StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+            ),
+            "unexpected error at cut {cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_byte_is_a_checksum_mismatch() {
+    let bytes = snapshot();
+    let reader = SnapshotReader::new(bytes).expect("valid snapshot");
+    // Flip one byte inside each section's payload.
+    let targets: Vec<(usize, &'static str)> = reader
+        .sections()
+        .iter()
+        .filter(|s| s.len > 0)
+        .map(|s| ((s.offset + s.len / 2) as usize, s.name))
+        .collect();
+    for (offset, section) in targets {
+        let mut damaged = bytes.clone();
+        damaged[offset] ^= 0x01;
+        match read_snapshot(&damaged) {
+            Err(StoreError::ChecksumMismatch { section: got }) => {
+                assert_eq!(got, section, "damage must be attributed to its section")
+            }
+            other => {
+                panic!("flip in {section} at {offset}: expected ChecksumMismatch, got {other:?}")
+            }
+        }
+    }
+}
+
+#[test]
+fn dangling_references_are_corruption_not_panics() {
+    // Hand-build a structurally valid snapshot whose single host record
+    // points at a string id that does not exist, with checksums
+    // recomputed so only reference validation can catch it.
+    let bytes = snapshot();
+    let reader = SnapshotReader::new(bytes).expect("valid snapshot");
+    let hosts = reader
+        .sections()
+        .iter()
+        .find(|s| s.name == "hosts")
+        .copied()
+        .expect("hosts section");
+    let mut damaged = bytes.clone();
+    // Hostname id lives in the first 4 bytes of the first host record.
+    let at = hosts.offset as usize;
+    damaged[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Recompute the hosts checksum so the damage is "clean".
+    let payload = &damaged[at..at + hosts.len as usize];
+    let fixed = govscan_store::wire::Checksum::of(payload);
+    // Patch the table entry in place: find it by scanning the table.
+    let table_offset = u64::from_le_bytes(damaged[16..24].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(damaged[table_offset..table_offset + 4].try_into().unwrap());
+    for i in 0..count as usize {
+        let entry = table_offset + 4 + i * 28;
+        let id = u32::from_le_bytes(damaged[entry..entry + 4].try_into().unwrap());
+        if id == 5 {
+            damaged[entry + 20..entry + 28].copy_from_slice(&fixed.to_le_bytes());
+        }
+    }
+    match read_snapshot(&damaged) {
+        Err(StoreError::Corrupt { context, .. }) => assert_eq!(context, "hosts"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

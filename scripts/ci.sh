@@ -24,5 +24,19 @@ run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench sca
 # parallel generation arms plus the shared-chain consolidation assertion
 # without emitting the full-scale BENCH_worldgen.json artifact.
 run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench worldgen
+# Smoke-run the store bench at test scale: asserts the snapshot
+# round-trip invariant (digest equality + byte-identical analysis
+# renders), times write/load/regenerate, and skips the full-scale
+# BENCH_store.json emission.
+run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench store
+# Snapshot + diff smoke: archive both sides of the disclosure
+# comparison at tiny scale, then reproduce the report and Figure 13
+# purely from the two files.
+snapdir="$(mktemp -d)"
+run env GOVSCAN_SCALE=0.02 cargo run --offline -q -p govscan-repro --bin snapshot -- \
+  rescan --out-before "$snapdir/before.snap" --out-after "$snapdir/after.snap"
+run cargo run --offline -q -p govscan-repro --bin snapshot -- report --from "$snapdir/before.snap" > /dev/null
+run cargo run --offline -q -p govscan-repro --bin snapshot -- diff "$snapdir/before.snap" "$snapdir/after.snap" > /dev/null
+rm -rf "$snapdir"
 
 echo "CI OK"
