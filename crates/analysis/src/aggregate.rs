@@ -14,6 +14,14 @@
 //! [`AggregateIndex::build`] calls [`ScanDataset::records`] exactly
 //! once, which the dataset's walk counter ([`ScanDataset::walks`])
 //! asserts in tests here and in `tests/equivalence.rs`.
+//!
+//! At paper scale the build itself is parallel: the record range is cut
+//! into fixed-size contiguous shards, workers on the shared
+//! work-stealing executor ([`govscan_exec`]) build one partial index per
+//! shard, and the partials are merged *in shard order* — issuer ids
+//! remapped to global first-seen order, certificate slots rebased,
+//! grouped positions concatenated ascending — so the final index is
+//! bit-identical to a serial build at any worker count (DESIGN.md §11).
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::BuildHasherDefault;
@@ -21,7 +29,7 @@ use std::hash::BuildHasherDefault;
 use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
 use govscan_pki::Time;
 use govscan_scanner::dataset::HostingKind;
-use govscan_scanner::{ErrorCategory, ScanDataset};
+use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
 
 /// A multiply-rotate hasher for [`Fingerprint`] keys. Fingerprints are
 /// SHA-256 outputs — already uniformly distributed — so the default
@@ -55,7 +63,7 @@ pub type FingerprintMap<V> = HashMap<Fingerprint, V, BuildHasherDefault<Fingerpr
 /// certificate and key is presented by a single host, so the one-member
 /// case is stored inline — grouping 135k hosts would otherwise allocate
 /// a heap `Vec` per singleton, which dominates the whole build.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Members {
     /// Exactly one member.
     One(u32),
@@ -97,7 +105,7 @@ impl Members {
 /// Certificate facts shared by the issuer/key/duration/EV/CT/reuse
 /// analyses. Present iff the probe retrieved a chain
 /// (`HttpsStatus::meta()` was `Some`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CertBits {
     /// Interned issuer id — resolve with [`AggregateIndex::issuer`].
     pub issuer: u32,
@@ -124,7 +132,7 @@ pub struct CertBits {
 }
 
 /// Everything the ported analyses need to know about one host.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostSummary {
     /// The hostname dialled.
     pub hostname: String,
@@ -154,7 +162,7 @@ pub struct HostSummary {
 
 /// Whole-dataset counters (Table 2's spine), accumulated in the same
 /// single pass.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Totals {
     /// All records, available or not.
     pub records: u64,
@@ -177,7 +185,7 @@ pub struct Totals {
 /// Grouped indices hold positions into [`Self::hosts`]; membership
 /// populations differ by group (documented per field) and members are
 /// always in record order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AggregateIndex {
     /// Per-host summaries, in record order.
     pub hosts: Vec<HostSummary>,
@@ -203,85 +211,108 @@ pub struct AggregateIndex {
     pub by_issuer: Vec<Vec<u32>>,
 }
 
-impl AggregateIndex {
-    /// Build the index in a single pass (exactly one
-    /// [`ScanDataset::records`] call).
-    pub fn build(scan: &ScanDataset) -> AggregateIndex {
+/// Fixed shard width for the parallel build. Deliberately *not* derived
+/// from the worker count: the merge already makes the output independent
+/// of the shard layout (proven by the invariance test comparing a
+/// one-shard build against a many-shard one), but a fixed width keeps
+/// the partials' memory footprint predictable and gives the executor's
+/// half-batch stealing enough grains to balance.
+const SHARD_SIZE: usize = 4096;
+
+/// One shard's partial index over records `[base, base + len)`.
+///
+/// Grouped positions are already **global** (the shard layout is
+/// contiguous, so `base + i` is known shard-locally); issuer ids and
+/// certificate slots are shard-**local** and rebased by the merge.
+#[derive(Debug, Default)]
+struct Shard {
+    hosts: Vec<HostSummary>,
+    certs: Vec<CertBits>,
+    issuers: Vec<String>,
+    totals: Totals,
+    by_country: HashMap<&'static str, Vec<u32>>,
+    by_error: HashMap<ErrorCategory, Vec<u32>>,
+    cert_hosts: Vec<u32>,
+    by_cert: FingerprintMap<Members>,
+    by_key: FingerprintMap<Members>,
+    by_issuer: Vec<Vec<u32>>,
+}
+
+impl Shard {
+    /// Index one contiguous run of records. This is the original
+    /// single-pass build body, emitting global positions relative to
+    /// `base` and shard-local issuer/certificate ids.
+    fn build(records: &[ScanRecord], base: usize) -> Shard {
         // Roughly a third of scanned hosts present a certificate; sizing
         // the fingerprint tables to that (rather than a safe half) keeps
         // their fresh-page footprint down, and a rare growth rehash on an
         // unusually certificate-dense dataset is cheap.
-        let cert_estimate = scan.len() / 3;
-        let mut index = AggregateIndex {
-            hosts: Vec::with_capacity(scan.len()),
+        let cert_estimate = records.len() / 3;
+        let mut shard = Shard {
+            hosts: Vec::with_capacity(records.len()),
             certs: Vec::with_capacity(cert_estimate),
             cert_hosts: Vec::with_capacity(cert_estimate),
             by_cert: FingerprintMap::with_capacity_and_hasher(cert_estimate, Default::default()),
             by_key: FingerprintMap::with_capacity_and_hasher(cert_estimate, Default::default()),
-            ..AggregateIndex::default()
+            ..Shard::default()
         };
         let mut issuer_ids: HashMap<String, u32> = HashMap::new();
-        // Build the two small keyed groupings through hash maps and sort
-        // them into their BTreeMap fields once at the end: a per-record
-        // ordered-map lookup is measurable at the 135k-host scale.
-        let mut by_country: HashMap<&'static str, Vec<u32>> = HashMap::new();
-        let mut by_error: HashMap<ErrorCategory, Vec<u32>> = HashMap::new();
-        for r in scan.records() {
-            let pos = index.hosts.len() as u32;
+        for r in records {
+            let pos = (base + shard.hosts.len()) as u32;
             let attempts = r.https.attempts();
             let valid = r.https.is_valid();
-            index.totals.records += 1;
+            shard.totals.records += 1;
             if let Some(cc) = r.country {
-                by_country.entry(cc).or_default().push(pos);
+                shard.by_country.entry(cc).or_default().push(pos);
             }
             if r.available {
-                index.totals.available += 1;
+                shard.totals.available += 1;
                 if !attempts {
-                    index.totals.http_only += 1;
+                    shard.totals.http_only += 1;
                 } else {
-                    index.totals.https += 1;
+                    shard.totals.https += 1;
                     if valid {
-                        index.totals.valid += 1;
+                        shard.totals.valid += 1;
                         if r.serves_both() {
-                            index.totals.valid_serving_both += 1;
+                            shard.totals.valid_serving_both += 1;
                         }
                     } else {
-                        index.totals.invalid += 1;
+                        shard.totals.invalid += 1;
                     }
                 }
             }
             let error = r.https.error();
             if r.available && attempts && !valid {
                 let cat = error.expect("invalid https has a category");
-                by_error.entry(cat).or_default().push(pos);
+                shard.by_error.entry(cat).or_default().push(pos);
             }
             let cert = r.https.meta().map(|meta| {
-                let slot = index.certs.len() as u32;
+                let slot = shard.certs.len() as u32;
                 let id = match issuer_ids.get(meta.issuer.as_str()) {
                     Some(&id) => id,
                     None => {
                         let id = issuer_ids.len() as u32;
                         issuer_ids.insert(meta.issuer.clone(), id);
-                        index.issuers.push(meta.issuer.clone());
-                        index.by_issuer.push(Vec::new());
+                        shard.issuers.push(meta.issuer.clone());
+                        shard.by_issuer.push(Vec::new());
                         id
                     }
                 };
                 if r.available && attempts {
-                    index.cert_hosts.push(pos);
-                    index
+                    shard.cert_hosts.push(pos);
+                    shard
                         .by_cert
                         .entry(meta.fingerprint)
                         .and_modify(|m| m.push(pos))
                         .or_insert(Members::One(pos));
-                    index
+                    shard
                         .by_key
                         .entry(meta.key_fingerprint)
                         .and_modify(|m| m.push(pos))
                         .or_insert(Members::One(pos));
-                    index.by_issuer[id as usize].push(pos);
+                    shard.by_issuer[id as usize].push(pos);
                 }
-                index.certs.push(CertBits {
+                shard.certs.push(CertBits {
                     issuer: id,
                     fingerprint: meta.fingerprint,
                     key_fingerprint: meta.key_fingerprint,
@@ -296,7 +327,7 @@ impl AggregateIndex {
                 });
                 slot
             });
-            index.hosts.push(HostSummary {
+            shard.hosts.push(HostSummary {
                 hostname: r.hostname.clone(),
                 country: r.country,
                 available: r.available,
@@ -309,6 +340,138 @@ impl AggregateIndex {
                 hosting: r.hosting,
                 cert,
             });
+        }
+        shard
+    }
+}
+
+/// Append one shard's members for a fingerprint group onto the global
+/// group, preserving record order (shards merge ascending).
+fn merge_members(map: &mut FingerprintMap<Members>, fp: Fingerprint, members: Members) {
+    match map.entry(fp) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(members);
+        }
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            for &pos in members.as_slice() {
+                e.get_mut().push(pos);
+            }
+        }
+    }
+}
+
+impl Totals {
+    fn accumulate(&mut self, o: Totals) {
+        self.records += o.records;
+        self.available += o.available;
+        self.http_only += o.http_only;
+        self.https += o.https;
+        self.valid += o.valid;
+        self.valid_serving_both += o.valid_serving_both;
+        self.invalid += o.invalid;
+    }
+}
+
+impl AggregateIndex {
+    /// Build the index in a single pass (exactly one
+    /// [`ScanDataset::records`] call), sharded across the worker count
+    /// resolved from `GOVSCAN_ANALYSIS_THREADS` / `GOVSCAN_THREADS`.
+    pub fn build(scan: &ScanDataset) -> AggregateIndex {
+        Self::build_with_threads(
+            scan,
+            govscan_exec::resolve_threads("GOVSCAN_ANALYSIS_THREADS"),
+        )
+    }
+
+    /// [`Self::build`] with an explicit worker count. The output is
+    /// bit-identical for every `threads` value; tests pin it to prove
+    /// exactly that without racing the process environment.
+    pub fn build_with_threads(scan: &ScanDataset, threads: usize) -> AggregateIndex {
+        let records = scan.records();
+        if threads <= 1 || records.len() <= SHARD_SIZE {
+            // One shard covering everything: the serial path costs
+            // exactly the original single-pass build plus an O(1) merge.
+            return Self::merge(vec![Shard::build(records, 0)]);
+        }
+        let shards: Vec<(usize, &[ScanRecord])> = records
+            .chunks(SHARD_SIZE)
+            .enumerate()
+            .map(|(i, chunk)| (i * SHARD_SIZE, chunk))
+            .collect();
+        let partials = govscan_exec::par_map(threads, shards, |_, (base, chunk)| {
+            Shard::build(chunk, base)
+        });
+        Self::merge(partials)
+    }
+
+    /// Stitch shard partials into the final index, in shard order.
+    ///
+    /// Ordering argument (what makes this equal to a serial build):
+    /// hosts, certificates, and every grouped-position list concatenate
+    /// ascending because shards are contiguous and merged in order; an
+    /// issuer first seen globally in shard *k* cannot appear in any
+    /// earlier shard, so interning shard-local issuers in shard order
+    /// reproduces global first-seen order exactly.
+    fn merge(partials: Vec<Shard>) -> AggregateIndex {
+        let total: usize = partials.iter().map(|p| p.hosts.len()).sum();
+        let cert_estimate = total / 3;
+        let mut index = AggregateIndex {
+            hosts: Vec::with_capacity(total),
+            certs: Vec::with_capacity(cert_estimate),
+            cert_hosts: Vec::with_capacity(cert_estimate),
+            by_cert: FingerprintMap::with_capacity_and_hasher(cert_estimate, Default::default()),
+            by_key: FingerprintMap::with_capacity_and_hasher(cert_estimate, Default::default()),
+            ..AggregateIndex::default()
+        };
+        let mut issuer_ids: HashMap<String, u32> = HashMap::new();
+        // Build the two small keyed groupings through hash maps and sort
+        // them into their BTreeMap fields once at the end: a per-record
+        // ordered-map lookup is measurable at the 135k-host scale.
+        let mut by_country: HashMap<&'static str, Vec<u32>> = HashMap::new();
+        let mut by_error: HashMap<ErrorCategory, Vec<u32>> = HashMap::new();
+        for part in partials {
+            let cert_base = index.certs.len() as u32;
+            // Shard-local issuer id → global id, preserving first-seen
+            // order.
+            let remap: Vec<u32> = part
+                .issuers
+                .into_iter()
+                .map(|name| match issuer_ids.get(name.as_str()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = issuer_ids.len() as u32;
+                        issuer_ids.insert(name.clone(), id);
+                        index.issuers.push(name);
+                        index.by_issuer.push(Vec::new());
+                        id
+                    }
+                })
+                .collect();
+            for mut cb in part.certs {
+                cb.issuer = remap[cb.issuer as usize];
+                index.certs.push(cb);
+            }
+            for mut h in part.hosts {
+                h.cert = h.cert.map(|slot| slot + cert_base);
+                index.hosts.push(h);
+            }
+            index.cert_hosts.extend(part.cert_hosts);
+            for (local, members) in part.by_issuer.into_iter().enumerate() {
+                index.by_issuer[remap[local] as usize].extend(members);
+            }
+            for (fp, members) in part.by_cert {
+                merge_members(&mut index.by_cert, fp, members);
+            }
+            for (fp, members) in part.by_key {
+                merge_members(&mut index.by_key, fp, members);
+            }
+            for (cc, mut positions) in part.by_country {
+                by_country.entry(cc).or_default().append(&mut positions);
+            }
+            for (cat, mut positions) in part.by_error {
+                by_error.entry(cat).or_default().append(&mut positions);
+            }
+            index.totals.accumulate(part.totals);
         }
         index.by_country = by_country.into_iter().collect();
         index.by_error = by_error.into_iter().collect();
@@ -443,6 +606,67 @@ mod tests {
         // Errors grouped by category over available attempting hosts.
         assert_eq!(index.by_error[&ErrorCategory::HostnameMismatch], vec![1]);
         assert_eq!(index.by_error[&ErrorCategory::TimedOut], vec![2]);
+    }
+
+    /// A dataset big enough to span several `SHARD_SIZE` shards, with
+    /// issuers and certificate/key fingerprints deliberately recurring
+    /// across shard boundaries so the merge's interning, rebasing, and
+    /// group concatenation all carry real weight.
+    fn multi_shard_dataset() -> ScanDataset {
+        let n = SHARD_SIZE * 3 + 777;
+        let issuers = ["R3", "DigiCert", "Sectigo", "GovCA", "Self"];
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let cc = ["bd", "fr", "za", "us", "kr"][i % 5];
+            let https = match i % 7 {
+                // Shared fingerprints recur every 97 records, straddling
+                // shard boundaries (97 does not divide SHARD_SIZE).
+                0 | 1 => HttpsStatus::Valid(meta(
+                    issuers[(i / 97) % issuers.len()],
+                    (i % 97) as u8,
+                    (i % 89) as u8,
+                )),
+                2 => HttpsStatus::Invalid(
+                    ErrorCategory::HostnameMismatch,
+                    Some(meta(issuers[(i / 53) % issuers.len()], (i % 53) as u8, 7)),
+                ),
+                3 => HttpsStatus::Invalid(ErrorCategory::TimedOut, None),
+                _ => HttpsStatus::None,
+            };
+            records.push(rec(
+                &format!("h{i}.gov.{cc}"),
+                (i % 11 != 0).then_some(cc),
+                https,
+                i % 13 != 0,
+            ));
+        }
+        ScanDataset::new(records, Time::from_ymd(2020, 4, 22))
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        // The tentpole invariant for the parallel build: fixed-size
+        // shards merged in order must reproduce the serial single-shard
+        // build bit for bit, at any worker count.
+        let ds = multi_shard_dataset();
+        let serial = AggregateIndex::build_with_threads(&ds, 1);
+        for threads in [2, 4, 8] {
+            let parallel = AggregateIndex::build_with_threads(&ds, threads);
+            assert_eq!(
+                serial, parallel,
+                "index must be identical at {threads} workers"
+            );
+        }
+        // The parallel build still walks the dataset exactly once per
+        // build (records() sliced, never re-fetched).
+        assert_eq!(ds.walks(), 4);
+        // Sanity: the dataset actually exercised the cross-shard paths.
+        assert!(serial.hosts.len() > 3 * SHARD_SIZE);
+        assert!(serial.issuers.len() >= 5);
+        assert!(
+            serial.by_cert.values().any(|m| m.len() > 1),
+            "some fingerprint groups span records"
+        );
     }
 
     #[test]

@@ -160,70 +160,29 @@ pub fn scan_host(ctx: &ScanContext<'_>, hostname: &str) -> ScanRecord {
     }
 }
 
-/// How many chunks each worker sees on average. Small enough to keep
-/// dispatch overhead negligible, large enough that an unlucky worker
-/// stuck with slow hosts doesn't serialize the tail.
-const CHUNKS_PER_WORKER: usize = 8;
+/// Below this host count a scan runs inline: worker threads cannot pay
+/// for themselves on a handful of simulated dials.
+const PARALLEL_THRESHOLD: usize = 64;
 
-/// Scan many hostnames on a scoped worker pool. Results are returned in
-/// input order; the pool size adapts to the machine, or is pinned by the
+/// Scan many hostnames on the shared work-stealing executor
+/// ([`govscan_exec`]). Results are returned in input order; the pool
+/// size adapts to the machine, or is pinned by the
 /// `GOVSCAN_SCAN_THREADS` environment variable (≥ 1; benches and
-/// reproducibility runs set it for stable numbers).
+/// reproducibility runs set it for stable numbers), with the
+/// workspace-wide `GOVSCAN_THREADS` as the shared fallback.
 ///
-/// Dispatch is *bounded and chunked*: hostnames are split into
-/// contiguous chunks, each paired with its disjoint slice of the output
-/// buffer, and fed through a rendezvous-sized channel. Workers write
-/// records straight into their output slice, so there is no per-host
-/// send/receive traffic and no unbounded queue holding the whole world —
-/// memory stays O(workers) beyond the output itself.
+/// Each worker is seeded a contiguous run of hostnames and writes every
+/// record straight into its pre-sized output slot, so there is no
+/// per-host send/receive traffic and no queue holding the whole world —
+/// memory stays O(1) beyond the output itself. Hosts with slow probes
+/// (retry-heavy DNS, timed-out handshakes) no longer serialize the tail:
+/// idle workers steal the back half of a loaded worker's remaining run.
 pub fn scan_hosts(ctx: &ScanContext<'_>, hostnames: &[String]) -> Vec<ScanRecord> {
-    let workers = match std::env::var("GOVSCAN_SCAN_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8),
-    };
-    if workers <= 1 || hostnames.len() < 64 {
+    let workers = govscan_exec::resolve_threads("GOVSCAN_SCAN_THREADS");
+    if workers <= 1 || hostnames.len() < PARALLEL_THRESHOLD {
         return hostnames.iter().map(|h| scan_host(ctx, h)).collect();
     }
-    let chunk = hostnames
-        .len()
-        .div_ceil(workers * CHUNKS_PER_WORKER)
-        .max(16);
-    let mut results: Vec<Option<ScanRecord>> = vec![None; hostnames.len()];
-    // Bounded to the worker count: the sender blocks once every worker
-    // has a chunk in hand and one is queued, which is all the lookahead
-    // load balancing needs. Workers never block sending (they write into
-    // their own slice), so this cannot deadlock.
-    let (job_tx, job_rx) =
-        std::sync::mpsc::sync_channel::<(&[String], &mut [Option<ScanRecord>])>(workers);
-    let job_rx = std::sync::Mutex::new(job_rx);
-    std::thread::scope(|s| {
-        let job_rx = &job_rx;
-        for _ in 0..workers {
-            s.spawn(move || loop {
-                let job = job_rx.lock().expect("receiver intact").recv();
-                let Ok((hosts, out)) = job else { break };
-                for (host, slot) in hosts.iter().zip(out.iter_mut()) {
-                    *slot = Some(scan_host(ctx, host));
-                }
-            });
-        }
-        for job in hostnames.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            job_tx.send(job).expect("a worker is always receiving");
-        }
-        // Close the queue so idle workers' recv() errors and they exit.
-        drop(job_tx);
-    });
-    drop(job_rx);
-    results
-        .into_iter()
-        .map(|r| r.expect("every chunk was dispatched"))
-        .collect()
+    govscan_exec::par_map_indexed(workers, hostnames.len(), |i| scan_host(ctx, &hostnames[i]))
 }
 
 #[cfg(test)]
@@ -275,7 +234,13 @@ mod tests {
         let ctx = ctx(&world);
         let hosts: Vec<String> = world.gov_hosts.iter().take(200).cloned().collect();
         let serial: Vec<ScanRecord> = hosts.iter().map(|h| scan_host(&ctx, h)).collect();
+        // Pin the pool so it engages even on a single-core runner. (The
+        // env var is process-global; a concurrent test scanning hosts
+        // merely changes its pool size, never its output — which is
+        // exactly the property under test.)
+        std::env::set_var("GOVSCAN_SCAN_THREADS", "3");
         let parallel = scan_hosts(&ctx, &hosts);
+        std::env::remove_var("GOVSCAN_SCAN_THREADS");
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.hostname, b.hostname);

@@ -24,6 +24,7 @@
 //! byte for byte, which is what makes [`dataset_digest`] a meaningful
 //! identity.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::{Seek, SeekFrom, Write};
 use std::net::Ipv4Addr;
@@ -339,6 +340,13 @@ impl<W: Write + Seek> SnapshotWriter<W> {
 
     /// Write the pools, metadata, and section table; backpatch the
     /// header; return the underlying writer.
+    ///
+    /// The pool sections are encoded and FNV-1a-checksummed concurrently
+    /// on the shared executor ([`govscan_exec`], worker count from
+    /// `GOVSCAN_STORE_THREADS` / `GOVSCAN_THREADS`), then written
+    /// strictly in the canonical v1 order (CAA, certs, strings, meta) —
+    /// so archives stay byte-identical at any worker count, which is
+    /// what keeps [`dataset_digest`] a meaningful identity.
     pub fn finish(mut self) -> Result<W> {
         let hosts = Section {
             id: SectionId::Hosts as u32,
@@ -347,12 +355,6 @@ impl<W: Write + Seek> SnapshotWriter<W> {
             len: self.hosts_len,
             checksum: self.hosts_checksum.value(),
         };
-
-        let mut strings = Encoder::new();
-        for s in self.strings.strings() {
-            strings.u32(s.len() as u32);
-            strings.bytes(s.as_bytes());
-        }
 
         let mut meta = Encoder::new();
         match self.scan_time {
@@ -370,22 +372,47 @@ impl<W: Write + Seek> SnapshotWriter<W> {
         meta.u64(self.caa_count as u64);
         meta.u64(self.strings.len() as u64);
 
-        // Pools follow the streamed host section, each checksummed whole.
+        /// A pool section job: either already-encoded bytes that only
+        /// need checksumming, or the string table still to flatten.
+        enum Pool<'a> {
+            Ready(&'a [u8]),
+            Strings(&'a StringTable),
+        }
+        let jobs: Vec<(SectionId, Pool<'_>)> = vec![
+            (SectionId::Caa, Pool::Ready(self.caa.as_bytes())),
+            (SectionId::Certs, Pool::Ready(self.certs.as_bytes())),
+            (SectionId::Strings, Pool::Strings(&self.strings)),
+            (SectionId::Meta, Pool::Ready(meta.as_bytes())),
+        ];
+        let threads = govscan_exec::resolve_threads("GOVSCAN_STORE_THREADS");
+        let encoded: Vec<(SectionId, Cow<'_, [u8]>, u64)> =
+            govscan_exec::par_map(threads, jobs, |_, (id, pool)| {
+                let payload: Cow<'_, [u8]> = match pool {
+                    Pool::Ready(bytes) => Cow::Borrowed(bytes),
+                    Pool::Strings(table) => {
+                        let mut e = Encoder::new();
+                        for s in table.strings() {
+                            e.u32(s.len() as u32);
+                            e.bytes(s.as_bytes());
+                        }
+                        Cow::Owned(e.into_bytes())
+                    }
+                };
+                let checksum = Checksum::of(&payload);
+                (id, payload, checksum)
+            });
+
+        // Pools follow the streamed host section, in canonical order.
         let mut cursor = HEADER_LEN + self.hosts_len;
         let mut table = vec![hosts];
-        for (id, payload) in [
-            (SectionId::Caa, self.caa.as_bytes()),
-            (SectionId::Certs, self.certs.as_bytes()),
-            (SectionId::Strings, strings.as_bytes()),
-            (SectionId::Meta, meta.as_bytes()),
-        ] {
+        for (id, payload, checksum) in &encoded {
             self.out.write_all(payload)?;
             table.push(Section {
-                id: id as u32,
+                id: *id as u32,
                 name: id.name(),
                 offset: cursor,
                 len: payload.len() as u64,
-                checksum: Checksum::of(payload),
+                checksum: *checksum,
             });
             cursor += payload.len() as u64;
         }
@@ -535,12 +562,26 @@ impl<'a> SnapshotReader<'a> {
             sections,
         };
         // Verify every section's bounds and checksum up front: a damaged
-        // archive is rejected before any decoding starts.
-        for s in &reader.sections {
-            let payload = reader.payload(s)?;
-            if Checksum::of(payload) != s.checksum {
-                return Err(StoreError::ChecksumMismatch { section: s.name });
-            }
+        // archive is rejected before any decoding starts. Sections are
+        // checksummed concurrently for archives large enough to amortise
+        // pool startup; results are inspected in table order so the same
+        // section is reported first at any worker count.
+        let threads = if bytes.len() >= (1 << 20) {
+            govscan_exec::resolve_threads("GOVSCAN_STORE_THREADS")
+        } else {
+            1
+        };
+        let checks: Vec<Result<()>> =
+            govscan_exec::par_map_indexed(threads, reader.sections.len(), |i| {
+                let s = &reader.sections[i];
+                let payload = reader.payload(s)?;
+                if Checksum::of(payload) != s.checksum {
+                    return Err(StoreError::ChecksumMismatch { section: s.name });
+                }
+                Ok(())
+            });
+        for check in checks {
+            check?;
         }
 
         let mut meta = Decoder::new(reader.section_payload(SectionId::Meta)?, "meta");

@@ -102,6 +102,12 @@ impl Encoder {
     pub fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
+
+    /// Consume the encoder, yielding the payload buffer (used when a
+    /// section is encoded off-thread and shipped back whole).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
 }
 
 /// Bounds-checked decoder over a section payload.

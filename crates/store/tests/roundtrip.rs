@@ -82,6 +82,34 @@ fn reencoding_is_byte_identical() {
 }
 
 #[test]
+fn encoding_is_worker_count_invariant() {
+    // The writer encodes and checksums pool sections on the shared
+    // executor; the archive must come out byte-identical whether that
+    // pool has one worker or several (sections are written in canonical
+    // order regardless of completion order).
+    std::env::set_var("GOVSCAN_STORE_THREADS", "1");
+    let serial = encode_snapshot(scan()).expect("encodable at 1 worker");
+    std::env::set_var("GOVSCAN_STORE_THREADS", "4");
+    let parallel = encode_snapshot(scan()).expect("encodable at 4 workers");
+    std::env::remove_var("GOVSCAN_STORE_THREADS");
+    assert_eq!(
+        serial, parallel,
+        "archive bytes must not depend on worker count"
+    );
+    assert_eq!(
+        &serial,
+        snapshot(),
+        "pinned-thread archives must match the default-environment fixture"
+    );
+    // The parallel-verified read path accepts its own output.
+    let restored = read_snapshot(&parallel).expect("valid snapshot");
+    assert_eq!(
+        dataset_digest(scan()).unwrap(),
+        dataset_digest(&restored).unwrap()
+    );
+}
+
+#[test]
 fn snapshot_deduplicates_certificates() {
     let reader = SnapshotReader::new(snapshot()).expect("valid snapshot");
     let with_cert = scan()

@@ -1,5 +1,4 @@
-//! Deterministic per-shard RNG streams and the scoped worker pool behind
-//! parallel world generation.
+//! Deterministic per-shard RNG streams behind parallel world generation.
 //!
 //! The generator never threads one `StdRng` through its phases. Instead
 //! each (phase, shard) pair — e.g. `("realize", "br")` — hashes to an
@@ -7,6 +6,15 @@
 //! seed alone and the output is bit-identical regardless of how many
 //! worker threads run or how the scheduler interleaves them. See
 //! DESIGN.md §9.
+//!
+//! The worker pool itself lives in [`govscan_exec`]: shards run on the
+//! shared work-stealing chunked executor ([`par_map`] is a re-export),
+//! which replaced the per-item rendezvous-channel dispatch this module
+//! used to carry. The old path claimed chunking "would only serialize
+//! the tail"; measurement said otherwise — the per-item lock + rendezvous
+//! put the pool at 0.92× *serial* at 2 workers (`BENCH_worldgen.json`),
+//! while contiguous chunk seeding with half-batch stealing keeps the
+//! tail balanced at a fraction of the coordination cost (DESIGN.md §11).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,76 +67,25 @@ impl StreamSeeder {
 
 /// Worker-pool size for world generation: the `GOVSCAN_WORLDGEN_THREADS`
 /// environment variable when set (≥ 1; benches pin it for stable
-/// numbers), otherwise the machine's parallelism capped at 8.
+/// numbers), then the workspace-wide `GOVSCAN_THREADS`, otherwise the
+/// machine's parallelism capped at 8 ([`govscan_exec::resolve_threads`]
+/// is the one implementation of that policy).
 pub fn worldgen_threads() -> usize {
-    match std::env::var("GOVSCAN_WORLDGEN_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8),
-    }
+    govscan_exec::resolve_threads("GOVSCAN_WORLDGEN_THREADS")
 }
 
-/// Map `f` over `items` on a scoped worker pool, returning results in
-/// input order.
+/// Map `f` over `items` in input order on the shared work-stealing
+/// executor — a re-export of [`govscan_exec::par_map`].
 ///
-/// Same bounded-dispatch shape as the scanner's `scan_hosts` pool: each
-/// job pairs an item with its own slot in the output buffer, fed through
-/// a rendezvous-sized channel, so workers write results in place and
-/// memory stays O(workers) beyond the output itself. Dispatch is
-/// per-item because worldgen shards are few and lopsided (China alone is
-/// ~17% of the world); chunking would only serialize the tail.
-///
-/// Determinism does not depend on the pool: `f` must derive everything
-/// from `(index, item)` — in worldgen, from the shard's own RNG stream —
-/// so any `threads` value produces identical output.
-pub fn par_map<I, R, F>(threads: usize, items: Vec<I>, f: F) -> Vec<R>
-where
-    I: Send,
-    R: Send,
-    F: Fn(usize, I) -> R + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, it)| f(i, it))
-            .collect();
-    }
-    let n = items.len();
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    let workers = threads.min(n);
-    let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<(usize, I, &mut Option<R>)>(workers);
-    let job_rx = std::sync::Mutex::new(job_rx);
-    std::thread::scope(|s| {
-        let job_rx = &job_rx;
-        let f = &f;
-        for _ in 0..workers {
-            s.spawn(move || loop {
-                let job = job_rx.lock().expect("receiver intact").recv();
-                let Ok((i, item, slot)) = job else { break };
-                *slot = Some(f(i, item));
-            });
-        }
-        for (i, (item, slot)) in items.into_iter().zip(results.iter_mut()).enumerate() {
-            job_tx
-                .send((i, item, slot))
-                .expect("a worker is always receiving");
-        }
-        // Close the queue so idle workers' recv() errors and they exit.
-        drop(job_tx);
-    });
-    drop(job_rx);
-    results
-        .into_iter()
-        .map(|r| r.expect("every job was dispatched"))
-        .collect()
-}
+/// Worldgen shards are few and lopsided (China alone is ~17% of the
+/// world); the executor's contiguous seeding degrades to per-item claims
+/// at these sizes while half-batch stealing rebalances the tail, which
+/// measured strictly faster than the per-item rendezvous dispatch that
+/// used to live here (DESIGN.md §11). Determinism does not depend on the
+/// pool: `f` must derive everything from `(index, item)` — in worldgen,
+/// from the shard's own RNG stream — so any `threads` value produces
+/// identical output.
+pub use govscan_exec::par_map;
 
 #[cfg(test)]
 mod tests {
