@@ -1,0 +1,155 @@
+//! Query-daemon benchmark, emitting `BENCH_serve.json` at the workspace
+//! root.
+//!
+//! The daemon's value proposition is twofold, and each half gets its
+//! own measurement at the paper's 135,408-host scale:
+//!
+//! - **Report caching** — `serve/table2_cold` routes `GET /table2`
+//!   against a freshly loaded archive (lazy open, full decode, index
+//!   build, render), `serve/table2_warm` repeats it against the same
+//!   state (a digest-keyed cache hit). The bench refuses to emit an
+//!   artifact unless warm beats cold by at least an order of magnitude:
+//!   a cache that thin would not justify the daemon existing.
+//! - **Concurrent throughput** — real TCP clients hammer the warm
+//!   `/table2` endpoint at 1, 4, and 8 client threads; queries/sec per
+//!   arm goes into the artifact. This exercises the accept loop, the
+//!   worker-pool fan-out, and the full HTTP layer, not just the router.
+//!
+//! Set `GOVSCAN_BENCH_SMOKE=1` (CI) to run every assertion and both
+//! timed paths at test scale and skip the JSON artifact.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use govscan_serve::http::Request;
+use govscan_serve::{http, json, ServeState, Server};
+use govscan_store::Snapshot;
+
+/// Server-side worker count, pinned as in benches/store.rs so the
+/// recorded numbers state their parallelism instead of drifting with
+/// the runner.
+fn pinned_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
+/// Sequential warm requests from `clients` threads against a live
+/// daemon; returns aggregate queries/sec.
+fn measure_qps(addr: std::net::SocketAddr, clients: usize, requests_each: usize) -> f64 {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..requests_each {
+                    let (status, body) = http::get(addr, "/table2").expect("request");
+                    assert_eq!(status, 200, "{body}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    (clients * requests_each) as f64 / started.elapsed().as_secs_f64()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok();
+    let target = if smoke { 2_000 } else { 135_408 };
+    let scan = govscan_bench::synthetic_dataset(target);
+
+    let dir = std::env::temp_dir().join(format!("govscan-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bench.snap");
+    let archive_bytes = Snapshot::write_file(&path, &scan).expect("write archive");
+    println!("serve dataset: {target} hosts → {archive_bytes} bytes on disk");
+
+    let table2_req = Request::parse_request_line("GET /table2 HTTP/1.1").expect("request line");
+
+    // Cold: fresh state per iteration — lazy open, one full decode,
+    // index build, render. This is what the first report query pays.
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("table2_cold", |b| {
+        b.iter(|| {
+            let state = ServeState::load(&[&path]).expect("load");
+            let resp = state.respond(&table2_req);
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+
+    // Warm: same state, so the rendered report comes from the
+    // digest-keyed cache.
+    let warm_state = ServeState::load(&[&path]).expect("load");
+    let baseline = warm_state.respond(&table2_req);
+    assert_eq!(baseline.status, 200);
+    json::parse(&baseline.body).expect("valid JSON");
+    g.bench_function("table2_warm", |b| {
+        b.iter(|| {
+            let resp = warm_state.respond(&table2_req);
+            assert_eq!(resp.status, 200);
+            black_box(resp)
+        })
+    });
+    g.finish();
+
+    // Throughput over real sockets, warm cache, scaling client threads.
+    let threads = pinned_threads();
+    let state = Arc::new(ServeState::load(&[&path]).expect("load"));
+    let server = Server::bind(("127.0.0.1", 0), Arc::clone(&state), threads).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.run());
+    let requests_each = if smoke { 50 } else { 500 };
+    let _ = measure_qps(addr, 1, requests_each); // warm the cache and the path
+    let mut qps = Vec::new();
+    for clients in [1usize, 4, 8] {
+        let rate = measure_qps(addr, clients, requests_each);
+        println!("serve qps @ {clients} client thread(s): {rate:.0}");
+        qps.push((clients, rate));
+    }
+    let (status, _) = http::get(addr, "/shutdown").expect("shutdown");
+    assert_eq!(status, 200);
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("clean exit");
+
+    let by_id = |needle: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id.ends_with(needle))
+            .expect("bench ran")
+            .min
+            .as_nanos() as f64
+    };
+    let cold = by_id("serve/table2_cold");
+    let warm = by_id("serve/table2_warm");
+    let speedup = cold / warm;
+    assert!(
+        speedup >= 10.0,
+        "warm /table2 must beat cold by an order of magnitude (got {speedup:.1}x)"
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_serve.json emission");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"hosts\": {target},\n  \"archive_bytes\": {archive_bytes},\n  \"server_threads\": {threads},\n  \"table2_cold_ns\": {cold:.0},\n  \"table2_warm_ns\": {warm:.0},\n  \"warm_speedup\": {speedup:.1},\n  \"requests_per_client\": {requests_each},\n  \"qps_1_client\": {:.0},\n  \"qps_4_clients\": {:.0},\n  \"qps_8_clients\": {:.0}\n}}\n",
+        qps[0].1, qps[1].1, qps[2].1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut f = std::fs::File::create(path).expect("writable workspace root");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -31,7 +31,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use govscan_analysis::aggregate::AggregateIndex;
 use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, reuse, table2};
 use govscan_scanner::{ScanDataset, StudyPipeline};
-use govscan_store::snapshot::{dataset_digest, encode_snapshot, read_snapshot, SnapshotReader};
+use govscan_store::{Snapshot, SnapshotReader};
 use govscan_worldgen::{World, WorldConfig};
 
 /// Worker count pinned for the regenerate arm, as in benches/worldgen.rs:
@@ -66,11 +66,14 @@ fn bench_store(c: &mut Criterion) {
 
     // The invariant first: a snapshot of this very dataset must round-trip
     // losslessly at the benched scale before its speed means anything.
-    let bytes = encode_snapshot(&scan).expect("dataset encodes");
-    let restored = read_snapshot(&bytes).expect("snapshot reads back");
+    let bytes = Snapshot::encode(&scan).expect("dataset encodes");
+    let restored = SnapshotReader::new(&bytes)
+        .expect("valid snapshot")
+        .dataset()
+        .expect("snapshot reads back");
     assert_eq!(
-        dataset_digest(&scan).unwrap(),
-        dataset_digest(&restored).unwrap(),
+        Snapshot::digest_of(&scan).unwrap(),
+        Snapshot::digest_of(&restored).unwrap(),
         "round-trip digest mismatch at {target} hosts"
     );
     assert_eq!(
@@ -90,10 +93,17 @@ fn bench_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("store");
     g.sample_size(10);
     g.bench_function("write", |b| {
-        b.iter(|| black_box(encode_snapshot(&scan).expect("dataset encodes")))
+        b.iter(|| black_box(Snapshot::encode(&scan).expect("dataset encodes")))
     });
     g.bench_function("load", |b| {
-        b.iter(|| black_box(read_snapshot(&bytes).expect("snapshot reads back")))
+        b.iter(|| {
+            black_box(
+                SnapshotReader::new(&bytes)
+                    .expect("valid snapshot")
+                    .dataset()
+                    .expect("snapshot reads back"),
+            )
+        })
     });
     g.finish();
 

@@ -124,7 +124,7 @@ pub fn run_rescan(world: &World, original: &ScanDataset, unreachable: &[String])
 
 /// Produce the §7.2.2 report from two archived snapshot files: the
 /// original full scan and a follow-up scan (as written by
-/// [`followup_scan`] → `govscan_store::write_snapshot_file`).
+/// [`followup_scan`] → `govscan_store::Snapshot::write_file`).
 ///
 /// The previously-unreachable pool is recovered from the original
 /// snapshot itself (its unavailable records), so the two files are the
@@ -133,8 +133,8 @@ pub fn rescan_from_snapshots(
     original: impl AsRef<std::path::Path>,
     followup: impl AsRef<std::path::Path>,
 ) -> Result<RescanReport, govscan_store::StoreError> {
-    let original = govscan_store::read_snapshot_file(original)?;
-    let followup = govscan_store::read_snapshot_file(followup)?;
+    let original = govscan_store::Snapshot::open(original)?.dataset()?;
+    let followup = govscan_store::Snapshot::open(followup)?.dataset()?;
     let unreachable: Vec<String> = original
         .records()
         .iter()

@@ -5,7 +5,7 @@
 
 use govscan_disclosure::{campaign, remediation, rescan};
 use govscan_scanner::StudyPipeline;
-use govscan_store::snapshot::write_snapshot_file;
+use govscan_store::Snapshot;
 use govscan_worldgen::{World, WorldConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,8 +35,8 @@ fn figure13_from_snapshot_files_matches_live_rescan() {
     std::fs::create_dir_all(&dir).unwrap();
     let before_path = dir.join("original.snap");
     let after_path = dir.join("followup.snap");
-    write_snapshot_file(&before_path, &out.scan).unwrap();
-    write_snapshot_file(&after_path, &followup).unwrap();
+    Snapshot::write_file(&before_path, &out.scan).unwrap();
+    Snapshot::write_file(&after_path, &followup).unwrap();
 
     // Replay from the files alone. Shadow the world to make "no live
     // World" a compile-checked property of this block, not a comment.

@@ -1,0 +1,205 @@
+//! A persistent worker pool for long-running services.
+//!
+//! [`crate::par_map`] is shaped for batch work: a known item set, scoped
+//! threads, results collected in order. A daemon has none of that — jobs
+//! (accepted connections, in `govscan-serve`'s case) arrive one at a
+//! time for the life of the process, and nothing is returned to the
+//! submitter. [`WorkerPool`] covers that shape: `threads` long-lived
+//! workers drain a shared queue, each job handled by the one closure the
+//! pool was built with. Submission never blocks on a busy pool (the
+//! queue is unbounded; the workloads here are bounded by the listener's
+//! accept rate), and shutdown is explicit: [`WorkerPool::close`] stops
+//! new submissions, [`WorkerPool::join`] drains what was accepted and
+//! propagates the first worker panic, if any.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Queue state behind the pool's one mutex.
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Shared between the pool handle and its workers.
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on every submit (one waiter) and on close (all).
+    available: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads draining a shared job
+/// queue. See the [module docs](self) for when to use this over
+/// [`crate::par_map`].
+pub struct WorkerPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `threads` workers (floored at 1), each running `handler`
+    /// on every job it dequeues. The handler is shared, so it must be
+    /// `Sync`; per-job mutable state belongs inside the job itself.
+    pub fn new<F>(threads: usize, handler: F) -> WorkerPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handler = Arc::new(handler);
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut state = shared.state.lock().expect("pool lock never poisoned");
+                        loop {
+                            if let Some(job) = state.queue.pop_front() {
+                                break job;
+                            }
+                            if state.closed {
+                                return;
+                            }
+                            state = shared
+                                .available
+                                .wait(state)
+                                .expect("pool lock never poisoned");
+                        }
+                    };
+                    handler(job);
+                })
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueue one job. Returns `false` (dropping the job) if the pool
+    /// has been closed.
+    pub fn submit(&self, job: T) -> bool {
+        let mut state = self.shared.state.lock().expect("pool lock never poisoned");
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(job);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Stop accepting new jobs. Workers finish the queue, then exit.
+    /// Idempotent; does not wait (that is [`WorkerPool::join`]).
+    pub fn close(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock never poisoned")
+            .closed = true;
+        self.shared.available.notify_all();
+    }
+
+    /// Close the queue, wait for every worker to drain it and exit, and
+    /// re-raise the first worker panic, if any.
+    pub fn join(mut self) {
+        self.close();
+        let mut panic = None;
+        for handle in self.handles.drain(..) {
+            if let Err(payload) = handle.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    /// A dropped pool still shuts down cleanly (close + join), but
+    /// swallows worker panics — call [`WorkerPool::join`] to observe
+    /// them.
+    fn drop(&mut self) {
+        self.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn every_submitted_job_runs_exactly_once() {
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..1000).map(|_| AtomicUsize::new(0)).collect());
+        let seen = Arc::clone(&counts);
+        let pool = WorkerPool::new(4, move |i: usize| {
+            seen[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..1000 {
+            assert!(pool.submit(i));
+        }
+        pool.join();
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn close_rejects_new_jobs_but_drains_accepted_ones() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&done);
+        let pool = WorkerPool::new(2, move |_: u32| {
+            std::thread::sleep(Duration::from_millis(1));
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..50 {
+            assert!(pool.submit(i));
+        }
+        pool.close();
+        assert!(!pool.submit(99), "closed pool refuses jobs");
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 50, "accepted jobs drained");
+    }
+
+    #[test]
+    fn join_propagates_a_worker_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::new(2, |i: u32| {
+                if i == 7 {
+                    panic!("handler exploded");
+                }
+            });
+            for i in 0..16 {
+                pool.submit(i);
+            }
+            pool.join();
+        });
+        assert!(result.is_err(), "caller observes the handler panic");
+    }
+
+    #[test]
+    fn drop_shuts_down_without_hanging() {
+        let pool: WorkerPool<()> = WorkerPool::new(3, |_| {});
+        drop(pool); // must not deadlock waiting for jobs that never come
+    }
+
+    #[test]
+    fn zero_threads_is_floored_to_one() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&ran);
+        let pool = WorkerPool::new(0, move |_: ()| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.submit(());
+        pool.join();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+}

@@ -11,8 +11,7 @@ use std::path::Path;
 
 use govscan_analysis::aggregate::AggregateIndex;
 use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, reuse, table2};
-use govscan_store::snapshot::{dataset_digest, write_snapshot_file, SnapshotReader};
-use govscan_store::{diff_snapshot_files, Result};
+use govscan_store::{diff_snapshot_files, Result, Snapshot};
 
 use crate::Env;
 
@@ -21,12 +20,12 @@ use crate::Env;
 /// Returns a human-readable receipt (path, size, host count, digest).
 pub fn scan_to(out: &Path) -> Result<String> {
     let env = Env::load();
-    let bytes = write_snapshot_file(out, &env.study.scan)?;
+    let bytes = Snapshot::write_file(out, &env.study.scan)?;
     Ok(format!(
         "wrote {} ({bytes} bytes, {} hosts, digest {})\n",
         out.display(),
         env.study.scan.len(),
-        dataset_digest(&env.study.scan)?.to_hex(),
+        Snapshot::digest_of(&env.study.scan)?.to_hex(),
     ))
 }
 
@@ -57,8 +56,8 @@ pub fn rescan_to(before: &Path, after: &Path) -> Result<String> {
         &mut rng,
     );
     let followup = govscan_disclosure::followup_scan(&env.world, &env.study.scan, &unreachable);
-    let b = write_snapshot_file(before, &env.study.scan)?;
-    let a = write_snapshot_file(after, &followup)?;
+    let b = Snapshot::write_file(before, &env.study.scan)?;
+    let a = Snapshot::write_file(after, &followup)?;
     Ok(format!(
         "wrote {} ({b} bytes, {} hosts) and {} ({a} bytes, {} hosts)\n",
         before.display(),
@@ -121,10 +120,9 @@ pub fn render_report(index: &AggregateIndex) -> String {
 /// Load an archived scan and render the full report set from it — no
 /// world generation, no scanning.
 pub fn report_from(path: &Path) -> Result<String> {
-    let bytes = std::fs::read(path)?;
-    let reader = SnapshotReader::new(&bytes)?;
-    let mut out = reader.describe()?;
-    let dataset = reader.dataset()?;
+    let snap = Snapshot::open(path)?;
+    let mut out = snap.describe()?;
+    let dataset = snap.dataset()?;
     out.push('\n');
     out.push_str(&render_report(&AggregateIndex::build(&dataset)));
     Ok(out)

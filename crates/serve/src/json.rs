@@ -1,0 +1,470 @@
+//! The one JSON encoder (and a minimal parser for shape checks).
+//!
+//! Every byte of JSON the daemon emits goes through [`Json::encode`] —
+//! handlers build typed response structs ([`crate::api`]) which lower
+//! into this one value tree, so formatting decisions (key order, number
+//! rendering, string escaping) live in exactly one place and the
+//! lazy-vs-eager byte-identity tests have a stable target.
+//!
+//! Objects keep insertion order (a `Vec` of pairs, not a map): output is
+//! deterministic and mirrors the struct definitions. The parser exists
+//! for the other direction only — the self-check mode, CI smoke, and
+//! tests use it to assert well-formedness and pull fields out of
+//! responses; it accepts standard JSON, nothing more.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value. Build with the `From` impls and
+/// [`Json::object`] / [`Json::array`], serialize with [`Json::encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers every count and timestamp the API emits).
+    Int(i64),
+    /// A float, rendered with Rust's shortest-roundtrip formatting.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        // Every count in the archive fits i64 (host counts are < 2^32).
+        Json::Int(v as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(x) => x.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving their order.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{}` renders integral floats without a decimal
+                    // point; keep them a float on the wire.
+                    let mut s = format!("{v}");
+                    if !s.contains(['.', 'e', 'E']) {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    // JSON has no NaN/Infinity; the API never emits them,
+                    // but degrade to null rather than invalid output.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Member lookup on an object; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse standard JSON. Errors carry a byte offset and a reason; used by
+/// the self-check, CI smoke, and the equivalence tests to validate
+/// response shape (the daemon itself never parses JSON).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.at));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at offset {}", self.at))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            self.err("unrecognized literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.at) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    pairs.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Object(pairs));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs never occur in this API's
+                            // output; reject rather than mis-decode.
+                            out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
+                            self.at += 4;
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| "invalid UTF-8".to_owned())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.bytes.get(self.at) == Some(&b'-') {
+            self.at += 1;
+        }
+        while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        let mut float = false;
+        if self.bytes.get(self.at) == Some(&b'.') {
+            float = true;
+            self.at += 1;
+            while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.at), Some(b'e' | b'E')) {
+            float = true;
+            self.at += 1;
+            if matches!(self.bytes.get(self.at), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii");
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_deterministically_in_insertion_order() {
+        let v = Json::object([
+            ("b", Json::from(1u64)),
+            ("a", Json::from("x")),
+            ("c", Json::array([Json::Null, Json::from(true)])),
+        ]);
+        assert_eq!(v.encode(), r#"{"b":1,"a":"x","c":[null,true]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(v.encode(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(Json::Float(0.5).encode(), "0.5");
+        assert_eq!(Json::Float(2.0).encode(), "2.0");
+        assert_eq!(Json::Float(-3.0).encode(), "-3.0");
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let v = Json::object([
+            ("hosts", Json::from(135_408u64)),
+            ("share", Json::Float(0.72)),
+            ("name", Json::from("gov.uk\n\"quoted\"")),
+            ("none", Json::Null),
+            ("rows", Json::array((0..3).map(|i| Json::from(i as u64)))),
+        ]);
+        let parsed = parse(&v.encode()).expect("well-formed");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\"}", "tru", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = parse(r#"{"a":{"b":[1,2,"x"]}}"#).unwrap();
+        let arr = v.get("a").unwrap().get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[2].as_str(), Some("x"));
+    }
+}

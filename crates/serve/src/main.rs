@@ -1,0 +1,193 @@
+//! `govscan-serve` — long-running query daemon over snapshot archives.
+//!
+//! ```text
+//! govscan-serve --archive before.snap --archive after.snap --port 7070
+//! govscan-serve --archive before.snap --self-check
+//! ```
+//!
+//! Archives load lazily: startup validates headers and section tables
+//! only, so the daemon is ready in milliseconds even for large
+//! archives. Sections decode (and checksum-verify) on first touch.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use govscan_serve::http;
+use govscan_serve::json;
+use govscan_serve::{ServeState, Server};
+
+struct Args {
+    archives: Vec<String>,
+    port: u16,
+    threads: usize,
+    self_check: bool,
+}
+
+const USAGE: &str =
+    "usage: govscan-serve --archive <path>... [--port N] [--threads N] [--self-check]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        archives: Vec::new(),
+        port: 0,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        self_check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--archive" => args.archives.push(value("--archive")?),
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--self-check" => args.self_check = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.archives.is_empty() {
+        return Err(format!("at least one --archive is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = match ServeState::load(&args.archives) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("failed to load archives: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for a in state.archives() {
+        eprintln!(
+            "loaded {} ({} hosts, {} certs, digest {})",
+            a.label(),
+            a.snapshot().host_count(),
+            a.snapshot().cert_count(),
+            &a.digest_hex()[..12],
+        );
+    }
+    let server = match Server::bind(("127.0.0.1", args.port), Arc::clone(&state), args.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("failed to read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.self_check {
+        return self_check(server, &state, addr);
+    }
+    println!("listening on http://{addr}");
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Hit every endpoint against a live socket, verify each answer is
+/// well-formed JSON with the expected status, then shut down cleanly.
+/// Exercises the same code paths as production serving — the routing,
+/// the worker pool, and the real TCP layer.
+fn self_check(server: Server, state: &ServeState, addr: std::net::SocketAddr) -> ExitCode {
+    let thread = std::thread::spawn(move || server.run());
+    let first = &state.archives()[0];
+    let mut paths = vec![
+        "/snapshots".to_owned(),
+        "/table2".to_owned(),
+        "/table2".to_owned(), // warm hit, served from the report cache
+        "/choropleth".to_owned(),
+        format!(
+            "/diff?from={}&to={}",
+            first.label(),
+            state
+                .archives()
+                .last()
+                .map_or_else(|| first.label(), |a| a.label()),
+        ),
+    ];
+    match first.snapshot().host(0) {
+        Ok(Some(record)) => {
+            paths.push(format!("/hosts/{}", record.hostname));
+            if let Some(cc) = record.country {
+                paths.push(format!("/countries/{cc}"));
+            }
+        }
+        Ok(None) => eprintln!("archive has no hosts; skipping /hosts and /countries checks"),
+        Err(e) => {
+            eprintln!("self-check: failed to read host 0: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failed = false;
+    for path in &paths {
+        match http::get(addr, path) {
+            Ok((200, body)) if json::parse(&body).is_ok() => {
+                eprintln!("ok   GET {path} ({} bytes)", body.len());
+            }
+            Ok((status, body)) => {
+                eprintln!("FAIL GET {path}: status {status}, body {body:.100}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("FAIL GET {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    let (hits, misses) = state.cache_stats();
+    eprintln!("report cache: {hits} hits, {misses} misses");
+    if hits == 0 {
+        eprintln!("FAIL: repeated /table2 was not served from the report cache");
+        failed = true;
+    }
+    if let Err(e) = http::get(addr, "/shutdown") {
+        eprintln!("FAIL GET /shutdown: {e}");
+        failed = true;
+    }
+    match thread.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            eprintln!("FAIL: server exited with error: {e}");
+            failed = true;
+        }
+        Err(_) => {
+            eprintln!("FAIL: server thread panicked");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("self-check passed ({} endpoints)", paths.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,471 @@
+//! The daemon core: loaded archives, routing, report cache, accept loop.
+//!
+//! [`ServeState::respond`] is a pure `Request -> Response` function so
+//! the integration tests and the `--self-check` mode exercise the exact
+//! production routing without a socket. [`Server`] adds the TCP layer:
+//! an accept loop that fans connections out across a
+//! [`govscan_exec::WorkerPool`], one exchange per connection.
+//!
+//! Rendered reports (`/table2`, `/choropleth`, `/countries/{cc}`,
+//! `/diff`) are cached keyed by the owning archive's content digest.
+//! Archives are immutable once loaded, so cache entries are never
+//! invalidated — a warm report query is a map lookup plus a socket
+//! write.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use govscan_analysis::aggregate::AggregateIndex;
+use govscan_analysis::{choropleth, table2};
+use govscan_exec::WorkerPool;
+use govscan_scanner::ErrorCategory;
+use govscan_store::{diff_datasets, Result, Snapshot, StoreError};
+
+use crate::api::{
+    ChoroplethResponse, CountryResponse, DiffResponse, ErrorResponse, HostResponse, SnapshotEntry,
+    SnapshotsResponse, Table2Response,
+};
+use crate::http::{Request, Response};
+use crate::json::Json;
+
+/// One loaded archive: the lazy snapshot plus a memoised aggregate
+/// index. The index (not the full `ScanDataset`) backs every report
+/// endpoint; point queries (`/hosts/{name}`) bypass it entirely and go
+/// through the snapshot's lazy record access.
+pub struct Archive {
+    label: String,
+    digest_hex: String,
+    snap: Snapshot,
+    index: OnceLock<std::result::Result<Arc<AggregateIndex>, StoreError>>,
+}
+
+impl Archive {
+    /// The label requests may select this archive by.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Content digest of the archive bytes, hex.
+    pub fn digest_hex(&self) -> &str {
+        &self.digest_hex
+    }
+
+    /// The underlying lazy snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// The aggregate index, built from a one-time full decode on first
+    /// use and shared by every report endpoint thereafter.
+    pub fn index(&self) -> Result<Arc<AggregateIndex>> {
+        self.index
+            .get_or_init(|| {
+                let dataset = self.snap.dataset()?;
+                Ok(Arc::new(AggregateIndex::build(&dataset)))
+            })
+            .clone()
+    }
+}
+
+/// Everything the router needs, independent of any socket.
+pub struct ServeState {
+    archives: Vec<Archive>,
+    cache: Mutex<HashMap<String, Arc<String>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl ServeState {
+    /// Open each path as a lazy snapshot. Labels default to the file
+    /// stem; a stem that collides with an earlier archive gets
+    /// `@<digest prefix>` appended so every label stays addressable.
+    pub fn load(paths: &[impl AsRef<Path>]) -> Result<ServeState> {
+        let mut archives: Vec<Archive> = Vec::with_capacity(paths.len());
+        for path in paths {
+            let path = path.as_ref();
+            let snap = Snapshot::open(path)?;
+            let digest_hex = snap.digest().to_hex();
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("snapshot")
+                .to_owned();
+            let label = if archives.iter().any(|a| a.label == stem) {
+                format!("{stem}@{}", &digest_hex[..8])
+            } else {
+                stem
+            };
+            archives.push(Archive {
+                label,
+                digest_hex,
+                snap,
+                index: OnceLock::new(),
+            });
+        }
+        if archives.is_empty() {
+            return Err(StoreError::Corrupt {
+                context: "serve",
+                detail: "no archives given".to_owned(),
+            });
+        }
+        Ok(ServeState {
+            archives,
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The loaded archives, in load order.
+    pub fn archives(&self) -> &[Archive] {
+        &self.archives
+    }
+
+    /// `(hits, misses)` of the rendered-report cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resolve `?snapshot=` (exact label, or unambiguous digest-hex
+    /// prefix); no parameter selects the first archive.
+    fn select(&self, selector: Option<&str>) -> std::result::Result<&Archive, Response> {
+        let Some(sel) = selector else {
+            return Ok(&self.archives[0]);
+        };
+        if let Some(a) = self.archives.iter().find(|a| a.label == sel) {
+            return Ok(a);
+        }
+        let sel_lower = sel.to_ascii_lowercase();
+        let mut by_digest = self
+            .archives
+            .iter()
+            .filter(|a| !sel_lower.is_empty() && a.digest_hex.starts_with(&sel_lower));
+        match (by_digest.next(), by_digest.next()) {
+            (Some(a), None) => Ok(a),
+            (Some(_), Some(_)) => Err(error(
+                400,
+                "ambiguous_snapshot",
+                format!("digest prefix {sel:?} matches more than one archive"),
+            )),
+            _ => Err(error(
+                404,
+                "unknown_snapshot",
+                format!("no archive labelled {sel:?} or with that digest prefix"),
+            )),
+        }
+    }
+
+    /// Fetch from the report cache, rendering on miss. Keys embed the
+    /// archive digest, so entries never need invalidation.
+    fn cached(
+        &self,
+        key: String,
+        render: impl FnOnce() -> std::result::Result<Json, Response>,
+    ) -> Response {
+        if let Some(body) = self.cache.lock().unwrap().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::ok(String::clone(body));
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let body = match render() {
+            Ok(json) => Arc::new(json.encode()),
+            Err(resp) => return resp,
+        };
+        self.cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&body));
+        Response::ok(String::clone(&body))
+    }
+
+    /// Route one request. Pure: no socket, no side effects beyond the
+    /// lazy caches. Every outcome — including every error — is JSON.
+    pub fn respond(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return error(
+                405,
+                "method_not_allowed",
+                format!("only GET is supported, got {}", req.method),
+            );
+        }
+        match req.path.as_str() {
+            "/snapshots" => self.snapshots(),
+            "/table2" => self.table2(req),
+            "/choropleth" => self.choropleth(req),
+            "/diff" => self.diff(req),
+            path => {
+                if let Some(name) = path.strip_prefix("/hosts/").filter(|n| !n.is_empty()) {
+                    self.host(req, name)
+                } else if let Some(cc) = path.strip_prefix("/countries/").filter(|c| !c.is_empty())
+                {
+                    self.country(req, cc)
+                } else {
+                    error(404, "no_such_route", format!("no route for {path:?}"))
+                }
+            }
+        }
+    }
+
+    fn snapshots(&self) -> Response {
+        let entries = self
+            .archives
+            .iter()
+            .map(|a| SnapshotEntry {
+                label: a.label.clone(),
+                digest: a.digest_hex.clone(),
+                bytes: a.snap.size_bytes(),
+                scan_time: a.snap.scan_time().map(|t| t.0),
+                hosts: a.snap.host_count(),
+                certs: a.snap.cert_count(),
+                caa: a.snap.caa_count(),
+                strings: a.snap.string_count(),
+                sections: a
+                    .snap
+                    .sections()
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.name.to_owned(),
+                            s.offset,
+                            s.len,
+                            format!("{:016x}", s.checksum),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        Response::ok(SnapshotsResponse { snapshots: entries }.to_json().encode())
+    }
+
+    fn host(&self, req: &Request, name: &str) -> Response {
+        let archive = match self.select(req.query_param("snapshot")) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        match archive.snap.host_by_name(name) {
+            Ok(Some(record)) => Response::ok(
+                HostResponse {
+                    snapshot: archive.digest_hex.clone(),
+                    record,
+                }
+                .to_json()
+                .encode(),
+            ),
+            Ok(None) => error(
+                404,
+                "unknown_host",
+                format!("host {name:?} is not in archive {}", archive.label),
+            ),
+            Err(e) => store_error(&e),
+        }
+    }
+
+    fn table2(&self, req: &Request) -> Response {
+        let archive = match self.select(req.query_param("snapshot")) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        self.cached(format!("table2:{}", archive.digest_hex), || {
+            let index = archive.index().map_err(|e| store_error(&e))?;
+            Ok(Table2Response {
+                snapshot: archive.digest_hex.clone(),
+                table: table2::build_from_index(&index),
+            }
+            .to_json())
+        })
+    }
+
+    fn choropleth(&self, req: &Request) -> Response {
+        let archive = match self.select(req.query_param("snapshot")) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        self.cached(format!("choropleth:{}", archive.digest_hex), || {
+            let index = archive.index().map_err(|e| store_error(&e))?;
+            let map = choropleth::build_from_index(&index);
+            Ok(ChoroplethResponse {
+                snapshot: archive.digest_hex.clone(),
+                rows: map.rows.iter().map(|(cc, row)| (*cc, *row)).collect(),
+            }
+            .to_json())
+        })
+    }
+
+    fn country(&self, req: &Request, cc: &str) -> Response {
+        let archive = match self.select(req.query_param("snapshot")) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        let cc = cc.to_ascii_lowercase();
+        self.cached(format!("country:{cc}:{}", archive.digest_hex), || {
+            let index = archive.index().map_err(|e| store_error(&e))?;
+            let map = choropleth::build_from_index(&index);
+            let row = map.rows.get(cc.as_str()).ok_or_else(|| {
+                error(
+                    404,
+                    "unknown_country",
+                    format!(
+                        "no hosts under country code {cc:?} in archive {}",
+                        archive.label
+                    ),
+                )
+            })?;
+            let mut hsts = 0u64;
+            let mut errors: Vec<(ErrorCategory, u64)> = Vec::new();
+            let mut hostnames = Vec::new();
+            for host in index
+                .hosts
+                .iter()
+                .filter(|h| h.country.is_some_and(|c| c == cc))
+            {
+                hsts += u64::from(host.hsts);
+                if let Some(cat) = host.error {
+                    match errors.iter_mut().find(|(c, _)| *c == cat) {
+                        Some((_, n)) => *n += 1,
+                        None => errors.push((cat, 1)),
+                    }
+                }
+                hostnames.push(host.hostname.clone());
+            }
+            errors.sort_by_key(|(cat, _)| ErrorCategory::ALL.iter().position(|c| c == cat));
+            hostnames.sort_unstable();
+            Ok(CountryResponse {
+                snapshot: archive.digest_hex.clone(),
+                country: cc.clone(),
+                row: *row,
+                hsts,
+                errors,
+                hostnames,
+            }
+            .to_json())
+        })
+    }
+
+    fn diff(&self, req: &Request) -> Response {
+        let (Some(from_sel), Some(to_sel)) = (req.query_param("from"), req.query_param("to"))
+        else {
+            return error(
+                400,
+                "missing_parameter",
+                "diff needs ?from= and ?to=".to_owned(),
+            );
+        };
+        let from = match self.select(Some(from_sel)) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        let to = match self.select(Some(to_sel)) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        self.cached(
+            format!("diff:{}:{}", from.digest_hex, to.digest_hex),
+            || {
+                let before = from.snap.dataset().map_err(|e| store_error(&e))?;
+                let after = to.snap.dataset().map_err(|e| store_error(&e))?;
+                Ok(DiffResponse {
+                    from: from.digest_hex.clone(),
+                    to: to.digest_hex.clone(),
+                    diff: diff_datasets(&before, &after),
+                }
+                .to_json())
+            },
+        )
+    }
+}
+
+/// Shorthand: build a non-200 [`Response`] from an [`ErrorResponse`].
+fn error(status: u16, kind: &'static str, detail: String) -> Response {
+    Response {
+        status,
+        body: ErrorResponse {
+            error: kind,
+            detail,
+        }
+        .to_json()
+        .encode(),
+    }
+}
+
+/// A store failure surfacing mid-request: the archive validated at load
+/// time, so this means on-disk corruption discovered by a lazy checksum.
+fn store_error(e: &StoreError) -> Response {
+    error(500, "store_error", e.to_string())
+}
+
+/// The TCP front: accept loop fanning connections out to a worker pool.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks an ephemeral port — read it back with
+    /// [`Server::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        state: Arc<ServeState>,
+        threads: usize,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state,
+            threads: threads.max(1),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `GET /shutdown` arrives. Each accepted connection
+    /// is handed to the pool; a worker reads one request, routes it,
+    /// writes one response, and closes. Shutdown sets a flag and
+    /// self-connects so the blocked `accept` wakes up and observes it.
+    pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let stop_handler = Arc::clone(&stop);
+        let pool = WorkerPool::new(self.threads, move |mut stream: TcpStream| {
+            handle(&state, &stop_handler, addr, &mut stream);
+        });
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                pool.submit(stream);
+            }
+        }
+        pool.join();
+        Ok(())
+    }
+}
+
+/// One exchange: parse, route (or flip the shutdown flag), respond.
+fn handle(state: &ServeState, stop: &AtomicBool, addr: SocketAddr, stream: &mut TcpStream) {
+    let response = match Request::read_from(stream) {
+        Ok(req) if req.path == "/shutdown" => {
+            stop.store(true, Ordering::SeqCst);
+            Response::ok(Json::object([("shutting_down", Json::from(true))]).encode())
+        }
+        Ok(req) => state.respond(&req),
+        Err(e) => error(400, "bad_request", e.to_string()),
+    };
+    let shutting_down = stop.load(Ordering::SeqCst);
+    let _ = response.write_to(stream);
+    if shutting_down {
+        // Wake the accept loop so it observes the flag and exits.
+        let _ = TcpStream::connect(addr);
+    }
+}

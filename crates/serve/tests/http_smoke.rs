@@ -1,0 +1,69 @@
+//! End-to-end over a real socket: bind an ephemeral port, serve from a
+//! worker pool, hit every endpoint with the shared client, shut down
+//! cleanly, and join the server thread.
+
+use std::sync::Arc;
+
+use govscan_scanner::StudyPipeline;
+use govscan_serve::{http, json, ServeState, Server};
+use govscan_store::Snapshot;
+use govscan_worldgen::{World, WorldConfig};
+
+#[test]
+fn serves_every_endpoint_over_tcp_and_shuts_down() {
+    let dir = std::env::temp_dir().join(format!("govscan-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let world = World::generate(&WorldConfig::small(0x7EA));
+    let scan = StudyPipeline::new(&world).run().scan;
+    let path = dir.join("smoke.snap");
+    Snapshot::write_file(&path, &scan).expect("write archive");
+
+    let state = Arc::new(ServeState::load(&[&path]).expect("load"));
+    let server = Server::bind(("127.0.0.1", 0), Arc::clone(&state), 4).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let thread = std::thread::spawn(move || server.run());
+
+    let host = scan.records()[0].hostname.clone();
+    let cc = scan
+        .records()
+        .iter()
+        .find_map(|r| r.country)
+        .expect("a country");
+    let paths = [
+        "/snapshots".to_owned(),
+        "/table2".to_owned(),
+        "/choropleth".to_owned(),
+        format!("/hosts/{host}"),
+        format!("/countries/{cc}"),
+        "/diff?from=smoke&to=smoke".to_owned(),
+    ];
+    for path in &paths {
+        let (status, body) = http::get(addr, path).expect("request");
+        assert_eq!(status, 200, "GET {path}: {body}");
+        json::parse(&body).unwrap_or_else(|e| panic!("GET {path}: bad JSON ({e}): {body}"));
+    }
+
+    // Errors travel the wire as JSON too.
+    let (status, body) = http::get(addr, "/hosts/absent.example.gov").expect("request");
+    assert_eq!(status, 404, "{body}");
+    assert!(json::parse(&body).unwrap().get("error").is_some(), "{body}");
+
+    // Concurrent clients hammering the cached report all get the same
+    // bytes back.
+    let baseline = http::get(addr, "/table2").expect("request").1;
+    let clients: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || http::get(addr, "/table2").expect("request")))
+        .collect();
+    for c in clients {
+        let (status, body) = c.join().expect("client thread");
+        assert_eq!(status, 200);
+        assert_eq!(body, baseline);
+    }
+
+    let (status, _) = http::get(addr, "/shutdown").expect("shutdown");
+    assert_eq!(status, 200);
+    thread
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}

@@ -16,7 +16,7 @@ use govscan_pki::Time;
 use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
 
 use crate::error::Result;
-use crate::snapshot::read_snapshot_file;
+use crate::lazy::Snapshot;
 
 /// The HTTPS posture of one host at one scan, as the diff sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -289,7 +289,7 @@ pub fn diff_snapshot_files(
     before: impl AsRef<Path>,
     after: impl AsRef<Path>,
 ) -> Result<SnapshotDiff> {
-    let before = read_snapshot_file(before)?;
-    let after = read_snapshot_file(after)?;
+    let before = Snapshot::open(before)?.dataset()?;
+    let after = Snapshot::open(after)?.dataset()?;
     Ok(diff_datasets(&before, &after))
 }

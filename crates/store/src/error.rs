@@ -95,6 +95,30 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+impl Clone for StoreError {
+    /// Manual because [`std::io::Error`] is not `Clone`: the kind and
+    /// message are preserved, the OS error chain is flattened into the
+    /// message. Needed by the lazy [`crate::Snapshot`], which caches a
+    /// section's decode `Result` once and hands every later caller a
+    /// copy of the same failure.
+    fn clone(&self) -> StoreError {
+        match self {
+            StoreError::Io(e) => StoreError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            StoreError::BadMagic { found } => StoreError::BadMagic {
+                found: found.clone(),
+            },
+            StoreError::UnsupportedVersion(v) => StoreError::UnsupportedVersion(*v),
+            StoreError::Truncated { context } => StoreError::Truncated { context },
+            StoreError::ChecksumMismatch { section } => StoreError::ChecksumMismatch { section },
+            StoreError::Corrupt { context, detail } => StoreError::Corrupt {
+                context,
+                detail: detail.clone(),
+            },
+            StoreError::Unrepresentable { field } => StoreError::Unrepresentable { field },
+        }
+    }
+}
+
 /// Shorthand used across the crate.
 pub type Result<T> = std::result::Result<T, StoreError>;
 

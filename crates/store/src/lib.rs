@@ -12,6 +12,14 @@
 //!   table, a content-addressed certificate pool, and fixed-width host
 //!   records. [`snapshot::SnapshotWriter`] streams with bounded memory;
 //!   [`snapshot::SnapshotReader`] validates everything before decoding.
+//! * [`lazy`] — the [`Snapshot`] facade: the one entry point for
+//!   archive I/O. Writing ([`Snapshot::encode`],
+//!   [`Snapshot::write_file`], [`Snapshot::digest_of`]) wraps the
+//!   streaming writer; reading opens cheap (header + section table +
+//!   meta only) and decodes sections on first touch, so point queries
+//!   — [`Snapshot::host`], [`Snapshot::host_by_name`] — never
+//!   materialize a full dataset. This is what the `govscan-serve`
+//!   daemon runs on.
 //! * [`diff`] — host-level transitions between two snapshots: the
 //!   state-migration matrix, newly-valid/newly-broken hosts, HSTS and
 //!   chain churn, and per-country improvement rates.
@@ -19,22 +27,29 @@
 //!   interning, and the typed [`StoreError`] every failure maps to.
 //!
 //! The round-trip invariant — write → read yields a dataset that is
-//! semantically identical, proven by [`snapshot::dataset_digest`]
-//! equality and byte-identical analysis renders — is asserted in this
-//! crate's tests at small scale and in `govscan-bench`'s `store` bench
-//! at the paper's 135,408-host scale.
+//! semantically identical, proven by [`Snapshot::digest_of`] equality
+//! and byte-identical analysis renders — is asserted in this crate's
+//! tests at small scale and in `govscan-bench`'s `store` bench at the
+//! paper's 135,408-host scale.
+//!
+//! The free functions `encode_snapshot` / `write_snapshot_file` /
+//! `read_snapshot` / `read_snapshot_file` / `dataset_digest` are
+//! deprecated thin wrappers over the facade, kept for one release.
 //!
 //! [`ScanDataset`]: govscan_scanner::ScanDataset
 
 pub mod diff;
 pub mod error;
 pub mod intern;
+pub mod lazy;
 pub mod snapshot;
 pub mod wire;
 
 pub use diff::{diff_datasets, diff_snapshot_files, CountryDelta, HostState, SnapshotDiff};
 pub use error::{Result, StoreError};
+pub use lazy::Snapshot;
+#[allow(deprecated)]
 pub use snapshot::{
     dataset_digest, encode_snapshot, read_snapshot, read_snapshot_file, write_snapshot_file,
-    SnapshotReader, SnapshotWriter, MAGIC, VERSION,
 };
+pub use snapshot::{Section, SnapshotReader, SnapshotWriter, MAGIC, VERSION};

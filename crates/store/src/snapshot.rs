@@ -21,8 +21,13 @@
 //! Round-tripping is semantically lossless: the rebuilt dataset renders
 //! every analysis byte-identically (proven in tests and at paper scale
 //! in `benches/store.rs`), and re-encoding it reproduces the archive
-//! byte for byte, which is what makes [`dataset_digest`] a meaningful
-//! identity.
+//! byte for byte, which is what makes [`crate::Snapshot::digest`] a
+//! meaningful identity.
+//!
+//! Two read surfaces share the decode helpers in this module: the eager
+//! [`SnapshotReader`] here (validate everything, then decode), and the
+//! lazy [`crate::Snapshot`] facade in [`crate::lazy`] (open cheap,
+//! decode sections on first touch).
 
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -30,7 +35,7 @@ use std::io::{Seek, SeekFrom, Write};
 use std::net::Ipv4Addr;
 use std::path::Path;
 
-use govscan_crypto::{Digest, Fingerprint, KeyAlgorithm, Sha256, SignatureAlgorithm};
+use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
 use govscan_net::tls::TlsVersion;
 use govscan_pki::caa::{CaaRecord, CaaTag};
 use govscan_pki::Time;
@@ -52,7 +57,7 @@ pub const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 24;
 
 /// Fixed-width encodings (v1).
-const HOST_RECORD_LEN: usize = 35;
+pub(crate) const HOST_RECORD_LEN: usize = 35;
 const CERT_RECORD_LEN: usize = 95;
 const CAA_RECORD_LEN: usize = 5;
 
@@ -62,7 +67,7 @@ const NO_CERT: u32 = u32::MAX;
 /// Section identifiers, in the order they appear in the section table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
-enum SectionId {
+pub(crate) enum SectionId {
     Meta = 1,
     Strings = 2,
     Certs = 3,
@@ -71,7 +76,7 @@ enum SectionId {
 }
 
 impl SectionId {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             SectionId::Meta => "meta",
             SectionId::Strings => "strings",
@@ -346,7 +351,7 @@ impl<W: Write + Seek> SnapshotWriter<W> {
     /// `GOVSCAN_STORE_THREADS` / `GOVSCAN_THREADS`), then written
     /// strictly in the canonical v1 order (CAA, certs, strings, meta) —
     /// so archives stay byte-identical at any worker count, which is
-    /// what keeps [`dataset_digest`] a meaningful identity.
+    /// what keeps [`crate::Snapshot::digest`] a meaningful identity.
     pub fn finish(mut self) -> Result<W> {
         let hosts = Section {
             id: SectionId::Hosts as u32,
@@ -441,62 +446,57 @@ impl<W: Write + Seek> SnapshotWriter<W> {
 
 /// Encode a whole dataset into an in-memory snapshot.
 ///
-/// One [`ScanDataset::records`] walk; the dataset's scan time travels in
-/// the meta section.
+/// Deprecated wrapper kept for one release; the facade method is the
+/// same one-walk encoding.
+#[deprecated(note = "use `Snapshot::encode` instead")]
 pub fn encode_snapshot(dataset: &ScanDataset) -> Result<Vec<u8>> {
-    let mut w = SnapshotWriter::new(std::io::Cursor::new(Vec::new()), dataset.scan_time)?;
-    for r in dataset.records() {
-        w.add(r)?;
-    }
-    Ok(w.finish()?.into_inner())
+    crate::Snapshot::encode(dataset)
 }
 
 /// Write a dataset snapshot to `path`, returning the byte size.
+///
+/// Deprecated wrapper kept for one release.
+#[deprecated(note = "use `Snapshot::write_file` instead")]
 pub fn write_snapshot_file(path: impl AsRef<Path>, dataset: &ScanDataset) -> Result<u64> {
-    let file = std::fs::File::create(path)?;
-    let mut w = SnapshotWriter::new(std::io::BufWriter::new(file), dataset.scan_time)?;
-    for r in dataset.records() {
-        w.add(r)?;
-    }
-    let mut out = w.finish()?;
-    Ok(out.stream_position()?)
+    crate::Snapshot::write_file(path, dataset)
 }
 
-/// The canonical content digest of a dataset: SHA-256 over its v1
-/// snapshot encoding. Two datasets are semantically identical exactly
-/// when their digests agree, which is how the round-trip invariant is
-/// asserted in tests and benches.
+/// The canonical content digest of a dataset.
+///
+/// Deprecated wrapper kept for one release.
+#[deprecated(note = "use `Snapshot::digest_of` instead")]
 pub fn dataset_digest(dataset: &ScanDataset) -> Result<Fingerprint> {
-    Ok(Fingerprint::from_digest(&Sha256::digest(&encode_snapshot(
-        dataset,
-    )?)))
+    crate::Snapshot::digest_of(dataset)
 }
 
-/// A validated snapshot: header and section table parsed, every section
-/// checksum verified. Decoding into a [`ScanDataset`] is a second,
-/// explicit step ([`Self::dataset`]).
-pub struct SnapshotReader<'a> {
-    bytes: &'a [u8],
+/// The parsed skeleton of a snapshot, shared by the eager
+/// [`SnapshotReader`] and the lazy [`crate::Snapshot`] facade: header
+/// fields, the section table, and the (tiny, always-verified) meta
+/// section's counts. Parsing it touches none of the pool payloads.
+pub(crate) struct Layout {
     /// Format version of the file (always [`VERSION`] for now).
-    pub version: u32,
+    pub(crate) version: u32,
     /// The archived scan time.
-    pub scan_time: Option<Time>,
+    pub(crate) scan_time: Option<Time>,
     /// Number of host records.
-    pub host_count: u64,
-    cert_count: u64,
-    caa_count: u64,
-    string_count: u64,
-    sections: Vec<Section>,
+    pub(crate) host_count: u64,
+    pub(crate) cert_count: u64,
+    pub(crate) caa_count: u64,
+    pub(crate) string_count: u64,
+    pub(crate) sections: Vec<Section>,
 }
 
-impl<'a> SnapshotReader<'a> {
-    /// Parse and validate `bytes` as a snapshot.
+impl Layout {
+    /// Parse and structurally validate `bytes` as a snapshot.
     ///
     /// Checks, in order: magic, version, header/table bounds, presence
-    /// of all v1 sections, each section's checksum, and the meta
-    /// section's counts against the section payload sizes. Any failure
-    /// is a typed [`StoreError`] — never a panic.
-    pub fn new(bytes: &'a [u8]) -> Result<SnapshotReader<'a>> {
+    /// of all v1 sections, the meta section's checksum (41 bytes — the
+    /// one payload cheap enough to always verify), and the meta counts
+    /// against the fixed-width section payload sizes. Pool payloads are
+    /// *not* checksummed here; the eager reader does that up front, the
+    /// lazy facade on first touch. Any failure is a typed
+    /// [`StoreError`] — never a panic.
+    pub(crate) fn parse(bytes: &[u8]) -> Result<Layout> {
         if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
             if bytes.len() >= MAGIC.len() {
                 return Err(StoreError::BadMagic {
@@ -551,8 +551,7 @@ impl<'a> SnapshotReader<'a> {
                 checksum,
             });
         }
-        let mut reader = SnapshotReader {
-            bytes,
+        let mut layout = Layout {
             version,
             scan_time: None,
             host_count: 0,
@@ -561,42 +560,20 @@ impl<'a> SnapshotReader<'a> {
             string_count: 0,
             sections,
         };
-        // Verify every section's bounds and checksum up front: a damaged
-        // archive is rejected before any decoding starts. Sections are
-        // checksummed concurrently for archives large enough to amortise
-        // pool startup; results are inspected in table order so the same
-        // section is reported first at any worker count.
-        let threads = if bytes.len() >= (1 << 20) {
-            govscan_exec::resolve_threads("GOVSCAN_STORE_THREADS")
-        } else {
-            1
-        };
-        let checks: Vec<Result<()>> =
-            govscan_exec::par_map_indexed(threads, reader.sections.len(), |i| {
-                let s = &reader.sections[i];
-                let payload = reader.payload(s)?;
-                if Checksum::of(payload) != s.checksum {
-                    return Err(StoreError::ChecksumMismatch { section: s.name });
-                }
-                Ok(())
-            });
-        for check in checks {
-            check?;
-        }
-
-        let mut meta = Decoder::new(reader.section_payload(SectionId::Meta)?, "meta");
+        let meta_payload = layout.verified_payload(bytes, layout.section(SectionId::Meta)?)?;
+        let mut meta = Decoder::new(meta_payload, "meta");
         let has_time = meta.u8()?;
         let time = meta.i64()?;
-        reader.scan_time = (has_time != 0).then_some(Time(time));
-        reader.host_count = meta.u64()?;
-        reader.cert_count = meta.u64()?;
-        reader.caa_count = meta.u64()?;
-        reader.string_count = meta.u64()?;
+        layout.scan_time = (has_time != 0).then_some(Time(time));
+        layout.host_count = meta.u64()?;
+        layout.cert_count = meta.u64()?;
+        layout.caa_count = meta.u64()?;
+        layout.string_count = meta.u64()?;
         meta.finish()?;
 
         // Cross-validate counts against fixed-width payload sizes.
         let check = |id: SectionId, count: u64, width: usize| -> Result<()> {
-            let len = reader.section(id)?.len;
+            let len = layout.section(id)?.len;
             if len != count * width as u64 {
                 return Err(StoreError::Corrupt {
                     context: id.name(),
@@ -605,33 +582,13 @@ impl<'a> SnapshotReader<'a> {
             }
             Ok(())
         };
-        check(SectionId::Hosts, reader.host_count, HOST_RECORD_LEN)?;
-        check(SectionId::Certs, reader.cert_count, CERT_RECORD_LEN)?;
-        check(SectionId::Caa, reader.caa_count, CAA_RECORD_LEN)?;
-        Ok(reader)
+        check(SectionId::Hosts, layout.host_count, HOST_RECORD_LEN)?;
+        check(SectionId::Certs, layout.cert_count, CERT_RECORD_LEN)?;
+        check(SectionId::Caa, layout.caa_count, CAA_RECORD_LEN)?;
+        Ok(layout)
     }
 
-    /// The validated section table, in id order.
-    pub fn sections(&self) -> &[Section] {
-        &self.sections
-    }
-
-    /// Entries in the content-addressed certificate pool.
-    pub fn cert_count(&self) -> u64 {
-        self.cert_count
-    }
-
-    /// Entries in the CAA pool.
-    pub fn caa_count(&self) -> u64 {
-        self.caa_count
-    }
-
-    /// Entries in the string table.
-    pub fn string_count(&self) -> u64 {
-        self.string_count
-    }
-
-    fn section(&self, id: SectionId) -> Result<&Section> {
+    pub(crate) fn section(&self, id: SectionId) -> Result<&Section> {
         self.sections
             .iter()
             .find(|s| s.id == id as u32)
@@ -641,286 +598,431 @@ impl<'a> SnapshotReader<'a> {
             })
     }
 
-    fn payload(&self, s: &Section) -> Result<&'a [u8]> {
+    /// Bounds-checked payload slice of one section.
+    pub(crate) fn payload<'b>(&self, bytes: &'b [u8], s: &Section) -> Result<&'b [u8]> {
         let start =
             usize::try_from(s.offset).map_err(|_| StoreError::Truncated { context: s.name })?;
         let len = usize::try_from(s.len).map_err(|_| StoreError::Truncated { context: s.name })?;
         start
             .checked_add(len)
-            .and_then(|end| self.bytes.get(start..end))
+            .and_then(|end| bytes.get(start..end))
             .ok_or(StoreError::Truncated { context: s.name })
     }
 
+    /// Payload slice with its FNV-1a checksum verified.
+    pub(crate) fn verified_payload<'b>(&self, bytes: &'b [u8], s: &Section) -> Result<&'b [u8]> {
+        let payload = self.payload(bytes, s)?;
+        if Checksum::of(payload) != s.checksum {
+            return Err(StoreError::ChecksumMismatch { section: s.name });
+        }
+        Ok(payload)
+    }
+}
+
+// --- Section decoders, shared by the eager and lazy read paths. Each
+// --- takes a (bounds-checked, checksum-verified) payload slice plus the
+// --- element count cross-validated by `Layout::parse`.
+
+pub(crate) fn decode_strings(payload: &[u8], count: u64) -> Result<Vec<String>> {
+    let mut d = Decoder::new(payload, "strings");
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let len = d.u32()? as usize;
+        let bytes = d.bytes(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => out.push(s.to_owned()),
+            Err(e) => return d.corrupt(format!("invalid UTF-8 in string table: {e}")),
+        }
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+pub(crate) fn decode_certs(
+    payload: &[u8],
+    count: u64,
+    strings: &[String],
+) -> Result<Vec<CertMeta>> {
+    let mut d = Decoder::new(payload, "certs");
+    let string = |d: &Decoder<'_>, id: u32| -> Result<String> {
+        match strings.get(id as usize) {
+            Some(s) => Ok(s.clone()),
+            None => d.corrupt(format!("string id {id} out of range")),
+        }
+    };
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let fingerprint = Fingerprint::from_digest(d.bytes(32)?);
+        let key_fingerprint = Fingerprint::from_digest(d.bytes(32)?);
+        let issuer_id = d.u32()?;
+        let issuer = string(&d, issuer_id)?;
+        let serial_id = d.u32()?;
+        let serial = string(&d, serial_id)?;
+        let key_tag = d.u8()?;
+        let key_bits = d.u16()?;
+        let key_algorithm = match key_tag {
+            0 => KeyAlgorithm::Rsa(key_bits),
+            1 => KeyAlgorithm::Ec(key_bits),
+            t => return d.corrupt(format!("unknown key algorithm tag {t}")),
+        };
+        let sig = d.u8()?;
+        let Some(signature_algorithm) = sig_from(sig) else {
+            return d.corrupt(format!("unknown signature algorithm code {sig}"));
+        };
+        let not_before = Time(d.i64()?);
+        let not_after = Time(d.i64()?);
+        let flags = d.u8()?;
+        let chain_len = d.u16()? as usize;
+        out.push(CertMeta {
+            issuer,
+            key_algorithm,
+            signature_algorithm,
+            not_before,
+            not_after,
+            serial,
+            fingerprint,
+            key_fingerprint,
+            wildcard: flags & CF_WILDCARD != 0,
+            is_ev: flags & CF_EV != 0,
+            self_issued: flags & CF_SELF_ISSUED != 0,
+            chain_len,
+        });
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+pub(crate) fn decode_caa(payload: &[u8], count: u64, strings: &[String]) -> Result<Vec<CaaRecord>> {
+    let mut d = Decoder::new(payload, "caa");
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let flags = d.u8()?;
+        let value_id = d.u32()?;
+        let tag = match flags & 0x7f {
+            0 => CaaTag::Issue,
+            1 => CaaTag::IssueWild,
+            2 => CaaTag::Iodef,
+            t => return d.corrupt(format!("unknown CAA tag {t}")),
+        };
+        let Some(value) = strings.get(value_id as usize) else {
+            return d.corrupt(format!("CAA value string id {value_id} out of range"));
+        };
+        out.push(CaaRecord {
+            critical: flags & 0x80 != 0,
+            tag,
+            value: value.clone(),
+        });
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+/// Decode one fixed-width host record from `d`, resolving pool
+/// references. The hot loop of [`SnapshotReader::dataset`] and the whole
+/// of the lazy facade's by-index host access.
+pub(crate) fn decode_host_record(
+    d: &mut Decoder<'_>,
+    strings: &[String],
+    certs: &[CertMeta],
+    caa: &[CaaRecord],
+) -> Result<ScanRecord> {
+    let hostname_id = d.u32()?;
+    let Some(hostname) = strings.get(hostname_id as usize) else {
+        return d.corrupt(format!("hostname string id {hostname_id} out of range"));
+    };
+    let flags = d.u16()?;
+    let ip_raw = d.u32()?;
+    let error_raw = d.u8()?;
+    let negotiated_raw = d.u8()?;
+    let hosting_tag = d.u8()?;
+    let provider_id = d.u32()?;
+    let cert_id = d.u32()?;
+    let country_id = d.u32()?;
+    let rank_raw = d.u32()?;
+    let caa_offset = d.u32()? as usize;
+    let caa_len = d.u16()? as usize;
+
+    let cert = match cert_id {
+        NO_CERT => None,
+        id => match certs.get(id as usize) {
+            Some(meta) => Some(meta.clone()),
+            None => return d.corrupt(format!("certificate id {id} out of range")),
+        },
+    };
+    let error = match error_raw {
+        u8::MAX => None,
+        code => match error_from(code) {
+            Some(c) => Some(c),
+            None => return d.corrupt(format!("unknown error category code {code}")),
+        },
+    };
+    let https = match (flags & F_ATTEMPTS != 0, flags & F_VALID != 0) {
+        (false, false) => {
+            if error.is_some() || cert.is_some() {
+                return d.corrupt("https=None record carries error or certificate");
+            }
+            HttpsStatus::None
+        }
+        (true, true) => match (cert, error) {
+            (Some(meta), None) => HttpsStatus::Valid(meta),
+            _ => return d.corrupt("valid record must have a certificate and no error"),
+        },
+        (true, false) => match error {
+            Some(cat) => HttpsStatus::Invalid(cat, cert),
+            None => return d.corrupt("invalid record without an error category"),
+        },
+        (false, true) => return d.corrupt("valid flag without attempts flag"),
+    };
+    let negotiated = match negotiated_raw {
+        u8::MAX => None,
+        code => match tls_from(code) {
+            Some(v) => Some(v),
+            None => return d.corrupt(format!("unknown TLS version code {code}")),
+        },
+    };
+    let hosting = match (hosting_tag, provider_id) {
+        (0, NO_STRING) => HostingKind::Private,
+        (tag @ (1 | 2), id) => match strings.get(id as usize) {
+            Some(p) => {
+                let p = intern_static(p);
+                if tag == 1 {
+                    HostingKind::Cloud(p)
+                } else {
+                    HostingKind::Cdn(p)
+                }
+            }
+            None => return d.corrupt(format!("provider string id {id} out of range")),
+        },
+        (tag, _) => return d.corrupt(format!("unknown hosting tag {tag}")),
+    };
+    let country = match country_id {
+        NO_STRING => None,
+        id => match strings.get(id as usize) {
+            Some(cc) => Some(intern_static(cc)),
+            None => return d.corrupt(format!("country string id {id} out of range")),
+        },
+    };
+    let caa_run = match caa.get(caa_offset..caa_offset + caa_len) {
+        Some(run) => run.to_vec(),
+        None => {
+            return d.corrupt(format!(
+                "CAA run {caa_offset}+{caa_len} out of range ({} entries)",
+                caa.len()
+            ))
+        }
+    };
+    Ok(ScanRecord {
+        hostname: hostname.clone(),
+        available: flags & F_AVAILABLE != 0,
+        ip: (flags & F_HAS_IP != 0).then(|| Ipv4Addr::from(ip_raw)),
+        http_200: flags & F_HTTP_200 != 0,
+        http_redirects_https: flags & F_HTTP_REDIRECTS != 0,
+        https_200: flags & F_HTTPS_200 != 0,
+        hsts: flags & F_HSTS != 0,
+        https,
+        negotiated,
+        caa: caa_run,
+        hosting,
+        country,
+        tranco_rank: (rank_raw != u32::MAX).then_some(rank_raw),
+    })
+}
+
+/// Assemble decoded records into a [`ScanDataset`] carrying `scan_time`.
+pub(crate) fn assemble_dataset(records: Vec<ScanRecord>, scan_time: Option<Time>) -> ScanDataset {
+    let mut dataset = match scan_time {
+        Some(t) => ScanDataset::new(records, t),
+        None => {
+            let mut ds = ScanDataset::default();
+            for r in records {
+                ds.push(r);
+            }
+            ds
+        }
+    };
+    dataset.scan_time = scan_time;
+    dataset
+}
+
+/// Render the shared human-readable archive dump used by both read
+/// surfaces: header line, element counts, section table, and the first
+/// certificates of the content-addressed pool. All hex goes through
+/// `govscan_crypto`'s one encoder.
+pub(crate) fn render_describe(layout: &Layout, total_bytes: usize, certs: &[CertMeta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "govscan snapshot v{} · {total_bytes} bytes · scan_time {:?}",
+        layout.version,
+        layout.scan_time.map(|t| t.0),
+    );
+    let _ = writeln!(
+        out,
+        "counts: {} hosts · {} certs · {} caa · {} strings",
+        layout.host_count, layout.cert_count, layout.caa_count, layout.string_count
+    );
+    for s in &layout.sections {
+        let _ = writeln!(
+            out,
+            "  section {:<8} id={} offset={:<10} len={:<10} fnv1a64={}",
+            s.name,
+            s.id,
+            s.offset,
+            s.len,
+            govscan_crypto::hex::encode(&s.checksum.to_be_bytes()),
+        );
+    }
+    for (i, meta) in certs.iter().take(5).enumerate() {
+        let _ = writeln!(
+            out,
+            "  cert[{i}] {} issuer={:?} serial={}",
+            meta.fingerprint.to_hex(),
+            meta.issuer,
+            meta.serial,
+        );
+    }
+    out
+}
+
+/// A validated snapshot: header and section table parsed, every section
+/// checksum verified **up front**. Decoding into a [`ScanDataset`] is a
+/// second, explicit step ([`Self::dataset`]).
+///
+/// This is the *eager* read surface: pay the full validation cost at
+/// construction, then decode knowing the bytes are clean. For the
+/// serve-many access pattern — open once, answer point queries — use the
+/// lazy [`crate::Snapshot`] facade instead, which defers section
+/// checksums and decoding to first touch.
+pub struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    layout: Layout,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parse and validate `bytes` as a snapshot.
+    ///
+    /// Runs [`Layout::parse`] (magic, version, bounds, meta counts) and
+    /// then verifies every section's checksum before returning. A
+    /// damaged archive is rejected before any decoding starts. Sections
+    /// are checksummed concurrently for archives large enough to
+    /// amortise pool startup; results are inspected in table order so
+    /// the same section is reported first at any worker count.
+    pub fn new(bytes: &'a [u8]) -> Result<SnapshotReader<'a>> {
+        let layout = Layout::parse(bytes)?;
+        let threads = if bytes.len() >= (1 << 20) {
+            govscan_exec::resolve_threads("GOVSCAN_STORE_THREADS")
+        } else {
+            1
+        };
+        let checks: Vec<Result<()>> =
+            govscan_exec::par_map_indexed(threads, layout.sections.len(), |i| {
+                layout
+                    .verified_payload(bytes, &layout.sections[i])
+                    .map(drop)
+            });
+        for check in checks {
+            check?;
+        }
+        Ok(SnapshotReader { bytes, layout })
+    }
+
+    /// Format version of the file (always [`VERSION`] for now).
+    pub fn version(&self) -> u32 {
+        self.layout.version
+    }
+
+    /// The archived scan time.
+    pub fn scan_time(&self) -> Option<Time> {
+        self.layout.scan_time
+    }
+
+    /// The validated section table, in id order.
+    pub fn sections(&self) -> &[Section] {
+        &self.layout.sections
+    }
+
+    /// Number of host records.
+    pub fn host_count(&self) -> u64 {
+        self.layout.host_count
+    }
+
+    /// Entries in the content-addressed certificate pool.
+    pub fn cert_count(&self) -> u64 {
+        self.layout.cert_count
+    }
+
+    /// Entries in the CAA pool.
+    pub fn caa_count(&self) -> u64 {
+        self.layout.caa_count
+    }
+
+    /// Entries in the string table.
+    pub fn string_count(&self) -> u64 {
+        self.layout.string_count
+    }
+
     fn section_payload(&self, id: SectionId) -> Result<&'a [u8]> {
-        self.payload(self.section(id)?)
+        // Checksums were verified by `new`; plain bounds-checked access.
+        self.layout.payload(self.bytes, self.layout.section(id)?)
     }
 
     fn decode_strings(&self) -> Result<Vec<String>> {
-        let mut d = Decoder::new(self.section_payload(SectionId::Strings)?, "strings");
-        let mut out = Vec::with_capacity(self.string_count as usize);
-        for _ in 0..self.string_count {
-            let len = d.u32()? as usize;
-            let bytes = d.bytes(len)?;
-            match std::str::from_utf8(bytes) {
-                Ok(s) => out.push(s.to_owned()),
-                Err(e) => return d.corrupt(format!("invalid UTF-8 in string table: {e}")),
-            }
-        }
-        d.finish()?;
-        Ok(out)
-    }
-
-    fn decode_certs(&self, strings: &[String]) -> Result<Vec<CertMeta>> {
-        let mut d = Decoder::new(self.section_payload(SectionId::Certs)?, "certs");
-        let string = |d: &Decoder<'_>, id: u32| -> Result<String> {
-            match strings.get(id as usize) {
-                Some(s) => Ok(s.clone()),
-                None => d.corrupt(format!("string id {id} out of range")),
-            }
-        };
-        let mut out = Vec::with_capacity(self.cert_count as usize);
-        for _ in 0..self.cert_count {
-            let fingerprint = Fingerprint::from_digest(d.bytes(32)?);
-            let key_fingerprint = Fingerprint::from_digest(d.bytes(32)?);
-            let issuer_id = d.u32()?;
-            let issuer = string(&d, issuer_id)?;
-            let serial_id = d.u32()?;
-            let serial = string(&d, serial_id)?;
-            let key_tag = d.u8()?;
-            let key_bits = d.u16()?;
-            let key_algorithm = match key_tag {
-                0 => KeyAlgorithm::Rsa(key_bits),
-                1 => KeyAlgorithm::Ec(key_bits),
-                t => return d.corrupt(format!("unknown key algorithm tag {t}")),
-            };
-            let sig = d.u8()?;
-            let Some(signature_algorithm) = sig_from(sig) else {
-                return d.corrupt(format!("unknown signature algorithm code {sig}"));
-            };
-            let not_before = Time(d.i64()?);
-            let not_after = Time(d.i64()?);
-            let flags = d.u8()?;
-            let chain_len = d.u16()? as usize;
-            out.push(CertMeta {
-                issuer,
-                key_algorithm,
-                signature_algorithm,
-                not_before,
-                not_after,
-                serial,
-                fingerprint,
-                key_fingerprint,
-                wildcard: flags & CF_WILDCARD != 0,
-                is_ev: flags & CF_EV != 0,
-                self_issued: flags & CF_SELF_ISSUED != 0,
-                chain_len,
-            });
-        }
-        d.finish()?;
-        Ok(out)
-    }
-
-    fn decode_caa(&self, strings: &[String]) -> Result<Vec<CaaRecord>> {
-        let mut d = Decoder::new(self.section_payload(SectionId::Caa)?, "caa");
-        let mut out = Vec::with_capacity(self.caa_count as usize);
-        for _ in 0..self.caa_count {
-            let flags = d.u8()?;
-            let value_id = d.u32()?;
-            let tag = match flags & 0x7f {
-                0 => CaaTag::Issue,
-                1 => CaaTag::IssueWild,
-                2 => CaaTag::Iodef,
-                t => return d.corrupt(format!("unknown CAA tag {t}")),
-            };
-            let Some(value) = strings.get(value_id as usize) else {
-                return d.corrupt(format!("CAA value string id {value_id} out of range"));
-            };
-            out.push(CaaRecord {
-                critical: flags & 0x80 != 0,
-                tag,
-                value: value.clone(),
-            });
-        }
-        d.finish()?;
-        Ok(out)
+        decode_strings(
+            self.section_payload(SectionId::Strings)?,
+            self.layout.string_count,
+        )
     }
 
     /// Rebuild the archived [`ScanDataset`].
     pub fn dataset(&self) -> Result<ScanDataset> {
         let strings = self.decode_strings()?;
-        let certs = self.decode_certs(&strings)?;
-        let caa = self.decode_caa(&strings)?;
-
+        let certs = decode_certs(
+            self.section_payload(SectionId::Certs)?,
+            self.layout.cert_count,
+            &strings,
+        )?;
+        let caa = decode_caa(
+            self.section_payload(SectionId::Caa)?,
+            self.layout.caa_count,
+            &strings,
+        )?;
         let mut d = Decoder::new(self.section_payload(SectionId::Hosts)?, "hosts");
-        let mut records = Vec::with_capacity(self.host_count as usize);
-        for _ in 0..self.host_count {
-            let hostname_id = d.u32()?;
-            let Some(hostname) = strings.get(hostname_id as usize) else {
-                return d.corrupt(format!("hostname string id {hostname_id} out of range"));
-            };
-            let flags = d.u16()?;
-            let ip_raw = d.u32()?;
-            let error_raw = d.u8()?;
-            let negotiated_raw = d.u8()?;
-            let hosting_tag = d.u8()?;
-            let provider_id = d.u32()?;
-            let cert_id = d.u32()?;
-            let country_id = d.u32()?;
-            let rank_raw = d.u32()?;
-            let caa_offset = d.u32()? as usize;
-            let caa_len = d.u16()? as usize;
-
-            let cert = match cert_id {
-                NO_CERT => None,
-                id => match certs.get(id as usize) {
-                    Some(meta) => Some(meta.clone()),
-                    None => return d.corrupt(format!("certificate id {id} out of range")),
-                },
-            };
-            let error = match error_raw {
-                u8::MAX => None,
-                code => match error_from(code) {
-                    Some(c) => Some(c),
-                    None => return d.corrupt(format!("unknown error category code {code}")),
-                },
-            };
-            let https = match (flags & F_ATTEMPTS != 0, flags & F_VALID != 0) {
-                (false, false) => {
-                    if error.is_some() || cert.is_some() {
-                        return d.corrupt("https=None record carries error or certificate");
-                    }
-                    HttpsStatus::None
-                }
-                (true, true) => match (cert, error) {
-                    (Some(meta), None) => HttpsStatus::Valid(meta),
-                    _ => return d.corrupt("valid record must have a certificate and no error"),
-                },
-                (true, false) => match error {
-                    Some(cat) => HttpsStatus::Invalid(cat, cert),
-                    None => return d.corrupt("invalid record without an error category"),
-                },
-                (false, true) => return d.corrupt("valid flag without attempts flag"),
-            };
-            let negotiated = match negotiated_raw {
-                u8::MAX => None,
-                code => match tls_from(code) {
-                    Some(v) => Some(v),
-                    None => return d.corrupt(format!("unknown TLS version code {code}")),
-                },
-            };
-            let hosting = match (hosting_tag, provider_id) {
-                (0, NO_STRING) => HostingKind::Private,
-                (tag @ (1 | 2), id) => match strings.get(id as usize) {
-                    Some(p) => {
-                        let p = intern_static(p);
-                        if tag == 1 {
-                            HostingKind::Cloud(p)
-                        } else {
-                            HostingKind::Cdn(p)
-                        }
-                    }
-                    None => return d.corrupt(format!("provider string id {id} out of range")),
-                },
-                (tag, _) => return d.corrupt(format!("unknown hosting tag {tag}")),
-            };
-            let country = match country_id {
-                NO_STRING => None,
-                id => match strings.get(id as usize) {
-                    Some(cc) => Some(intern_static(cc)),
-                    None => return d.corrupt(format!("country string id {id} out of range")),
-                },
-            };
-            let caa_run = match caa.get(caa_offset..caa_offset + caa_len) {
-                Some(run) => run.to_vec(),
-                None => {
-                    return d.corrupt(format!(
-                        "CAA run {caa_offset}+{caa_len} out of range ({} entries)",
-                        caa.len()
-                    ))
-                }
-            };
-            records.push(ScanRecord {
-                hostname: hostname.clone(),
-                available: flags & F_AVAILABLE != 0,
-                ip: (flags & F_HAS_IP != 0).then(|| Ipv4Addr::from(ip_raw)),
-                http_200: flags & F_HTTP_200 != 0,
-                http_redirects_https: flags & F_HTTP_REDIRECTS != 0,
-                https_200: flags & F_HTTPS_200 != 0,
-                hsts: flags & F_HSTS != 0,
-                https,
-                negotiated,
-                caa: caa_run,
-                hosting,
-                country,
-                tranco_rank: (rank_raw != u32::MAX).then_some(rank_raw),
-            });
+        let mut records = Vec::with_capacity(self.layout.host_count as usize);
+        for _ in 0..self.layout.host_count {
+            records.push(decode_host_record(&mut d, &strings, &certs, &caa)?);
         }
         d.finish()?;
-
-        let mut dataset = match self.scan_time {
-            Some(t) => ScanDataset::new(records, t),
-            None => {
-                let mut ds = ScanDataset::default();
-                for r in records {
-                    ds.push(r);
-                }
-                ds
-            }
-        };
-        dataset.scan_time = self.scan_time;
-        Ok(dataset)
+        Ok(assemble_dataset(records, self.layout.scan_time))
     }
 
     /// A human-readable dump of the archive structure: section table
     /// with checksums, element counts, and the first certificates of the
-    /// content-addressed pool. All hex goes through `govscan_crypto`'s
-    /// one encoder ([`govscan_crypto::hex`] / [`Fingerprint::to_hex`]).
+    /// content-addressed pool.
     pub fn describe(&self) -> Result<String> {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "govscan snapshot v{} · {} bytes · scan_time {:?}",
-            self.version,
-            self.bytes.len(),
-            self.scan_time.map(|t| t.0),
-        );
-        let _ = writeln!(
-            out,
-            "counts: {} hosts · {} certs · {} caa · {} strings",
-            self.host_count, self.cert_count, self.caa_count, self.string_count
-        );
-        for s in &self.sections {
-            let _ = writeln!(
-                out,
-                "  section {:<8} id={} offset={:<10} len={:<10} fnv1a64={}",
-                s.name,
-                s.id,
-                s.offset,
-                s.len,
-                govscan_crypto::hex::encode(&s.checksum.to_be_bytes()),
-            );
-        }
         let strings = self.decode_strings()?;
-        for (i, meta) in self.decode_certs(&strings)?.iter().take(5).enumerate() {
-            let _ = writeln!(
-                out,
-                "  cert[{i}] {} issuer={:?} serial={}",
-                meta.fingerprint.to_hex(),
-                meta.issuer,
-                meta.serial,
-            );
-        }
-        Ok(out)
+        let certs = decode_certs(
+            self.section_payload(SectionId::Certs)?,
+            self.layout.cert_count,
+            &strings,
+        )?;
+        Ok(render_describe(&self.layout, self.bytes.len(), &certs))
     }
 }
 
 /// Decode an in-memory snapshot into a dataset (validate + rebuild).
+///
+/// Deprecated wrapper kept for one release; it is the eager
+/// [`SnapshotReader`] pipeline.
+#[deprecated(note = "use `Snapshot::from_bytes(..)?.dataset()` instead")]
 pub fn read_snapshot(bytes: &[u8]) -> Result<ScanDataset> {
     SnapshotReader::new(bytes)?.dataset()
 }
 
 /// Read a snapshot file into a dataset.
+///
+/// Deprecated wrapper kept for one release.
+#[deprecated(note = "use `Snapshot::open(..)?.dataset()` instead")]
 pub fn read_snapshot_file(path: impl AsRef<Path>) -> Result<ScanDataset> {
-    read_snapshot(&std::fs::read(path)?)
+    SnapshotReader::new(&std::fs::read(path)?)?.dataset()
 }

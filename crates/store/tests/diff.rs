@@ -6,7 +6,7 @@ use govscan_pki::Time;
 use govscan_scanner::classify::{CertMeta, HttpsStatus};
 use govscan_scanner::{ErrorCategory, ScanDataset, ScanRecord};
 use govscan_store::diff::{diff_datasets, diff_snapshot_files, HostState};
-use govscan_store::snapshot::write_snapshot_file;
+use govscan_store::Snapshot;
 
 fn meta(fp: u8) -> CertMeta {
     CertMeta {
@@ -138,8 +138,8 @@ fn file_level_diff_matches_in_memory() {
     std::fs::create_dir_all(&dir).unwrap();
     let b = dir.join("before.snap");
     let a = dir.join("after.snap");
-    write_snapshot_file(&b, &before).unwrap();
-    write_snapshot_file(&a, &after).unwrap();
+    Snapshot::write_file(&b, &before).unwrap();
+    Snapshot::write_file(&a, &after).unwrap();
 
     let from_files = diff_snapshot_files(&b, &a).unwrap();
     assert_eq!(from_files, diff_datasets(&before, &after));

@@ -6,15 +6,16 @@
 //! 2. **Corruption robustness** — every way a file can be damaged
 //!    (truncation, foreign bytes, future version, bit rot) surfaces as
 //!    the matching typed [`StoreError`], never a panic and never a
-//!    silently partial dataset.
+//!    silently partial dataset — on *both* read surfaces: the eager
+//!    [`SnapshotReader`] (checksums at open) and the lazy [`Snapshot`]
+//!    facade (checksums on first touch).
 
 use std::sync::OnceLock;
 
 use govscan_analysis::aggregate::AggregateIndex;
 use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, table2};
 use govscan_scanner::{ScanDataset, StudyPipeline};
-use govscan_store::snapshot::{dataset_digest, encode_snapshot, read_snapshot, SnapshotReader};
-use govscan_store::{StoreError, MAGIC, VERSION};
+use govscan_store::{Snapshot, SnapshotReader, StoreError, MAGIC, VERSION};
 use govscan_worldgen::{World, WorldConfig};
 
 /// One small-but-real scan, shared across tests.
@@ -28,7 +29,14 @@ fn scan() -> &'static ScanDataset {
 
 fn snapshot() -> &'static Vec<u8> {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-    BYTES.get_or_init(|| encode_snapshot(scan()).expect("encodable"))
+    BYTES.get_or_init(|| Snapshot::encode(scan()).expect("encodable"))
+}
+
+/// Full decode through the lazy facade — the migration target for the
+/// old `read_snapshot` free function. Corruption surfaces either at
+/// open (structure) or on the section's first touch (checksums, refs).
+fn read_lazy(bytes: &[u8]) -> Result<ScanDataset, StoreError> {
+    Snapshot::from_bytes(bytes.to_vec())?.dataset()
 }
 
 /// Render the full paper-figure set from a dataset via the single-pass
@@ -49,13 +57,13 @@ fn renders(ds: &ScanDataset) -> Vec<String> {
 #[test]
 fn round_trip_is_semantically_lossless() {
     let original = scan();
-    let restored = read_snapshot(snapshot()).expect("valid snapshot reads back");
+    let restored = read_lazy(snapshot()).expect("valid snapshot reads back");
 
     assert_eq!(original.len(), restored.len());
     assert_eq!(original.scan_time, restored.scan_time);
     assert_eq!(
-        dataset_digest(original).unwrap(),
-        dataset_digest(&restored).unwrap(),
+        Snapshot::digest_of(original).unwrap(),
+        Snapshot::digest_of(&restored).unwrap(),
         "canonical digests must agree"
     );
     // Field-level spot check on every record (digest equality already
@@ -71,9 +79,85 @@ fn round_trip_is_semantically_lossless() {
 }
 
 #[test]
+fn eager_and_lazy_surfaces_agree() {
+    let eager = SnapshotReader::new(snapshot())
+        .expect("valid snapshot")
+        .dataset()
+        .expect("decodes");
+    let lazy = read_lazy(snapshot()).expect("decodes");
+    assert_eq!(eager.len(), lazy.len());
+    assert_eq!(eager.scan_time, lazy.scan_time);
+    for (a, b) in eager.records().iter().zip(lazy.records()) {
+        assert_eq!(a, b, "{} must decode identically on both paths", a.hostname);
+    }
+    // Shared describe renderer too.
+    let reader = SnapshotReader::new(snapshot()).expect("valid snapshot");
+    let snap = Snapshot::from_bytes(snapshot().clone()).expect("valid snapshot");
+    assert_eq!(reader.describe().unwrap(), snap.describe().unwrap());
+}
+
+#[test]
+fn lazy_point_queries_match_dataset_without_building_one() {
+    let snap = Snapshot::from_bytes(snapshot().clone()).expect("valid snapshot");
+    assert_eq!(
+        snap.decoded_sections(),
+        Vec::<&str>::new(),
+        "open must decode nothing"
+    );
+    let expected = scan();
+    // Every record is reachable by index and by name, identical to the
+    // materialized dataset's view.
+    for (i, want) in expected.records().iter().enumerate() {
+        let by_index = snap.host(i as u64).expect("decodes").expect("in range");
+        assert_eq!(&by_index, want, "host({i})");
+        let by_name = snap
+            .host_by_name(&want.hostname)
+            .expect("decodes")
+            .expect("known name");
+        assert_eq!(
+            &by_name,
+            expected.get(&want.hostname).expect("dataset lookup"),
+            "host_by_name({}) must match ScanDataset::get",
+            want.hostname
+        );
+    }
+    assert!(snap.host(expected.len() as u64).unwrap().is_none());
+    assert!(snap
+        .host_by_name("no-such-host.gov.invalid")
+        .unwrap()
+        .is_none());
+    assert_eq!(
+        snap.datasets_built(),
+        0,
+        "point queries must never materialize a full dataset"
+    );
+    assert_eq!(
+        snap.decoded_sections(),
+        vec!["strings", "certs", "caa", "hosts", "by_host"]
+    );
+    // Header-level accessors agree with the eager reader's.
+    let reader = SnapshotReader::new(snapshot()).expect("valid snapshot");
+    assert_eq!(snap.host_count(), reader.host_count());
+    assert_eq!(snap.cert_count(), reader.cert_count());
+    assert_eq!(snap.caa_count(), reader.caa_count());
+    assert_eq!(snap.string_count(), reader.string_count());
+    assert_eq!(snap.version(), reader.version());
+    assert_eq!(snap.scan_time(), reader.scan_time());
+}
+
+#[test]
+fn archive_digest_equals_dataset_digest() {
+    // Canonical encoding makes hashing the file equivalent to hashing
+    // the canonical re-encoding of its dataset.
+    let snap = Snapshot::from_bytes(snapshot().clone()).expect("valid snapshot");
+    assert_eq!(snap.digest(), Snapshot::digest_of(scan()).unwrap());
+    assert_eq!(snap.size_bytes(), snapshot().len() as u64);
+}
+
+#[test]
 fn reencoding_is_byte_identical() {
-    let restored = read_snapshot(snapshot()).expect("valid snapshot");
-    let again = encode_snapshot(&restored).expect("encodable");
+    let restored = read_lazy(snapshot()).expect("valid snapshot");
+    let again = Snapshot::encode(&restored).expect("encodable");
     assert_eq!(
         snapshot(),
         &again,
@@ -88,9 +172,9 @@ fn encoding_is_worker_count_invariant() {
     // pool has one worker or several (sections are written in canonical
     // order regardless of completion order).
     std::env::set_var("GOVSCAN_STORE_THREADS", "1");
-    let serial = encode_snapshot(scan()).expect("encodable at 1 worker");
+    let serial = Snapshot::encode(scan()).expect("encodable at 1 worker");
     std::env::set_var("GOVSCAN_STORE_THREADS", "4");
-    let parallel = encode_snapshot(scan()).expect("encodable at 4 workers");
+    let parallel = Snapshot::encode(scan()).expect("encodable at 4 workers");
     std::env::remove_var("GOVSCAN_STORE_THREADS");
     assert_eq!(
         serial, parallel,
@@ -102,10 +186,10 @@ fn encoding_is_worker_count_invariant() {
         "pinned-thread archives must match the default-environment fixture"
     );
     // The parallel-verified read path accepts its own output.
-    let restored = read_snapshot(&parallel).expect("valid snapshot");
+    let restored = read_lazy(&parallel).expect("valid snapshot");
     assert_eq!(
-        dataset_digest(scan()).unwrap(),
-        dataset_digest(&restored).unwrap()
+        Snapshot::digest_of(scan()).unwrap(),
+        Snapshot::digest_of(&restored).unwrap()
     );
 }
 
@@ -117,7 +201,7 @@ fn snapshot_deduplicates_certificates() {
         .iter()
         .filter(|r| r.https.meta().is_some())
         .count() as u64;
-    assert!(reader.host_count > 0);
+    assert!(reader.host_count() > 0);
     assert!(with_cert > 0, "fixture world must have certificates");
     // Content addressing must collapse hosts sharing a leaf (PR 3 made
     // issuance share chains) instead of storing one entry per host.
@@ -135,27 +219,24 @@ fn snapshot_deduplicates_certificates() {
 fn wrong_magic_is_rejected() {
     let mut bytes = snapshot().clone();
     bytes[0] ^= 0xFF;
-    match read_snapshot(&bytes) {
+    match read_lazy(&bytes) {
         Err(StoreError::BadMagic { found }) => assert_eq!(found.len(), MAGIC.len()),
         other => panic!("expected BadMagic, got {other:?}"),
     }
     // A file that is something else entirely.
     assert!(matches!(
-        read_snapshot(b"PNG\r\n\x1a\n not a snapshot"),
+        read_lazy(b"PNG\r\n\x1a\n not a snapshot"),
         Err(StoreError::BadMagic { .. })
     ));
     // The empty file.
-    assert!(matches!(
-        read_snapshot(b""),
-        Err(StoreError::BadMagic { .. })
-    ));
+    assert!(matches!(read_lazy(b""), Err(StoreError::BadMagic { .. })));
 }
 
 #[test]
 fn unsupported_version_is_rejected() {
     let mut bytes = snapshot().clone();
     bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
-    match read_snapshot(&bytes) {
+    match read_lazy(&bytes) {
         Err(StoreError::UnsupportedVersion(v)) => assert_eq!(v, VERSION + 1),
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
@@ -171,19 +252,27 @@ fn truncation_never_panics_and_never_yields_data() {
         .chain([1, 7, 8, 15, 23, 24, bytes.len() - 1])
         .collect();
     for cut in cuts {
-        let err = read_snapshot(&bytes[..cut])
-            .err()
-            .unwrap_or_else(|| panic!("truncation at {cut} bytes must not yield a dataset"));
-        assert!(
-            matches!(
-                err,
-                StoreError::BadMagic { .. }
-                    | StoreError::Truncated { .. }
-                    | StoreError::ChecksumMismatch { .. }
-                    | StoreError::Corrupt { .. }
+        for (surface, result) in [
+            (
+                "eager",
+                SnapshotReader::new(&bytes[..cut]).and_then(|r| r.dataset()),
             ),
-            "unexpected error at cut {cut}: {err:?}"
-        );
+            ("lazy", read_lazy(&bytes[..cut])),
+        ] {
+            let err = result.err().unwrap_or_else(|| {
+                panic!("{surface}: truncation at {cut} bytes must not yield a dataset")
+            });
+            assert!(
+                matches!(
+                    err,
+                    StoreError::BadMagic { .. }
+                        | StoreError::Truncated { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt { .. }
+                ),
+                "{surface}: unexpected error at cut {cut}: {err:?}"
+            );
+        }
     }
 }
 
@@ -201,15 +290,50 @@ fn flipped_byte_is_a_checksum_mismatch() {
     for (offset, section) in targets {
         let mut damaged = bytes.clone();
         damaged[offset] ^= 0x01;
-        match read_snapshot(&damaged) {
-            Err(StoreError::ChecksumMismatch { section: got }) => {
-                assert_eq!(got, section, "damage must be attributed to its section")
-            }
-            other => {
-                panic!("flip in {section} at {offset}: expected ChecksumMismatch, got {other:?}")
+        // Both surfaces must attribute the damage to its section — the
+        // eager reader at open, the lazy facade when the section is
+        // first touched during the full decode.
+        for (surface, result) in [
+            (
+                "eager",
+                SnapshotReader::new(&damaged).and_then(|r| r.dataset()),
+            ),
+            ("lazy", read_lazy(&damaged)),
+        ] {
+            match result {
+                Err(StoreError::ChecksumMismatch { section: got }) => {
+                    assert_eq!(got, section, "{surface}: damage attributed to its section")
+                }
+                other => panic!(
+                    "{surface}: flip in {section} at {offset}: expected ChecksumMismatch, got {other:?}"
+                ),
             }
         }
     }
+}
+
+#[test]
+fn corrupt_section_error_is_cached_not_retried() {
+    // Damage the certs pool; the lazy facade must fail on first touch
+    // and keep handing back the same (cloned) error afterwards.
+    let reader = SnapshotReader::new(snapshot()).expect("valid snapshot");
+    let certs = reader
+        .sections()
+        .iter()
+        .find(|s| s.name == "certs")
+        .copied()
+        .expect("certs section");
+    let mut damaged = snapshot().clone();
+    damaged[(certs.offset + certs.len / 2) as usize] ^= 0x01;
+    let snap = Snapshot::from_bytes(damaged).expect("structurally valid");
+    for _ in 0..2 {
+        match snap.dataset() {
+            Err(StoreError::ChecksumMismatch { section }) => assert_eq!(section, "certs"),
+            other => panic!("expected cached ChecksumMismatch, got {other:?}"),
+        }
+    }
+    // Undamaged sections still serve.
+    assert!(snap.host_index("no-such-host.gov.invalid").is_ok());
 }
 
 #[test]
@@ -242,8 +366,31 @@ fn dangling_references_are_corruption_not_panics() {
             damaged[entry + 20..entry + 28].copy_from_slice(&fixed.to_le_bytes());
         }
     }
-    match read_snapshot(&damaged) {
+    match read_lazy(&damaged) {
         Err(StoreError::Corrupt { context, .. }) => assert_eq!(context, "hosts"),
         other => panic!("expected Corrupt, got {other:?}"),
+    }
+    // The lazy point-query path hits the same wall.
+    let snap = Snapshot::from_bytes(damaged).expect("structurally valid");
+    match snap.host(0) {
+        Err(StoreError::Corrupt { context, .. }) => assert_eq!(context, "hosts"),
+        other => panic!("expected Corrupt from host(0), got {other:?}"),
+    }
+}
+
+#[test]
+fn deprecated_wrappers_still_work() {
+    // The old free-function surface stays for one release; it must keep
+    // delegating to the facade.
+    #[allow(deprecated)]
+    {
+        let bytes = govscan_store::encode_snapshot(scan()).expect("encodable");
+        assert_eq!(&bytes, snapshot());
+        let restored = govscan_store::read_snapshot(&bytes).expect("reads back");
+        assert_eq!(restored.len(), scan().len());
+        assert_eq!(
+            govscan_store::dataset_digest(scan()).unwrap(),
+            Snapshot::digest_of(scan()).unwrap()
+        );
     }
 }

@@ -49,6 +49,10 @@ awk '
 # renders), times write/load/regenerate, and skips the full-scale
 # BENCH_store.json emission.
 run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench store
+# Smoke-run the serve bench at test scale: times the cold vs warm
+# /table2 path (asserting the report cache earns its keep) and drives
+# real TCP clients at 1/4/8 threads, skipping BENCH_serve.json emission.
+run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-bench --bench serve
 # Snapshot + diff smoke: archive both sides of the disclosure
 # comparison at tiny scale, then reproduce the report and Figure 13
 # purely from the two files.
@@ -57,6 +61,12 @@ run env GOVSCAN_SCALE=0.02 cargo run --offline -q -p govscan-repro --bin snapsho
   rescan --out-before "$snapdir/before.snap" --out-after "$snapdir/after.snap"
 run cargo run --offline -q -p govscan-repro --bin snapshot -- report --from "$snapdir/before.snap" > /dev/null
 run cargo run --offline -q -p govscan-repro --bin snapshot -- diff "$snapdir/before.snap" "$snapdir/after.snap" > /dev/null
+# Daemon smoke over the same two archives: bind an ephemeral port, hit
+# every endpoint through the real TCP path, verify each answer is
+# well-formed JSON and the repeated report is a cache hit, shut down
+# cleanly. All of that is `--self-check`.
+run cargo run --offline -q -p govscan-serve -- \
+  --archive "$snapdir/before.snap" --archive "$snapdir/after.snap" --self-check
 rm -rf "$snapdir"
 
 echo "CI OK"
