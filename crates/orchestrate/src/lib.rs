@@ -1,0 +1,126 @@
+//! Distributed scan orchestration: a lease-based coordinator/worker
+//! split over the §4.2.3 measurement scan.
+//!
+//! The paper's April 2020 scan of ~135k government hosts ran in one
+//! process. This crate scales that scan past one process in the style
+//! of the ZMap-era measurement infrastructure: a **coordinator** shards
+//! the host list into contiguous [`Shard`]s, hands them to N workers as
+//! deadline-carrying [`Lease`]s, collects partial [`ScanDataset`]s, and
+//! merges them — in shard order — through the dataset's last-write-wins
+//! `extend`.
+//!
+//! Fault model (at-least-once, idempotent):
+//!
+//! * A worker that **dies** drops its connection; the coordinator
+//!   abandons its outstanding lease and re-issues it immediately.
+//! * A worker that **stalls** past its lease deadline has the lease
+//!   expire and re-issued to a live worker. If the stalled worker later
+//!   delivers anyway, the first commit has already won and the late
+//!   result is dropped (or, if it races ahead of the re-issued holder,
+//!   accepted — the scan is deterministic, so either attempt's data is
+//!   byte-identical).
+//! * The run ends with a completeness check: every input host owned by
+//!   exactly one committed lease, and the merged dataset covering the
+//!   host list exactly. The merged result is **byte-identical** to a
+//!   single-process scan of the same list (the fault-injection suite
+//!   asserts digest equality through `govscan-store`).
+//!
+//! Two deployment shapes share the same lease table:
+//!
+//! * [`run_local`] / [`run_local_faulty`] — in-process worker threads
+//!   (tests, and the `--distributed` repro path).
+//! * [`Coordinator`] + [`run_worker`] — worker processes speaking the
+//!   length-prefixed [`protocol`] over a local TCP socket, with partial
+//!   datasets carried as `govscan-store` snapshot bytes.
+//!
+//! [`Shard`]: lease::Shard
+//! [`Lease`]: lease::Lease
+//! [`ScanDataset`]: govscan_scanner::ScanDataset
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod lease;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{
+    run_local, run_local_faulty, Coordinator, FaultPlan, OrchestrationReport, OrchestratorConfig,
+};
+pub use lease::{Acquire, CommitOutcome, Lease, LeaseTable, OrchestrationStats, Shard};
+pub use protocol::Message;
+pub use worker::{run_worker, run_worker_faulty, WorkerFaults, WorkerSummary};
+
+/// Everything that can go wrong while orchestrating a distributed scan.
+#[derive(Debug)]
+pub enum OrchestrateError {
+    /// Socket / transport failure.
+    Io(std::io::Error),
+    /// A partial dataset failed to encode or decode as a snapshot.
+    Store(govscan_store::StoreError),
+    /// A peer violated the wire protocol (bad tag, wrong echo, …).
+    Protocol(String),
+    /// The run ended with shards still uncommitted.
+    Incomplete {
+        /// Shards with a committed result.
+        committed: usize,
+        /// Total shards.
+        shards: usize,
+    },
+    /// Every worker connection was lost before the scan completed.
+    WorkersLost {
+        /// What the coordinator observed.
+        detail: String,
+    },
+    /// The merged dataset does not cover the host list exactly.
+    Coverage {
+        /// Which host or count mismatched.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for OrchestrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestrateError::Io(e) => write!(f, "orchestration i/o error: {e}"),
+            OrchestrateError::Store(e) => write!(f, "partial snapshot error: {e}"),
+            OrchestrateError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            OrchestrateError::Incomplete { committed, shards } => write!(
+                f,
+                "scan incomplete: {committed} of {shards} shards committed"
+            ),
+            OrchestrateError::WorkersLost { detail } => {
+                write!(f, "all workers lost before completion: {detail}")
+            }
+            OrchestrateError::Coverage { detail } => {
+                write!(f, "merged dataset fails coverage check: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestrateError::Io(e) => Some(e),
+            OrchestrateError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OrchestrateError {
+    fn from(e: std::io::Error) -> OrchestrateError {
+        OrchestrateError::Io(e)
+    }
+}
+
+impl From<govscan_store::StoreError> for OrchestrateError {
+    fn from(e: govscan_store::StoreError) -> OrchestrateError {
+        OrchestrateError::Store(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OrchestrateError>;

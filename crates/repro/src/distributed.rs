@@ -1,0 +1,173 @@
+//! The distributed-scan driver: run the §4.2.3 measurement through the
+//! `govscan-orchestrate` coordinator/worker split, end to end, and
+//! prove the merged result identical to the single-process scan.
+//!
+//! Discovery (seeds → MTurk → crawl → whitelist) runs once; the final
+//! host list is scanned twice — serially as the reference, then
+//! distributed across N workers — and the two datasets must produce the
+//! same canonical snapshot digest. With `--inject-death`, worker 0 is
+//! killed on its first shard to exercise lease recovery in the same
+//! run (this is the CI smoke).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use govscan_orchestrate::{
+    run_local_faulty, Coordinator, FaultPlan, OrchestrateError, OrchestrationReport,
+    OrchestratorConfig, WorkerFaults,
+};
+use govscan_pki::Time;
+use govscan_scanner::StudyPipeline;
+use govscan_store::Snapshot;
+use govscan_worldgen::{World, WorldConfig};
+
+/// Command-line options for the `distributed` binary.
+pub struct Options {
+    /// Worker count (threads, or socket clients with `socket`).
+    pub workers: usize,
+    /// Drive the scan over the length-prefixed TCP protocol instead of
+    /// the in-process lease loop.
+    pub socket: bool,
+    /// Kill worker 0 on its first shard (lease recovery smoke).
+    pub inject_death: bool,
+    /// Archive the merged (whitelist-annotated) dataset here.
+    pub out: Option<PathBuf>,
+}
+
+/// Run a distributed scan and render the comparison report. Errors if
+/// orchestration fails or — the whole point — if the merged digest
+/// differs from the single-process scan's.
+pub fn run(opts: &Options) -> Result<String, Box<dyn std::error::Error>> {
+    if opts.workers < 2 && opts.inject_death {
+        return Err("--inject-death needs at least 2 workers (the survivor)".into());
+    }
+    let (seed, scale) = crate::env_params();
+    let mut config = WorldConfig::paper_scale(seed);
+    config.scale = scale;
+    eprintln!("[govscan] generating world (seed={seed}, scale={scale})...");
+    let world = World::generate(&config);
+    let pipeline = StudyPipeline::new(&world);
+    eprintln!("[govscan] discovery (seeds -> MTurk -> crawl -> whitelist)...");
+    let hosts = pipeline.discover().final_list;
+    eprintln!(
+        "[govscan] single-process reference scan of {} hosts...",
+        hosts.len()
+    );
+    let serial = pipeline.scan_list(&hosts);
+    let scan_time = serial
+        .scan_time
+        .expect("pipeline datasets carry a scan time");
+
+    let mut ocfg = OrchestratorConfig::new(opts.workers);
+    // Short leases: an injected death costs at most one lease timeout
+    // of recovery latency in local mode (socket mode senses the EOF
+    // and re-issues immediately).
+    ocfg.lease_timeout = Duration::from_secs(2);
+    let mode = if opts.socket { "socket" } else { "local" };
+    eprintln!(
+        "[govscan] distributed scan: {} workers ({mode} mode){}...",
+        opts.workers,
+        if opts.inject_death {
+            ", killing worker 0 on its first shard"
+        } else {
+            ""
+        }
+    );
+    let report = if opts.socket {
+        run_socket(&pipeline, &hosts, scan_time, ocfg, opts.inject_death)?
+    } else {
+        let ctx = pipeline.context();
+        let faults = FaultPlan {
+            deaths: if opts.inject_death {
+                vec![(0, 1)]
+            } else {
+                Vec::new()
+            },
+            stalls: Vec::new(),
+        };
+        run_local_faulty(
+            &hosts,
+            scan_time,
+            &ocfg,
+            |shard| pipeline.scan_list_with(&ctx, shard),
+            &faults,
+        )?
+    };
+
+    let serial_digest = Snapshot::digest_of(&serial)?;
+    let merged_digest = Snapshot::digest_of(&report.dataset)?;
+    if serial_digest != merged_digest {
+        return Err(format!(
+            "digest mismatch: serial {} vs distributed {}",
+            serial_digest.to_hex(),
+            merged_digest.to_hex()
+        )
+        .into());
+    }
+
+    let mut out_line = String::new();
+    if let Some(path) = &opts.out {
+        let mut dataset = report.dataset;
+        pipeline.annotate_whitelist(&mut dataset);
+        let bytes = Snapshot::write_file(path, &dataset)?;
+        out_line = format!("  archived {} bytes to {}\n", bytes, path.display());
+    }
+
+    let s = &report.stats;
+    Ok(format!(
+        "  hosts={} shards={} workers={} mode={mode}\n\
+         \u{20} grants={} expiries={} abandons={} commits={} late={} duplicates={}\n\
+         \u{20} digest={} (serial == distributed)\n{}",
+        report.hosts,
+        report.shards,
+        report.workers_seen,
+        s.grants,
+        s.expiries,
+        s.abandons,
+        s.commits,
+        s.late_commits,
+        s.duplicate_commits,
+        merged_digest.to_hex(),
+        out_line,
+    ))
+}
+
+/// Socket mode: a real coordinator on an ephemeral local port, worker
+/// clients speaking the wire protocol from threads.
+fn run_socket(
+    pipeline: &StudyPipeline<'_>,
+    hosts: &[String],
+    scan_time: Time,
+    cfg: OrchestratorConfig,
+    inject_death: bool,
+) -> Result<OrchestrationReport, OrchestrateError> {
+    let workers = cfg.workers;
+    let coordinator = Coordinator::bind(("127.0.0.1", 0), hosts.to_vec(), scan_time, cfg)?;
+    let addr = coordinator.local_addr()?;
+    std::thread::scope(|s| {
+        let run = s.spawn(move || coordinator.run());
+        for i in 0..workers {
+            let faults = if inject_death && i == 0 {
+                WorkerFaults {
+                    die_after_grant: Some(1),
+                    stall: None,
+                }
+            } else {
+                WorkerFaults::default()
+            };
+            s.spawn(move || {
+                let ctx = pipeline.context();
+                // Worker-side transport errors surface as coordinator
+                // lease recovery; the coordinator's verdict is the one
+                // that matters.
+                let _ = govscan_orchestrate::run_worker_faulty(
+                    addr,
+                    i as u64,
+                    |shard| pipeline.scan_list_with(&ctx, shard),
+                    &faults,
+                );
+            });
+        }
+        run.join().expect("coordinator thread")
+    })
+}

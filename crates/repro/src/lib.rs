@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 pub mod experiments;
 pub mod snapshot;
 
@@ -43,14 +44,7 @@ pub struct Env {
 impl Env {
     /// Build from `GOVSCAN_SCALE` / `GOVSCAN_SEED`.
     pub fn load() -> Env {
-        let scale: f64 = std::env::var("GOVSCAN_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0.2);
-        let seed: u64 = std::env::var("GOVSCAN_SEED")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0x60765CA9);
+        let (seed, scale) = env_params();
         Self::with(seed, scale)
     }
 
@@ -122,6 +116,20 @@ impl Env {
             })
             .collect()
     }
+}
+
+/// `(seed, scale)` from `GOVSCAN_SEED` / `GOVSCAN_SCALE`, with the
+/// documented defaults.
+pub fn env_params() -> (u64, f64) {
+    let scale: f64 = std::env::var("GOVSCAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let seed: u64 = std::env::var("GOVSCAN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x60765CA9);
+    (seed, scale)
 }
 
 /// Format a paper-vs-measured row.

@@ -31,6 +31,22 @@ pub struct StudyOutput {
     pub scan: ScanDataset,
 }
 
+/// The discovery half of the methodology (§4.1–§4.2): everything up to
+/// — but not including — the measurement scan. Splitting here is what
+/// lets `govscan-orchestrate` distribute the scan: discovery runs once
+/// on the coordinator, the [`Discovery::final_list`] is sharded out,
+/// and each worker scans its shards with [`StudyPipeline::scan_list_with`].
+pub struct Discovery {
+    /// The §4.1 seed list.
+    pub seed_list: Vec<String>,
+    /// The MTurk expansion report (§4.2.1).
+    pub mturk: MturkReport,
+    /// The crawl report (§4.2.2).
+    pub crawl: CrawlReport,
+    /// The final hostname list: sorted, deduplicated, lowercase.
+    pub final_list: Vec<String>,
+}
+
 /// Drives the full §4 methodology against a generated world.
 pub struct StudyPipeline<'w> {
     world: &'w World,
@@ -82,8 +98,17 @@ impl<'w> StudyPipeline<'w> {
     /// Scan an explicit hostname list (used by the case studies and the
     /// disclosure re-scan), annotating countries via the filter.
     pub fn scan_list(&self, hostnames: &[String]) -> ScanDataset {
-        let ctx = self.context();
-        let mut records = scan_hosts(&ctx, hostnames);
+        self.scan_list_with(&self.context(), hostnames)
+    }
+
+    /// [`Self::scan_list`] against a caller-held context — the shardable
+    /// entry point. A distributed worker builds one context up front and
+    /// scans every shard it is leased through it, so the chain-verdict
+    /// cache warms across shards instead of restarting per shard. The
+    /// per-record annotations depend only on the hostname, which is what
+    /// makes a sharded scan merge byte-identical to a whole-list one.
+    pub fn scan_list_with(&self, ctx: &ScanContext<'w>, hostnames: &[String]) -> ScanDataset {
+        let mut records = scan_hosts(ctx, hostnames);
         for r in &mut records {
             r.country = self.filter.classify(&r.hostname);
             r.tranco_rank = self.world.tranco.rank_of(&r.hostname);
@@ -91,8 +116,9 @@ impl<'w> StudyPipeline<'w> {
         ScanDataset::new(records, self.scan_time)
     }
 
-    /// Run the complete §4 methodology.
-    pub fn run(&self) -> StudyOutput {
+    /// Run the discovery half of §4: seeds → MTurk → crawl → whitelist
+    /// merge. Pure list-building; no scanning.
+    pub fn discover(&self) -> Discovery {
         // §4.1: seed list from the ranking datasets.
         let seed_list = seeds::build_seed_list(
             &self.filter,
@@ -134,11 +160,18 @@ impl<'w> StudyPipeline<'w> {
         let mut final_list: Vec<String> = final_set.into_iter().collect();
         final_list.sort();
 
-        // §4.2.3 (measurement): scan everything.
-        let mut scan = self.scan_list(&final_list);
-        // Whitelisted hostnames don't match the conservative filter; the
-        // hand-curation that added them also recorded their country
-        // (§4.2.3), which we carry over here.
+        Discovery {
+            seed_list,
+            mturk,
+            crawl,
+            final_list,
+        }
+    }
+
+    /// Whitelisted hostnames don't match the conservative filter; the
+    /// hand-curation that added them also recorded their country
+    /// (§4.2.3), which this carries over onto the scanned records.
+    pub fn annotate_whitelist(&self, scan: &mut ScanDataset) {
         for h in &self.world.whitelist {
             let Some(truth) = self.world.record(h) else {
                 continue;
@@ -149,12 +182,19 @@ impl<'w> StudyPipeline<'w> {
                 }
             }
         }
+    }
 
+    /// Run the complete §4 methodology: [`Self::discover`], then the
+    /// §4.2.3 measurement scan, then [`Self::annotate_whitelist`].
+    pub fn run(&self) -> StudyOutput {
+        let discovery = self.discover();
+        let mut scan = self.scan_list(&discovery.final_list);
+        self.annotate_whitelist(&mut scan);
         StudyOutput {
-            seed_list,
-            mturk,
-            crawl,
-            final_list,
+            seed_list: discovery.seed_list,
+            mturk: discovery.mturk,
+            crawl: discovery.crawl,
+            final_list: discovery.final_list,
             scan,
         }
     }

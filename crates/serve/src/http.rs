@@ -5,10 +5,14 @@
 //! (GET has no body), the request line is split into method, path, and
 //! query, and responses are written with `Connection: close` so one
 //! connection carries exactly one exchange. No keep-alive, no chunked
-//! encoding, no percent-decoding (archive hostnames and country codes
-//! are plain ASCII). The same-file [`get`] client exists so the
-//! self-check binary mode, the integration tests, and the bench all
-//! speak to the daemon through one piece of code.
+//! encoding. Path segments are percent-decoded (a client that encodes
+//! `/hosts/{name}` must still hit the record); a malformed escape makes
+//! the whole request line unparseable, which the server answers with
+//! 400. Query strings are passed through verbatim — the API's query
+//! values (digest prefixes, labels, country codes) are plain ASCII.
+//! The same-file [`get`] client exists so the self-check binary mode,
+//! the integration tests, and the bench all speak to the daemon through
+//! one piece of code.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -61,7 +65,9 @@ impl Request {
         Ok(request)
     }
 
-    /// Parse `"GET /path?query HTTP/1.1"`.
+    /// Parse `"GET /path?query HTTP/1.1"`. The path has its `%xx`
+    /// escapes decoded per segment; a malformed escape fails the parse
+    /// (→ 400 at the server).
     pub fn parse_request_line(line: &str) -> Option<Request> {
         let mut parts = line.split(' ');
         let method = parts.next()?.to_owned();
@@ -74,6 +80,11 @@ impl Request {
             Some((p, q)) => (p, q),
             None => (target, ""),
         };
+        let path = path
+            .split('/')
+            .map(percent_decode)
+            .collect::<Option<Vec<String>>>()?
+            .join("/");
         let query = query_str
             .split('&')
             .filter(|kv| !kv.is_empty())
@@ -84,10 +95,37 @@ impl Request {
             .collect();
         Some(Request {
             method,
-            path: path.to_owned(),
+            path,
             query,
         })
     }
+}
+
+/// Decode `%xx` escapes in one path segment. `None` on a malformed
+/// escape (truncated, or non-hex digits) or if the decoded bytes are
+/// not UTF-8. An encoded `/` (`%2F`) decodes into the segment's text —
+/// which then simply fails the hostname lookup — it can never splice
+/// new segments into the route.
+fn percent_decode(segment: &str) -> Option<String> {
+    if !segment.contains('%') {
+        return Some(segment.to_owned());
+    }
+    let raw = segment.as_bytes();
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'%' {
+            let hex = raw.get(i + 1..i + 3)?;
+            let hi = (hex[0] as char).to_digit(16)?;
+            let lo = (hex[1] as char).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(raw[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 /// A response ready to write: status code plus JSON body. Every endpoint
@@ -198,6 +236,32 @@ mod tests {
         assert_eq!(r.query_param("to"), Some("cd"));
         assert_eq!(r.query_param("x"), Some(""));
         assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn percent_decodes_path_segments() {
+        let r = Request::parse_request_line("GET /hosts/www%2Egov%2Euk HTTP/1.1").unwrap();
+        assert_eq!(r.path, "/hosts/www.gov.uk");
+        // Hex digits in either case.
+        let r = Request::parse_request_line("GET /hosts/caf%C3%A9.gouv.fr HTTP/1.1").unwrap();
+        assert_eq!(r.path, "/hosts/café.gouv.fr");
+        let r = Request::parse_request_line("GET /hosts/a%2fb HTTP/1.1").unwrap();
+        assert_eq!(r.path, "/hosts/a/b", "encoded slash lands in the text");
+        // Query strings are not decoded.
+        let r = Request::parse_request_line("GET /table2?snapshot=a%62 HTTP/1.1").unwrap();
+        assert_eq!(r.query_param("snapshot"), Some("a%62"));
+    }
+
+    #[test]
+    fn rejects_malformed_percent_escapes() {
+        for bad in [
+            "GET /hosts/x%zz HTTP/1.1",   // non-hex digits
+            "GET /hosts/x%2 HTTP/1.1",    // truncated escape
+            "GET /hosts/x% HTTP/1.1",     // bare percent
+            "GET /hosts/%ff%fe HTTP/1.1", // decodes to non-UTF-8
+        ] {
+            assert!(Request::parse_request_line(bad).is_none(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 use govscan_analysis::aggregate::AggregateIndex;
 use govscan_analysis::{choropleth, table2};
@@ -400,11 +401,16 @@ fn store_error(e: &StoreError) -> Response {
     error(500, "store_error", e.to_string())
 }
 
+/// Default per-socket I/O timeout: generous for a local JSON API, small
+/// enough that a stalled peer can't pin a pool worker for long.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// The TCP front: accept loop fanning connections out to a worker pool.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
     threads: usize,
+    io_timeout: Duration,
 }
 
 impl Server {
@@ -419,7 +425,16 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             state,
             threads: threads.max(1),
+            io_timeout: DEFAULT_IO_TIMEOUT,
         })
+    }
+
+    /// Override the per-socket read/write timeout (floored at 1ms —
+    /// `set_read_timeout(Some(0))` is an error). Tests use this to
+    /// prove a dead-silent connection frees its worker quickly.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Server {
+        self.io_timeout = timeout.max(Duration::from_millis(1));
+        self
     }
 
     /// The bound address.
@@ -429,8 +444,12 @@ impl Server {
 
     /// Serve until a `GET /shutdown` arrives. Each accepted connection
     /// is handed to the pool; a worker reads one request, routes it,
-    /// writes one response, and closes. Shutdown sets a flag and
-    /// self-connects so the blocked `accept` wakes up and observes it.
+    /// writes one response, and closes. Every accepted socket carries a
+    /// read/write timeout, so a client that connects and goes silent
+    /// (or stops draining its response) costs a worker at most
+    /// `io_timeout` per direction instead of pinning it forever.
+    /// Shutdown sets a flag and self-connects so the blocked `accept`
+    /// wakes up and observes it.
     pub fn run(self) -> std::io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
         let addr = self.local_addr()?;
@@ -444,6 +463,11 @@ impl Server {
                 break;
             }
             if let Ok(stream) = conn {
+                if stream.set_read_timeout(Some(self.io_timeout)).is_err()
+                    || stream.set_write_timeout(Some(self.io_timeout)).is_err()
+                {
+                    continue; // connection already dead
+                }
                 pool.submit(stream);
             }
         }

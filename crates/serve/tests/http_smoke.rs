@@ -48,6 +48,26 @@ fn serves_every_endpoint_over_tcp_and_shuts_down() {
     assert_eq!(status, 404, "{body}");
     assert!(json::parse(&body).unwrap().get("error").is_some(), "{body}");
 
+    // A percent-encoded hostname reaches the same record as the plain
+    // one, and a malformed escape is a 400, not a lookup miss.
+    let plain = http::get(addr, &format!("/hosts/{host}"))
+        .expect("request")
+        .1;
+    let encoded = format!("/hosts/{}", host.replace('.', "%2E"));
+    let (status, body) = http::get(addr, &encoded).expect("request");
+    assert_eq!(status, 200, "GET {encoded}: {body}");
+    assert_eq!(body, plain, "encoded and plain lookups agree");
+    let (status, body) = http::get(addr, "/hosts/bad%zzname").expect("request");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(
+        json::parse(&body)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.as_str()),
+        Some("bad_request"),
+        "{body}"
+    );
+
     // Concurrent clients hammering the cached report all get the same
     // bytes back.
     let baseline = http::get(addr, "/table2").expect("request").1;
@@ -59,6 +79,59 @@ fn serves_every_endpoint_over_tcp_and_shuts_down() {
         assert_eq!(status, 200);
         assert_eq!(body, baseline);
     }
+
+    let (status, _) = http::get(addr, "/shutdown").expect("shutdown");
+    assert_eq!(status, 200);
+    thread
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+}
+
+/// The Slowloris fix: a connection that never sends a byte must time
+/// out and release its pool worker — with one worker, a subsequent
+/// real request only succeeds if the silent one stopped pinning it.
+#[test]
+fn silent_connection_times_out_and_frees_its_worker() {
+    use std::io::Read;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("govscan-serve-slow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let world = World::generate(&WorldConfig::small(0x510));
+    let scan = StudyPipeline::new(&world).run().scan;
+    let path = dir.join("slow.snap");
+    Snapshot::write_file(&path, &scan).expect("write archive");
+
+    let state = Arc::new(ServeState::load(&[&path]).expect("load"));
+    let server = Server::bind(("127.0.0.1", 0), Arc::clone(&state), 1)
+        .expect("bind")
+        .with_io_timeout(Duration::from_millis(200));
+    let addr = server.local_addr().expect("addr");
+    let thread = std::thread::spawn(move || server.run());
+
+    // Occupy the only worker with a dead-silent connection.
+    let mut silent = std::net::TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(50)); // let the pool pick it up
+
+    // The worker must shed the silent peer within the timeout and serve
+    // this real request.
+    let (status, body) = http::get(addr, "/snapshots").expect("request after timeout");
+    assert_eq!(status, 200, "{body}");
+
+    // The silent connection was answered with a 400 (read timed out)
+    // and closed, not left hanging.
+    silent
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client timeout");
+    let mut response = String::new();
+    silent
+        .read_to_string(&mut response)
+        .expect("server closed the connection");
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "silent connection got: {response:?}"
+    );
 
     let (status, _) = http::get(addr, "/shutdown").expect("shutdown");
     assert_eq!(status, 200);

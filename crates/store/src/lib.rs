@@ -32,10 +32,6 @@
 //! tests at small scale and in `govscan-bench`'s `store` bench at the
 //! paper's 135,408-host scale.
 //!
-//! The free functions `encode_snapshot` / `write_snapshot_file` /
-//! `read_snapshot` / `read_snapshot_file` / `dataset_digest` are
-//! deprecated thin wrappers over the facade, kept for one release.
-//!
 //! [`ScanDataset`]: govscan_scanner::ScanDataset
 
 pub mod diff;
@@ -48,8 +44,4 @@ pub mod wire;
 pub use diff::{diff_datasets, diff_snapshot_files, CountryDelta, HostState, SnapshotDiff};
 pub use error::{Result, StoreError};
 pub use lazy::Snapshot;
-#[allow(deprecated)]
-pub use snapshot::{
-    dataset_digest, encode_snapshot, read_snapshot, read_snapshot_file, write_snapshot_file,
-};
 pub use snapshot::{Section, SnapshotReader, SnapshotWriter, MAGIC, VERSION};

@@ -33,7 +33,6 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::{Seek, SeekFrom, Write};
 use std::net::Ipv4Addr;
-use std::path::Path;
 
 use govscan_crypto::{Fingerprint, KeyAlgorithm, SignatureAlgorithm};
 use govscan_net::tls::TlsVersion;
@@ -442,31 +441,6 @@ impl<W: Write + Seek> SnapshotWriter<W> {
         self.out.flush()?;
         Ok(self.out)
     }
-}
-
-/// Encode a whole dataset into an in-memory snapshot.
-///
-/// Deprecated wrapper kept for one release; the facade method is the
-/// same one-walk encoding.
-#[deprecated(note = "use `Snapshot::encode` instead")]
-pub fn encode_snapshot(dataset: &ScanDataset) -> Result<Vec<u8>> {
-    crate::Snapshot::encode(dataset)
-}
-
-/// Write a dataset snapshot to `path`, returning the byte size.
-///
-/// Deprecated wrapper kept for one release.
-#[deprecated(note = "use `Snapshot::write_file` instead")]
-pub fn write_snapshot_file(path: impl AsRef<Path>, dataset: &ScanDataset) -> Result<u64> {
-    crate::Snapshot::write_file(path, dataset)
-}
-
-/// The canonical content digest of a dataset.
-///
-/// Deprecated wrapper kept for one release.
-#[deprecated(note = "use `Snapshot::digest_of` instead")]
-pub fn dataset_digest(dataset: &ScanDataset) -> Result<Fingerprint> {
-    crate::Snapshot::digest_of(dataset)
 }
 
 /// The parsed skeleton of a snapshot, shared by the eager
@@ -1008,21 +982,4 @@ impl<'a> SnapshotReader<'a> {
         )?;
         Ok(render_describe(&self.layout, self.bytes.len(), &certs))
     }
-}
-
-/// Decode an in-memory snapshot into a dataset (validate + rebuild).
-///
-/// Deprecated wrapper kept for one release; it is the eager
-/// [`SnapshotReader`] pipeline.
-#[deprecated(note = "use `Snapshot::from_bytes(..)?.dataset()` instead")]
-pub fn read_snapshot(bytes: &[u8]) -> Result<ScanDataset> {
-    SnapshotReader::new(bytes)?.dataset()
-}
-
-/// Read a snapshot file into a dataset.
-///
-/// Deprecated wrapper kept for one release.
-#[deprecated(note = "use `Snapshot::open(..)?.dataset()` instead")]
-pub fn read_snapshot_file(path: impl AsRef<Path>) -> Result<ScanDataset> {
-    SnapshotReader::new(&std::fs::read(path)?)?.dataset()
 }

@@ -32,8 +32,7 @@ fn snapshot() -> &'static Vec<u8> {
     BYTES.get_or_init(|| Snapshot::encode(scan()).expect("encodable"))
 }
 
-/// Full decode through the lazy facade — the migration target for the
-/// old `read_snapshot` free function. Corruption surfaces either at
+/// Full decode through the lazy facade. Corruption surfaces either at
 /// open (structure) or on the section's first touch (checksums, refs).
 fn read_lazy(bytes: &[u8]) -> Result<ScanDataset, StoreError> {
     Snapshot::from_bytes(bytes.to_vec())?.dataset()
@@ -375,22 +374,5 @@ fn dangling_references_are_corruption_not_panics() {
     match snap.host(0) {
         Err(StoreError::Corrupt { context, .. }) => assert_eq!(context, "hosts"),
         other => panic!("expected Corrupt from host(0), got {other:?}"),
-    }
-}
-
-#[test]
-fn deprecated_wrappers_still_work() {
-    // The old free-function surface stays for one release; it must keep
-    // delegating to the facade.
-    #[allow(deprecated)]
-    {
-        let bytes = govscan_store::encode_snapshot(scan()).expect("encodable");
-        assert_eq!(&bytes, snapshot());
-        let restored = govscan_store::read_snapshot(&bytes).expect("reads back");
-        assert_eq!(restored.len(), scan().len());
-        assert_eq!(
-            govscan_store::dataset_digest(scan()).unwrap(),
-            Snapshot::digest_of(scan()).unwrap()
-        );
     }
 }

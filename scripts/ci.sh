@@ -68,5 +68,11 @@ run cargo run --offline -q -p govscan-repro --bin snapshot -- diff "$snapdir/bef
 run cargo run --offline -q -p govscan-serve -- \
   --archive "$snapdir/before.snap" --archive "$snapdir/after.snap" --self-check
 rm -rf "$snapdir"
+# Distributed-scan smoke: 2 workers over the real socket protocol with
+# worker 0 killed on its first shard; the binary exits non-zero unless
+# the lease-recovered, merged dataset's digest equals the
+# single-process scan's.
+run env GOVSCAN_SCALE=0.02 cargo run --offline -q -p govscan-repro --bin distributed -- \
+  --workers 2 --socket --inject-death
 
 echo "CI OK"
