@@ -63,6 +63,39 @@ fn bench_worldgen(c: &mut Criterion) {
     std::env::remove_var("GOVSCAN_WORLDGEN_THREADS");
     g.finish();
 
+    // Sweep-shape guard (the 8-thread regression that motivated the
+    // executor's MIN_CLAIM floor): adding workers must never cost more
+    // than a scheduling tolerance over the best smaller arm. The
+    // tolerance is per-arm and core-aware, mirroring the speedup floor
+    // in `scripts/ci.sh`: an arm whose workers fit in the machine's
+    // cores measures real parallelism and gets the tight bound, while
+    // an oversubscribed arm (workers > cores) timeshares — it measures
+    // pure scheduling overhead plus whatever the host's neighbours are
+    // doing, so only a gross regression is signal there.
+    let arm_min = |threads: usize| {
+        c.results()
+            .iter()
+            .find(|r| r.id.ends_with(&format!("generate_t{threads}")))
+            .expect("sweep arm ran")
+            .min
+            .as_nanos() as f64
+    };
+    let mut best = arm_min(SWEEP[0]);
+    for threads in &SWEEP[1..] {
+        let ns = arm_min(*threads);
+        let tolerance = if smoke || *threads > cores {
+            1.60
+        } else {
+            1.25
+        };
+        assert!(
+            ns <= best * tolerance,
+            "generate_t{threads} took {ns:.0}ns, more than {tolerance}x the best \
+             smaller arm ({best:.0}ns) — worker scale-up regressed"
+        );
+        best = best.min(ns);
+    }
+
     // Shared-chain consolidation stats, measured on the wire the way the
     // scanner sees them: distinct leaf certificates across valid-TLS
     // government hosts.

@@ -22,9 +22,15 @@
 //! - **Per-worker deques.** Each worker owns a `[head, tail)` range and
 //!   claims small batches from the *front* — the only synchronisation on
 //!   the hot path is one uncontended mutex lock per claimed batch, and
-//!   the claim size adapts (`remaining / (8 · workers)`, floored at 1)
-//!   so large inputs amortise locking while small lopsided inputs
-//!   degrade to per-item claims for best balance.
+//!   the claim size adapts (`remaining / (8 · workers)`, floored at
+//!   [`MIN_CLAIM`] and clamped to the range) so large inputs amortise
+//!   locking while small lopsided inputs degrade to small-batch claims
+//!   for balance. The floor matters for cheap items: with per-item
+//!   claims an 8-worker sweep over fast shards spends more time in the
+//!   deque locks than in the shards (BENCH_worldgen.json once measured
+//!   0.83× serial at 8 workers on one core); claiming at least a few
+//!   items per lock acquisition keeps the lock traffic amortised while
+//!   the half-batch steal below still rebalances lopsided tails.
 //! - **Half-batch stealing.** An idle worker scans the other deques and
 //!   splits *half* of a victim's remaining range off the *back*. The
 //!   thief leaves the victim the front half it is already streaming
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipeline;
 pub mod pool;
 
 pub use pool::WorkerPool;
@@ -58,6 +65,15 @@ use std::sync::Mutex;
 /// beyond 8 workers the workloads in this workspace are memory-bound and
 /// extra threads only add steal traffic.
 const DEFAULT_THREAD_CAP: usize = 8;
+
+/// Minimum owner-claim batch. The adaptive claim `remaining / (8·W)`
+/// reaches 1 near the end of every range; for cheap items that turns
+/// the tail of the job into one lock acquisition per item, which is
+/// where the 8-worker worldgen sweep lost to serial. Claiming at least
+/// this many (clamped to what the deque still holds) keeps locking
+/// amortised; the batch is still small enough that half-batch steals
+/// rebalance a lopsided tail.
+const MIN_CLAIM: usize = 4;
 
 /// Resolve a worker count from the environment.
 ///
@@ -228,7 +244,9 @@ fn run(workers: usize, n: usize, job: &(impl Fn(usize) + Sync)) -> Stats {
                         let mut r = deques[w].range.lock().expect("deque lock never poisoned");
                         let (head, tail) = *r;
                         if head < tail {
-                            let take = ((tail - head) / (8 * workers)).max(1);
+                            let take = ((tail - head) / (8 * workers))
+                                .max(MIN_CLAIM)
+                                .min(tail - head);
                             *r = (head + take, tail);
                             Some((head, head + take))
                         } else {

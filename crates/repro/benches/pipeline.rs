@@ -1,0 +1,157 @@
+//! Pipeline bench: streamed vs materialized generate→scan→archive.
+//!
+//! Runs each arm as a **subprocess** of the `pipeline` binary so that
+//! peak RSS (`VmHWM`) is measured per arm rather than smeared across
+//! one process, parses the `--json` receipts, and writes
+//! `BENCH_pipeline.json` at the workspace root.
+//!
+//! Asserts, at full depth:
+//! - scale-1 digests of the two arms are byte-identical, and
+//! - the scale-10 streamed arm peaks below 25% of the scale-10
+//!   materialized arm's RSS (the ISSUE acceptance bar).
+//!
+//! `GOVSCAN_BENCH_SMOKE=1` shrinks every run ~50× (the binary scales
+//! itself down) and relaxes the RSS bar — fixed process overhead
+//! dominates tiny worlds — while still exercising every path.
+
+use std::fs;
+use std::process::Command;
+
+struct ArmResult {
+    hosts: u64,
+    bytes: u64,
+    seconds: f64,
+    hosts_per_sec: f64,
+    peak_rss_kb: u64,
+    digest: String,
+    json: String,
+}
+
+/// Extract `"key":<number>` from the receipt (flat object, no nesting).
+fn num(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let rest = &json[json.find(&pat).expect(key) + pat.len()..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect(key)
+}
+
+fn str_field(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let rest = &json[json.find(&pat).expect(key) + pat.len()..];
+    rest[..rest.find('"').expect(key)].to_string()
+}
+
+fn run_arm(scale: f64, window: usize, materialized: bool, out: &str) -> ArmResult {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pipeline"));
+    cmd.args(["--scale", &scale.to_string(), "--out", out, "--json"])
+        .args(["--shard-window", &window.to_string()]);
+    if materialized {
+        cmd.arg("--materialized");
+    }
+    let output = cmd.output().expect("spawn pipeline binary");
+    assert!(
+        output.status.success(),
+        "pipeline arm failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = String::from_utf8(output.stdout)
+        .expect("utf8 receipt")
+        .trim()
+        .to_string();
+    ArmResult {
+        hosts: num(&json, "hosts") as u64,
+        bytes: num(&json, "bytes") as u64,
+        seconds: num(&json, "seconds"),
+        hosts_per_sec: num(&json, "hosts_per_sec"),
+        peak_rss_kb: num(&json, "peak_rss_kb") as u64,
+        digest: str_field(&json, "digest"),
+        json,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let tmp = std::env::temp_dir();
+    let p = |name: &str| {
+        tmp.join(format!("govscan-bench-{name}-{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    };
+
+    // Scale 1: both arms, digest identity. (The binary itself shrinks
+    // the world 50× under smoke; the identity must hold regardless.)
+    let out_s1 = p("streamed-1");
+    let out_m1 = p("materialized-1");
+    eprintln!("[bench] scale 1 streamed...");
+    let s1 = run_arm(1.0, 4, false, &out_s1);
+    eprintln!("[bench] scale 1 materialized...");
+    let m1 = run_arm(1.0, 4, true, &out_m1);
+    assert_eq!(
+        s1.digest, m1.digest,
+        "scale-1 streamed and materialized archives must be byte-identical"
+    );
+    assert_eq!(s1.bytes, m1.bytes);
+    eprintln!(
+        "[bench] scale 1: {} hosts, digests match ({})",
+        s1.hosts, s1.digest
+    );
+
+    // Scale 10 (0.2 under smoke): the memory headline.
+    let big = 10.0;
+    let out_s10 = p("streamed-10");
+    let out_m10 = p("materialized-10");
+    eprintln!("[bench] scale {big} streamed...");
+    let s10 = run_arm(big, 4, false, &out_s10);
+    eprintln!(
+        "[bench] scale {big} streamed: {} hosts at {:.0} hosts/s, peak {} MiB",
+        s10.hosts,
+        s10.hosts_per_sec,
+        s10.peak_rss_kb / 1024
+    );
+    eprintln!("[bench] scale {big} materialized...");
+    let m10 = run_arm(big, 4, true, &out_m10);
+    eprintln!(
+        "[bench] scale {big} materialized: {} hosts, peak {} MiB",
+        m10.hosts,
+        m10.peak_rss_kb / 1024
+    );
+    assert_eq!(s10.digest, m10.digest, "scale-{big} digests must match too");
+
+    let rss_ratio = s10.peak_rss_kb as f64 / m10.peak_rss_kb.max(1) as f64;
+    if s10.peak_rss_kb > 0 && m10.peak_rss_kb > 0 {
+        // Smoke worlds are dominated by fixed process overhead, so only
+        // require "no worse"; the real run must hit the 4× reduction.
+        let bar = if smoke { 1.10 } else { 0.25 };
+        assert!(
+            rss_ratio < bar,
+            "streamed peak RSS {} kB is {:.2}× materialized {} kB (bar {bar})",
+            s10.peak_rss_kb,
+            rss_ratio,
+            m10.peak_rss_kb
+        );
+    }
+
+    let report = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"smoke\": {smoke},\n  \
+         \"scale1\": {{ \"streamed\": {}, \"materialized\": {} }},\n  \
+         \"scale10\": {{ \"streamed\": {}, \"materialized\": {} }},\n  \
+         \"digests_match\": true,\n  \"rss_ratio\": {rss_ratio:.4},\n  \
+         \"streamed_hosts_per_sec\": {:.1},\n  \"elapsed_streamed_s\": {:.3},\n  \
+         \"elapsed_materialized_s\": {:.3}\n}}\n",
+        s1.json, m1.json, s10.json, m10.json, s10.hosts_per_sec, s10.seconds, m10.seconds
+    );
+    if smoke {
+        eprintln!("[bench] rss_ratio {rss_ratio:.3}; smoke mode: skipping BENCH_pipeline.json");
+        eprintln!("{report}");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+        fs::write(path, &report).expect("write BENCH_pipeline.json");
+        eprintln!("[bench] rss_ratio {rss_ratio:.3}; wrote {path}:\n{report}");
+    }
+
+    for f in [out_s1, out_m1, out_s10, out_m10] {
+        fs::remove_file(f).ok();
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod distributed;
 pub mod experiments;
+pub mod pipeline;
 pub mod snapshot;
 
 use std::collections::BTreeMap;

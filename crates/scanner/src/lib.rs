@@ -38,5 +38,5 @@ pub mod seeds;
 pub use classify::{CertMeta, ErrorCategory, HttpsStatus};
 pub use dataset::{ScanDataset, ScanRecord};
 pub use filter::GovFilter;
-pub use pipeline::{Discovery, StudyOutput, StudyPipeline};
+pub use pipeline::{Discovery, ListScanner, StudyOutput, StudyPipeline};
 pub use probe::{scan_host, scan_hosts, ScanContext};

@@ -1,11 +1,12 @@
 //! The end-to-end study pipeline (§4): seeds → MTurk → crawl →
 //! whitelist → scan.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use govscan_net::TlsClientConfig;
 use govscan_pki::trust::TrustStoreProfile;
-use govscan_worldgen::{Posture, World};
+use govscan_worldgen::{Posture, RankingList, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,12 +48,59 @@ pub struct Discovery {
     pub final_list: Vec<String>,
 }
 
+/// Scans explicit hostname lists and annotates the records — the
+/// measurement half of the pipeline, detached from any materialized
+/// [`World`].
+///
+/// Holds the three annotation inputs a scan needs beyond its
+/// [`ScanContext`]: the government filter, a hostname → rank index over
+/// the authoritative ranking list (a hash lookup, replacing the linear
+/// `RankingList::rank_of` scan that made per-record annotation O(list)
+/// at paper scale), and the scan time. The streamed pipeline builds one
+/// from [`govscan_worldgen::StreamPlan::tranco`] and scans shard after
+/// shard through it; [`StudyPipeline::scan_list_with`] delegates here.
+pub struct ListScanner {
+    filter: GovFilter,
+    ranks: HashMap<String, u32>,
+    scan_time: govscan_pki::Time,
+}
+
+impl ListScanner {
+    /// A scanner annotating from `tranco` at `scan_time`.
+    pub fn new(tranco: &RankingList, scan_time: govscan_pki::Time) -> ListScanner {
+        let mut ranks = HashMap::with_capacity(tranco.entries.len());
+        for e in &tranco.entries {
+            // Entries are rank-sorted; keeping the first occurrence
+            // matches `rank_of` (lowest rank wins) if a name repeats.
+            ranks.entry(e.hostname.clone()).or_insert(e.rank);
+        }
+        ListScanner {
+            filter: GovFilter::standard(),
+            ranks,
+            scan_time,
+        }
+    }
+
+    /// Scan `hostnames` through `ctx` and annotate country + rank. The
+    /// annotations depend only on the hostname, which is what makes a
+    /// sharded scan merge byte-identical to a whole-list one.
+    pub fn scan_list_with(&self, ctx: &ScanContext<'_>, hostnames: &[String]) -> ScanDataset {
+        let mut records = scan_hosts(ctx, hostnames);
+        for r in &mut records {
+            r.country = self.filter.classify(&r.hostname);
+            r.tranco_rank = self.ranks.get(&r.hostname).copied();
+        }
+        ScanDataset::new(records, self.scan_time)
+    }
+}
+
 /// Drives the full §4 methodology against a generated world.
 pub struct StudyPipeline<'w> {
     world: &'w World,
     filter: GovFilter,
     trust_profile: TrustStoreProfile,
     scan_time: govscan_pki::Time,
+    scanner: OnceLock<ListScanner>,
 }
 
 impl<'w> StudyPipeline<'w> {
@@ -64,6 +112,7 @@ impl<'w> StudyPipeline<'w> {
             filter: GovFilter::standard(),
             trust_profile: TrustStoreProfile::Apple,
             scan_time: world.scan_time(),
+            scanner: OnceLock::new(),
         }
     }
 
@@ -71,6 +120,7 @@ impl<'w> StudyPipeline<'w> {
     /// after the original snapshot).
     pub fn with_scan_time(mut self, at: govscan_pki::Time) -> Self {
         self.scan_time = at;
+        self.scanner = OnceLock::new();
         self
     }
 
@@ -104,16 +154,13 @@ impl<'w> StudyPipeline<'w> {
     /// [`Self::scan_list`] against a caller-held context — the shardable
     /// entry point. A distributed worker builds one context up front and
     /// scans every shard it is leased through it, so the chain-verdict
-    /// cache warms across shards instead of restarting per shard. The
-    /// per-record annotations depend only on the hostname, which is what
-    /// makes a sharded scan merge byte-identical to a whole-list one.
+    /// cache warms across shards instead of restarting per shard.
+    /// Delegates to a lazily built (and then reused) [`ListScanner`]
+    /// over the world's tranco list.
     pub fn scan_list_with(&self, ctx: &ScanContext<'w>, hostnames: &[String]) -> ScanDataset {
-        let mut records = scan_hosts(ctx, hostnames);
-        for r in &mut records {
-            r.country = self.filter.classify(&r.hostname);
-            r.tranco_rank = self.world.tranco.rank_of(&r.hostname);
-        }
-        ScanDataset::new(records, self.scan_time)
+        self.scanner
+            .get_or_init(|| ListScanner::new(&self.world.tranco, self.scan_time))
+            .scan_list_with(ctx, hostnames)
     }
 
     /// Run the discovery half of §4: seeds → MTurk → crawl → whitelist

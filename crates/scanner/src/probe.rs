@@ -247,13 +247,21 @@ mod tests {
             assert_eq!(a.available, b.available);
             assert_eq!(a.https, b.https);
         }
-        // Both passes shared one verdict cache: the serial scan warmed
-        // it, so the parallel pass (and repeat chains within the serial
-        // one) answered structural validation from the memo.
+        // Both passes shared one verdict cache: the serial scan seeded
+        // it (lazy insertion memoizes each chain on its second
+        // sighting), so the parallel pass answered repeating chains
+        // from the memo.
         assert!(ctx.verdicts.hits() > 0, "shared cache saw hits");
-        assert!(
-            ctx.verdicts.misses() <= ctx.verdicts.hits(),
-            "warm pass dominated: {:?}",
+        // After two sightings every chain is memoized, so a third pass
+        // is all hits — the steady state of a long scan.
+        let misses_after_two_passes = ctx.verdicts.misses();
+        for h in &hosts {
+            scan_host(&ctx, h);
+        }
+        assert_eq!(
+            ctx.verdicts.misses(),
+            misses_after_two_passes,
+            "fully warm: {:?}",
             ctx.verdicts
         );
     }

@@ -53,6 +53,12 @@ impl StringTable {
         self.strings.len()
     }
 
+    /// Total text bytes interned (excluding map overhead) — the table's
+    /// contribution to a streaming writer's bounded-memory accounting.
+    pub fn text_bytes(&self) -> usize {
+        self.strings.iter().map(String::len).sum()
+    }
+
     /// True when nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()

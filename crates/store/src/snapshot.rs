@@ -335,11 +335,52 @@ impl<W: Write + Seek> SnapshotWriter<W> {
         e.u16(caa_len);
         debug_assert_eq!(e.len(), HOST_RECORD_LEN);
 
+        self.out.write_all(e.as_bytes())?;
+        // Bookkeeping only after the bytes are down, so a failed write
+        // leaves the counters describing what actually reached the sink.
         self.hosts_checksum.update(e.as_bytes());
         self.hosts_len += e.len() as u64;
         self.host_count += 1;
-        self.out.write_all(e.as_bytes())?;
         Ok(())
+    }
+
+    /// Append a batch of records in order — the incremental ingest path
+    /// of the streamed generate→scan→archive pipeline, which appends
+    /// each scanned shard while the next is still being produced.
+    /// Interning is online (string and certificate ids are assigned in
+    /// first-seen order across the whole stream), so appending shard by
+    /// shard produces byte-for-byte the same archive as adding every
+    /// record in one pass.
+    ///
+    /// On error the writer is left mid-stream and should be dropped: the
+    /// partial archive has no section table and will be rejected by
+    /// [`Layout::parse`] as truncated.
+    pub fn append_records<'r>(
+        &mut self,
+        records: impl IntoIterator<Item = &'r ScanRecord>,
+    ) -> Result<()> {
+        for record in records {
+            self.add(record)?;
+        }
+        Ok(())
+    }
+
+    /// Host records appended so far.
+    pub fn host_count(&self) -> u64 {
+        self.host_count
+    }
+
+    /// Entries in the content-addressed certificate pool so far.
+    pub fn cert_count(&self) -> u32 {
+        self.cert_count
+    }
+
+    /// Buffered pool footprint in bytes (certificate + CAA encodings
+    /// plus interned string text) — everything [`Self::finish`] still
+    /// holds in memory. This is the writer's whole memory story: host
+    /// records are already on disk.
+    pub fn pooled_bytes(&self) -> usize {
+        self.certs.len() + self.caa.len() + self.strings.text_bytes()
     }
 
     /// Write the pools, metadata, and section table; backpatch the

@@ -797,6 +797,11 @@ impl CaDb {
     /// counters nor the CT log, and report whether the certificate should
     /// be logged. Parallel worldgen workers call this from many threads
     /// and the merge step applies [`Self::ct_append`] in a fixed order.
+    /// The streamed [`crate::StreamPlan`] leans on the same purity: its
+    /// shards issue through a shared `&CaDb` and drop the CT verdict
+    /// (nothing downstream of a streamed shard consults the log), so a
+    /// shard's chains are identical no matter when — or how often — it
+    /// is realized.
     pub fn issue_chain_pure(&self, idx: usize, leaf: &LeafProfile) -> (Vec<Certificate>, bool) {
         let ca = &self.cas[idx];
         let cert = ca.issuing.issue_deterministic(leaf);

@@ -78,6 +78,27 @@ impl WorldConfig {
             scaled
         }
     }
+
+    /// The discovery-layer scale, saturating at paper scale. A world
+    /// with `scale` above 1 has proportionally more hosts, but its *discovery*
+    /// surface — the top-million ranking lists, the merged seed pool,
+    /// the hand-curated whitelist — stays at real-world size: there is
+    /// no eleven-million-row Tranco, and nobody hand-curates 6,000
+    /// whitelist entries. Below `1.0` this equals [`Self::scale`], so
+    /// existing worlds are unchanged byte for byte.
+    pub fn discovery_scale(&self) -> f64 {
+        self.scale.min(1.0)
+    }
+
+    /// [`Self::scaled`] under [`Self::discovery_scale`].
+    pub fn discovery_scaled(&self, paper_count: u64) -> u64 {
+        let scaled = (paper_count as f64 * self.discovery_scale()).round() as u64;
+        if paper_count > 0 && scaled == 0 {
+            1
+        } else {
+            scaled
+        }
+    }
 }
 
 impl Default for WorldConfig {
@@ -103,6 +124,21 @@ mod tests {
         let cfg = WorldConfig::paper_scale(1);
         assert_eq!(cfg.scaled(135_408), 135_408);
         assert_eq!(cfg.scaled(1), 1);
+    }
+
+    #[test]
+    fn discovery_scale_saturates_at_paper_scale() {
+        let mut cfg = WorldConfig::paper_scale(1);
+        cfg.scale = 10.0;
+        assert_eq!(cfg.scaled(1_000), 10_000, "populations keep growing");
+        assert_eq!(cfg.discovery_scaled(1_000), 1_000, "discovery saturates");
+        assert_eq!(cfg.discovery_scale(), 1.0);
+        let small = WorldConfig::small(1);
+        assert_eq!(
+            small.discovery_scaled(1_000),
+            small.scaled(1_000),
+            "identical below paper scale"
+        );
     }
 
     #[test]

@@ -189,11 +189,19 @@ impl HostnameGen {
                 return name;
             }
             // Collision: disambiguate deterministically by numbering the
-            // leftmost label (keeps the government suffix intact).
+            // leftmost label (keeps the government suffix intact). The
+            // hyphenated form matters: `{first}{c}` collides with the
+            // case-study namespaces (ROK's `www{N}.{dept}.go.kr` /
+            // `{dept}{N}.go.kr` shapes), and a later phase re-adding a
+            // worldwide hostname would shadow its realization in the
+            // SimNet — breaking streamed/materialized scan parity, since
+            // the streamed pipeline realizes each worldwide shard alone.
+            // No other generator emits a `-{digits}` label, so worldwide
+            // names stay phase-unique by construction.
             self.counter += 1;
             let c = self.counter;
             let (first, rest) = name.split_once('.').expect("hostnames have dots");
-            let name = format!("{first}{c}.{rest}");
+            let name = format!("{first}-{c}.{rest}");
             if self.used.insert(name.clone()) {
                 return name;
             }
@@ -318,5 +326,36 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_gov(&mut ra), b.next_gov(&mut rb));
         }
+    }
+
+    /// Worldwide names must never take the case-study shapes: ROK's
+    /// Government24 population is `www{N}.{dept}.go.kr` /
+    /// `{dept}{N}.go.kr` style (a letter directly followed by trailing
+    /// digits), and GSA's is `{tag}{N}-usgsa.{suffix}`. A collision
+    /// would let a later generation phase shadow a worldwide host in the
+    /// SimNet, silently changing its scanned behaviour — and breaking
+    /// the streamed pipeline's digest parity, since per-shard nets never
+    /// see the case-study phases. Generate enough kr names to force the
+    /// collision-numbering path many times over.
+    #[test]
+    fn collision_labels_stay_out_of_case_study_namespaces() {
+        let kr = Country::by_code("kr").unwrap();
+        let mut g = HostnameGen::new(kr);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut numbered = 0;
+        for _ in 0..30_000 {
+            let name = g.next_gov(&mut rng);
+            let first = name.split('.').next().unwrap();
+            if first.ends_with(|c: char| c.is_ascii_digit()) {
+                numbered += 1;
+                let stem = first.trim_end_matches(|c: char| c.is_ascii_digit());
+                assert!(
+                    stem.ends_with('-'),
+                    "collision label {name} collides with the ROK shape"
+                );
+            }
+            assert!(!first.contains("usgsa"), "{name}");
+        }
+        assert!(numbered > 1000, "collision path never exercised");
     }
 }

@@ -41,5 +41,5 @@ pub use config::WorldConfig;
 pub use countries::{Country, COUNTRIES};
 pub use host::{HostRecord, HostingClass, InjectedError, Posture};
 pub use rankings::{RankingEntry, RankingList};
-pub use stream::StreamSeeder;
+pub use stream::{stream_shards, ShardWorld, StreamPlan, StreamSeeder};
 pub use world::World;

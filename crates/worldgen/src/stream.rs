@@ -1,4 +1,5 @@
-//! Deterministic per-shard RNG streams behind parallel world generation.
+//! Deterministic per-shard RNG streams behind parallel world generation,
+//! and the streamed (bounded-memory) counterpart of [`World::generate`].
 //!
 //! The generator never threads one `StdRng` through its phases. Instead
 //! each (phase, shard) pair — e.g. `("realize", "br")` — hashes to an
@@ -6,6 +7,16 @@
 //! seed alone and the output is bit-identical regardless of how many
 //! worker threads run or how the scheduler interleaves them. See
 //! DESIGN.md §9.
+//!
+//! That property is what makes [`StreamPlan`] possible: because every
+//! shard's content is a pure function of `(config, seeder, shard)`, a
+//! country's hosts can be generated, handed to a consumer, and *dropped*
+//! — then regenerated bit-identically on demand. [`stream_shards`] runs
+//! the cheap cross-shard planning walk once (rankings, §5.3.3 clusters)
+//! and then yields one [`ShardWorld`] per country in deterministic shard
+//! order, never holding more than the in-flight shards in memory. The
+//! streamed generate→scan→archive pipeline in `govscan-repro` is built
+//! on it; DESIGN.md §14 has the determinism argument.
 //!
 //! The worker pool itself lives in [`govscan_exec`]: shards run on the
 //! shared work-stealing chunked executor ([`par_map`] is a re-export),
@@ -15,9 +26,26 @@
 //! put the pool at 0.92× *serial* at 2 workers (`BENCH_worldgen.json`),
 //! while contiguous chunk seeding with half-batch stealing keeps the
 //! tail balanced at a fraction of the coordination cost (DESIGN.md §11).
+//!
+//! [`World::generate`]: crate::World::generate
 
+use std::collections::HashMap;
+
+use govscan_asn1::Time;
+use govscan_net::dns::DnsBehavior;
+use govscan_net::SimNet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::cadb::CaDb;
+use crate::config::WorldConfig;
+use crate::countries::{self, Country};
+use crate::host::Posture;
+use crate::rankings::RankingList;
+use crate::world::{
+    build_tranco, cluster_candidate_cap, cluster_candidate_countries, plan_reuse_clusters,
+    ranked_pool_accept, worldwide_country_records, RealizeItem, Realizer, SharedCluster,
+};
 
 /// Derives independent RNG streams from the world seed.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +115,217 @@ pub fn worldgen_threads() -> usize {
 /// identical output.
 pub use govscan_exec::par_map;
 
+/// Plan a streamed world: run the cross-shard phases once, cheaply, and
+/// return a [`StreamPlan`] that realizes one country shard at a time.
+///
+/// Equivalent to [`World::generate`] for the worldwide government
+/// population — same seed, same hosts, same wire behaviour — but the
+/// plan holds only the cross-shard state (ranking list, §5.3.3 cluster
+/// chains, CA roster), never the realized hosts. Peak memory is set by
+/// how many [`ShardWorld`]s the caller keeps in flight, not by
+/// [`WorldConfig::scale`].
+///
+/// [`World::generate`]: crate::World::generate
+pub fn stream_shards(config: &WorldConfig) -> StreamPlan {
+    StreamPlan::new(config)
+}
+
+/// The cross-shard state of a streamed world — everything whose
+/// construction must see more than one country.
+///
+/// Built by one planning walk that replays, draw for draw, the RNG
+/// streams of the materialized generator's cross-shard phases:
+///
+/// 1. **Transient population pass** — each country's records are
+///    generated from its own `("worldwide", cc)` stream (the same kernel
+///    [`World::generate`] uses) and immediately reduced to what the
+///    plan needs: ranked-pool membership draws in global host order, and
+///    a capped per-country candidate prefix for the cluster walk.
+/// 2. **§5.3.3 cluster plan** — [`plan_reuse_clusters`], RNG-free.
+/// 3. **Tranco** — the `("rankings", "")` stream, stopping where the
+///    materialized path moves on to the majestic list (which only feeds
+///    discovery, not the scanned population).
+///
+/// [`Self::realize_shard`] then regenerates a country's records from the
+/// same streams and applies the plan, so every shard is bit-identical to
+/// its slice of the materialized world at any thread count.
+///
+/// [`World::generate`]: crate::World::generate
+pub struct StreamPlan {
+    config: WorldConfig,
+    seeder: StreamSeeder,
+    cadb: CaDb,
+    countries: Vec<&'static Country>,
+    total_weight: f64,
+    clusters: Vec<SharedCluster>,
+    shared_chain_of: HashMap<String, usize>,
+    tranco: RankingList,
+    host_count: u64,
+}
+
+impl StreamPlan {
+    /// Run the planning walk for `config`.
+    pub fn new(config: &WorldConfig) -> StreamPlan {
+        let config = config.clone();
+        let seeder = StreamSeeder::new(config.seed);
+        let mut cadb = CaDb::build(config.seed);
+        let countries: Vec<&'static Country> = countries::active_countries().collect();
+        let total_weight = countries::total_weight();
+        let needed = cluster_candidate_countries(&config);
+
+        let mut rankings_rng = seeder.rng("rankings", "");
+        let mut pool: Vec<String> = Vec::new();
+        let mut candidates: HashMap<&'static str, Vec<String>> = HashMap::new();
+        let mut host_count = 0u64;
+        for country in &countries {
+            // Transient: generated, reduced, dropped.
+            let records = worldwide_country_records(&config, seeder, country, total_weight);
+            host_count += records.len() as u64;
+            let wanted = needed.contains(country.code);
+            let cap = cluster_candidate_cap(&config, country.code);
+            let mut cand: Vec<String> = Vec::new();
+            for rec in &records {
+                // One membership draw per host in global generation
+                // order keeps the rankings stream in lockstep with the
+                // materialized walk.
+                if ranked_pool_accept(&mut rankings_rng, rec.country) {
+                    pool.push(rec.hostname.clone());
+                }
+                // Candidacy is judged on original postures; the flips
+                // the plan will imply keep `attempts_https`.
+                if wanted && cand.len() < cap && rec.posture.attempts_https() {
+                    cand.push(rec.hostname.clone());
+                }
+            }
+            if wanted {
+                candidates.insert(country.code, cand);
+            }
+        }
+        let plan = plan_reuse_clusters(&config, &mut cadb, &candidates);
+        let (_ranked_pool, tranco) = build_tranco(&config, &mut rankings_rng, pool);
+
+        StreamPlan {
+            config,
+            seeder,
+            cadb,
+            countries,
+            total_weight,
+            clusters: plan.clusters,
+            shared_chain_of: plan.shared_chain_of,
+            tranco,
+            host_count,
+        }
+    }
+
+    /// Number of shards (one per active country), fixed by the config.
+    pub fn shard_count(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// Total hosts across all shards (known after planning, before any
+    /// shard is realized).
+    pub fn host_count(&self) -> u64 {
+        self.host_count
+    }
+
+    /// The authoritative ranking list — the rank annotation source for
+    /// scanning the streamed shards.
+    pub fn tranco(&self) -> &RankingList {
+        &self.tranco
+    }
+
+    /// The CA roster (trust stores, EV registry) the shards issue from.
+    pub fn cadb(&self) -> &CaDb {
+        &self.cadb
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The configured scan snapshot time.
+    pub fn scan_time(&self) -> Time {
+        self.config.scan_time
+    }
+
+    /// Realize shard `idx` (a country) into a self-contained
+    /// [`ShardWorld`]: regenerate its records from the country's RNG
+    /// streams, apply the cluster plan's posture flips, issue chains,
+    /// and populate a per-shard [`SimNet`].
+    ///
+    /// Pure in `&self`: shards can be realized in any order, in
+    /// parallel, or repeatedly — the result is always bit-identical to
+    /// the materialized world's slice for that country.
+    pub fn realize_shard(&self, idx: usize) -> ShardWorld {
+        let country = self.countries[idx];
+        let cc = country.code;
+        let mut records =
+            worldwide_country_records(&self.config, self.seeder, country, self.total_weight);
+        for rec in &mut records {
+            if let Some(&ci) = self.shared_chain_of.get(&rec.hostname) {
+                rec.posture = Posture::InvalidHttps {
+                    error: self.clusters[ci].error,
+                };
+            }
+        }
+        let hostnames: Vec<String> = records.iter().map(|r| r.hostname.clone()).collect();
+        // Empty link lists: the webgraph only shapes page *bodies*, which
+        // scanning never reads, and link assignment draws from its own
+        // ("webgraph", "") stream — skipping it cannot shift any draw the
+        // realizer makes.
+        let items: Vec<RealizeItem> = records.into_iter().map(|rec| (rec, Vec::new())).collect();
+        let mut r = Realizer::for_shard(
+            &self.config,
+            &self.cadb,
+            &self.clusters,
+            &self.shared_chain_of,
+            self.seeder,
+            "realize",
+            cc,
+        );
+        r.plan_shared_chains(cc, &items);
+        for (rec, links) in items {
+            r.realize(rec, &links);
+        }
+        let batch = r.into_batch();
+        let mut net = SimNet::new();
+        for host in batch.hosts {
+            net.add_host(host);
+        }
+        for name in batch.dns_timeouts {
+            net.set_dns_behavior(&name, DnsBehavior::Timeout);
+        }
+        for (name, set) in batch.caa {
+            net.dns.publish_caa(&name, set);
+        }
+        // CT appends are dropped: the scanner never consults the log and
+        // the snapshot stores no CT data.
+        ShardWorld {
+            country: cc,
+            hostnames,
+            net,
+        }
+    }
+
+    /// All shards, realized lazily in deterministic shard order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardWorld> + '_ {
+        (0..self.shard_count()).map(|i| self.realize_shard(i))
+    }
+}
+
+/// One realized shard of a streamed world: a country's government hosts
+/// (in generation order) and a [`SimNet`] serving exactly their wire
+/// behaviour. Scan it, archive the records, drop it.
+pub struct ShardWorld {
+    /// ISO country code of the shard.
+    pub country: &'static str,
+    /// The shard's hostnames, in generation order.
+    pub hostnames: Vec<String>,
+    /// A network serving only this shard's hosts.
+    pub net: SimNet,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +378,79 @@ mod tests {
         // Only shape-checks the default path (the env var is global
         // state; the invariance test in world.rs exercises the override).
         assert!(worldgen_threads() >= 1);
+    }
+
+    #[test]
+    fn stream_plan_matches_materialized_world() {
+        let config = WorldConfig::small(0x57E4);
+        let world = crate::World::generate(&config);
+        let plan = stream_shards(&config);
+
+        // Same population, same order.
+        assert_eq!(plan.host_count(), world.gov_hosts.len() as u64);
+        let streamed: Vec<String> = plan.shards().flat_map(|s| s.hostnames).collect();
+        assert_eq!(streamed, world.gov_hosts, "shard order is gov_hosts order");
+
+        // Same authoritative ranking list.
+        assert_eq!(plan.tranco().size, world.tranco.size);
+        assert_eq!(plan.tranco().entries.len(), world.tranco.entries.len());
+        for (a, b) in plan.tranco().entries.iter().zip(&world.tranco.entries) {
+            assert_eq!(
+                (a.rank, &a.hostname, a.is_gov),
+                (b.rank, &b.hostname, b.is_gov)
+            );
+        }
+    }
+
+    #[test]
+    fn shard_nets_serve_the_materialized_wire_behaviour() {
+        use govscan_net::{TcpOutcome, TlsClientConfig};
+
+        let config = WorldConfig::small(0x57E5);
+        let world = crate::World::generate(&config);
+        let plan = stream_shards(&config);
+        let client = TlsClientConfig::default();
+
+        let mut chains = 0usize;
+        for idx in 0..plan.shard_count() {
+            let shard = plan.realize_shard(idx);
+            for h in &shard.hostnames {
+                // DNS, TCP, CAA, and the served chain must agree between
+                // the per-shard net and the full world's.
+                assert_eq!(
+                    format!("{:?}", shard.net.resolve(h)),
+                    format!("{:?}", world.net.resolve(h)),
+                    "dns for {h}"
+                );
+                let tcp = shard.net.tcp_connect(h, 443);
+                assert_eq!(
+                    format!("{tcp:?}"),
+                    format!("{:?}", world.net.tcp_connect(h, 443)),
+                    "tcp for {h}"
+                );
+                assert_eq!(
+                    shard.net.caa_lookup(h),
+                    world.net.caa_lookup(h),
+                    "caa for {h}"
+                );
+                if !matches!(tcp, TcpOutcome::Accepted) {
+                    continue;
+                }
+                let a = shard.net.tls_connect(h, &client);
+                let b = world.net.tls_connect(h, &client);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        let fp = |c: &std::sync::Arc<[govscan_pki::Certificate]>| -> Vec<_> {
+                            c.iter().map(|x| x.fingerprint()).collect()
+                        };
+                        assert_eq!(fp(&a.peer_chain), fp(&b.peer_chain), "chain for {h}");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "tls error for {h}"),
+                    (a, b) => panic!("tls diverged for {h}: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+                }
+            }
+            chains += shard.hostnames.len();
+        }
+        assert_eq!(chains, world.gov_hosts.len());
     }
 }

@@ -113,8 +113,10 @@ impl World {
 }
 
 /// A shared-certificate cluster (§5.3.3 key/cert reuse).
-struct SharedCluster {
-    chain: Vec<Certificate>,
+pub(crate) struct SharedCluster {
+    pub(crate) chain: Vec<Certificate>,
+    /// The posture error every member is flipped to.
+    pub(crate) error: InjectedError,
 }
 
 struct Generator {
@@ -211,56 +213,34 @@ impl Generator {
         }
     }
 
-    fn cloud_share(country: &Country) -> f64 {
-        match country.code {
-            "us" => 0.13,
-            "kr" => 0.0021,
-            _ => 0.03 + 0.10 * country.tech,
-        }
+    /// [`Self::apply`] for phases that add *new* populations (GSA, ROK,
+    /// non-gov rankings, phishing twins). Asserts no hostname shadows an
+    /// already-realized host: `SimNet::add_host` is last-insert-wins, so
+    /// a collision would silently rewrite a scanned host's wire
+    /// behaviour — and desynchronize the streamed pipeline, whose
+    /// per-shard nets never see later phases. The worldwide namer keeps
+    /// this disjoint by construction (hyphenated collision labels).
+    fn apply_new(&mut self, batch: RealizeBatch) {
+        debug_assert!(
+            batch
+                .records
+                .iter()
+                .all(|rec| !self.records.contains_key(&rec.hostname)),
+            "case-study phase would shadow an existing host"
+        );
+        self.apply(batch);
     }
 
     fn generate_worldwide(&mut self) {
         let total_weight = countries::total_weight();
-        let candidates = self.config.scaled(WORLD_CANDIDATES);
         let shards: Vec<&'static Country> = countries::active_countries().collect();
         let seeder = self.seeder;
-        let assigner = HostingAssigner::new();
+        let config = &self.config;
         let blocks = stream::par_map(self.threads, shards, |_, country| {
-            let mut rng = seeder.rng("worldwide", country.code);
-            let n = ((candidates as f64) * country.host_weight / total_weight).round() as u64;
-            let n = n.max(1);
-            let rates = PostureRates::for_country(country);
-            let mut namer = HostnameGen::new(country);
-            let cloud = Self::cloud_share(country);
-            let mut records = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                let hostname = namer.next_gov(&mut rng);
-                let posture = rates.sample(&mut rng);
-                let hosting = assigner.sample_class(&mut rng, cloud);
-                // §7.1.2: the Great-Firewall vantage breaks Chinese TLS
-                // regardless of hosting, so the platform boost does not
-                // apply there.
-                let posture = posture::apply_cloud_boost(
-                    &mut rng,
-                    posture,
-                    hosting != HostingClass::Private && country.code != "cn",
-                );
-                records.push(HostRecord {
-                    hostname,
-                    country: country.code,
-                    is_gov: true,
-                    posture,
-                    issuer: None,
-                    hosting,
-                    tranco_rank: None,
-                    in_seed: false,
-                    gsa_datasets: Vec::new(),
-                    in_rok_list: false,
-                    has_caa: rng.gen::<f64>() < 0.0136,
-                    is_ev: false,
-                });
-            }
-            (country.code, records)
+            (
+                country.code,
+                worldwide_country_records(config, seeder, country, total_weight),
+            )
         });
         for (cc, records) in blocks {
             let mut names = Vec::with_capacity(records.len());
@@ -277,129 +257,31 @@ impl Generator {
     /// wildcard-scope misuse (Bangladesh 2 certs / 138 hosts, Colombia
     /// 3 / 107, Dominica 1 / 28, Vietnam 3 / 21) plus the worldwide
     /// localhost-certificate clusters (154 certs reused across 1,390
-    /// hosts in up to 24 countries).
+    /// hosts in up to 24 countries). The walk itself lives in
+    /// [`plan_reuse_clusters`] so the streamed plan can replay it.
     fn inject_reuse_clusters(&mut self) {
-        let scan = self.config.scan_time;
-        // -- National wildcard clusters. --
-        let national: [(&str, u64, u64); 4] =
-            [("bd", 2, 138), ("co", 3, 107), ("dm", 1, 28), ("vn", 3, 21)];
-        for (cc, certs, hosts) in national {
-            let certs = self.config.scaled(certs).max(1);
-            let hosts = self.config.scaled(hosts).max(certs);
-            let pool = self.country_pool(cc, hosts as usize);
-            if pool.is_empty() {
+        let needed = cluster_candidate_countries(&self.config);
+        let mut candidates: HashMap<&'static str, Vec<String>> = HashMap::new();
+        for (cc, hosts) in &self.gov_blocks {
+            if !needed.contains(cc) {
                 continue;
             }
-            let suffix = Country::by_code(cc)
-                .map(|c| c.gov_suffixes.first().copied().unwrap_or(cc))
-                .unwrap_or(cc);
-            for (ci, chunk) in pool.chunks(pool.len().div_ceil(certs as usize)).enumerate() {
-                let wildcard = format!(
-                    "*.portal{}.{suffix}",
-                    if ci == 0 {
-                        String::new()
-                    } else {
-                        ci.to_string()
-                    }
-                );
-                let key = KeyPair::from_seed(
-                    KeyAlgorithm::Rsa(2048),
-                    format!("cluster-{cc}-{ci}").as_bytes(),
-                );
-                let mut profile =
-                    LeafProfile::dv(wildcard.clone(), key.public(), scan.plus_days(-200));
-                profile.san = vec![wildcard];
-                profile.validity_days = Some(730);
-                profile.serial = Some(vec![0xc1, cc.as_bytes()[0], ci as u8]);
-                let chain = self.cadb.issue_chain(crate::cadb::LETS_ENCRYPT, &profile);
-                self.register_cluster(chain, chunk.to_vec(), InjectedError::HostnameMismatch);
-            }
+            let list: Vec<String> = hosts
+                .iter()
+                .filter(|h| self.records[*h].posture.attempts_https())
+                .cloned()
+                .collect();
+            candidates.insert(cc, list);
         }
-        // -- Worldwide localhost clusters. --
-        // (cert count, countries spanned) per the paper's breakdown.
-        // Cluster COUNT scales with the world; per-cluster membership keeps
-        // the paper's ~9-host shape, under a scaled total-host budget so
-        // tiny test worlds keep Table 2's category proportions.
-        let specs: [(u64, usize); 4] = [(108, 2), (19, 3), (11, 4), (1, 24)];
-        let mut host_budget = self.config.scaled(1_390) as usize;
-        let appliance_key =
-            KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"factory-default-appliance");
-        let all_countries: Vec<&'static str> =
-            countries::active_countries().map(|c| c.code).collect();
-        for (count, spread) in specs {
-            let count = self.config.scaled(count).max(1);
-            for i in 0..count {
-                // One *distinct certificate* per cluster (the paper counts
-                // 154 reused certs) — but all sharing the same factory-
-                // default public key ("the same set of public keys").
-                let cert = ca::self_signed(
-                    "localhost",
-                    vec![],
-                    &appliance_key,
-                    SignatureAlgorithm::Sha1WithRsa,
-                    Validity {
-                        not_before: Time::from_ymd(2012, 1, 1)
-                            .plus_days((i * spread as u64) as i64 % 365),
-                        not_after: Time::from_ymd(2032, 1, 1),
-                    },
-                );
-                // ~9 members spread over `spread` countries, within budget.
-                if host_budget == 0 {
-                    break;
-                }
-                let mut members = Vec::new();
-                for s in 0..spread {
-                    let cc = all_countries[(i as usize * 7 + s * 13) % all_countries.len()];
-                    let take = (if spread <= 4 { 9 / spread + 1 } else { 2 }).min(host_budget);
-                    let got = self.country_pool(cc, take);
-                    host_budget = host_budget.saturating_sub(got.len());
-                    members.extend(got);
-                    if host_budget == 0 {
-                        break;
-                    }
-                }
-                if members.is_empty() {
-                    continue;
-                }
-                self.register_cluster(vec![cert], members, InjectedError::SelfSigned);
-            }
+        let plan = plan_reuse_clusters(&self.config, &mut self.cadb, &candidates);
+        for (host, &ci) in &plan.shared_chain_of {
+            let rec = self.records.get_mut(host).expect("cluster member exists");
+            rec.posture = Posture::InvalidHttps {
+                error: plan.clusters[ci].error,
+            };
         }
-    }
-
-    /// Take up to `n` https-attempting worldwide hosts of a country that
-    /// are not yet in any cluster, flipping their posture to the cluster's
-    /// error as needed.
-    fn country_pool(&mut self, cc: &str, n: usize) -> Vec<String> {
-        let mut out = Vec::new();
-        for host in &self.gov_hosts {
-            if out.len() >= n {
-                break;
-            }
-            if self.shared_chain_of.contains_key(host) {
-                continue;
-            }
-            let rec = self.records.get(host).expect("record exists");
-            if rec.country == cc && rec.posture.attempts_https() {
-                out.push(host.clone());
-            }
-        }
-        out
-    }
-
-    fn register_cluster(
-        &mut self,
-        chain: Vec<Certificate>,
-        members: Vec<String>,
-        error: InjectedError,
-    ) {
-        let idx = self.clusters.len();
-        for m in &members {
-            self.shared_chain_of.insert(m.clone(), idx);
-            if let Some(rec) = self.records.get_mut(m) {
-                rec.posture = Posture::InvalidHttps { error };
-            }
-        }
-        self.clusters.push(SharedCluster { chain });
+        self.clusters = plan.clusters;
+        self.shared_chain_of = plan.shared_chain_of;
     }
 
     /// Build ranking lists and derive the seed list (§4.1: the merged
@@ -407,54 +289,31 @@ impl Generator {
     fn build_rankings(&mut self) -> (Vec<String>, RankingList, RankingList, RankingList) {
         let mut rng = self.seeder.rng("rankings", "");
         // Popularity pool: bias toward high-tech countries.
-        let mut pool: Vec<String> = self
+        let pool: Vec<String> = self
             .gov_hosts
             .iter()
-            .filter(|h| {
-                let rec = &self.records[*h];
-                let tech = Country::by_code(rec.country).map(|c| c.tech).unwrap_or(0.5);
-                // Higher-tech countries are far more likely to be ranked.
-                rng.gen::<f64>() < 0.18 + 0.6 * tech
-            })
+            .filter(|h| ranked_pool_accept(&mut rng, self.records[*h].country))
             .cloned()
             .collect();
-        pool.shuffle(&mut rng);
-        let seed_n = (self.config.scaled(SEED_POOL) as usize).min(pool.len());
-        let ranked_pool: Vec<String> = pool[..seed_n].to_vec();
-
-        let size = ((self.config.ranking_size as f64) * self.config.scale).round() as u32;
-        let size = size.max(2_000);
-        let mat_rate = self.config.nongov_materialize_rate;
-        let mut counter = 0u64;
-        let seed_for_names = self.config.seed;
-        let mut nongov_namer = move |_: &mut dyn rand::RngCore| {
-            counter += 1;
-            // Deterministic synthetic non-gov hostname.
-            format!("site{seed_for_names:x}-{counter}.example-net.com")
-        };
         // Tranco materializes non-gov hosts for §5.5; the other two lists
         // only need their government overlap counts (Table 1).
-        let mut draw = ranked_pool.clone();
-        let tranco = rankings::build_list(
-            &mut rng,
-            "tranco",
-            size,
-            rankings::TRANCO_OVERLAP,
-            self.config.scale,
-            &draw,
-            mat_rate,
-            &mut nongov_namer,
-        );
+        let (ranked_pool, tranco) = build_tranco(&self.config, &mut rng, pool);
+        let size = tranco.size;
+        // The other lists materialize nothing, so their namer is never
+        // consulted (`build_list` draws zero non-gov rows at rate 0).
+        let mut no_namer =
+            |_: &mut dyn rand::RngCore| -> String { unreachable!("materialize rate is 0") };
+        let mut draw = ranked_pool;
         draw.shuffle(&mut rng);
         let majestic = rankings::build_list(
             &mut rng,
             "majestic",
             size,
             rankings::MAJESTIC_OVERLAP,
-            self.config.scale,
+            self.config.discovery_scale(),
             &draw,
             0.0,
-            &mut nongov_namer,
+            &mut no_namer,
         );
         draw.shuffle(&mut rng);
         let cisco = rankings::build_list(
@@ -462,10 +321,10 @@ impl Generator {
             "cisco",
             size,
             rankings::CISCO_OVERLAP,
-            self.config.scale,
+            self.config.discovery_scale(),
             &draw,
             0.0,
-            &mut nongov_namer,
+            &mut no_namer,
         );
         // §4.1: the seed list is the deduplicated union of the lists'
         // government rows (27,532 at paper scale).
@@ -503,7 +362,9 @@ impl Generator {
             }
         }
         // Plus hand-curated extras from long-tail countries not in seed.
-        let extra = self.config.scaled(WHITELIST_EXTRA) as usize;
+        // Hand-curation does not grow with the world: saturates at the
+        // paper's 596 entries (discovery scale).
+        let extra = self.config.discovery_scaled(WHITELIST_EXTRA) as usize;
         let mut candidates: Vec<String> = self
             .gov_hosts
             .iter()
@@ -665,7 +526,7 @@ impl Generator {
         let mut gsa_hosts = Vec::new();
         for (hosts, batch) in results {
             gsa_hosts.extend(hosts);
-            self.apply(batch);
+            self.apply_new(batch);
         }
         gsa_hosts
     }
@@ -725,7 +586,7 @@ impl Generator {
         let mut rok_hosts = Vec::new();
         for (hosts, batch) in results {
             rok_hosts.extend(hosts);
-            self.apply(batch);
+            self.apply_new(batch);
         }
         rok_hosts
     }
@@ -794,7 +655,7 @@ impl Generator {
             r.into_batch()
         });
         for batch in batches {
-            self.apply(batch);
+            self.apply_new(batch);
         }
     }
 
@@ -839,32 +700,343 @@ impl Generator {
             r.realize(record, &[]);
         }
         let batch = r.into_batch();
-        self.apply(batch);
+        self.apply_new(batch);
     }
+}
+
+// ---------------------------------------------------------------------
+// Shared generation kernels.
+//
+// Everything below is a pure function of (config, seeder, shard) — no
+// Generator state — so the materialized [`Generator`] and the streamed
+// plan ([`crate::stream::StreamPlan`]) both call them and, by
+// construction, draw identical RNG streams. This is what makes the
+// streamed archive byte-identical to the materialized one.
+// ---------------------------------------------------------------------
+
+/// Cloud/CDN adoption share of a country's government hosts.
+pub(crate) fn cloud_share(country: &Country) -> f64 {
+    match country.code {
+        "us" => 0.13,
+        "kr" => 0.0021,
+        _ => 0.03 + 0.10 * country.tech,
+    }
+}
+
+/// Generate one country's worldwide government records — the per-shard
+/// generation kernel. Every draw comes from the country's own
+/// `("worldwide", cc)` stream, so the records are byte-identical
+/// wherever and whenever the shard is produced.
+pub(crate) fn worldwide_country_records(
+    config: &WorldConfig,
+    seeder: StreamSeeder,
+    country: &'static Country,
+    total_weight: f64,
+) -> Vec<HostRecord> {
+    let mut rng = seeder.rng("worldwide", country.code);
+    let candidates = config.scaled(WORLD_CANDIDATES);
+    let n = ((candidates as f64) * country.host_weight / total_weight).round() as u64;
+    let n = n.max(1);
+    let rates = PostureRates::for_country(country);
+    let mut namer = HostnameGen::new(country);
+    // Construction is draw-free, so a per-shard assigner samples
+    // identically to a shared one.
+    let assigner = HostingAssigner::new();
+    let cloud = cloud_share(country);
+    let mut records = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let hostname = namer.next_gov(&mut rng);
+        let posture = rates.sample(&mut rng);
+        let hosting = assigner.sample_class(&mut rng, cloud);
+        // §7.1.2: the Great-Firewall vantage breaks Chinese TLS
+        // regardless of hosting, so the platform boost does not
+        // apply there.
+        let posture = posture::apply_cloud_boost(
+            &mut rng,
+            posture,
+            hosting != HostingClass::Private && country.code != "cn",
+        );
+        records.push(HostRecord {
+            hostname,
+            country: country.code,
+            is_gov: true,
+            posture,
+            issuer: None,
+            hosting,
+            tranco_rank: None,
+            in_seed: false,
+            gsa_datasets: Vec::new(),
+            in_rok_list: false,
+            has_caa: rng.gen::<f64>() < 0.0136,
+            is_ev: false,
+        });
+    }
+    records
+}
+
+/// §5.3.3 national wildcard clusters: (country, certs, hosts) at paper
+/// scale (Bangladesh 2/138, Colombia 3/107, Dominica 1/28, Vietnam 3/21).
+const NATIONAL_CLUSTER_SPECS: [(&str, u64, u64); 4] =
+    [("bd", 2, 138), ("co", 3, 107), ("dm", 1, 28), ("vn", 3, 21)];
+/// §5.3.3 worldwide localhost clusters: (cert count, countries spanned)
+/// per the paper's breakdown.
+const WORLDWIDE_CLUSTER_SPECS: [(u64, usize); 4] = [(108, 2), (19, 3), (11, 4), (1, 24)];
+/// Total host budget of the worldwide localhost clusters (paper: 1,390
+/// hosts across the 154 reused certificates).
+const WORLDWIDE_CLUSTER_HOSTS: u64 = 1_390;
+
+/// The countries whose candidate pools [`plan_reuse_clusters`] can
+/// consult — a pure function of the config (the walk's country schedule
+/// is deterministic), so the streamed plan retains candidate hostnames
+/// only for these instead of the whole world.
+pub(crate) fn cluster_candidate_countries(
+    config: &WorldConfig,
+) -> std::collections::HashSet<&'static str> {
+    let mut needed: std::collections::HashSet<&'static str> = NATIONAL_CLUSTER_SPECS
+        .iter()
+        .map(|(cc, _, _)| *cc)
+        .collect();
+    let all: Vec<&'static str> = countries::active_countries().map(|c| c.code).collect();
+    for (count, spread) in WORLDWIDE_CLUSTER_SPECS {
+        let count = config.scaled(count).max(1);
+        for i in 0..count {
+            for s in 0..spread {
+                needed.insert(all[(i as usize * 7 + s * 13) % all.len()]);
+            }
+        }
+    }
+    needed
+}
+
+/// An upper bound on how deep into one country's candidate list the
+/// cluster walk can ever look. [`ClusterPlan::pool`] consults a prefix:
+/// every entry it passes over was either taken (bounded by the total
+/// membership the walk can assign to `cc` — its national quota plus the
+/// whole worldwide host budget) or returned, so truncating a candidate
+/// list here cannot change the plan. This is what lets the streamed plan
+/// keep O(budget) candidate hostnames instead of O(world).
+pub(crate) fn cluster_candidate_cap(config: &WorldConfig, cc: &str) -> usize {
+    let national = NATIONAL_CLUSTER_SPECS
+        .iter()
+        .find(|(c, _, _)| *c == cc)
+        .map(|(_, certs, hosts)| {
+            let certs = config.scaled(*certs).max(1);
+            config.scaled(*hosts).max(certs)
+        })
+        .unwrap_or(0);
+    (national + config.scaled(WORLDWIDE_CLUSTER_HOSTS)) as usize
+}
+
+/// Outcome of the §5.3.3 cluster walk: issued chains (with the posture
+/// error each cluster injects) and hostname → cluster index for every
+/// member.
+pub(crate) struct ClusterPlan {
+    pub(crate) clusters: Vec<SharedCluster>,
+    pub(crate) shared_chain_of: HashMap<String, usize>,
+}
+
+impl ClusterPlan {
+    /// Take up to `n` not-yet-clustered candidates of a country, in
+    /// generation order.
+    fn pool(
+        &self,
+        candidates: &HashMap<&'static str, Vec<String>>,
+        cc: &str,
+        n: usize,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for host in candidates.get(cc).map(Vec::as_slice).unwrap_or(&[]) {
+            if out.len() >= n {
+                break;
+            }
+            if self.shared_chain_of.contains_key(host) {
+                continue;
+            }
+            out.push(host.clone());
+        }
+        out
+    }
+
+    fn register(&mut self, chain: Vec<Certificate>, members: Vec<String>, error: InjectedError) {
+        let idx = self.clusters.len();
+        for m in members {
+            self.shared_chain_of.insert(m, idx);
+        }
+        self.clusters.push(SharedCluster { chain, error });
+    }
+}
+
+/// Select and issue the §5.3.3 shared-certificate clusters.
+///
+/// `candidates` holds, per country, the https-attempting worldwide
+/// hostnames in generation order, judged by their *original* postures.
+/// The flips this plan implies keep `attempts_https`, so candidacy is
+/// insensitive to whether earlier clusters were already applied — which
+/// is what lets the materialized generator (flip-as-you-go) and the
+/// streamed plan (flip-at-realize) share this walk. Consumes no RNG;
+/// keys and serials derive from deterministic seeds.
+pub(crate) fn plan_reuse_clusters(
+    config: &WorldConfig,
+    cadb: &mut CaDb,
+    candidates: &HashMap<&'static str, Vec<String>>,
+) -> ClusterPlan {
+    let scan = config.scan_time;
+    let mut plan = ClusterPlan {
+        clusters: Vec::new(),
+        shared_chain_of: HashMap::new(),
+    };
+    // -- National wildcard clusters. --
+    for (cc, certs, hosts) in NATIONAL_CLUSTER_SPECS {
+        let certs = config.scaled(certs).max(1);
+        let hosts = config.scaled(hosts).max(certs);
+        let pool = plan.pool(candidates, cc, hosts as usize);
+        if pool.is_empty() {
+            continue;
+        }
+        let suffix = Country::by_code(cc)
+            .map(|c| c.gov_suffixes.first().copied().unwrap_or(cc))
+            .unwrap_or(cc);
+        for (ci, chunk) in pool.chunks(pool.len().div_ceil(certs as usize)).enumerate() {
+            let wildcard = format!(
+                "*.portal{}.{suffix}",
+                if ci == 0 {
+                    String::new()
+                } else {
+                    ci.to_string()
+                }
+            );
+            let key = KeyPair::from_seed(
+                KeyAlgorithm::Rsa(2048),
+                format!("cluster-{cc}-{ci}").as_bytes(),
+            );
+            let mut profile = LeafProfile::dv(wildcard.clone(), key.public(), scan.plus_days(-200));
+            profile.san = vec![wildcard];
+            profile.validity_days = Some(730);
+            profile.serial = Some(vec![0xc1, cc.as_bytes()[0], ci as u8]);
+            let chain = cadb.issue_chain(crate::cadb::LETS_ENCRYPT, &profile);
+            plan.register(chain, chunk.to_vec(), InjectedError::HostnameMismatch);
+        }
+    }
+    // -- Worldwide localhost clusters. --
+    // Cluster COUNT scales with the world; per-cluster membership keeps
+    // the paper's ~9-host shape, under a scaled total-host budget so
+    // tiny test worlds keep Table 2's category proportions.
+    let mut host_budget = config.scaled(WORLDWIDE_CLUSTER_HOSTS) as usize;
+    let appliance_key = KeyPair::from_seed(KeyAlgorithm::Rsa(1024), b"factory-default-appliance");
+    let all_countries: Vec<&'static str> = countries::active_countries().map(|c| c.code).collect();
+    for (count, spread) in WORLDWIDE_CLUSTER_SPECS {
+        let count = config.scaled(count).max(1);
+        for i in 0..count {
+            // One *distinct certificate* per cluster (the paper counts
+            // 154 reused certs) — but all sharing the same factory-
+            // default public key ("the same set of public keys").
+            let cert = ca::self_signed(
+                "localhost",
+                vec![],
+                &appliance_key,
+                SignatureAlgorithm::Sha1WithRsa,
+                Validity {
+                    not_before: Time::from_ymd(2012, 1, 1)
+                        .plus_days((i * spread as u64) as i64 % 365),
+                    not_after: Time::from_ymd(2032, 1, 1),
+                },
+            );
+            // ~9 members spread over `spread` countries, within budget.
+            if host_budget == 0 {
+                break;
+            }
+            let mut members = Vec::new();
+            for s in 0..spread {
+                let cc = all_countries[(i as usize * 7 + s * 13) % all_countries.len()];
+                let take = (if spread <= 4 { 9 / spread + 1 } else { 2 }).min(host_budget);
+                let got = plan.pool(candidates, cc, take);
+                host_budget = host_budget.saturating_sub(got.len());
+                members.extend(got);
+                if host_budget == 0 {
+                    break;
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            plan.register(vec![cert], members, InjectedError::SelfSigned);
+        }
+    }
+    plan
+}
+
+/// One ranked-pool membership draw, per worldwide host in `gov_hosts`
+/// order — higher-tech countries are far more likely to be ranked. Both
+/// walks call this for *every* host so the `("rankings", "")` stream
+/// stays in lockstep.
+pub(crate) fn ranked_pool_accept(rng: &mut StdRng, country: &'static str) -> bool {
+    let tech = Country::by_code(country).map(|c| c.tech).unwrap_or(0.5);
+    rng.gen::<f64>() < 0.18 + 0.6 * tech
+}
+
+/// Finish the ranked-pool walk into the authoritative tranco list:
+/// shuffle the accepted pool, truncate to the (discovery-scaled) seed
+/// pool, and build the ranking with materialized non-government rows.
+/// Returns the ranked pool (the draw set for the other two lists) and
+/// the list. Consumes the `("rankings", "")` stream exactly as far as
+/// the materialized `build_rankings` does before the majestic shuffle,
+/// so the streamed plan can stop here.
+pub(crate) fn build_tranco(
+    config: &WorldConfig,
+    rng: &mut StdRng,
+    mut pool: Vec<String>,
+) -> (Vec<String>, RankingList) {
+    pool.shuffle(rng);
+    let seed_n = (config.discovery_scaled(SEED_POOL) as usize).min(pool.len());
+    let ranked_pool: Vec<String> = pool[..seed_n].to_vec();
+
+    // Discovery saturates at paper scale: a 10× world has 10× hosts,
+    // but the top-million lists do not grow past a million rows.
+    let size = ((config.ranking_size as f64) * config.discovery_scale()).round() as u32;
+    let size = size.max(2_000);
+    let mat_rate = config.nongov_materialize_rate;
+    let mut counter = 0u64;
+    let seed_for_names = config.seed;
+    let mut nongov_namer = move |_: &mut dyn rand::RngCore| {
+        counter += 1;
+        // Deterministic synthetic non-gov hostname.
+        format!("site{seed_for_names:x}-{counter}.example-net.com")
+    };
+    let tranco = rankings::build_list(
+        rng,
+        "tranco",
+        size,
+        rankings::TRANCO_OVERLAP,
+        config.discovery_scale(),
+        &ranked_pool,
+        mat_rate,
+        &mut nongov_namer,
+    );
+    (ranked_pool, tranco)
 }
 
 /// One host's realization input: its ground-truth record plus the
 /// outbound links the webgraph gave it.
-type RealizeItem = (HostRecord, Vec<String>);
+pub(crate) type RealizeItem = (HostRecord, Vec<String>);
 
 /// Everything one shard wants to write into the world, in emission
 /// order. Workers fill a batch against shared `&` state; the generator
 /// applies batches in fixed shard order, which keeps the merged world
 /// independent of scheduling.
 #[derive(Default)]
-struct RealizeBatch {
-    records: Vec<HostRecord>,
-    hosts: Vec<HostConfig>,
-    dns_timeouts: Vec<String>,
-    caa: Vec<(String, Vec<CaaRecord>)>,
+pub(crate) struct RealizeBatch {
+    pub(crate) records: Vec<HostRecord>,
+    pub(crate) hosts: Vec<HostConfig>,
+    pub(crate) dns_timeouts: Vec<String>,
+    pub(crate) caa: Vec<(String, Vec<CaaRecord>)>,
     /// Leaves to append to the CT log (in issuance order).
-    ct: Vec<Certificate>,
+    pub(crate) ct: Vec<Certificate>,
 }
 
 /// Per-shard host realizer: owns the shard's RNG stream and IP
 /// allocator, borrows the shared (read-only) CA roster and cluster
 /// table, and accumulates a [`RealizeBatch`].
-struct Realizer<'a> {
+pub(crate) struct Realizer<'a> {
     config: &'a WorldConfig,
     cadb: &'a CaDb,
     clusters: &'a [SharedCluster],
@@ -879,7 +1051,7 @@ struct Realizer<'a> {
 }
 
 impl<'a> Realizer<'a> {
-    fn for_shard(
+    pub(crate) fn for_shard(
         config: &'a WorldConfig,
         cadb: &'a CaDb,
         clusters: &'a [SharedCluster],
@@ -902,7 +1074,7 @@ impl<'a> Realizer<'a> {
         }
     }
 
-    fn into_batch(self) -> RealizeBatch {
+    pub(crate) fn into_batch(self) -> RealizeBatch {
         self.batch
     }
 
@@ -922,7 +1094,7 @@ impl<'a> Realizer<'a> {
     /// members, and SAN-packed certificates (≤50 names) for the rest —
     /// so distinct chains grow slower than TLS hosts, like real shared
     /// platforms. One key per (country, group): never cross-country.
-    fn plan_shared_chains(&mut self, cc: &str, items: &[RealizeItem]) {
+    pub(crate) fn plan_shared_chains(&mut self, cc: &str, items: &[RealizeItem]) {
         let rate = self.config.shared_chain_rate;
         if rate <= 0.0 {
             return;
@@ -998,7 +1170,7 @@ impl<'a> Realizer<'a> {
     }
 
     /// Materialize one record into batched wire behaviour.
-    fn realize(&mut self, mut rec: HostRecord, links: &[String]) {
+    pub(crate) fn realize(&mut self, mut rec: HostRecord, links: &[String]) {
         if matches!(rec.posture, Posture::Unreachable) {
             // Unregistered: DNS resolves NXDOMAIN. (A slice timeouts.)
             if self.rng.gen::<f64>() < 0.2 {
