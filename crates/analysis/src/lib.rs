@@ -24,6 +24,7 @@
 //! | [`crawlstats`] | Figure A.4 — crawler growth |
 //! | [`interlink`] | Figure A.5 — cross-government links |
 //! | [`ev`] | Figures A.2, A.3, A.6 — EV issuers |
+//! | [`trend`] | extension: longitudinal trajectories over monitor epochs |
 //! | [`phishing`] | §7.3.2 — lookalike-domain detection |
 //! | [`stats`] | shared: OLS + 95% CI, binning, descriptive stats |
 //! | [`table`] | shared: text-table rendering |
@@ -51,6 +52,7 @@ pub mod stats;
 pub mod table;
 pub mod table1;
 pub mod table2;
+pub mod trend;
 
 #[cfg(test)]
 pub(crate) mod testsupport {

@@ -1,0 +1,147 @@
+//! Monitor bench: what a year of weekly epochs costs.
+//!
+//! Runs the baseline plus 12 weekly epochs of the evolving world, with
+//! incremental rescans and a delta-snapshot chain, then measures the
+//! two headline economies against doing it the naive way:
+//!
+//! - **probe economy** — steady-state epochs (past the disclosure
+//!   response window) must probe ≤30% of the population;
+//! - **storage economy** — the chain (one full archive + 12 deltas)
+//!   must be ≥5× smaller than 13 full archives;
+//! - **time economy** — an incremental epoch must beat a full rescan
+//!   of the same epoch wall-clock.
+//!
+//! Writes `BENCH_monitor.json` at the workspace root. Under
+//! `GOVSCAN_BENCH_SMOKE=1` the world shrinks ~50×, the run drops to 4
+//! epochs, the bars relax (fixed overheads dominate tiny worlds), and
+//! no JSON is written — but every path still executes, self-check
+//! included.
+
+use std::time::Instant;
+
+use govscan_monitor::{full_epoch_scan, Monitor, MonitorConfig, MonitorReport};
+use govscan_worldgen::{EvolveConfig, WorldConfig};
+
+fn report_json(
+    report: &MonitorReport,
+    evolve: &EvolveConfig,
+    smoke: bool,
+    speedup: f64,
+    full_scan_s: f64,
+    incremental_s: f64,
+) -> String {
+    let probe = report.steady_state_probe_fraction(evolve).unwrap_or(1.0);
+    let last = report.epochs.last().expect("at least the baseline");
+    format!(
+        "{{\n  \"bench\": \"monitor\",\n  \"smoke\": {smoke},\n  \
+         \"epochs\": {},\n  \"hosts\": {},\n  \
+         \"chain_bytes\": {},\n  \"full_archive_bytes\": {},\n  \
+         \"bytes_ratio\": {:.3},\n  \
+         \"steady_state_probe_fraction\": {probe:.4},\n  \
+         \"full_scan_seconds\": {full_scan_s:.3},\n  \
+         \"incremental_scan_seconds\": {incremental_s:.3},\n  \
+         \"incremental_speedup\": {speedup:.2},\n  \
+         \"final_digest\": \"{}\"\n}}\n",
+        report.epochs.len() - 1,
+        last.hosts,
+        report.chain_bytes(),
+        report.full_bytes(),
+        report.full_bytes() as f64 / report.chain_bytes().max(1) as f64,
+        last.digest,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("GOVSCAN_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (scale, epochs) = if smoke { (0.02, 4u32) } else { (1.0, 12u32) };
+    let threads = govscan_exec::resolve_threads("GOVSCAN_MONITOR_THREADS");
+
+    let mut world = WorldConfig::paper_scale(0x404172);
+    world.scale = scale;
+    let evolve = EvolveConfig::weekly();
+    let out_dir =
+        std::env::temp_dir().join(format!("govscan-bench-monitor-{}", std::process::id()));
+    let config = MonitorConfig {
+        world,
+        evolve: evolve.clone(),
+        epochs,
+        threads,
+        out_dir: Some(out_dir.clone()),
+        // Digest-prove every epoch in smoke (CI); at full scale the
+        // equality is already proven by the tier-1 tests and the smoke
+        // run, and four extra full rescans per epoch would double the
+        // bench for no extra information.
+        self_check: smoke,
+    };
+
+    eprintln!(
+        "[bench] monitor: scale {scale}, {epochs} weekly epochs, {threads} threads{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let monitor = Monitor::new(config);
+    let t0 = Instant::now();
+    let report = monitor.run().expect("monitor run");
+    eprintln!(
+        "[bench] run complete in {:.1}s\n{}",
+        t0.elapsed().as_secs_f64(),
+        report.render()
+    );
+
+    // Time economy: a full rescan of the final epoch vs the mean
+    // incremental epoch.
+    let t1 = Instant::now();
+    let full = full_epoch_scan(monitor.plan(), epochs, threads);
+    let full_scan_s = t1.elapsed().as_secs_f64();
+    assert_eq!(full.len() as u64, report.epochs.last().unwrap().hosts);
+    let incremental_s = report.epochs[1..]
+        .iter()
+        .map(|e| e.scan_seconds)
+        .sum::<f64>()
+        / epochs as f64;
+    let speedup = full_scan_s / incremental_s.max(1e-9);
+
+    let probe = report
+        .steady_state_probe_fraction(&evolve)
+        .unwrap_or_else(|| {
+            // Smoke's 4 epochs end inside the response window; use the
+            // pre-disclosure epoch 1 as the steady proxy.
+            report.epochs[1].probe_fraction()
+        });
+    let bytes_ratio = report.full_bytes() as f64 / report.chain_bytes().max(1) as f64;
+    eprintln!(
+        "[bench] probe fraction {:.1}%, chain {:.1}x smaller, incremental {:.1}x faster",
+        100.0 * probe,
+        bytes_ratio,
+        speedup
+    );
+
+    let (probe_bar, ratio_bar, speed_bar) = if smoke {
+        (0.45, 2.0, 1.0) // tiny worlds: fixed costs dominate, only sanity
+    } else {
+        (0.30, 5.0, 1.5)
+    };
+    assert!(
+        probe <= probe_bar,
+        "steady-state probe fraction {probe:.3} exceeds the {probe_bar} bar"
+    );
+    assert!(
+        bytes_ratio >= ratio_bar,
+        "chain is only {bytes_ratio:.2}x smaller than full archives (bar {ratio_bar}x)"
+    );
+    if !smoke {
+        assert!(
+            speedup >= speed_bar,
+            "incremental epoch only {speedup:.2}x faster than a full rescan (bar {speed_bar}x)"
+        );
+    }
+
+    let json = report_json(&report, &evolve, smoke, speedup, full_scan_s, incremental_s);
+    if smoke {
+        eprintln!("[bench] smoke mode: skipping BENCH_monitor.json\n{json}");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monitor.json");
+        std::fs::write(path, &json).expect("write BENCH_monitor.json");
+        eprintln!("[bench] wrote {path}:\n{json}");
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}

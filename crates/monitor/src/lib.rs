@@ -1,0 +1,620 @@
+//! # govscan-monitor
+//!
+//! Year-long longitudinal measurement over the epoch-evolving world:
+//! the orchestration layer that ties together the three mechanisms the
+//! monitor subsystem adds to the repo —
+//!
+//! 1. **Evolution** ([`govscan_worldgen::evolve`]): epoch `k`'s ground
+//!    truth is a pure function of `(config, k)` — certificate
+//!    expiry/renewal, post-disclosure remediation, host churn, gradual
+//!    HSTS rollout.
+//! 2. **Incremental rescans** ([`govscan_scanner::incremental`]): after
+//!    the epoch-0 baseline, only hosts whose measurement could have
+//!    changed are probed live; everyone else's record is spliced
+//!    forward from the previous epoch.
+//! 3. **Delta archives** ([`govscan_store::delta`]): each epoch is
+//!    persisted as a `GOVDLT1` delta against its predecessor, and the
+//!    chain resolves back to full archives bit-for-bit.
+//!
+//! The correctness story is *digest equality*: snapshot encoding is
+//! canonical, so "incremental scan ≡ full rescan" and "resolved delta
+//! chain ≡ full archive" are both one `Fingerprint` comparison. With
+//! `self_check` enabled, [`Monitor::run`] proves every epoch four ways
+//! — full and incremental, each at 1 and at N worker threads — and
+//! re-resolves the delta chain at the end. CI runs exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use govscan_analysis::trend::{epoch_point, TrendSeries};
+use govscan_net::TlsClientConfig;
+use govscan_pki::trust::TrustStoreProfile;
+use govscan_pki::Time;
+use govscan_scanner::{
+    plan_rescan, Decision, IncrementalPolicy, IncrementalStats, ListScanner, ScanContext,
+    ScanDataset, ScanRecord,
+};
+use govscan_store::{Delta, Snapshot, StoreError};
+use govscan_worldgen::hosting::provider_table;
+use govscan_worldgen::{EvolveConfig, MonitorPlan, WorldConfig};
+
+/// Everything that can stop a monitor run.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// Archive or delta I/O and validation failures.
+    Store(StoreError),
+    /// A `self_check` invariant did not hold. The message names the
+    /// epoch and the two digests that were supposed to agree.
+    SelfCheck(String),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Store(e) => write!(f, "store: {e}"),
+            MonitorError::SelfCheck(msg) => write!(f, "self-check failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<StoreError> for MonitorError {
+    fn from(e: StoreError) -> MonitorError {
+        MonitorError::Store(e)
+    }
+}
+
+/// One monitored run's shape.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// The base world.
+    pub world: WorldConfig,
+    /// The mutation streams.
+    pub evolve: EvolveConfig,
+    /// Epochs to advance past the baseline (a run covers `0..=epochs`).
+    pub epochs: u32,
+    /// Worker threads for shard-parallel scanning.
+    pub threads: usize,
+    /// When set, write `epoch-0.snap` plus `epoch-<k>.dlt` per epoch
+    /// here, and re-resolve the chain at the end of the run.
+    pub out_dir: Option<PathBuf>,
+    /// Prove every epoch's incremental scan against full rescans at 1
+    /// and at `threads` workers (digest equality), and the delta chain
+    /// against the final archive.
+    pub self_check: bool,
+}
+
+/// The receipt of one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReceipt {
+    /// Epoch index (0 = baseline).
+    pub epoch: u32,
+    /// The epoch's scan time.
+    pub scan_time: Time,
+    /// Hosts in the epoch.
+    pub hosts: u64,
+    /// Hosts probed live (all of them at epoch 0).
+    pub probed: u64,
+    /// Hosts spliced from the previous epoch.
+    pub spliced: u64,
+    /// Full-archive bytes for this epoch.
+    pub archive_bytes: u64,
+    /// Delta bytes against the previous epoch (0 at the baseline).
+    pub delta_bytes: u64,
+    /// Wall-clock seconds for the (incremental) scan.
+    pub scan_seconds: f64,
+    /// The epoch archive's content digest (hex).
+    pub digest: String,
+    /// Selection breakdown (None at the baseline).
+    pub stats: Option<IncrementalStats>,
+}
+
+impl EpochReceipt {
+    /// Fraction of hosts probed live.
+    pub fn probe_fraction(&self) -> f64 {
+        if self.hosts == 0 {
+            0.0
+        } else {
+            self.probed as f64 / self.hosts as f64
+        }
+    }
+}
+
+/// The receipt of a whole run.
+#[derive(Debug, Clone)]
+pub struct MonitorReport {
+    /// Per-epoch receipts, baseline first.
+    pub epochs: Vec<EpochReceipt>,
+    /// The longitudinal trend series over the same epochs.
+    pub trends: TrendSeries,
+}
+
+impl MonitorReport {
+    /// Total bytes of the delta chain (baseline archive + deltas).
+    pub fn chain_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| {
+                if e.epoch == 0 {
+                    e.archive_bytes
+                } else {
+                    e.delta_bytes
+                }
+            })
+            .sum()
+    }
+
+    /// Total bytes of storing every epoch as a full archive instead.
+    pub fn full_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.archive_bytes).sum()
+    }
+
+    /// Mean probe fraction over the steady-state epochs: those past the
+    /// disclosure response window, where no disclosure term inflates
+    /// the probe set. `None` if the run never reaches steady state.
+    pub fn steady_state_probe_fraction(&self, evolve: &EvolveConfig) -> Option<f64> {
+        let first_steady = evolve.disclosure_epoch + evolve.response_window + 1;
+        let steady: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.epoch >= first_steady)
+            .map(|e| e.probe_fraction())
+            .collect();
+        if steady.is_empty() {
+            None
+        } else {
+            Some(steady.iter().sum::<f64>() / steady.len() as f64)
+        }
+    }
+
+    /// One receipt line per epoch.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12}  digest",
+            "epoch", "hosts", "probed", "spliced", "probe %", "archive B", "delta B"
+        );
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>8} {:>8} {:>7.1}% {:>12} {:>12}  {}",
+                e.epoch,
+                e.hosts,
+                e.probed,
+                e.spliced,
+                100.0 * e.probe_fraction(),
+                e.archive_bytes,
+                e.delta_bytes,
+                &e.digest[..12],
+            );
+        }
+        let _ = writeln!(
+            out,
+            "chain: {} bytes for {} epochs vs {} bytes as full archives ({:.1}x smaller)",
+            self.chain_bytes(),
+            self.epochs.len(),
+            self.full_bytes(),
+            self.full_bytes() as f64 / self.chain_bytes().max(1) as f64,
+        );
+        out
+    }
+}
+
+/// Scan every host of `epoch` live, shard-parallel, merged in shard
+/// order — bit-identical at any thread count because each shard is a
+/// pure function of `(config, epoch, shard)` and merge order is fixed.
+pub fn full_epoch_scan(plan: &MonitorPlan, epoch: u32, threads: usize) -> ScanDataset {
+    let sp = plan.plan();
+    let time = plan.epoch_time(epoch);
+    let providers = provider_table();
+    let trust = sp.cadb().trust_store(TrustStoreProfile::Apple);
+    let ev = sp.cadb().ev_registry();
+    let scanner = ListScanner::new(sp.tranco(), time);
+    let shards = govscan_exec::par_map_indexed(threads, sp.shard_count(), |i| {
+        let state = plan.shard_state(epoch, i);
+        let net = plan.realize_all(&state);
+        let hostnames: Vec<String> = state.iter().map(|h| h.record.hostname.clone()).collect();
+        let ctx = ScanContext::new(
+            &net,
+            trust,
+            ev,
+            &providers,
+            time,
+            TlsClientConfig::default(),
+        );
+        scanner.scan_list_with(&ctx, &hostnames)
+    });
+    merge_shards(shards, time)
+}
+
+/// Scan `epoch` incrementally against the previous epoch's dataset:
+/// plan per shard with the module-documented predicate, realize and
+/// probe only the selected hosts, splice the rest. Returns the merged
+/// dataset plus the aggregate selection stats.
+pub fn incremental_epoch_scan(
+    plan: &MonitorPlan,
+    epoch: u32,
+    prev: &ScanDataset,
+    disclosed: &HashSet<String>,
+    threads: usize,
+) -> (ScanDataset, IncrementalStats) {
+    let sp = plan.plan();
+    let time = plan.epoch_time(epoch);
+    let providers = provider_table();
+    let trust = sp.cadb().trust_store(TrustStoreProfile::Apple);
+    let ev = sp.cadb().ev_registry();
+    let scanner = ListScanner::new(sp.tranco(), time);
+    let policy = IncrementalPolicy {
+        horizon_days: plan.evolve().renewal_horizon_days,
+        recently_disclosed: disclosed.clone(),
+    };
+    let shards = govscan_exec::par_map_indexed(threads, sp.shard_count(), |i| {
+        let state = plan.shard_state(epoch, i);
+        let iplan = plan_rescan(
+            &policy,
+            time,
+            state.iter().map(|h| h.record.hostname.as_str()),
+            |name| prev.get(name).cloned(),
+        );
+        let probe_idx: Vec<usize> = iplan
+            .decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, d))| matches!(d, Decision::Probe(_)))
+            .map(|(i, _)| i)
+            .collect();
+        // The CAA relevant set climbs the DNS tree, so a probe measures
+        // its in-population ancestors' published records too: realize
+        // them alongside the probe set (they are not scanned) so the
+        // climb resolves exactly as it would against the full world.
+        let by_name: std::collections::HashMap<&str, usize> = state
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.record.hostname.as_str(), i))
+            .collect();
+        let mut realize_idx = probe_idx.clone();
+        let mut included: HashSet<usize> = probe_idx.iter().copied().collect();
+        for &i in &probe_idx {
+            let mut current = state[i].record.hostname.as_str();
+            while let Some((_, parent)) = current.split_once('.') {
+                if let Some(&pi) = by_name.get(parent) {
+                    if included.insert(pi) {
+                        realize_idx.push(pi);
+                    }
+                }
+                current = parent;
+            }
+        }
+        realize_idx.sort_unstable();
+        let net = plan.realize_subset(&state, &realize_idx);
+        let probe_names: Vec<String> = probe_idx
+            .iter()
+            .map(|&i| state[i].record.hostname.clone())
+            .collect();
+        let ctx = ScanContext::new(
+            &net,
+            trust,
+            ev,
+            &providers,
+            time,
+            TlsClientConfig::default(),
+        );
+        let probed = scanner.scan_list_with(&ctx, &probe_names);
+        let records: Vec<ScanRecord> = iplan
+            .decisions
+            .iter()
+            .map(|(name, d)| match d {
+                Decision::Probe(_) => probed
+                    .get(name)
+                    .expect("every planned probe was scanned")
+                    .clone(),
+                Decision::Splice => prev
+                    .get(name)
+                    .expect("splice implies a prior record")
+                    .clone(),
+            })
+            .collect();
+        (records, iplan.stats)
+    });
+    let mut stats = IncrementalStats::default();
+    let mut records = Vec::new();
+    for (shard_records, s) in shards {
+        stats.total += s.total;
+        stats.probed += s.probed;
+        stats.spliced += s.spliced;
+        stats.new += s.new;
+        stats.prior_broken += s.prior_broken;
+        stats.expiring += s.expiring;
+        stats.disclosed += s.disclosed;
+        stats.ancestor_changed += s.ancestor_changed;
+        records.extend(shard_records);
+    }
+    (ScanDataset::new(records, time), stats)
+}
+
+fn merge_shards(shards: Vec<ScanDataset>, time: Time) -> ScanDataset {
+    let mut records = Vec::new();
+    for ds in shards {
+        records.extend(ds.records().iter().cloned());
+    }
+    ScanDataset::new(records, time)
+}
+
+/// The hosts a disclosure notice goes to, judged from *measured* data:
+/// reachable but not serving valid https. On the evolving world this
+/// coincides with the model's own disclosure set (broken-https and
+/// http-only postures), which the self-check digests prove end-to-end.
+fn disclosure_set(scan: &ScanDataset) -> HashSet<String> {
+    scan.records()
+        .iter()
+        .filter(|r| r.available && !r.https.is_valid())
+        .map(|r| r.hostname.clone())
+        .collect()
+}
+
+/// A monitor run over one evolving world.
+pub struct Monitor {
+    config: MonitorConfig,
+    plan: MonitorPlan,
+}
+
+impl Monitor {
+    /// Plan a run.
+    pub fn new(config: MonitorConfig) -> Monitor {
+        let plan = MonitorPlan::new(&config.world, config.evolve.clone());
+        Monitor { config, plan }
+    }
+
+    /// The underlying epoch-evolution plan.
+    pub fn plan(&self) -> &MonitorPlan {
+        &self.plan
+    }
+
+    fn out_path(&self, epoch: u32) -> Option<PathBuf> {
+        self.config.out_dir.as_ref().map(|d| {
+            if epoch == 0 {
+                d.join("epoch-0.snap")
+            } else {
+                d.join(format!("epoch-{epoch}.dlt"))
+            }
+        })
+    }
+
+    fn check(
+        &self,
+        epoch: u32,
+        arm: &str,
+        got: &Snapshot,
+        want: &Snapshot,
+    ) -> Result<(), MonitorError> {
+        if got.digest() != want.digest() {
+            return Err(MonitorError::SelfCheck(format!(
+                "epoch {epoch}: {arm} digest {} != reference {}",
+                got.digest(),
+                want.digest()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run the baseline plus `epochs` incremental epochs. See the
+    /// module docs for what `self_check` proves.
+    pub fn run(&self) -> Result<MonitorReport, MonitorError> {
+        let cfg = &self.config;
+        let evolve = self.plan.evolve().clone();
+        if let Some(dir) = &cfg.out_dir {
+            std::fs::create_dir_all(dir).map_err(StoreError::from)?;
+        }
+
+        let start = Instant::now();
+        let base = full_epoch_scan(&self.plan, 0, cfg.threads);
+        let base_seconds = start.elapsed().as_secs_f64();
+        let base_bytes = Snapshot::encode(&base)?;
+        let base_len = base_bytes.len() as u64;
+        if let Some(path) = self.out_path(0) {
+            std::fs::write(&path, &base_bytes).map_err(StoreError::from)?;
+        }
+        let mut prev_snap = Snapshot::from_bytes(base_bytes)?;
+        if cfg.self_check && cfg.threads != 1 {
+            let serial =
+                Snapshot::from_bytes(Snapshot::encode(&full_epoch_scan(&self.plan, 0, 1))?)?;
+            self.check(0, "single-thread full scan", &serial, &prev_snap)?;
+        }
+
+        let mut trends = TrendSeries::new();
+        trends.push(epoch_point("epoch 0", &base));
+        let mut receipts = vec![EpochReceipt {
+            epoch: 0,
+            scan_time: self.plan.epoch_time(0),
+            hosts: base.len() as u64,
+            probed: base.len() as u64,
+            spliced: 0,
+            archive_bytes: base_len,
+            delta_bytes: 0,
+            scan_seconds: base_seconds,
+            digest: prev_snap.digest().to_hex(),
+            stats: None,
+        }];
+
+        let mut disclosed = HashSet::new();
+        if evolve.disclosure_epoch == 0 {
+            disclosed = disclosure_set(&base);
+        }
+        let mut prev = base;
+
+        for epoch in 1..=cfg.epochs {
+            let in_window = epoch > evolve.disclosure_epoch
+                && epoch <= evolve.disclosure_epoch + evolve.response_window;
+            let window = if in_window {
+                &disclosed
+            } else {
+                &HashSet::new()
+            };
+
+            let t0 = Instant::now();
+            let (scan, stats) =
+                incremental_epoch_scan(&self.plan, epoch, &prev, window, cfg.threads);
+            let scan_seconds = t0.elapsed().as_secs_f64();
+
+            let full_bytes = Snapshot::encode(&scan)?;
+            let full_len = full_bytes.len() as u64;
+            let delta_bytes = Delta::encode(&prev_snap, &scan)?;
+            if let Some(path) = self.out_path(epoch) {
+                std::fs::write(&path, &delta_bytes).map_err(StoreError::from)?;
+            }
+            let snap = Snapshot::from_bytes(full_bytes)?;
+
+            if cfg.self_check {
+                for threads in [1, cfg.threads.max(2)] {
+                    let full = Snapshot::from_bytes(Snapshot::encode(&full_epoch_scan(
+                        &self.plan, epoch, threads,
+                    ))?)?;
+                    self.check(
+                        epoch,
+                        &format!("full rescan at {threads} threads"),
+                        &full,
+                        &snap,
+                    )?;
+                    let (inc, _) =
+                        incremental_epoch_scan(&self.plan, epoch, &prev, window, threads);
+                    let inc = Snapshot::from_bytes(Snapshot::encode(&inc)?)?;
+                    self.check(
+                        epoch,
+                        &format!("incremental rescan at {threads} threads"),
+                        &inc,
+                        &snap,
+                    )?;
+                }
+                // The delta round-trips through its own apply path.
+                let resolved = Delta::from_bytes(delta_bytes.clone())?.apply(&prev_snap)?;
+                self.check(epoch, "applied delta", &resolved, &snap)?;
+            }
+
+            trends.push(epoch_point(format!("epoch {epoch}"), &scan));
+            receipts.push(EpochReceipt {
+                epoch,
+                scan_time: self.plan.epoch_time(epoch),
+                hosts: scan.len() as u64,
+                probed: stats.probed as u64,
+                spliced: stats.spliced as u64,
+                archive_bytes: full_len,
+                delta_bytes: delta_bytes.len() as u64,
+                scan_seconds,
+                digest: snap.digest().to_hex(),
+                stats: Some(stats),
+            });
+
+            if epoch == evolve.disclosure_epoch {
+                disclosed = disclosure_set(&scan);
+            }
+            prev = scan;
+            prev_snap = snap;
+        }
+
+        // The persisted chain must resolve back to the final epoch.
+        if let Some(dir) = &cfg.out_dir {
+            let deltas: Vec<PathBuf> = (1..=cfg.epochs)
+                .map(|e| dir.join(format!("epoch-{e}.dlt")))
+                .collect();
+            let resolved = Snapshot::open_chain(dir.join("epoch-0.snap"), &deltas)?;
+            self.check(cfg.epochs, "resolved on-disk chain", &resolved, &prev_snap)?;
+        }
+
+        Ok(MonitorReport {
+            epochs: receipts,
+            trends,
+        })
+    }
+}
+
+/// Convenience: run a monitor end to end.
+pub fn run_monitor(config: MonitorConfig) -> Result<MonitorReport, MonitorError> {
+    Monitor::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn config(epochs: u32, out_dir: Option<&Path>) -> MonitorConfig {
+        // A short response window (epochs 2–3) so a 5-epoch run reaches
+        // steady state (epochs 4–5) and exercises all three regimes:
+        // pre-disclosure, in-window, and steady.
+        let mut evolve = EvolveConfig::weekly();
+        evolve.response_window = 2;
+        MonitorConfig {
+            world: WorldConfig::small(0x0CEA11),
+            evolve,
+            epochs,
+            threads: 4,
+            out_dir: out_dir.map(Path::to_path_buf),
+            self_check: true,
+        }
+    }
+
+    #[test]
+    fn five_epochs_self_check_and_chain_resolve() {
+        // The acceptance invariant: incremental ≡ full at 1 and 4
+        // threads for 5 > 4 consecutive epochs, and the on-disk delta
+        // chain resolves to the final archive — all enforced inside
+        // run() when self_check is on.
+        let dir = std::env::temp_dir().join(format!("govscan-monitor-test-{}", std::process::id()));
+        let report = run_monitor(config(5, Some(&dir))).expect("self-checked run");
+        assert_eq!(report.epochs.len(), 6);
+        assert_eq!(report.trends.points.len(), 6);
+        for e in &report.epochs[1..] {
+            assert!(e.probed > 0, "every epoch probes someone");
+            assert!(e.spliced > 0, "every epoch splices most hosts");
+            assert!(
+                e.delta_bytes < e.archive_bytes / 2,
+                "epoch {}: delta ({}) must be much smaller than the archive ({})",
+                e.epoch,
+                e.delta_bytes,
+                e.archive_bytes
+            );
+        }
+        assert!(report.chain_bytes() < report.full_bytes());
+        // Disclosure fires after epoch 1; the window epochs probe the
+        // disclosed set (including http-only hosts that might adopt) on
+        // top of the steady terms, so they are the expensive ones.
+        let stats2 = report.epochs[2].stats.expect("incremental epoch");
+        assert!(stats2.disclosed > 0, "disclosure window must add probes");
+        // Past the window the probe set shrinks back to the always-on
+        // terms: broken, near-expiry, churned — a small minority.
+        let steady = report
+            .steady_state_probe_fraction(&config(5, None).evolve)
+            .expect("epochs 4-5 are steady");
+        assert!(
+            steady <= 0.35,
+            "steady-state probes {:.1}% of hosts — the economy the monitor exists for",
+            100.0 * steady
+        );
+        assert!(
+            steady < report.epochs[2].probe_fraction(),
+            "the disclosure window must cost more than steady state"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_scans_are_pure_functions_of_epoch() {
+        let cfg = config(0, None);
+        let monitor = Monitor::new(cfg);
+        let a = full_epoch_scan(monitor.plan(), 2, 1);
+        let b = full_epoch_scan(monitor.plan(), 2, 4);
+        assert_eq!(
+            Snapshot::digest_of(&a).unwrap(),
+            Snapshot::digest_of(&b).unwrap(),
+            "epoch scans must be thread-count invariant"
+        );
+        assert!(a.len() > 400, "small world is non-trivial");
+    }
+}

@@ -1,0 +1,94 @@
+//! Longitudinal monitor CLI (DESIGN.md §15).
+//!
+//! ```text
+//! monitor --epochs 12 --out-dir chain/            weekly epochs, delta chain
+//! monitor --epochs 4 --self-check                 digest-prove every epoch
+//! monitor --epochs 12 --json                      trend series as JSON
+//! ```
+//!
+//! Runs the baseline full scan plus `--epochs` weekly epochs of the
+//! evolving world, rescanning incrementally and (with `--out-dir`)
+//! writing `epoch-0.snap` + `epoch-<k>.dlt` per epoch. `--self-check`
+//! proves each epoch's incremental scan digest-identical to full
+//! rescans at one and at `GOVSCAN_MONITOR_THREADS` workers, and the
+//! on-disk chain identical to the final archive.
+//!
+//! Honours `GOVSCAN_SCALE`, `GOVSCAN_SEED`, and
+//! `GOVSCAN_MONITOR_THREADS` (then `GOVSCAN_THREADS`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use govscan_monitor::{Monitor, MonitorConfig};
+use govscan_repro::env_params;
+use govscan_worldgen::{EvolveConfig, WorldConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: monitor [--epochs <N>] [--out-dir <dir>] [--self-check] [--json]");
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs: u32 = match flag_value(&args, "--epochs").map(|s| s.parse()) {
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => return usage(),
+        None => 12,
+    };
+    let out_dir = flag_value(&args, "--out-dir").map(PathBuf::from);
+    let self_check = args.iter().any(|a| a == "--self-check");
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+
+    let (seed, scale) = env_params();
+    let threads = govscan_exec::resolve_threads("GOVSCAN_MONITOR_THREADS");
+    let mut world = WorldConfig::paper_scale(seed);
+    world.scale = scale;
+    eprintln!(
+        "[govscan] monitor: seed={seed}, scale={scale}, {epochs} weekly epochs, \
+         {threads} threads{}",
+        if self_check { ", self-check" } else { "" }
+    );
+
+    let monitor = Monitor::new(MonitorConfig {
+        world,
+        evolve: EvolveConfig::weekly(),
+        epochs,
+        threads,
+        out_dir: out_dir.clone(),
+        self_check,
+    });
+    match monitor.run() {
+        Ok(report) => {
+            if json {
+                println!("{}", report.trends.to_json());
+            } else {
+                print!("{}", report.render());
+                print!("{}", report.trends.render());
+            }
+            if let Some(dir) = &out_dir {
+                eprintln!("[govscan] chain written under {}", dir.display());
+            }
+            if self_check {
+                eprintln!(
+                    "[govscan] self-check passed: incremental == full at 1 and \
+                     {threads} threads, chain == final archive"
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("monitor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,10 +7,12 @@
 //!                                            disclosure comparison
 //! snapshot report --from scan.snap           full figure set from a file
 //! snapshot diff before.snap after.snap       migrations + Figure 13 offline
+//! snapshot info chain/epoch-3.dlt            header/meta of any archive or
+//!                                            delta file
 //! ```
 //!
-//! `scan`/`rescan` honour `GOVSCAN_SCALE` / `GOVSCAN_SEED`; `report` and
-//! `diff` never generate a world.
+//! `scan`/`rescan` honour `GOVSCAN_SCALE` / `GOVSCAN_SEED`; `report`,
+//! `diff`, and `info` never generate a world.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,7 +24,8 @@ fn usage() -> ExitCode {
         "usage: snapshot scan --out <path>\n\
          \u{20}      snapshot rescan --out-before <path> --out-after <path>\n\
          \u{20}      snapshot report --from <path>\n\
-         \u{20}      snapshot diff <before> <after>"
+         \u{20}      snapshot diff <before> <after>\n\
+         \u{20}      snapshot info <path>"
     );
     ExitCode::from(2)
 }
@@ -54,6 +57,10 @@ fn main() -> ExitCode {
         Some("report") => match flag_value(&args, "--from") {
             Some(from) => snapshot::report_from(&from),
             None => return usage(),
+        },
+        Some("info") => match args.get(1) {
+            Some(path) if !path.starts_with("--") => snapshot::info_file(&PathBuf::from(path)),
+            _ => return usage(),
         },
         Some("diff") => match (args.get(1), args.get(2)) {
             (Some(b), Some(a)) if !b.starts_with("--") => {

@@ -11,7 +11,7 @@ use std::path::Path;
 
 use govscan_analysis::aggregate::AggregateIndex;
 use govscan_analysis::{choropleth, durations, ev, hsts, issuers, keys, reuse, table2};
-use govscan_store::{diff_snapshot_files, Result, Snapshot};
+use govscan_store::{diff_snapshot_files, Delta, Result, Snapshot, DELTA_MAGIC, MAGIC};
 
 use crate::Env;
 
@@ -125,6 +125,30 @@ pub fn report_from(path: &Path) -> Result<String> {
     let dataset = snap.dataset()?;
     out.push('\n');
     out.push_str(&render_report(&AggregateIndex::build(&dataset)));
+    Ok(out)
+}
+
+/// Describe an archive or delta file without decoding its payload:
+/// format family (by magic), version, counts, sections, digest prefix.
+///
+/// Dispatches on the 8-byte magic so one subcommand answers "what is
+/// this file?" for both `GOVSNAP1` full archives and `GOVDLT1` deltas;
+/// anything else reports the foreign prefix and fails typed.
+pub fn info_file(path: &Path) -> Result<String> {
+    let bytes = std::fs::read(path)?;
+    let mut out = format!("{}:\n", path.display());
+    if bytes.starts_with(&MAGIC) {
+        let snap = Snapshot::from_bytes(bytes)?;
+        out.push_str(&snap.describe()?);
+        out.push_str(&format!("digest: {}\n", snap.digest()));
+    } else if bytes.starts_with(&DELTA_MAGIC) {
+        let delta = Delta::from_bytes(bytes)?;
+        out.push_str(&delta.describe());
+    } else {
+        // Neither family: let the archive parser produce its typed
+        // BadMagic/Truncated error so the CLI fails with the prefix.
+        Snapshot::from_bytes(bytes)?;
+    }
     Ok(out)
 }
 

@@ -16,6 +16,9 @@
 //!    exactly the Table 2 taxonomy.
 //! 6. [`pipeline`] — the end-to-end study driver producing a
 //!    [`dataset::ScanDataset`].
+//! 7. [`incremental`] — rescan planning for the longitudinal monitor:
+//!    probe only hosts whose measurement could have changed since the
+//!    previous epoch, splice the rest forward.
 //!
 //! The scanner dials only the simulated wire ([`govscan_net::SimNet`]);
 //! it never reads generator ground truth. Scan parallelism uses a
@@ -30,6 +33,7 @@ pub mod classify;
 pub mod crawler;
 pub mod dataset;
 pub mod filter;
+pub mod incremental;
 pub mod mturk;
 pub mod pipeline;
 pub mod probe;
@@ -38,5 +42,8 @@ pub mod seeds;
 pub use classify::{CertMeta, ErrorCategory, HttpsStatus};
 pub use dataset::{ScanDataset, ScanRecord};
 pub use filter::GovFilter;
+pub use incremental::{
+    plan_rescan, Decision, IncrementalPlan, IncrementalPolicy, IncrementalStats, SelectReason,
+};
 pub use pipeline::{Discovery, ListScanner, StudyOutput, StudyPipeline};
 pub use probe::{scan_host, scan_hosts, ScanContext};

@@ -14,6 +14,7 @@
 
 use govscan_analysis::choropleth::CountryRow;
 use govscan_analysis::table2::Table2;
+use govscan_analysis::trend::{EpochPoint, TrendSeries};
 use govscan_pki::caa::{CaaRecord, CaaTag};
 use govscan_scanner::classify::CertMeta;
 use govscan_scanner::dataset::HostingKind;
@@ -63,6 +64,11 @@ pub struct SnapshotEntry {
     pub label: String,
     /// Content digest (SHA-256 of the archive bytes), hex.
     pub digest: String,
+    /// Label of the chain this archive belongs to (its own label for a
+    /// standalone archive).
+    pub chain: String,
+    /// Epoch position within the chain (0 = base archive).
+    pub epoch: u32,
     /// Archive size in bytes.
     pub bytes: u64,
     /// Archived scan time (seconds), if recorded.
@@ -88,6 +94,8 @@ impl SnapshotsResponse {
                 Json::object([
                     ("label", Json::from(s.label.as_str())),
                     ("digest", Json::from(s.digest.as_str())),
+                    ("chain", Json::from(s.chain.as_str())),
+                    ("epoch", Json::from(u64::from(s.epoch))),
                     ("bytes", Json::from(s.bytes)),
                     ("scan_time", Json::from(s.scan_time)),
                     ("hosts", Json::from(s.hosts)),
@@ -369,6 +377,83 @@ impl DiffResponse {
             ),
         ])
     }
+}
+
+/// `GET /trends[?chain=]` — the longitudinal trend series over one
+/// registered epoch chain.
+pub struct TrendsResponse {
+    /// Label of the chain the series covers.
+    pub chain: String,
+    /// Per-epoch identity: `(label, digest hex, epoch index)`.
+    pub epochs: Vec<(String, String, u32)>,
+    /// The analysis-layer series, one point per epoch.
+    pub series: TrendSeries,
+}
+
+impl TrendsResponse {
+    /// Lower to JSON. Error counts keep the analysis layer's stable
+    /// Table 2 label keys; country keys are ISO codes in `BTreeMap`
+    /// order, so the shape is deterministic across requests.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("chain", Json::from(self.chain.as_str())),
+            (
+                "epochs",
+                Json::array(self.epochs.iter().map(|(label, digest, epoch)| {
+                    Json::object([
+                        ("label", Json::from(label.as_str())),
+                        ("digest", Json::from(digest.as_str())),
+                        ("epoch", Json::from(u64::from(*epoch))),
+                    ])
+                })),
+            ),
+            (
+                "points",
+                Json::array(self.series.points.iter().map(epoch_point_json)),
+            ),
+        ])
+    }
+}
+
+fn epoch_point_json(p: &EpochPoint) -> Json {
+    Json::object([
+        ("label", Json::from(p.label.as_str())),
+        ("scan_time", Json::from(p.scan_time.map(|t| t.0))),
+        ("hosts", Json::from(p.hosts)),
+        ("available", Json::from(p.available)),
+        ("attempting", Json::from(p.attempting)),
+        ("valid", Json::from(p.valid)),
+        ("validity", Json::from(p.validity())),
+        ("hsts", Json::from(p.hsts)),
+        (
+            "errors",
+            Json::Object(
+                p.errors
+                    .iter()
+                    .map(|(label, n)| ((*label).to_owned(), Json::from(*n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "by_country",
+            Json::Object(
+                p.by_country
+                    .iter()
+                    .map(|(cc, c)| {
+                        (
+                            (*cc).to_owned(),
+                            Json::object([
+                                ("hosts", Json::from(c.hosts)),
+                                ("available", Json::from(c.available)),
+                                ("attempting", Json::from(c.attempting)),
+                                ("valid", Json::from(c.valid)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Any non-200: `{"error": ..., "detail": ...}`.

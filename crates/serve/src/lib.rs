@@ -15,6 +15,7 @@
 //! | `GET /choropleth` | Figure 1's per-country layers |
 //! | `GET /countries/{cc}` | one country's drill-down |
 //! | `GET /diff?from=&to=` | everything that moved between two archives |
+//! | `GET /trends?chain=` | longitudinal series over a delta-chain's epochs |
 //!
 //! Layering, bottom up:
 //!
@@ -40,4 +41,4 @@ pub mod http;
 pub mod json;
 pub mod server;
 
-pub use server::{Archive, ServeState, Server};
+pub use server::{Archive, BrokenChain, ChainSpec, ServeState, Server};

@@ -2,33 +2,40 @@
 //!
 //! ```text
 //! govscan-serve --archive before.snap --archive after.snap --port 7070
+//! govscan-serve --archive epoch-0.snap --delta epoch-1.dlt --delta epoch-2.dlt
 //! govscan-serve --archive before.snap --self-check
 //! ```
 //!
 //! Archives load lazily: startup validates headers and section tables
 //! only, so the daemon is ready in milliseconds even for large
 //! archives. Sections decode (and checksum-verify) on first touch.
+//! `--delta` files chain onto the preceding `--archive`, registering
+//! one addressable epoch each; a chain whose deltas fail to resolve
+//! keeps its healthy prefix serving while requests naming the broken
+//! part answer 400 with the typed store error.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use govscan_serve::http;
 use govscan_serve::json;
+use govscan_serve::server::ChainSpec;
 use govscan_serve::{ServeState, Server};
 
 struct Args {
-    archives: Vec<String>,
+    chains: Vec<ChainSpec>,
     port: u16,
     threads: usize,
     self_check: bool,
 }
 
-const USAGE: &str =
-    "usage: govscan-serve --archive <path>... [--port N] [--threads N] [--self-check]";
+const USAGE: &str = "usage: govscan-serve --archive <path> [--delta <path>...] ... \
+                     [--port N] [--threads N] [--self-check]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        archives: Vec::new(),
+        chains: Vec::new(),
         port: 0,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         self_check: false,
@@ -40,7 +47,21 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
         };
         match flag.as_str() {
-            "--archive" => args.archives.push(value("--archive")?),
+            "--archive" => args.chains.push(ChainSpec {
+                base: PathBuf::from(value("--archive")?),
+                deltas: Vec::new(),
+            }),
+            "--delta" => {
+                let path = PathBuf::from(value("--delta")?);
+                match args.chains.last_mut() {
+                    Some(chain) => chain.deltas.push(path),
+                    None => {
+                        return Err(format!(
+                            "--delta must follow the --archive it chains onto\n{USAGE}"
+                        ))
+                    }
+                }
+            }
             "--port" => {
                 args.port = value("--port")?
                     .parse()
@@ -56,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if args.archives.is_empty() {
+    if args.chains.is_empty() {
         return Err(format!("at least one --archive is required\n{USAGE}"));
     }
     Ok(args)
@@ -70,7 +91,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let state = match ServeState::load(&args.archives) {
+    let state = match ServeState::load_chains(&args.chains) {
         Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("failed to load archives: {e}");
@@ -79,11 +100,19 @@ fn main() -> ExitCode {
     };
     for a in state.archives() {
         eprintln!(
-            "loaded {} ({} hosts, {} certs, digest {})",
+            "loaded {} (chain {} epoch {}, {} hosts, {} certs, digest {})",
             a.label(),
+            a.chain(),
+            a.epoch(),
             a.snapshot().host_count(),
             a.snapshot().cert_count(),
             &a.digest_hex()[..12],
+        );
+    }
+    for b in state.broken() {
+        eprintln!(
+            "warning: chain {} left unresolved at {} — requests naming it will 400",
+            b.chain, b.detail
         );
     }
     let server = match Server::bind(("127.0.0.1", args.port), Arc::clone(&state), args.threads) {
@@ -125,6 +154,7 @@ fn self_check(server: Server, state: &ServeState, addr: std::net::SocketAddr) ->
         "/table2".to_owned(),
         "/table2".to_owned(), // warm hit, served from the report cache
         "/choropleth".to_owned(),
+        format!("/trends?chain={}", first.chain()),
         format!(
             "/diff?from={}&to={}",
             first.label(),

@@ -14,23 +14,48 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use govscan_analysis::aggregate::AggregateIndex;
-use govscan_analysis::{choropleth, table2};
+use govscan_analysis::{choropleth, table2, trend};
 use govscan_exec::WorkerPool;
 use govscan_scanner::ErrorCategory;
-use govscan_store::{diff_datasets, Result, Snapshot, StoreError};
+use govscan_store::{diff_datasets, Delta, Result, Snapshot, StoreError};
 
 use crate::api::{
     ChoroplethResponse, CountryResponse, DiffResponse, ErrorResponse, HostResponse, SnapshotEntry,
-    SnapshotsResponse, Table2Response,
+    SnapshotsResponse, Table2Response, TrendsResponse,
 };
 use crate::http::{Request, Response};
 use crate::json::Json;
+
+/// One `--archive base [--delta d]...` group: a base archive plus an
+/// ordered tail of delta files, each resolving against the epoch before
+/// it (DESIGN.md §15).
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// The full `GOVSNAP1` archive anchoring the chain (epoch 0).
+    pub base: PathBuf,
+    /// `GOVDLT1` files for epochs 1.., in order.
+    pub deltas: Vec<PathBuf>,
+}
+
+/// A delta chain that failed to resolve at load time. The daemon keeps
+/// serving its healthy archives; requests that select the broken chain
+/// (or any of its unresolved epoch labels) get a 400 carrying the
+/// store's typed error text instead of a crash or a silent 404.
+#[derive(Debug, Clone)]
+pub struct BrokenChain {
+    /// Label of the chain's base archive.
+    pub chain: String,
+    /// Labels (file stems) of the delta files left unresolved.
+    pub labels: Vec<String>,
+    /// The failing epoch and the `StoreError` that stopped resolution.
+    pub detail: String,
+}
 
 /// One loaded archive: the lazy snapshot plus a memoised aggregate
 /// index. The index (not the full `ScanDataset`) backs every report
@@ -39,6 +64,8 @@ use crate::json::Json;
 pub struct Archive {
     label: String,
     digest_hex: String,
+    chain: String,
+    epoch: u32,
     snap: Snapshot,
     index: OnceLock<std::result::Result<Arc<AggregateIndex>, StoreError>>,
 }
@@ -52,6 +79,17 @@ impl Archive {
     /// Content digest of the archive bytes, hex.
     pub fn digest_hex(&self) -> &str {
         &self.digest_hex
+    }
+
+    /// Label of the chain this archive belongs to (its own label for a
+    /// standalone archive).
+    pub fn chain(&self) -> &str {
+        &self.chain
+    }
+
+    /// Epoch position within the chain (0 = the base archive).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// The underlying lazy snapshot.
@@ -74,37 +112,98 @@ impl Archive {
 /// Everything the router needs, independent of any socket.
 pub struct ServeState {
     archives: Vec<Archive>,
+    broken: Vec<BrokenChain>,
     cache: Mutex<HashMap<String, Arc<String>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
 
+/// File stem of `path`, the default label basis.
+fn stem_of(path: &Path) -> String {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("snapshot")
+        .to_owned()
+}
+
+/// Labels default to the file stem; a stem that collides with an
+/// earlier archive gets `@<digest prefix>` appended so every label
+/// stays addressable.
+fn unique_label(archives: &[Archive], stem: String, digest_hex: &str) -> String {
+    if archives.iter().any(|a| a.label == stem) {
+        format!("{stem}@{}", &digest_hex[..8])
+    } else {
+        stem
+    }
+}
+
 impl ServeState {
-    /// Open each path as a lazy snapshot. Labels default to the file
-    /// stem; a stem that collides with an earlier archive gets
-    /// `@<digest prefix>` appended so every label stays addressable.
+    /// Open each path as a standalone lazy snapshot (a chain with no
+    /// deltas).
     pub fn load(paths: &[impl AsRef<Path>]) -> Result<ServeState> {
-        let mut archives: Vec<Archive> = Vec::with_capacity(paths.len());
-        for path in paths {
-            let path = path.as_ref();
-            let snap = Snapshot::open(path)?;
+        let specs: Vec<ChainSpec> = paths
+            .iter()
+            .map(|p| ChainSpec {
+                base: p.as_ref().to_path_buf(),
+                deltas: Vec::new(),
+            })
+            .collect();
+        Self::load_chains(&specs)
+    }
+
+    /// Open each chain: the base archive lazily, then each delta
+    /// resolved in epoch order against the snapshot before it. Every
+    /// resolved epoch registers as an addressable archive.
+    ///
+    /// A base that fails to open is a startup error — there is nothing
+    /// to serve in its place. A delta that fails (corrupt file, wrong
+    /// base digest, truncation) does **not** abort startup: the chain's
+    /// resolved prefix keeps serving, and the failure is recorded as a
+    /// [`BrokenChain`] so requests naming the chain or an unresolved
+    /// epoch get a 400 with the typed store error in the body.
+    pub fn load_chains(specs: &[ChainSpec]) -> Result<ServeState> {
+        let mut archives: Vec<Archive> = Vec::new();
+        let mut broken: Vec<BrokenChain> = Vec::new();
+        for spec in specs {
+            let snap = Snapshot::open(&spec.base)?;
             let digest_hex = snap.digest().to_hex();
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or("snapshot")
-                .to_owned();
-            let label = if archives.iter().any(|a| a.label == stem) {
-                format!("{stem}@{}", &digest_hex[..8])
-            } else {
-                stem
-            };
+            let label = unique_label(&archives, stem_of(&spec.base), &digest_hex);
+            let chain = label.clone();
             archives.push(Archive {
                 label,
                 digest_hex,
+                chain: chain.clone(),
+                epoch: 0,
                 snap,
                 index: OnceLock::new(),
             });
+            for (i, path) in spec.deltas.iter().enumerate() {
+                let epoch = i as u32 + 1;
+                let resolved =
+                    Delta::open(path).and_then(|d| d.apply(&archives[archives.len() - 1].snap));
+                match resolved {
+                    Ok(snap) => {
+                        let digest_hex = snap.digest().to_hex();
+                        let label = unique_label(&archives, stem_of(path), &digest_hex);
+                        archives.push(Archive {
+                            label,
+                            digest_hex,
+                            chain: chain.clone(),
+                            epoch,
+                            snap,
+                            index: OnceLock::new(),
+                        });
+                    }
+                    Err(e) => {
+                        broken.push(BrokenChain {
+                            chain: chain.clone(),
+                            labels: spec.deltas[i..].iter().map(|p| stem_of(p)).collect(),
+                            detail: format!("epoch {epoch} ({}): {e}", path.display()),
+                        });
+                        break;
+                    }
+                }
+            }
         }
         if archives.is_empty() {
             return Err(StoreError::Corrupt {
@@ -114,15 +213,22 @@ impl ServeState {
         }
         Ok(ServeState {
             archives,
+            broken,
             cache: Mutex::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         })
     }
 
-    /// The loaded archives, in load order.
+    /// The loaded archives, in load order (chains stay contiguous, in
+    /// epoch order).
     pub fn archives(&self) -> &[Archive] {
         &self.archives
+    }
+
+    /// Chains whose delta tails failed to resolve at load time.
+    pub fn broken(&self) -> &[BrokenChain] {
+        &self.broken
     }
 
     /// `(hits, misses)` of the rendered-report cache so far.
@@ -154,12 +260,25 @@ impl ServeState {
                 "ambiguous_snapshot",
                 format!("digest prefix {sel:?} matches more than one archive"),
             )),
-            _ => Err(error(
-                404,
-                "unknown_snapshot",
-                format!("no archive labelled {sel:?} or with that digest prefix"),
-            )),
+            _ => {
+                if let Some(b) = self.broken_by_label(sel) {
+                    return Err(malformed_chain(b));
+                }
+                Err(error(
+                    404,
+                    "unknown_snapshot",
+                    format!("no archive labelled {sel:?} or with that digest prefix"),
+                ))
+            }
         }
+    }
+
+    /// The broken-chain record owning `sel`, if `sel` names a chain
+    /// whose tail failed to resolve or one of its unresolved epochs.
+    fn broken_by_label(&self, sel: &str) -> Option<&BrokenChain> {
+        self.broken
+            .iter()
+            .find(|b| b.chain == sel || b.labels.iter().any(|l| l == sel))
     }
 
     /// Fetch from the report cache, rendering on miss. Keys embed the
@@ -201,6 +320,7 @@ impl ServeState {
             "/table2" => self.table2(req),
             "/choropleth" => self.choropleth(req),
             "/diff" => self.diff(req),
+            "/trends" => self.trends(req),
             path => {
                 if let Some(name) = path.strip_prefix("/hosts/").filter(|n| !n.is_empty()) {
                     self.host(req, name)
@@ -221,6 +341,8 @@ impl ServeState {
             .map(|a| SnapshotEntry {
                 label: a.label.clone(),
                 digest: a.digest_hex.clone(),
+                chain: a.chain.clone(),
+                epoch: a.epoch,
                 bytes: a.snap.size_bytes(),
                 scan_time: a.snap.scan_time().map(|t| t.0),
                 hosts: a.snap.host_count(),
@@ -349,6 +471,60 @@ impl ServeState {
         })
     }
 
+    /// `GET /trends[?chain=]` — the longitudinal trend series over one
+    /// registered epoch chain. `?chain=` accepts the chain's label or
+    /// any member epoch's label; no parameter selects the first chain.
+    /// A chain whose delta tail failed to resolve answers 400 with the
+    /// store's typed error — a truncated year of data served silently
+    /// as complete would be worse than no answer.
+    fn trends(&self, req: &Request) -> Response {
+        let chain = match req.query_param("chain") {
+            None => self.archives[0].chain.clone(),
+            Some(sel) => {
+                if let Some(a) = self
+                    .archives
+                    .iter()
+                    .find(|a| a.chain == sel || a.label == sel)
+                {
+                    a.chain.clone()
+                } else if let Some(b) = self.broken_by_label(sel) {
+                    return malformed_chain(b);
+                } else {
+                    return error(
+                        404,
+                        "unknown_chain",
+                        format!("no chain or epoch labelled {sel:?}"),
+                    );
+                }
+            }
+        };
+        if let Some(b) = self.broken.iter().find(|b| b.chain == chain) {
+            return malformed_chain(b);
+        }
+        let members: Vec<&Archive> = self.archives.iter().filter(|a| a.chain == chain).collect();
+        let key = members.iter().fold(String::from("trends"), |mut k, a| {
+            k.push(':');
+            k.push_str(&a.digest_hex);
+            k
+        });
+        self.cached(key, || {
+            let mut series = trend::TrendSeries::new();
+            for a in &members {
+                let dataset = a.snap.dataset().map_err(|e| store_error(&e))?;
+                series.push(trend::epoch_point(a.label.clone(), &dataset));
+            }
+            Ok(TrendsResponse {
+                chain: chain.clone(),
+                epochs: members
+                    .iter()
+                    .map(|a| (a.label.clone(), a.digest_hex.clone(), a.epoch))
+                    .collect(),
+                series,
+            }
+            .to_json())
+        })
+    }
+
     fn diff(&self, req: &Request) -> Response {
         let (Some(from_sel), Some(to_sel)) = (req.query_param("from"), req.query_param("to"))
         else {
@@ -399,6 +575,15 @@ fn error(status: u16, kind: &'static str, detail: String) -> Response {
 /// time, so this means on-disk corruption discovered by a lazy checksum.
 fn store_error(e: &StoreError) -> Response {
     error(500, "store_error", e.to_string())
+}
+
+/// 400 for a request naming a chain whose deltas failed to resolve.
+fn malformed_chain(b: &BrokenChain) -> Response {
+    error(
+        400,
+        "malformed_chain",
+        format!("chain {:?} failed to resolve at {}", b.chain, b.detail),
+    )
 }
 
 /// Default per-socket I/O timeout: generous for a local JSON API, small

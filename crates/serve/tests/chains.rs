@@ -1,0 +1,195 @@
+//! Delta-chain registration: `--archive base --delta e1 --delta e2`
+//! resolves each epoch into an addressable archive, `/trends` serves
+//! the longitudinal series over the chain, and a malformed chain
+//! answers 400 with the typed store error while its healthy prefix
+//! keeps serving.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use govscan_pki::Time;
+use govscan_scanner::{ScanDataset, StudyPipeline};
+use govscan_serve::http::{Request, Response};
+use govscan_serve::{json, ChainSpec, ServeState};
+use govscan_store::{Delta, Snapshot};
+use govscan_worldgen::{World, WorldConfig};
+
+const EPOCHS: usize = 3;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("govscan-serve-chain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A small deterministic world evolved by hand: each epoch toggles HSTS
+/// on a stride of hosts and advances the scan clock a week.
+fn evolve(prev: &ScanDataset, step: usize) -> ScanDataset {
+    let mut records: Vec<_> = prev.records().to_vec();
+    for (i, r) in records.iter_mut().enumerate() {
+        if i % (7 + step) == 0 && r.https.is_valid() {
+            r.hsts = !r.hsts;
+        }
+    }
+    let time = prev.scan_time.map_or(0, |t| t.0) + 7 * 86_400;
+    ScanDataset::new(records, Time(time))
+}
+
+/// `(base path, delta paths, per-epoch datasets)`, written once.
+fn chain() -> &'static (PathBuf, Vec<PathBuf>, Vec<ScanDataset>) {
+    static CHAIN: OnceLock<(PathBuf, Vec<PathBuf>, Vec<ScanDataset>)> = OnceLock::new();
+    CHAIN.get_or_init(|| {
+        let dir = temp_dir();
+        let world = World::generate(&WorldConfig::small(0xC4A1));
+        let mut datasets = vec![StudyPipeline::new(&world).run().scan];
+        let base = dir.join("epoch-0.snap");
+        Snapshot::write_file(&base, &datasets[0]).expect("write base");
+        let mut deltas = Vec::new();
+        for k in 1..=EPOCHS {
+            let next = evolve(&datasets[k - 1], k);
+            let prev_snap =
+                Snapshot::from_bytes(Snapshot::encode(&datasets[k - 1]).expect("encode prev"))
+                    .expect("reopen prev");
+            let path = dir.join(format!("epoch-{k}.dlt"));
+            Delta::write_file(&path, &prev_snap, &next).expect("write delta");
+            deltas.push(path);
+            datasets.push(next);
+        }
+        (base, deltas, datasets)
+    })
+}
+
+fn get(state: &ServeState, path: &str) -> Response {
+    let req = Request::parse_request_line(&format!("GET {path} HTTP/1.1")).expect("request line");
+    state.respond(&req)
+}
+
+#[test]
+fn chain_epochs_resolve_and_register_as_archives() {
+    let (base, deltas, datasets) = chain();
+    let state = ServeState::load_chains(&[ChainSpec {
+        base: base.clone(),
+        deltas: deltas.clone(),
+    }])
+    .expect("load chain");
+    assert!(state.broken().is_empty());
+    assert_eq!(state.archives().len(), EPOCHS + 1);
+    for (k, archive) in state.archives().iter().enumerate() {
+        assert_eq!(archive.epoch(), k as u32);
+        assert_eq!(archive.chain(), "epoch-0");
+        // Each resolved epoch is byte-identical to encoding the epoch's
+        // dataset directly — the chain stores less but answers the same.
+        assert_eq!(
+            archive.snapshot().digest().to_hex(),
+            Snapshot::digest_of(&datasets[k]).expect("digest").to_hex(),
+        );
+    }
+    // Every epoch is addressable by its file-stem label.
+    let resp = get(&state, "/table2?snapshot=epoch-2");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+}
+
+#[test]
+fn trends_serves_the_series_over_the_chain() {
+    let (base, deltas, datasets) = chain();
+    let state = ServeState::load_chains(&[ChainSpec {
+        base: base.clone(),
+        deltas: deltas.clone(),
+    }])
+    .expect("load chain");
+    let resp = get(&state, "/trends");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = json::parse(&resp.body).expect("valid json");
+    let body = &resp.body;
+    assert!(body.contains("\"chain\":\"epoch-0\""), "{body}");
+    for k in 0..=EPOCHS {
+        assert!(body.contains(&format!("\"label\":\"epoch-{k}\"")), "{body}");
+    }
+    assert!(
+        body.contains(&format!("\"hosts\":{}", datasets[0].len())),
+        "{body}"
+    );
+    drop(parsed);
+    // Selecting by a member epoch's label reaches the same chain, and
+    // the second request is served from the digest-keyed cache.
+    let by_member = get(&state, "/trends?chain=epoch-2");
+    assert_eq!(by_member.status, 200);
+    assert_eq!(by_member.body, resp.body);
+    let (hits, _) = state.cache_stats();
+    assert!(hits > 0, "repeat /trends must hit the report cache");
+    // An unknown chain is a 404, not a 400.
+    assert_eq!(get(&state, "/trends?chain=nope").status, 404);
+}
+
+#[test]
+fn malformed_chains_answer_400_with_the_typed_error() {
+    let (base, deltas, _) = chain();
+    let dir = temp_dir();
+    // Corrupt epoch 2's delta mid-file: the chain's prefix (base +
+    // epoch 1) must keep serving while epochs 2.. answer 400.
+    let mut bytes = std::fs::read(&deltas[1]).expect("read delta");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let bad = dir.join("epoch-2-bad.dlt");
+    std::fs::write(&bad, &bytes).expect("write corrupt delta");
+    let state = ServeState::load_chains(&[ChainSpec {
+        base: base.clone(),
+        deltas: vec![deltas[0].clone(), bad, deltas[2].clone()],
+    }])
+    .expect("load: a broken tail must not abort startup");
+
+    assert_eq!(state.archives().len(), 2, "base + epoch 1 resolved");
+    assert_eq!(state.broken().len(), 1);
+    let broken = &state.broken()[0];
+    assert_eq!(broken.chain, "epoch-0");
+    assert_eq!(broken.labels, vec!["epoch-2-bad", "epoch-3"]);
+    assert!(broken.detail.contains("epoch 2"), "{}", broken.detail);
+
+    // The healthy prefix still serves.
+    assert_eq!(get(&state, "/table2?snapshot=epoch-1").status, 200);
+    // Trends over the broken chain: 400, typed, with the store error.
+    for path in [
+        "/trends",
+        "/trends?chain=epoch-0",
+        "/trends?chain=epoch-2-bad",
+        "/trends?chain=epoch-3",
+        "/table2?snapshot=epoch-3",
+    ] {
+        let resp = get(&state, path);
+        assert_eq!(resp.status, 400, "{path}: {}", resp.body);
+        assert!(
+            resp.body.contains("\"error\":\"malformed_chain\""),
+            "{path}: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("epoch 2"), "{path}: {}", resp.body);
+        json::parse(&resp.body).expect("error body is valid json");
+    }
+}
+
+#[test]
+fn a_delta_against_the_wrong_base_is_a_broken_chain() {
+    let (base, _, datasets) = chain();
+    let dir = temp_dir();
+    // A structurally valid delta whose base digest names a different
+    // archive: dangling, so resolution must stop with the typed
+    // mismatch rather than splice records onto the wrong epoch.
+    let other =
+        Snapshot::from_bytes(Snapshot::encode(&datasets[2]).expect("encode")).expect("snapshot");
+    let dangling = dir.join("dangling.dlt");
+    Delta::write_file(&dangling, &other, &datasets[3]).expect("write delta");
+    let state = ServeState::load_chains(&[ChainSpec {
+        base: base.clone(),
+        deltas: vec![dangling],
+    }])
+    .expect("load");
+    assert_eq!(state.archives().len(), 1);
+    assert_eq!(state.broken().len(), 1);
+    let resp = get(&state, "/trends");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"error\":\"malformed_chain\""),
+        "{}",
+        resp.body
+    );
+}

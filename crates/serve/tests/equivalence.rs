@@ -203,6 +203,8 @@ fn snapshots_matches_eager() {
             SnapshotEntry {
                 label: path.file_stem().unwrap().to_str().unwrap().to_owned(),
                 digest: digest_hex(&reader.dataset().expect("decode")),
+                chain: path.file_stem().unwrap().to_str().unwrap().to_owned(),
+                epoch: 0,
                 bytes: bytes.len() as u64,
                 scan_time: reader.scan_time().map(|t| t.0),
                 hosts: reader.host_count(),

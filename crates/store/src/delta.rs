@@ -1,0 +1,582 @@
+//! `GOVDLT1` delta snapshots: one epoch's changes against a base
+//! archive, plus chain resolution back to a full [`Snapshot`].
+//!
+//! A year of weekly scans over a slowly-evolving world is mostly
+//! repetition — a steady-state epoch changes a few percent of hosts.
+//! Archiving 52 full `GOVSNAP1` files stores the unchanged 95+% fifty-two
+//! times; a delta stores it never:
+//!
+//! ```text
+//! header    (24 bytes)  magic "GOVDLT1\0" · version u32 · reserved u32 ·
+//!                       section-table offset u64
+//! meta      (65 bytes)  base archive SHA-256 · scan time ·
+//!                       new-archive host count · patch count · removed count
+//! removed               length-prefixed hostnames dropped from the base,
+//!                       in base archive order
+//! positions             u32 × patch count: each patch record's index in
+//!                       the NEW archive, strictly ascending
+//! patch                 a complete embedded GOVSNAP1 archive holding the
+//!                       changed + added records (own pools, own checksums)
+//! table                 per section: id · offset · length · FNV-1a64
+//! ```
+//!
+//! The design leans on two existing invariants instead of inventing new
+//! machinery:
+//!
+//! * **Canonical encoding** — the same dataset always encodes to the
+//!   same bytes, so [`Snapshot::digest`] identifies an *epoch*, not a
+//!   file. A delta names its base by digest and [`Delta::apply`] refuses
+//!   anything else; a resolved chain's digest can be compared directly
+//!   against a full rescan's archive (the monitor's `--self-check` does
+//!   exactly that).
+//! * **The patch is itself a snapshot** — changed records ride in an
+//!   embedded `GOVSNAP1`, so the delta reuses the host-record codec,
+//!   interning, and per-section checksums wholesale rather than
+//!   duplicating a second record format.
+//!
+//! Application is a positional merge: walk the new archive's indices,
+//! taking patch records at their stored positions and carried-forward
+//! base records (minus removed and superseded ones) in base order
+//! everywhere else. That requires unchanged records to keep their
+//! relative order between epochs — true for the monitor's evolution
+//! model, and checked at encode time ([`StoreError::Unrepresentable`]
+//! otherwise).
+
+use std::collections::{HashMap, HashSet};
+use std::io::Cursor;
+use std::path::Path;
+
+use govscan_crypto::Fingerprint;
+use govscan_pki::Time;
+use govscan_scanner::ScanDataset;
+
+use crate::error::{Result, StoreError};
+use crate::lazy::Snapshot;
+use crate::snapshot::{assemble_dataset, Section, SnapshotWriter};
+use crate::wire::{Checksum, Decoder, Encoder};
+
+/// File magic: the first eight bytes of every govscan delta.
+pub const DELTA_MAGIC: [u8; 8] = *b"GOVDLT1\0";
+
+/// Current delta format version.
+pub const DELTA_VERSION: u32 = 1;
+
+/// Meta payload size: digest + time flag/value + three counts.
+const META_LEN: u64 = 32 + 1 + 8 + 8 + 8 + 8;
+
+/// Delta section identifiers (a separate id space from `GOVSNAP1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+enum DeltaSectionId {
+    Meta = 1,
+    Removed = 2,
+    Positions = 3,
+    Patch = 4,
+}
+
+impl DeltaSectionId {
+    fn name(self) -> &'static str {
+        match self {
+            DeltaSectionId::Meta => "delta meta",
+            DeltaSectionId::Removed => "removed",
+            DeltaSectionId::Positions => "positions",
+            DeltaSectionId::Patch => "patch",
+        }
+    }
+}
+
+/// A parsed (but not yet applied) delta file.
+///
+/// Construction ([`Delta::from_bytes`] / [`Delta::open`]) validates the
+/// header, section table, and meta section — the same cheap-open
+/// contract as [`Snapshot`]; the removed/positions/patch payloads are
+/// checksum-verified when [`Delta::apply`] touches them.
+pub struct Delta {
+    bytes: Vec<u8>,
+    version: u32,
+    base_digest: Fingerprint,
+    scan_time: Option<Time>,
+    new_host_count: u64,
+    patch_count: u64,
+    removed_count: u64,
+    sections: Vec<Section>,
+}
+
+impl Delta {
+    // --- Construction (read side).
+
+    /// Parse `bytes` as a delta, validating header, table, and meta.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Delta> {
+        if bytes.len() < DELTA_MAGIC.len() || bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+            if bytes.len() >= DELTA_MAGIC.len() {
+                return Err(StoreError::BadMagic {
+                    found: bytes[..DELTA_MAGIC.len()].to_vec(),
+                });
+            }
+            // Too short to even hold the magic: an empty or chopped file.
+            if bytes.is_empty() || !DELTA_MAGIC.starts_with(&bytes) {
+                return Err(StoreError::BadMagic {
+                    found: bytes.to_vec(),
+                });
+            }
+            return Err(StoreError::Truncated { context: "header" });
+        }
+        let mut header = Decoder::new(&bytes, "header");
+        header.bytes(DELTA_MAGIC.len())?;
+        let version = header.u32()?;
+        if version != DELTA_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let _reserved = header.u32()?;
+        let table_offset = header.u64()?;
+        let table_bytes = usize::try_from(table_offset)
+            .ok()
+            .and_then(|o| bytes.get(o..))
+            .ok_or(StoreError::Truncated {
+                context: "section table",
+            })?;
+        let mut table = Decoder::new(table_bytes, "section table");
+        let count = table.u32()?;
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = table.u32()?;
+            let offset = table.u64()?;
+            let len = table.u64()?;
+            let checksum = table.u64()?;
+            let name = match id {
+                x if x == DeltaSectionId::Meta as u32 => DeltaSectionId::Meta.name(),
+                x if x == DeltaSectionId::Removed as u32 => DeltaSectionId::Removed.name(),
+                x if x == DeltaSectionId::Positions as u32 => DeltaSectionId::Positions.name(),
+                x if x == DeltaSectionId::Patch as u32 => DeltaSectionId::Patch.name(),
+                _ => "unknown",
+            };
+            sections.push(Section {
+                id,
+                name,
+                offset,
+                len,
+                checksum,
+            });
+        }
+
+        let mut delta = Delta {
+            bytes,
+            version,
+            base_digest: Fingerprint([0; 32]),
+            scan_time: None,
+            new_host_count: 0,
+            patch_count: 0,
+            removed_count: 0,
+            sections,
+        };
+        let meta_payload = delta.verified_payload(DeltaSectionId::Meta)?;
+        if meta_payload.len() as u64 != META_LEN {
+            return Err(StoreError::Corrupt {
+                context: "delta meta",
+                detail: format!("{} bytes, expected {META_LEN}", meta_payload.len()),
+            });
+        }
+        let mut meta = Decoder::new(meta_payload, "delta meta");
+        let base_digest = Fingerprint::from_digest(meta.bytes(32)?);
+        let has_time = meta.u8()?;
+        let time = meta.i64()?;
+        let scan_time = (has_time != 0).then_some(Time(time));
+        let new_host_count = meta.u64()?;
+        let patch_count = meta.u64()?;
+        let removed_count = meta.u64()?;
+        meta.finish()?;
+        delta.base_digest = base_digest;
+        delta.scan_time = scan_time;
+        delta.new_host_count = new_host_count;
+        delta.patch_count = patch_count;
+        delta.removed_count = removed_count;
+
+        // Cross-validate the fixed-width positions section.
+        let positions = delta.section(DeltaSectionId::Positions)?;
+        if positions.len != delta.patch_count * 4 {
+            return Err(StoreError::Corrupt {
+                context: "positions",
+                detail: format!(
+                    "{} bytes for {} patch records",
+                    positions.len, delta.patch_count
+                ),
+            });
+        }
+        Ok(delta)
+    }
+
+    /// Read and parse a delta file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Delta> {
+        Delta::from_bytes(std::fs::read(path)?)
+    }
+
+    // --- Construction (write side).
+
+    /// Encode the delta that carries `base` forward to `new`.
+    ///
+    /// Records are matched by hostname: records absent from `new` are
+    /// recorded as removed; records that are new or compare unequal
+    /// ([`govscan_scanner::ScanRecord`] equality) go into the embedded
+    /// patch archive with their position in `new`; everything else is
+    /// carried implicitly. Unchanged records must keep their relative
+    /// base order in `new` — the positional merge cannot express a
+    /// reordering ([`StoreError::Unrepresentable`]).
+    pub fn encode(base: &Snapshot, new: &ScanDataset) -> Result<Vec<u8>> {
+        let base_ds = base.dataset()?;
+        let base_order: HashMap<&str, usize> = base_ds
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.hostname.as_str(), i))
+            .collect();
+        let new_records = new.records();
+        let new_names: HashSet<&str> = new_records.iter().map(|r| r.hostname.as_str()).collect();
+
+        let removed: Vec<&str> = base_ds
+            .records()
+            .iter()
+            .filter(|r| !new_names.contains(r.hostname.as_str()))
+            .map(|r| r.hostname.as_str())
+            .collect();
+
+        let mut positions: Vec<u32> = Vec::new();
+        let mut patch = SnapshotWriter::new(Cursor::new(Vec::new()), new.scan_time)?;
+        let mut last_carried: Option<usize> = None;
+        for (pos, r) in new_records.iter().enumerate() {
+            match base_ds.get(&r.hostname) {
+                Some(prev) if prev == r => {
+                    let idx = base_order[r.hostname.as_str()];
+                    if last_carried.is_some_and(|last| idx < last) {
+                        return Err(StoreError::Unrepresentable {
+                            field: "unchanged-record order",
+                        });
+                    }
+                    last_carried = Some(idx);
+                }
+                _ => {
+                    let pos = u32::try_from(pos).map_err(|_| StoreError::Unrepresentable {
+                        field: "patch position",
+                    })?;
+                    positions.push(pos);
+                    patch.add(r)?;
+                }
+            }
+        }
+        let patch_bytes = patch.finish()?.into_inner();
+
+        let mut meta = Encoder::new();
+        meta.bytes(base.digest().as_bytes());
+        match new.scan_time {
+            Some(t) => {
+                meta.u8(1);
+                meta.i64(t.0);
+            }
+            None => {
+                meta.u8(0);
+                meta.i64(0);
+            }
+        }
+        meta.u64(new_records.len() as u64);
+        meta.u64(positions.len() as u64);
+        meta.u64(removed.len() as u64);
+
+        let mut removed_enc = Encoder::new();
+        for name in &removed {
+            removed_enc.u32(name.len() as u32);
+            removed_enc.bytes(name.as_bytes());
+        }
+        let mut positions_enc = Encoder::new();
+        for p in &positions {
+            positions_enc.u32(*p);
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&DELTA_MAGIC);
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // table offset, patched below
+
+        let payloads: [(DeltaSectionId, &[u8]); 4] = [
+            (DeltaSectionId::Meta, meta.as_bytes()),
+            (DeltaSectionId::Removed, removed_enc.as_bytes()),
+            (DeltaSectionId::Positions, positions_enc.as_bytes()),
+            (DeltaSectionId::Patch, &patch_bytes),
+        ];
+        let mut table: Vec<(u32, u64, u64, u64)> = Vec::with_capacity(payloads.len());
+        for (id, payload) in payloads {
+            table.push((
+                id as u32,
+                out.len() as u64,
+                payload.len() as u64,
+                Checksum::of(payload),
+            ));
+            out.extend_from_slice(payload);
+        }
+        let table_offset = out.len() as u64;
+        let mut t = Encoder::new();
+        t.u32(table.len() as u32);
+        for (id, offset, len, checksum) in table {
+            t.u32(id);
+            t.u64(offset);
+            t.u64(len);
+            t.u64(checksum);
+        }
+        out.extend_from_slice(t.as_bytes());
+        out[16..24].copy_from_slice(&table_offset.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Write the delta from `base` to `new` at `path`; returns its size.
+    pub fn write_file(path: impl AsRef<Path>, base: &Snapshot, new: &ScanDataset) -> Result<u64> {
+        let bytes = Delta::encode(base, new)?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    // --- Header-level accessors.
+
+    /// Format version of the file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Digest of the exact base archive this delta applies to.
+    pub fn base_digest(&self) -> Fingerprint {
+        self.base_digest
+    }
+
+    /// Scan time of the epoch this delta produces.
+    pub fn scan_time(&self) -> Option<Time> {
+        self.scan_time
+    }
+
+    /// Host count of the archive this delta resolves to.
+    pub fn new_host_count(&self) -> u64 {
+        self.new_host_count
+    }
+
+    /// Changed + added records carried in the patch.
+    pub fn patch_count(&self) -> u64 {
+        self.patch_count
+    }
+
+    /// Base records dropped by this delta.
+    pub fn removed_count(&self) -> u64 {
+        self.removed_count
+    }
+
+    /// The validated section table.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Total delta size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    // --- Application.
+
+    /// Resolve this delta against `base` into the full next-epoch
+    /// [`Snapshot`].
+    ///
+    /// `base` must be the exact archive the delta was encoded against
+    /// (by content digest); anything else is a dangling chain and fails
+    /// with [`StoreError::Corrupt`] naming both digests. The result is
+    /// re-encoded canonically, so its digest equals the digest of a full
+    /// archive of the same epoch.
+    pub fn apply(&self, base: &Snapshot) -> Result<Snapshot> {
+        if base.digest() != self.base_digest {
+            return Err(StoreError::Corrupt {
+                context: "delta base",
+                detail: format!(
+                    "delta applies to base {} but was given {}",
+                    self.base_digest, // Display prints full hex
+                    base.digest()
+                ),
+            });
+        }
+        let removed = self.removed()?;
+        let positions = self.positions()?;
+        let patch = self.patch()?.dataset()?;
+        if patch.len() as u64 != self.patch_count {
+            return Err(StoreError::Corrupt {
+                context: "patch",
+                detail: format!(
+                    "embedded archive holds {} records, meta promises {}",
+                    patch.len(),
+                    self.patch_count
+                ),
+            });
+        }
+
+        let base_ds = base.dataset()?;
+        let mut skip: HashSet<&str> = HashSet::with_capacity(removed.len() + patch.len());
+        for name in &removed {
+            if base_ds.get(name).is_none() {
+                return Err(StoreError::Corrupt {
+                    context: "removed",
+                    detail: format!("removed host {name} is not in the base archive"),
+                });
+            }
+            skip.insert(name.as_str());
+        }
+        let patch_records = patch.records();
+        for r in patch_records {
+            if base_ds.get(&r.hostname).is_some() {
+                skip.insert(r.hostname.as_str());
+            }
+        }
+
+        let mut carried = base_ds
+            .records()
+            .iter()
+            .filter(|r| !skip.contains(r.hostname.as_str()));
+        let mut patched = positions.iter().zip(patch_records).peekable();
+        let mut records = Vec::with_capacity(self.new_host_count as usize);
+        for pos in 0..self.new_host_count {
+            if patched.peek().is_some_and(|(p, _)| **p as u64 == pos) {
+                let (_, r) = patched.next().expect("peeked");
+                records.push(r.clone());
+            } else {
+                match carried.next() {
+                    Some(r) => records.push(r.clone()),
+                    None => {
+                        return Err(StoreError::Corrupt {
+                            context: "delta base",
+                            detail: format!(
+                                "base records exhausted at position {pos} of {}",
+                                self.new_host_count
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+        if let Some((p, _)) = patched.next() {
+            return Err(StoreError::Corrupt {
+                context: "positions",
+                detail: format!(
+                    "patch position {p} outside the new archive's {} hosts",
+                    self.new_host_count
+                ),
+            });
+        }
+        if carried.next().is_some() {
+            return Err(StoreError::Corrupt {
+                context: "delta base",
+                detail: "carried base records left over after the merge".to_string(),
+            });
+        }
+        Snapshot::from_bytes(Snapshot::encode(&assemble_dataset(
+            records,
+            self.scan_time,
+        ))?)
+    }
+
+    /// A human-readable dump of the delta structure.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "govscan delta v{}", self.version);
+        let _ = writeln!(out, "  size: {} bytes", self.bytes.len());
+        let _ = writeln!(out, "  base: {}", self.base_digest);
+        let _ = writeln!(out, "  scan time: {:?}", self.scan_time.map(|t| t.0));
+        let _ = writeln!(
+            out,
+            "  resolves to {} hosts ({} patched, {} removed)",
+            self.new_host_count, self.patch_count, self.removed_count
+        );
+        let _ = writeln!(out, "  sections:");
+        for s in &self.sections {
+            let _ = writeln!(
+                out,
+                "    {:<10} offset {:>8} len {:>8} fnv1a64 {:016x}",
+                s.name, s.offset, s.len, s.checksum
+            );
+        }
+        out
+    }
+
+    // --- Section plumbing (mirrors `Layout`, over the delta id space).
+
+    fn section(&self, id: DeltaSectionId) -> Result<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.id == id as u32)
+            .ok_or(StoreError::Corrupt {
+                context: "section table",
+                detail: format!("missing required section {:?}", id.name()),
+            })
+    }
+
+    fn verified_payload(&self, id: DeltaSectionId) -> Result<&[u8]> {
+        let s = self.section(id)?;
+        let start =
+            usize::try_from(s.offset).map_err(|_| StoreError::Truncated { context: s.name })?;
+        let len = usize::try_from(s.len).map_err(|_| StoreError::Truncated { context: s.name })?;
+        let payload = start
+            .checked_add(len)
+            .and_then(|end| self.bytes.get(start..end))
+            .ok_or(StoreError::Truncated { context: s.name })?;
+        if Checksum::of(payload) != s.checksum {
+            return Err(StoreError::ChecksumMismatch { section: s.name });
+        }
+        Ok(payload)
+    }
+
+    /// Decode the removed-hostname list (verifies the section).
+    fn removed(&self) -> Result<Vec<String>> {
+        let mut d = Decoder::new(self.verified_payload(DeltaSectionId::Removed)?, "removed");
+        let mut out = Vec::with_capacity(self.removed_count as usize);
+        for _ in 0..self.removed_count {
+            let len = d.u32()? as usize;
+            match std::str::from_utf8(d.bytes(len)?) {
+                Ok(s) => out.push(s.to_owned()),
+                Err(e) => return d.corrupt(format!("invalid UTF-8 hostname: {e}")),
+            }
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// Decode the patch positions (verifies the section; must ascend).
+    fn positions(&self) -> Result<Vec<u32>> {
+        let mut d = Decoder::new(
+            self.verified_payload(DeltaSectionId::Positions)?,
+            "positions",
+        );
+        let mut out = Vec::with_capacity(self.patch_count as usize);
+        for _ in 0..self.patch_count {
+            let p = d.u32()?;
+            if out.last().is_some_and(|&last| p <= last) {
+                return d.corrupt(format!("position {p} not strictly ascending"));
+            }
+            out.push(p);
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// Open the embedded patch archive (verifies the section).
+    fn patch(&self) -> Result<Snapshot> {
+        Snapshot::from_bytes(self.verified_payload(DeltaSectionId::Patch)?.to_vec())
+    }
+}
+
+impl Snapshot {
+    /// Resolve a delta chain: open `base`, then apply each delta in
+    /// order. Every link is digest-checked, so a reordered, skipped, or
+    /// wrong-family delta fails with a typed [`StoreError`] instead of
+    /// resolving to a silently wrong epoch.
+    pub fn open_chain<P: AsRef<Path>>(
+        base: impl AsRef<Path>,
+        deltas: impl IntoIterator<Item = P>,
+    ) -> Result<Snapshot> {
+        let mut snap = Snapshot::open(base)?;
+        for path in deltas {
+            snap = Delta::open(path)?.apply(&snap)?;
+        }
+        Ok(snap)
+    }
+}

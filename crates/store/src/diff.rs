@@ -285,11 +285,34 @@ pub fn diff_datasets(before: &ScanDataset, after: &ScanDataset) -> SnapshotDiff 
 
 /// Diff two snapshot files. Both are fully validated before any
 /// comparison; no live `govscan_worldgen` `World` is involved.
+///
+/// Snapshot encoding is canonical, so equal content digests mean the
+/// two files hold the same dataset: that case short-circuits to an
+/// empty diff (header times and counts only, no migration matrix)
+/// without decoding a single host record. A monitor steady state
+/// compares many identical neighbours, and this makes that free.
 pub fn diff_snapshot_files(
     before: impl AsRef<Path>,
     after: impl AsRef<Path>,
 ) -> Result<SnapshotDiff> {
-    let before = Snapshot::open(before)?.dataset()?;
-    let after = Snapshot::open(after)?.dataset()?;
-    Ok(diff_datasets(&before, &after))
+    let before = Snapshot::open(before)?;
+    let after = Snapshot::open(after)?;
+    if before.digest() == after.digest() {
+        return Ok(SnapshotDiff {
+            before_time: before.scan_time(),
+            after_time: after.scan_time(),
+            hosts_before: before.host_count(),
+            hosts_after: after.host_count(),
+            appeared: Vec::new(),
+            disappeared: Vec::new(),
+            migration: BTreeMap::new(),
+            newly_valid: Vec::new(),
+            newly_broken: Vec::new(),
+            hsts_gained: 0,
+            hsts_lost: 0,
+            chain_changed: 0,
+            per_country: BTreeMap::new(),
+        });
+    }
+    Ok(diff_datasets(&before.dataset()?, &after.dataset()?))
 }

@@ -23,6 +23,10 @@
 //! * [`diff`] — host-level transitions between two snapshots: the
 //!   state-migration matrix, newly-valid/newly-broken hosts, HSTS and
 //!   chain churn, and per-country improvement rates.
+//! * [`delta`] — `GOVDLT1` delta snapshots for year-long monitoring:
+//!   one epoch's changed/added/removed records against a base archive
+//!   named by content digest, with [`Snapshot::open_chain`] resolving
+//!   a base + delta sequence back to the full archive bit-for-bit.
 //! * [`wire`], [`intern`], [`error`] — the byte codec, string
 //!   interning, and the typed [`StoreError`] every failure maps to.
 //!
@@ -34,6 +38,7 @@
 //!
 //! [`ScanDataset`]: govscan_scanner::ScanDataset
 
+pub mod delta;
 pub mod diff;
 pub mod error;
 pub mod intern;
@@ -41,6 +46,7 @@ pub mod lazy;
 pub mod snapshot;
 pub mod wire;
 
+pub use delta::{Delta, DELTA_MAGIC, DELTA_VERSION};
 pub use diff::{diff_datasets, diff_snapshot_files, CountryDelta, HostState, SnapshotDiff};
 pub use error::{Result, StoreError};
 pub use lazy::Snapshot;

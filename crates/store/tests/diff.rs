@@ -148,3 +148,38 @@ fn file_level_diff_matches_in_memory() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn identical_files_short_circuit_on_digest() {
+    // Canonical encoding means equal digests imply equal datasets, so
+    // the file-level diff must return the empty diff without decoding
+    // host records. The in-memory diff of a dataset against itself
+    // fills the whole migration diagonal — the empty matrix is the
+    // observable proof the fast path ran.
+    let (before, _) = datasets();
+    let dir = std::env::temp_dir().join(format!("govscan-store-diff-fast-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.snap");
+    let b = dir.join("b.snap");
+    Snapshot::write_file(&a, &before).unwrap();
+    Snapshot::write_file(&b, &before).unwrap();
+
+    let slow = diff_datasets(&before, &before);
+    assert!(
+        slow.migration.values().sum::<u64>() > 0,
+        "self-diff walks the diagonal"
+    );
+
+    let fast = diff_snapshot_files(&a, &b).unwrap();
+    assert!(fast.migration.is_empty(), "fast path must not decode hosts");
+    assert!(fast.appeared.is_empty() && fast.disappeared.is_empty());
+    assert!(fast.newly_valid.is_empty() && fast.newly_broken.is_empty());
+    assert_eq!(fast.hsts_gained + fast.hsts_lost + fast.chain_changed, 0);
+    assert_eq!(fast.hosts_before, before.len() as u64);
+    assert_eq!(fast.hosts_after, before.len() as u64);
+    assert_eq!(fast.before_time, Some(Time(100)));
+    assert_eq!(fast.after_time, Some(Time(100)));
+    assert!(fast.per_country.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

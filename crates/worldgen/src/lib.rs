@@ -25,6 +25,7 @@
 pub mod cadb;
 pub mod config;
 pub mod countries;
+pub mod evolve;
 pub mod host;
 pub mod hostgen;
 pub mod hosting;
@@ -39,6 +40,7 @@ pub mod world;
 pub use cadb::{CaDb, CaProfile};
 pub use config::WorldConfig;
 pub use countries::{Country, COUNTRIES};
+pub use evolve::{EpochHost, EvolveConfig, MonitorPlan};
 pub use host::{HostRecord, HostingClass, InjectedError, Posture};
 pub use rankings::{RankingEntry, RankingList};
 pub use stream::{stream_shards, ShardWorld, StreamPlan, StreamSeeder};

@@ -249,6 +249,31 @@ impl StreamPlan {
         self.config.scan_time
     }
 
+    /// The stream seeder (evolution model: per-epoch mutation streams).
+    pub(crate) fn seeder(&self) -> StreamSeeder {
+        self.seeder
+    }
+
+    /// The §5.3.3 cluster table (evolution model: per-host realization).
+    pub(crate) fn clusters(&self) -> &[SharedCluster] {
+        &self.clusters
+    }
+
+    /// hostname → cluster index (evolution model: per-host realization).
+    pub(crate) fn shared_chain_of(&self) -> &HashMap<String, usize> {
+        &self.shared_chain_of
+    }
+
+    /// The active countries, in shard order.
+    pub(crate) fn countries(&self) -> &[&'static Country] {
+        &self.countries
+    }
+
+    /// Sum of active-country host weights (the population denominator).
+    pub(crate) fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
     /// Realize shard `idx` (a country) into a self-contained
     /// [`ShardWorld`]: regenerate its records from the country's RNG
     /// streams, apply the cluster plan's posture flips, issue chains,

@@ -1045,6 +1045,14 @@ pub(crate) struct Realizer<'a> {
     rng: StdRng,
     /// §9 consolidated hosting: hostname → index into `shared_chains`.
     shared_group_of: HashMap<String, usize>,
+    /// When set, host issuance uses this `(not_before, validity_days)`
+    /// window instead of sampling one from the RNG stream. The evolution
+    /// model (`crate::evolve`) schedules certificate lifetimes itself —
+    /// it must know a cert's expiry without replaying realizer draws —
+    /// so it injects the window it already decided on. The materialized
+    /// and streamed generators never set this, so their draw sequences
+    /// are untouched.
+    validity_override: Option<(Time, i64)>,
     /// (chain, issuing-CA label) per shared group.
     shared_chains: Vec<(Vec<Certificate>, String)>,
     batch: RealizeBatch,
@@ -1069,6 +1077,7 @@ impl<'a> Realizer<'a> {
             assigner: HostingAssigner::with_base(seeder.stream_id("ip", &ip_tag)),
             rng: seeder.rng(phase, shard),
             shared_group_of: HashMap::new(),
+            validity_override: None,
             shared_chains: Vec::new(),
             batch: RealizeBatch::default(),
         }
@@ -1076,6 +1085,29 @@ impl<'a> Realizer<'a> {
 
     pub(crate) fn into_batch(self) -> RealizeBatch {
         self.batch
+    }
+
+    /// Pin the next issuance's validity window (see `validity_override`).
+    pub(crate) fn set_validity_override(&mut self, window: Option<(Time, i64)>) {
+        self.validity_override = window;
+    }
+
+    /// The validity window for the chain being issued: the injected
+    /// override when the evolution model set one, otherwise a fresh draw
+    /// from this shard's RNG stream. An overridden host makes *fewer*
+    /// draws than an unoverridden one — safe only because the evolution
+    /// model gives each host a dedicated realizer (no other host shares
+    /// its stream), so the skipped draw shifts nobody else's sequence.
+    fn validity_window(&mut self, valid: bool, expired: bool) -> (Time, i64) {
+        match self.validity_override {
+            Some(window) => window,
+            None => posture::sample_validity_window(
+                &mut self.rng,
+                valid,
+                self.config.scan_time,
+                expired,
+            ),
+        }
     }
 
     /// Issue a chain without touching shared state; the leaf's CT-log
@@ -1302,8 +1334,7 @@ impl<'a> Realizer<'a> {
         let hostname = rec.hostname.clone();
         let key_alg = posture::sample_key_algorithm(&mut self.rng, valid);
         let key = KeyPair::from_seed(key_alg, format!("hostkey-{hostname}").as_bytes());
-        let (not_before, days) =
-            posture::sample_validity_window(&mut self.rng, valid, self.config.scan_time, false);
+        let (not_before, days) = self.validity_window(valid, false);
         let covered = match mismatch {
             None => {
                 // 39% of hosts deploy wildcard certificates (§5.3).
@@ -1342,8 +1373,7 @@ impl<'a> Realizer<'a> {
     fn issue_expired(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
         let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
-        let (not_before, days) =
-            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, true);
+        let (not_before, days) = self.validity_window(false, true);
         let ca_idx = self.cadb.pick(&mut self.rng, rec.country, true);
         let mut profile = LeafProfile::dv(rec.hostname.clone(), key.public(), not_before);
         profile.validity_days = Some(days);
@@ -1357,8 +1387,7 @@ impl<'a> Realizer<'a> {
     fn issue_local_issuer_broken(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
         let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
-        let (not_before, days) =
-            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        let (not_before, days) = self.validity_window(false, false);
         let untrusted = self.cadb.untrusted_indices();
         let use_untrusted = rec.country == "kr" || self.rng.gen::<f64>() < 0.5;
         let ca_idx = if use_untrusted && !untrusted.is_empty() {
@@ -1397,8 +1426,7 @@ impl<'a> Realizer<'a> {
         } else {
             SignatureAlgorithm::Sha256WithRsa
         });
-        let (not_before, days) =
-            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        let (not_before, days) = self.validity_window(false, false);
         // Half cover the right name (self-signed is the error); half are
         // appliance defaults.
         let cn = if self.rng.gen::<f64>() < 0.5 {
@@ -1424,8 +1452,7 @@ impl<'a> Realizer<'a> {
     fn issue_untrusted_full_chain(&mut self, rec: &mut HostRecord) -> Vec<Certificate> {
         let key_alg = posture::sample_key_algorithm(&mut self.rng, false);
         let key = KeyPair::from_seed(key_alg, format!("hostkey-{}", rec.hostname).as_bytes());
-        let (not_before, days) =
-            posture::sample_validity_window(&mut self.rng, false, self.config.scan_time, false);
+        let (not_before, days) = self.validity_window(false, false);
         let untrusted = self.cadb.untrusted_indices();
         let ca_idx = if rec.country == "kr" {
             *untrusted

@@ -129,5 +129,40 @@ run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-repro --bench pip
 # single-process scan's.
 run env GOVSCAN_SCALE=0.02 cargo run --offline -q -p govscan-repro --bin distributed -- \
   --workers 2 --socket --inject-death
+# Longitudinal-monitor smoke: baseline + 4 weekly epochs of the
+# evolving world; --self-check digest-proves every epoch's incremental
+# scan against full rescans at one and at N threads, round-trips each
+# delta, and re-resolves the on-disk chain against the final archive
+# (exits non-zero on any mismatch). Scale 0.05 is the smallest world
+# where the default seed exercises the CAA ancestor-coupling rule
+# (www.* probed because its apex changed) — keep it there.
+mondir="$(mktemp -d)"
+run env GOVSCAN_SCALE=0.05 cargo run --offline -q -p govscan-repro --bin monitor -- \
+  --epochs 4 --self-check --out-dir "$mondir" > /dev/null
+# Serve the chain the monitor just wrote: registers each delta as an
+# addressable epoch and hits every endpoint (including /trends over
+# the chain) through the real TCP path.
+run cargo run --offline -q -p govscan-serve -- \
+  --archive "$mondir/epoch-0.snap" --delta "$mondir/epoch-1.dlt" \
+  --delta "$mondir/epoch-2.dlt" --self-check
+rm -rf "$mondir"
+# Monitor bench smoke: 4 epochs on a ~50x-shrunken world with
+# self-check on, asserting the probe-economy and chain-size bars at
+# relaxed smoke thresholds, without emitting BENCH_monitor.json.
+run env GOVSCAN_BENCH_SMOKE=1 cargo bench --offline -p govscan-monitor --bench monitor
+# Economy guards on the committed monitor artifact: steady-state
+# epochs must probe <=30% of hosts, and the delta chain must be >=5x
+# smaller than storing every epoch as a full archive.
+echo "==> monitor economy guards (BENCH_monitor.json)"
+awk '
+  /"steady_state_probe_fraction"/ { gsub(/[^0-9.]/, "", $2); probe = $2 + 0 }
+  /"bytes_ratio"/                 { gsub(/[^0-9.]/, "", $2); ratio = $2 + 0 }
+  END {
+    if (probe == 0 || ratio == 0) { print "missing fields in BENCH_monitor.json"; exit 1 }
+    printf "    steady_state_probe_fraction=%.3f ceiling=0.30, bytes_ratio=%.2f floor=5.00\n", probe, ratio
+    if (probe > 0.30) { printf "steady-state probe fraction %.3f exceeds 0.30\n", probe; exit 1 }
+    if (ratio < 5.00) { printf "chain only %.2fx smaller than full archives (floor 5x)\n", ratio; exit 1 }
+  }
+' BENCH_monitor.json
 
 echo "CI OK"
